@@ -1,0 +1,51 @@
+//! Criterion wall-clock benchmark of hash aggregation (the §8 extension)
+//! across the four schemes on real hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use phj::aggregate::{aggregate, AggScheme};
+use phj::plan;
+use phj_memsim::NativeModel;
+use phj_workload::{key_of_index, single_relation};
+
+fn bench_aggregation(c: &mut Criterion) {
+    // 1M rows into 500k groups: the table far exceeds L2.
+    let rows = 1_000_000usize;
+    let keys = 500_000usize;
+    let input = {
+        use phj_storage::{RelationBuilder, Schema};
+        let schema = Schema::key_payload(32);
+        let mut b = RelationBuilder::new(schema);
+        let mut t = [0u8; 32];
+        for i in 0..rows {
+            let key = key_of_index((i % keys) as u32);
+            t[..4].copy_from_slice(&key.to_le_bytes());
+            b.push(&t);
+        }
+        b.finish()
+    };
+    let buckets = plan::hash_table_buckets(keys, 1);
+    let mut g = c.benchmark_group("aggregation");
+    g.throughput(Throughput::Elements(rows as u64));
+    g.sample_size(10);
+    for (name, scheme) in [
+        ("baseline", AggScheme::Baseline),
+        ("simple", AggScheme::Simple),
+        ("group_g16", AggScheme::Group { g: 16 }),
+        ("swp_d4", AggScheme::Swp { d: 4 }),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, &scheme| {
+            b.iter(|| {
+                let mut mem = NativeModel;
+                let t = aggregate(&mut mem, scheme, &input, buckets, |t| t[4] as i64);
+                assert_eq!(t.num_groups(), keys);
+                t.num_groups()
+            })
+        });
+    }
+    g.finish();
+    let _ = single_relation(1, 16);
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

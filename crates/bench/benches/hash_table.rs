@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the Figure-2 hash table itself: build throughput
+//! and probe throughput, with and without real prefetch instructions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use phj::hash::hash_key;
+use phj::table::{HashCell, HashTable};
+use phj_memsim::{MemoryModel, NativeModel};
+use phj_workload::key_of_index;
+
+fn bench_insert(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let keys: Vec<u32> = (0..n as u32).map(key_of_index).collect();
+    let hashes: Vec<u32> = keys.iter().map(|k| hash_key(&k.to_le_bytes())).collect();
+    let mut g = c.benchmark_group("hash_table_insert");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.bench_function("straight", |b| {
+        b.iter(|| {
+            let mut t = HashTable::new(n, n);
+            for (i, &h) in hashes.iter().enumerate() {
+                t.insert(HashCell::new(h, 0x10000 + i * 64, 16));
+            }
+            t.len()
+        })
+    });
+    g.bench_function("prefetched", |b| {
+        // Manually staged insert with a prefetch one step ahead — shows
+        // the primitive the group/swp builds are made of.
+        b.iter(|| {
+            let mut t = HashTable::new(n, n);
+            let mut mem = NativeModel;
+            for (i, &h) in hashes.iter().enumerate() {
+                if let Some(&nh) = hashes.get(i + 1) {
+                    let nb = t.bucket_of(nh);
+                    mem.prefetch(t.header_addr(nb), HashTable::header_len());
+                }
+                t.insert(HashCell::new(h, 0x10000 + i * 64, 16));
+            }
+            t.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let mut t = HashTable::new(n, n);
+    let hashes: Vec<u32> = (0..n as u32)
+        .map(|i| hash_key(&key_of_index(i).to_le_bytes()))
+        .collect();
+    for (i, &h) in hashes.iter().enumerate() {
+        t.insert(HashCell::new(h, 0x10000 + i * 64, 16));
+    }
+    let mut g = c.benchmark_group("hash_table_lookup");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    for stride in [1usize, 7] {
+        g.bench_with_input(BenchmarkId::new("stride", stride), &stride, |b, &stride| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for i in (0..n).map(|i| (i * stride) % n) {
+                    found += t.lookup(hashes[i]).count();
+                }
+                found
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion wall-clock benchmarks of the partition-phase schemes
+//! (native counterpart of Fig 14(a)'s two regions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use phj::partition::{partition_relation, PartitionScheme};
+use phj_memsim::NativeModel;
+use phj_workload::single_relation;
+
+fn bench_partition(c: &mut Criterion) {
+    let input = single_relation(400_000, 100); // ~43 MB
+    for nparts in [32usize, 512] {
+        let mut g = c.benchmark_group(format!("partition_{nparts}"));
+        g.throughput(Throughput::Elements(input.num_tuples() as u64));
+        g.sample_size(10);
+        for (name, scheme) in [
+            ("baseline", PartitionScheme::Baseline),
+            ("simple", PartitionScheme::Simple),
+            ("group_g12", PartitionScheme::Group { g: 12 }),
+            ("swp_d4", PartitionScheme::Swp { d: 4 }),
+            ("combined", PartitionScheme::combined_default()),
+        ] {
+            g.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, &scheme| {
+                b.iter(|| {
+                    let mut mem = NativeModel;
+                    let parts = partition_relation(&mut mem, scheme, &input, nparts, false);
+                    parts.iter().map(|r| r.num_tuples()).sum::<usize>()
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

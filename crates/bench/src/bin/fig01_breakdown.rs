@@ -1,0 +1,50 @@
+//! Figure 1: execution-time breakdown of the GRACE baseline.
+//!
+//! "The 'partition' experiment divides a 1GB relation into 800
+//! partitions, while the 'join' experiment joins a 50MB build partition
+//! with a 100MB probe partition. [...] both the partition and join phases
+//! spend a significant fraction of their time — 82% and 73%,
+//! respectively — stalled on data cache misses."
+
+use phj::join::JoinScheme;
+use phj::partition::PartitionScheme;
+use phj_bench::report::{mcycles, scaled, Table};
+use phj_bench::runner::{sim_join, sim_partition};
+use phj_memsim::{Breakdown, MemConfig};
+use phj_workload::{relation_of_bytes, JoinSpec};
+
+fn pct(part: u64, total: u64) -> String {
+    format!("{:.0}%", 100.0 * part as f64 / total.max(1) as f64)
+}
+
+fn row(t: &mut Table, name: &str, b: Breakdown) {
+    t.row(&[
+        &name,
+        &mcycles(b.total()),
+        &pct(b.busy, b.total()),
+        &pct(b.dcache_stall, b.total()),
+        &pct(b.dtlb_stall, b.total()),
+        &pct(b.other_stall, b.total()),
+    ]);
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Fig 1 — GRACE user-time breakdown (paper: partition 82% / join 73% dcache stalls)",
+        &["experiment", "Mcycles", "busy", "dcache", "dtlb", "other"],
+    );
+
+    // Partition: 1 GB relation into 800 partitions.
+    let input = relation_of_bytes(scaled(1 << 30), 100);
+    let p = sim_partition(&input, PartitionScheme::Baseline, 800, MemConfig::paper());
+    row(&mut t, "partition 1GB->800", p.breakdown);
+    drop(p);
+    drop(input);
+
+    // Join: 50 MB build partition with 100 MB probe partition.
+    let gen = JoinSpec::pivot(scaled(50 << 20)).generate();
+    let j = sim_join(&gen, JoinScheme::Baseline, MemConfig::paper(), true);
+    row(&mut t, "join 50MB x 100MB", j.breakdown());
+
+    t.emit("fig01_breakdown");
+}

@@ -1,0 +1,101 @@
+//! Figure 9: is hash join I/O-bound or CPU-bound?
+//!
+//! The paper joins a 1.5 GB build relation with a 3 GB probe relation (31
+//! partitions, 100 B tuples) on a quad-Pentium III with 1–6 striped SCSI
+//! disks, and shows both phases become CPU-bound at ≥ 4 disks. We replay
+//! the experiment on the discrete-event I/O model (`phj-iosim`), with the
+//! CPU work calibrated from the cycle simulator: a small simulated run of
+//! each phase yields cycles-per-tuple, scaled to the full relation sizes
+//! and the paper's 550 MHz clock.
+
+use phj::join::JoinScheme;
+use phj::partition::PartitionScheme;
+use phj_bench::report::Table;
+use phj_bench::runner::{sim_join, sim_partition};
+use phj_iosim::{disk_sweep, IoConfig, PhaseSpec};
+use phj_memsim::MemConfig;
+use phj_workload::{single_relation, JoinSpec};
+
+const GB: u64 = 1 << 30;
+
+fn main() {
+    // Calibrate CPU cycles/tuple from small simulated runs.
+    let cal_n = 40_000usize;
+    let input = single_relation(cal_n, 100);
+    let p = sim_partition(&input, PartitionScheme::Baseline, 31, MemConfig::paper());
+    let part_cyc_per_tuple = p.breakdown.total() / cal_n as u64;
+    let spec = JoinSpec {
+        build_tuples: cal_n,
+        tuple_size: 100,
+        matches_per_build: 2,
+        pct_match: 100,
+        seed: 9,
+    };
+    let gen = spec.generate();
+    let j = sim_join(&gen, JoinScheme::Baseline, MemConfig::paper(), true);
+    // Per build tuple processed (the join touches 1 build + 2 probes).
+    let join_cyc_per_build = j.total() / cal_n as u64;
+    println!(
+        "calibration: partition {part_cyc_per_tuple} cyc/tuple, join {join_cyc_per_build} cyc/build-tuple"
+    );
+
+    let build_tuples = (3 * GB / 2) / 108; // 100 B + 8 B slot
+    let base = IoConfig::default();
+
+    // (a) Partition phase of the build relation: read 1.5 GB, write 1.5 GB.
+    let part_spec = PhaseSpec {
+        read_bytes: 3 * GB / 2,
+        write_bytes: 3 * GB / 2,
+        cpu_cycles: build_tuples * part_cyc_per_tuple,
+    };
+    let mut ta = Table::new(
+        "Fig 9(a) — partition phase, 1.5 GB build relation (seconds)",
+        &["disks", "elapsed", "worker io", "main stall", "cpu"],
+    );
+    for (d, r) in disk_sweep(&base, &part_spec, 6) {
+        ta.row(&[
+            &d,
+            &format!("{:.1}", r.elapsed_s),
+            &format!("{:.1}", r.worker_io_s),
+            &format!("{:.1}", r.main_stall_s),
+            &format!("{:.1}", r.cpu_s),
+        ]);
+    }
+    ta.emit("fig09a_partition");
+
+    // (b) Join phase: read build + probe partitions (4.5 GB), write the
+    // join output (2 matches per build tuple, ~208 B output tuples).
+    let out_bytes = build_tuples * 2 * 216; // output tuple + slot overhead
+    let join_spec = PhaseSpec {
+        read_bytes: 9 * GB / 2,
+        write_bytes: out_bytes,
+        cpu_cycles: build_tuples * join_cyc_per_build,
+    };
+    let mut tb = Table::new(
+        "Fig 9(b) — join phase, 1.5 GB x 3 GB (seconds)",
+        &["disks", "elapsed", "worker io", "main stall", "cpu"],
+    );
+    for (d, r) in disk_sweep(&base, &join_spec, 6) {
+        tb.row(&[
+            &d,
+            &format!("{:.1}", r.elapsed_s),
+            &format!("{:.1}", r.worker_io_s),
+            &format!("{:.1}", r.main_stall_s),
+            &format!("{:.1}", r.cpu_s),
+        ]);
+    }
+    tb.emit("fig09b_join");
+
+    // The paper's conclusion line.
+    let sweep = disk_sweep(&base, &join_spec, 6);
+    let e4 = sweep[3].1.elapsed_s;
+    let e6 = sweep[5].1.elapsed_s;
+    println!(
+        "\nCPU-bound at >= 4 disks: elapsed(4)={:.1}s vs elapsed(6)={:.1}s ({:.0}% flat); \
+         room for CPU improvement at 6 disks: {:.1}x",
+        e4,
+        e6,
+        100.0 * e6 / e4,
+        sweep[5].1.elapsed_s / sweep[5].1.worker_io_s
+    );
+}

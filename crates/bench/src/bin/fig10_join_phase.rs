@@ -1,0 +1,83 @@
+//! Figure 10: join phase performance, four schemes, three knobs.
+//!
+//! "(a) varying the tuple size, (b) the number of probe tuples matching a
+//! build tuple, (c) the percentage of tuples that have matches. [...] In
+//! all experiments, the build partition fits tightly in the 50MB memory.
+//! The three sets of experiments share a pivot point: tuples are 100B
+//! long and every build tuple matches two probe tuples. Group prefetching
+//! and software-pipelined prefetching achieve 2.4-2.9X and 2.1-2.7X
+//! speedups over the baseline [...] simple prefetching only obtains
+//! marginal benefit, a 1.1-1.2X speedup."
+//!
+//! `G` and `D` come from the Theorem-1/2 predictions for each workload.
+
+use phj::cost;
+use phj::model::{min_group_size, min_prefetch_distance};
+use phj_bench::report::{mcycles, scaled, speedup, Table};
+use phj_bench::runner::{paper_join_schemes, sim_join};
+use phj_memsim::MemConfig;
+use phj_workload::{tuples_for, JoinSpec};
+
+const MEM: usize = 50 << 20;
+
+fn run_row(t: &mut Table, label: &str, spec: &JoinSpec) {
+    let costs = cost::probe_stage_costs(true, 2 * spec.tuple_size);
+    let cfg = MemConfig::paper();
+    let g = min_group_size(cfg.t_full, cfg.t_next, &costs).g as usize;
+    let d = min_prefetch_distance(cfg.t_full, cfg.t_next, &costs) as usize;
+    let gen = spec.generate();
+    let mut cells: Vec<String> = vec![label.to_string(), format!("G={g},D={d}")];
+    let mut base = 0u64;
+    for (_, scheme) in paper_join_schemes(g, d) {
+        let r = sim_join(&gen, scheme, MemConfig::paper(), true);
+        if base == 0 {
+            base = r.total();
+        }
+        cells.push(format!("{} ({})", mcycles(r.total()), speedup(base, r.total())));
+    }
+    let refs: Vec<&dyn std::fmt::Display> =
+        cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
+    t.row(&refs);
+}
+
+fn main() {
+    let mem = scaled(MEM);
+    let pivot = JoinSpec::pivot(mem);
+
+    // (a) tuple size 20–140 B (50 MB build partition throughout).
+    let mut ta = Table::new(
+        "Fig 10(a) — join phase vs tuple size (Mcycles, speedup over baseline)",
+        &["tuple size", "params", "baseline", "simple", "group", "swp"],
+    );
+    for size in [20usize, 60, 100, 140] {
+        let spec = JoinSpec {
+            build_tuples: tuples_for(mem, size),
+            tuple_size: size,
+            ..pivot
+        };
+        run_row(&mut ta, &format!("{size}B"), &spec);
+    }
+    ta.emit("fig10a_tuple_size");
+
+    // (b) matches per build tuple 1–4.
+    let mut tb = Table::new(
+        "Fig 10(b) — join phase vs matches per build tuple",
+        &["matches", "params", "baseline", "simple", "group", "swp"],
+    );
+    for m in [1usize, 2, 3, 4] {
+        let spec = JoinSpec { matches_per_build: m, ..pivot };
+        run_row(&mut tb, &m.to_string(), &spec);
+    }
+    tb.emit("fig10b_matches");
+
+    // (c) percentage of tuples with matches 25–100%.
+    let mut tc = Table::new(
+        "Fig 10(c) — join phase vs percentage of matched tuples",
+        &["% matched", "params", "baseline", "simple", "group", "swp"],
+    );
+    for pct in [25u8, 50, 75, 100] {
+        let spec = JoinSpec { pct_match: pct, ..pivot };
+        run_row(&mut tc, &format!("{pct}%"), &spec);
+    }
+    tc.emit("fig10c_pct_match");
+}

@@ -1,0 +1,36 @@
+//! Figure 11: execution-time breakdowns for the join phase at 100 B
+//! tuples (the Fig 10(a) pivot).
+//!
+//! "Group prefetching and software pipelined prefetching indeed
+//! successfully hide most of the data cache miss latencies. [...] The
+//! (transformation, book keeping, and prefetching) overheads of the
+//! techniques lead to larger portions of busy times. Software-pipelined
+//! prefetching is more costly than group prefetching. Interestingly,
+//! other stalls also increase."
+
+use phj_bench::report::{mcycles, scaled, Table};
+use phj_bench::runner::{paper_join_schemes, sim_join};
+use phj_memsim::MemConfig;
+use phj_workload::JoinSpec;
+
+fn main() {
+    let spec = JoinSpec::pivot(scaled(50 << 20));
+    let gen = spec.generate();
+    let mut t = Table::new(
+        "Fig 11 — join-phase breakdown at 100B tuples (Mcycles)",
+        &["scheme", "total", "busy", "dcache", "dtlb", "other"],
+    );
+    for (name, scheme) in paper_join_schemes(16, 1) {
+        let r = sim_join(&gen, scheme, MemConfig::paper(), true);
+        let b = r.breakdown();
+        t.row(&[
+            &name,
+            &mcycles(b.total()),
+            &mcycles(b.busy),
+            &mcycles(b.dcache_stall),
+            &mcycles(b.dtlb_stall),
+            &mcycles(b.other_stall),
+        ]);
+    }
+    t.emit("fig11_join_breakdown");
+}

@@ -1,0 +1,72 @@
+//! Figure 13: breakdown of cache misses as G / D grow.
+//!
+//! The paper uses this to explain the concave tuning curves: with small
+//! parameters, prefetches are issued too late and demand accesses catch
+//! in-flight fills (partially hidden misses); with large parameters, the
+//! many concurrent prefetched lines conflict in the cache and get
+//! **evicted before use**, turning into fresh misses. We report, per
+//! parameter value: fully hidden lines (L1 hits on prefetched data),
+//! partially hidden (in-flight) lines, full misses, L1 conflict misses
+//! (shadow-cache classified), and prefetched-but-evicted-unused lines.
+
+use phj::join::JoinScheme;
+use phj_bench::report::{scaled, Table};
+use phj_bench::runner::sim_join;
+use phj_memsim::MemConfig;
+use phj_workload::{tuples_for, JoinSpec};
+
+fn main() {
+    let mem = scaled(50 << 20);
+    let spec = JoinSpec {
+        build_tuples: tuples_for(mem, 20),
+        tuple_size: 20,
+        matches_per_build: 2,
+        pct_match: 100,
+        seed: 0xC0FFEE,
+    };
+    let gen = spec.generate();
+    let cfg = || {
+        let mut c = MemConfig::paper();
+        c.classify_conflicts = true;
+        c
+    };
+    let k = |v: u64| format!("{:.0}k", v as f64 / 1e3);
+
+    let mut tg = Table::new(
+        "Fig 13 (left) — cache-miss breakdown vs G (line counts)",
+        &["G", "l1 hits", "partial", "l2 fills", "mem fills", "conflict", "pf evicted"],
+    );
+    for g in [4usize, 8, 16, 32, 64, 128, 256] {
+        let r = sim_join(&gen, JoinScheme::Group { g }, cfg(), true);
+        let s = r.stats;
+        tg.row(&[
+            &g,
+            &k(s.l1_hits),
+            &k(s.l1_inflight_hits),
+            &k(s.l2_hits),
+            &k(s.mem_misses),
+            &k(s.l1_conflict_misses),
+            &k(s.pf_evicted_unused),
+        ]);
+    }
+    tg.emit("fig13_group_misses");
+
+    let mut td = Table::new(
+        "Fig 13 (right) — cache-miss breakdown vs D (line counts)",
+        &["D", "l1 hits", "partial", "l2 fills", "mem fills", "conflict", "pf evicted"],
+    );
+    for d in [1usize, 2, 4, 8, 16, 32, 64] {
+        let r = sim_join(&gen, JoinScheme::Swp { d }, cfg(), true);
+        let s = r.stats;
+        td.row(&[
+            &d,
+            &k(s.l1_hits),
+            &k(s.l1_inflight_hits),
+            &k(s.l2_hits),
+            &k(s.mem_misses),
+            &k(s.l1_conflict_misses),
+            &k(s.pf_evicted_unused),
+        ]);
+    }
+    td.emit("fig13_swp_misses");
+}

@@ -1,0 +1,101 @@
+//! Figure 14: partition phase performance.
+//!
+//! (a) varies the number of partitions from 25 to 800 over a 10-million-
+//! tuple 100 B relation: "When partition number is 25, 50, and 100,
+//! simple prefetching achieves the best performance. However, when the
+//! number of partitions becomes larger, [...] group prefetching and
+//! software-pipelined prefetching win" — the two regions are separated by
+//! whether the output buffers fit in the L2 cache.
+//!
+//! (b) varies the relation size while keeping the partition size fixed
+//! (so the partition count grows with the relation): "essentially the
+//! same tradeoff [...] in a more natural setting". The combined scheme
+//! (§7.4) must track the best curve in both regions; overall it achieves
+//! 1.9–2.6× over the baseline.
+
+use phj::partition::PartitionScheme;
+use phj_bench::report::{mcycles, scale, scaled, speedup, Table};
+use phj_bench::runner::{paper_partition_schemes, sim_partition};
+use phj_memsim::MemConfig;
+use phj_workload::{single_relation, tuples_for};
+
+fn main() {
+    // (a) 10M 100-byte tuples (~1 GB), 25..800 partitions.
+    let n = (10_000_000f64 * scale()) as usize;
+    let input = single_relation(n, 100);
+    let mut ta = Table::new(
+        "Fig 14(a) — partition phase vs number of partitions (Mcycles, speedup over baseline)",
+        &["partitions", "baseline", "simple", "group", "swp", "combined"],
+    );
+    for nparts in [25usize, 50, 100, 200, 400, 800] {
+        let mut cells = vec![nparts.to_string()];
+        let mut base = 0u64;
+        for (_, scheme) in paper_partition_schemes(12, 1) {
+            let r = sim_partition(&input, scheme, nparts, MemConfig::paper());
+            if base == 0 {
+                base = r.breakdown.total();
+            }
+            cells.push(format!(
+                "{} ({})",
+                mcycles(r.breakdown.total()),
+                speedup(base, r.breakdown.total())
+            ));
+        }
+        let r = sim_partition(
+            &input,
+            PartitionScheme::combined_default(),
+            nparts,
+            MemConfig::paper(),
+        );
+        cells.push(format!(
+            "{} ({})",
+            mcycles(r.breakdown.total()),
+            speedup(base, r.breakdown.total())
+        ));
+        let refs: Vec<&dyn std::fmt::Display> =
+            cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
+        ta.row(&refs);
+    }
+    ta.emit("fig14a_partitions");
+    drop(input);
+
+    // (b) relation size sweep with fixed (50 MB) partition size → the
+    // partition count grows with the relation: 26..152 partitions.
+    let part_bytes = scaled(50 << 20);
+    let mut tb = Table::new(
+        "Fig 14(b) — partition phase vs relation size (fixed partition size)",
+        &["partitions", "tuples", "baseline", "simple", "group", "swp", "combined"],
+    );
+    for nparts in [26usize, 51, 76, 102, 127, 152] {
+        let tuples = tuples_for(part_bytes * nparts, 100);
+        let input = single_relation(tuples, 100);
+        let mut cells = vec![nparts.to_string(), tuples.to_string()];
+        let mut base = 0u64;
+        for (_, scheme) in paper_partition_schemes(12, 1) {
+            let r = sim_partition(&input, scheme, nparts, MemConfig::paper());
+            if base == 0 {
+                base = r.breakdown.total();
+            }
+            cells.push(format!(
+                "{} ({})",
+                mcycles(r.breakdown.total()),
+                speedup(base, r.breakdown.total())
+            ));
+        }
+        let r = sim_partition(
+            &input,
+            PartitionScheme::combined_default(),
+            nparts,
+            MemConfig::paper(),
+        );
+        cells.push(format!(
+            "{} ({})",
+            mcycles(r.breakdown.total()),
+            speedup(base, r.breakdown.total())
+        ));
+        let refs: Vec<&dyn std::fmt::Display> =
+            cells.iter().map(|c| c as &dyn std::fmt::Display).collect();
+        tb.row(&refs);
+    }
+    tb.emit("fig14b_relation_size");
+}

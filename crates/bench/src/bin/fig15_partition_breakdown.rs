@@ -1,0 +1,34 @@
+//! Figure 15: partition-phase execution-time breakdown at 800 partitions
+//! (the right region of Fig 14(a), where output-buffer visits thrash the
+//! cache). "Group prefetching and software pipelined prefetching
+//! successfully hide most of the data cache miss latencies."
+
+use phj::partition::PartitionScheme;
+use phj_bench::report::{mcycles, scale, Table};
+use phj_bench::runner::{paper_partition_schemes, sim_partition};
+use phj_memsim::MemConfig;
+use phj_workload::single_relation;
+
+fn main() {
+    let n = (10_000_000f64 * scale()) as usize;
+    let input = single_relation(n, 100);
+    let mut t = Table::new(
+        "Fig 15 — partition-phase breakdown at 800 partitions (Mcycles)",
+        &["scheme", "total", "busy", "dcache", "dtlb", "other"],
+    );
+    let mut schemes: Vec<(&str, PartitionScheme)> = paper_partition_schemes(12, 1).to_vec();
+    schemes.push(("combined", PartitionScheme::combined_default()));
+    for (name, scheme) in schemes {
+        let r = sim_partition(&input, scheme, 800, MemConfig::paper());
+        let b = r.breakdown;
+        t.row(&[
+            &name,
+            &mcycles(b.total()),
+            &mcycles(b.busy),
+            &mcycles(b.dcache_stall),
+            &mcycles(b.dtlb_stall),
+            &mcycles(b.other_stall),
+        ]);
+    }
+    t.emit("fig15_partition_breakdown");
+}

@@ -1,0 +1,42 @@
+//! Figure 17: partition-phase cache-miss breakdown vs G and D — the
+//! "reasons for the poor performance when parameters are too small or too
+//! large" (§7.4), mirroring Fig 13 for the partition loop.
+
+use phj::partition::PartitionScheme;
+use phj_bench::report::{scale, Table};
+use phj_bench::runner::sim_partition;
+use phj_memsim::MemConfig;
+use phj_workload::single_relation;
+
+fn main() {
+    let n = (10_000_000f64 * scale() * 0.4) as usize;
+    let input = single_relation(n, 100);
+    let cfg = || {
+        let mut c = MemConfig::paper();
+        c.classify_conflicts = true;
+        c
+    };
+    let k = |v: u64| format!("{:.0}k", v as f64 / 1e3);
+
+    let mut tg = Table::new(
+        "Fig 17 (left) — partition miss breakdown vs G (line counts)",
+        &["G", "l1 hits", "partial", "l2 fills", "mem fills", "conflict", "pf evicted"],
+    );
+    for g in [2usize, 4, 12, 32, 128, 512] {
+        let r = sim_partition(&input, PartitionScheme::Group { g }, 800, cfg());
+        let s = r.stats;
+        tg.row(&[&g, &k(s.l1_hits), &k(s.l1_inflight_hits), &k(s.l2_hits), &k(s.mem_misses), &k(s.l1_conflict_misses), &k(s.pf_evicted_unused)]);
+    }
+    tg.emit("fig17_group_misses");
+
+    let mut td = Table::new(
+        "Fig 17 (right) — partition miss breakdown vs D (line counts)",
+        &["D", "l1 hits", "partial", "l2 fills", "mem fills", "conflict", "pf evicted"],
+    );
+    for d in [1usize, 2, 4, 16, 64, 256] {
+        let r = sim_partition(&input, PartitionScheme::Swp { d }, 800, cfg());
+        let s = r.stats;
+        td.row(&[&d, &k(s.l1_hits), &k(s.l1_inflight_hits), &k(s.l2_hits), &k(s.mem_misses), &k(s.l1_conflict_misses), &k(s.pf_evicted_unused)]);
+    }
+    td.emit("fig17_swp_misses");
+}

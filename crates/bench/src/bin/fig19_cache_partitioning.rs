@@ -1,0 +1,99 @@
+//! Figure 19: prefetching vs cache partitioning when "direct cache"
+//! applies.
+//!
+//! "Figure 19(a)-(c) show experiments joining a 200MB build relation with
+//! a 400MB probe relation. Every build tuple matches two probe tuples. We
+//! increase the tuple size [...] 'Direct cache' achieves the best
+//! performance in the join phase by avoiding most cache misses. However,
+//! it suffers from larger overheads in the partition phase for generating
+//! much more partitions. 'Two-step cache' suffers from the overhead of
+//! the additional partition step and is 50-150% worse than the
+//! prefetching schemes. Overall, our prefetching schemes are the best
+//! (slightly better than 'direct cache'). In Figure 19(d), we keep the
+//! tuple size to be 100B and vary the percentage of tuples that have
+//! matches."
+//!
+//! Rows report partition-phase, join-phase, and total cycles per scheme;
+//! all schemes' I/O partition phases use the combined prefetching scheme
+//! (§7.5).
+
+use phj::cachepart::CachePartConfig;
+use phj::join::JoinScheme;
+use phj::partition::PartitionScheme;
+use phj_bench::report::{mcycles, scaled, Table};
+use phj_bench::runner::{sim_direct_cache, sim_grace, sim_two_step, E2eRun};
+use phj_memsim::MemConfig;
+use phj_workload::{tuples_for, JoinSpec};
+
+fn emit_point(t: &mut Table, label: &str, spec: &JoinSpec, mem_budget: usize) {
+    let gen = spec.generate();
+    let cp = CachePartConfig { mem_budget, ..Default::default() };
+    let pscheme = PartitionScheme::combined_default();
+    let runs: Vec<(&str, Option<E2eRun>)> = vec![
+        (
+            "baseline",
+            Some(sim_grace(&gen, pscheme, JoinScheme::Baseline, mem_budget, MemConfig::paper())),
+        ),
+        (
+            "group",
+            Some(sim_grace(&gen, pscheme, JoinScheme::Group { g: 16 }, mem_budget, MemConfig::paper())),
+        ),
+        (
+            "swp",
+            Some(sim_grace(&gen, pscheme, JoinScheme::Swp { d: 1 }, mem_budget, MemConfig::paper())),
+        ),
+        ("direct cache", sim_direct_cache(&gen, &cp, MemConfig::paper())),
+        ("2-step cache", Some(sim_two_step(&gen, &cp, MemConfig::paper()))),
+    ];
+    for (name, run) in runs {
+        match run {
+            Some(r) => t.row(&[
+                &label,
+                &name,
+                &mcycles(r.partition.total()),
+                &mcycles(r.join.total()),
+                &mcycles(r.total()),
+            ]),
+            None => t.row(&[&label, &name, &"n/a", &"n/a", &"n/a (too many partitions)"]),
+        }
+    }
+}
+
+fn main() {
+    let build_bytes = scaled(200 << 20);
+    let mem_budget = scaled(50 << 20);
+
+    // (a)-(c): tuple size sweep at 200 MB ⋈ 400 MB, 2 matches per build.
+    let mut ta = Table::new(
+        "Fig 19(a-c) — vs cache partitioning, tuple size sweep (Mcycles)",
+        &["tuple size", "scheme", "partition", "join", "total"],
+    );
+    for size in [20usize, 60, 100, 140] {
+        let spec = JoinSpec {
+            build_tuples: tuples_for(build_bytes, size),
+            tuple_size: size,
+            matches_per_build: 2,
+            pct_match: 100,
+            seed: 0xFEED,
+        };
+        emit_point(&mut ta, &format!("{size}B"), &spec, mem_budget);
+    }
+    ta.emit("fig19abc_tuple_size");
+
+    // (d): percentage of matched tuples at 100 B.
+    let mut td = Table::new(
+        "Fig 19(d) — vs cache partitioning, % matched sweep at 100B (Mcycles)",
+        &["% matched", "scheme", "partition", "join", "total"],
+    );
+    for pct in [25u8, 50, 75, 100] {
+        let spec = JoinSpec {
+            build_tuples: tuples_for(build_bytes, 100),
+            tuple_size: 100,
+            matches_per_build: 2,
+            pct_match: pct,
+            seed: 0xFEED,
+        };
+        emit_point(&mut td, &format!("{pct}%"), &spec, mem_budget);
+    }
+    td.emit("fig19d_pct_match");
+}

@@ -1,0 +1,33 @@
+//! Table 2: simulation parameters.
+//!
+//! Prints the memory-hierarchy configuration the simulator uses, next to
+//! the paper's published values, so any divergence is explicit.
+
+use phj_bench::report::Table;
+use phj_memsim::MemConfig;
+
+fn main() {
+    let c = MemConfig::paper();
+    let mut t = Table::new(
+        "Table 2 — simulation parameters (paper value = ours unless noted)",
+        &["parameter", "value"],
+    );
+    let rows: Vec<(&str, String)> = vec![
+        ("clock rate", "1 GHz".into()),
+        ("cache line size", format!("{} B", c.line_size)),
+        ("L1 data cache", format!("{} KB, {}-way", c.l1_size / 1024, c.l1_assoc)),
+        ("L2 unified cache", format!("{} KB, {}-way", c.l2_size / 1024, c.l2_assoc)),
+        ("data miss handlers", format!("{}", c.miss_handlers)),
+        ("D-TLB", format!("{} entries, fully assoc.", c.tlb_entries)),
+        ("page size", format!("{} KB", c.page_size / 1024)),
+        ("TLB walk (hardware)", format!("{} cycles", c.tlb_walk)),
+        ("memory latency T", format!("{} cycles", c.t_full)),
+        ("pipelined miss T_next", format!("{} cycles", c.t_next)),
+        ("L2 hit latency", format!("{} cycles", c.l2_hit)),
+        ("prefetch issue cost", format!("{} cycle(s)", c.prefetch_issue)),
+    ];
+    for (k, v) in &rows {
+        t.row(&[k, v]);
+    }
+    t.emit("table02_params");
+}

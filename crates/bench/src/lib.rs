@@ -1,0 +1,12 @@
+#![warn(missing_docs)]
+
+//! Experiment harness for regenerating every table and figure of
+//! *Improving Hash Join Performance through Prefetching* (Chen et al.).
+//!
+//! One binary per experiment (see `src/bin/`); each prints the paper's
+//! series as an aligned table and writes a CSV under `bench_out/`.
+//! `PHJ_SCALE` (0 < s ≤ 1) shrinks workload bytes for quick passes;
+//! EXPERIMENTS.md records the scale used for the committed results.
+
+pub mod report;
+pub mod runner;

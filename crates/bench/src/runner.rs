@@ -1,0 +1,321 @@
+//! Shared simulation drivers for the figure-regeneration binaries.
+//!
+//! Each driver runs one phase (or an end-to-end join) under a fresh
+//! [`SimEngine`] and returns per-phase execution-time breakdowns and
+//! cache statistics, exactly the quantities the paper plots.
+
+use phj::cachepart::{
+    direct_cache_join, direct_cache_partition, two_step_join, two_step_partition,
+    CachePartConfig,
+};
+use phj::join::{self, JoinParams, JoinScheme};
+use phj::partition::{partition_relation, PartitionScheme};
+use phj::plan;
+use phj::sink::{CountSink, JoinSink, OutputWriter};
+use phj::table::HashTable;
+use phj_memsim::{Breakdown, CacheStats, MemConfig, MemoryModel, SimEngine};
+use phj_storage::Relation;
+use phj_workload::GeneratedJoin;
+
+/// Result of a simulated join phase (one partition pair).
+pub struct JoinRun {
+    /// Build-side breakdown.
+    pub build: Breakdown,
+    /// Probe-side breakdown.
+    pub probe: Breakdown,
+    /// Whole-phase cache statistics.
+    pub stats: CacheStats,
+    /// Matches produced.
+    pub matches: u64,
+}
+
+impl JoinRun {
+    /// Build + probe total cycles.
+    pub fn total(&self) -> u64 {
+        self.build.total() + self.probe.total()
+    }
+
+    /// Combined breakdown.
+    pub fn breakdown(&self) -> Breakdown {
+        Breakdown {
+            busy: self.build.busy + self.probe.busy,
+            dcache_stall: self.build.dcache_stall + self.probe.dcache_stall,
+            dtlb_stall: self.build.dtlb_stall + self.probe.dtlb_stall,
+            other_stall: self.build.other_stall + self.probe.other_stall,
+        }
+    }
+}
+
+/// Dispatch a build over the scheme (exposed so drivers can snapshot the
+/// engine between build and probe).
+fn run_build<M: MemoryModel>(
+    mem: &mut M,
+    params: &JoinParams,
+    table: &mut HashTable,
+    build: &Relation,
+) {
+    match params.scheme {
+        JoinScheme::Baseline => join::baseline::build(mem, params, table, build),
+        JoinScheme::Simple => join::simple::build(mem, params, table, build),
+        JoinScheme::Group { g } => join::group::build(mem, params, table, build, g),
+        JoinScheme::Swp { d } => join::swp::build(mem, params, table, build, d),
+    }
+}
+
+fn run_probe<M: MemoryModel, S: JoinSink>(
+    mem: &mut M,
+    params: &JoinParams,
+    table: &HashTable,
+    build: &Relation,
+    probe: &Relation,
+    sink: &mut S,
+) {
+    match params.scheme {
+        JoinScheme::Baseline => join::baseline::probe(mem, params, table, build, probe, sink),
+        JoinScheme::Simple => join::simple::probe(mem, params, table, build, probe, sink),
+        JoinScheme::Group { g } => {
+            join::group::probe(mem, params, table, build, probe, g, sink)
+        }
+        JoinScheme::Swp { d } => join::swp::probe(mem, params, table, build, probe, d, sink),
+    }
+}
+
+/// Whether a scheme is one of the staged prefetchers (which also enable
+/// output-buffer prefetch-ahead).
+fn staged(scheme: JoinScheme) -> bool {
+    matches!(scheme, JoinScheme::Group { .. } | JoinScheme::Swp { .. })
+}
+
+/// Simulate the join phase over one generated partition pair.
+///
+/// `materialize` selects the paper's setting (output tuples are built and
+/// written to output pages); `false` uses a counting sink for parameter
+/// sweeps where output writes would drown the effect under study.
+pub fn sim_join(
+    gen: &GeneratedJoin,
+    scheme: JoinScheme,
+    cfg: MemConfig,
+    materialize: bool,
+) -> JoinRun {
+    let mut mem = SimEngine::new(cfg);
+    let params = JoinParams { scheme, use_stored_hash: true };
+    let buckets = plan::hash_table_buckets(gen.build.num_tuples(), 1);
+    let mut table = HashTable::new(buckets, gen.build.num_tuples());
+    run_build(&mut mem, &params, &mut table, &gen.build);
+    let build_bd = mem.breakdown();
+    let matches;
+    if materialize {
+        let mut sink = OutputWriter::new(
+            gen.build.schema().clone(),
+            gen.probe.schema().clone(),
+        );
+        if staged(scheme) {
+            sink = sink.with_output_prefetch();
+        }
+        run_probe(&mut mem, &params, &table, &gen.build, &gen.probe, &mut sink);
+        matches = sink.matches();
+    } else {
+        let mut sink = CountSink::new();
+        run_probe(&mut mem, &params, &table, &gen.build, &gen.probe, &mut sink);
+        matches = sink.matches();
+    }
+    table.assert_quiescent();
+    assert_eq!(matches, gen.expected_matches, "join produced wrong matches");
+    let total = mem.breakdown();
+    JoinRun {
+        build: build_bd,
+        probe: total - build_bd,
+        stats: mem.stats(),
+        matches,
+    }
+}
+
+/// Result of a simulated partition phase.
+pub struct PartitionRun {
+    /// Phase breakdown.
+    pub breakdown: Breakdown,
+    /// Cache statistics.
+    pub stats: CacheStats,
+    /// The partitions (for chaining into a join).
+    pub parts: Vec<Relation>,
+}
+
+/// Simulate the partition phase of `input` into `nparts` partitions.
+pub fn sim_partition(
+    input: &Relation,
+    scheme: PartitionScheme,
+    nparts: usize,
+    cfg: MemConfig,
+) -> PartitionRun {
+    let mut mem = SimEngine::new(cfg);
+    let parts = partition_relation(&mut mem, scheme, input, nparts, false);
+    let moved: usize = parts.iter().map(|r| r.num_tuples()).sum();
+    assert_eq!(moved, input.num_tuples(), "partition lost tuples");
+    PartitionRun { breakdown: mem.breakdown(), stats: mem.stats(), parts }
+}
+
+/// End-to-end result with per-phase breakdowns (Fig 19 rows).
+pub struct E2eRun {
+    /// I/O partition phase (both relations).
+    pub partition: Breakdown,
+    /// Join phase (for two-step cache this includes the in-memory
+    /// re-partition pass, as the paper counts it).
+    pub join: Breakdown,
+    /// Matches produced.
+    pub matches: u64,
+}
+
+impl E2eRun {
+    /// Total cycles.
+    pub fn total(&self) -> u64 {
+        self.partition.total() + self.join.total()
+    }
+}
+
+/// Simulate GRACE end-to-end (partition both relations, join all pairs).
+pub fn sim_grace(
+    gen: &GeneratedJoin,
+    pscheme: PartitionScheme,
+    jscheme: JoinScheme,
+    mem_budget: usize,
+    cfg: MemConfig,
+) -> E2eRun {
+    let mut mem = SimEngine::new(cfg);
+    let p = plan::num_partitions(gen.build.size_bytes(), mem_budget);
+    let bp = partition_relation(&mut mem, pscheme, &gen.build, p, false);
+    let pp = partition_relation(&mut mem, pscheme, &gen.probe, p, false);
+    let part_bd = mem.breakdown();
+    let params = JoinParams { scheme: jscheme, use_stored_hash: true };
+    let mut sink = OutputWriter::new(gen.build.schema().clone(), gen.probe.schema().clone());
+    if staged(jscheme) {
+        sink = sink.with_output_prefetch();
+    }
+    for (b, pr) in bp.iter().zip(&pp) {
+        let buckets = plan::hash_table_buckets(b.num_tuples(), p);
+        let mut table = HashTable::new(buckets, b.num_tuples());
+        run_build(&mut mem, &params, &mut table, b);
+        run_probe(&mut mem, &params, &table, b, pr, &mut sink);
+    }
+    let matches = sink.matches();
+    assert_eq!(matches, gen.expected_matches, "grace produced wrong matches");
+    E2eRun { partition: part_bd, join: mem.breakdown() - part_bd, matches }
+}
+
+/// Simulate the "direct cache" cache-partitioning scheme end-to-end.
+/// Returns `None` when the relation needs more active partitions than the
+/// storage manager allows (the paper's applicability limit).
+pub fn sim_direct_cache(
+    gen: &GeneratedJoin,
+    cp: &CachePartConfig,
+    cfg: MemConfig,
+) -> Option<E2eRun> {
+    let mut mem = SimEngine::new(cfg);
+    let (bp, pp, p) = direct_cache_partition(&mut mem, cp, &gen.build, &gen.probe).ok()?;
+    let part_bd = mem.breakdown();
+    let mut sink = OutputWriter::new(gen.build.schema().clone(), gen.probe.schema().clone());
+    direct_cache_join(&mut mem, cp, &bp, &pp, p, &mut sink);
+    let matches = sink.matches();
+    assert_eq!(matches, gen.expected_matches, "direct cache wrong matches");
+    Some(E2eRun { partition: part_bd, join: mem.breakdown() - part_bd, matches })
+}
+
+/// Simulate the "two-step cache" cache-partitioning scheme end-to-end.
+pub fn sim_two_step(gen: &GeneratedJoin, cp: &CachePartConfig, cfg: MemConfig) -> E2eRun {
+    let mut mem = SimEngine::new(cfg);
+    let (bp, pp, p) = two_step_partition(&mut mem, cp, &gen.build, &gen.probe);
+    let part_bd = mem.breakdown();
+    let mut sink = OutputWriter::new(gen.build.schema().clone(), gen.probe.schema().clone());
+    two_step_join(&mut mem, cp, &bp, &pp, p, &mut sink);
+    let matches = sink.matches();
+    assert_eq!(matches, gen.expected_matches, "two-step cache wrong matches");
+    E2eRun { partition: part_bd, join: mem.breakdown() - part_bd, matches }
+}
+
+/// The four join schemes of Figs 10/11 with theorem-chosen parameters.
+pub fn paper_join_schemes(g: usize, d: usize) -> [(&'static str, JoinScheme); 4] {
+    [
+        ("baseline", JoinScheme::Baseline),
+        ("simple", JoinScheme::Simple),
+        ("group", JoinScheme::Group { g }),
+        ("swp", JoinScheme::Swp { d }),
+    ]
+}
+
+/// The partition schemes of Figs 14/15.
+pub fn paper_partition_schemes(g: usize, d: usize) -> [(&'static str, PartitionScheme); 4] {
+    [
+        ("baseline", PartitionScheme::Baseline),
+        ("simple", PartitionScheme::Simple),
+        ("group", PartitionScheme::Group { g }),
+        ("swp", PartitionScheme::Swp { d }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phj_memsim::MemConfig;
+    use phj_workload::JoinSpec;
+
+    fn tiny() -> GeneratedJoin {
+        JoinSpec {
+            build_tuples: 400,
+            tuple_size: 24,
+            matches_per_build: 2,
+            pct_match: 50,
+            seed: 2,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn sim_join_checks_matches_and_phases() {
+        let gen = tiny();
+        let r = sim_join(&gen, JoinScheme::Group { g: 8 }, MemConfig::paper(), true);
+        assert_eq!(r.matches, gen.expected_matches);
+        assert_eq!(r.total(), r.build.total() + r.probe.total());
+        assert_eq!(r.breakdown().total(), r.total());
+        assert!(r.build.total() > 0 && r.probe.total() > 0);
+    }
+
+    #[test]
+    fn sim_partition_preserves_tuples() {
+        let gen = tiny();
+        let r = sim_partition(&gen.build, phj::partition::PartitionScheme::Simple, 5, MemConfig::paper());
+        assert_eq!(r.parts.len(), 5);
+        assert_eq!(r.parts.iter().map(|p| p.num_tuples()).sum::<usize>(), 400);
+        assert!(r.breakdown.total() > 0);
+    }
+
+    #[test]
+    fn e2e_runners_agree_on_matches() {
+        let gen = tiny();
+        let grace = sim_grace(
+            &gen,
+            phj::partition::PartitionScheme::Simple,
+            JoinScheme::Group { g: 8 },
+            4096,
+            MemConfig::paper(),
+        );
+        assert_eq!(grace.matches, gen.expected_matches);
+        assert_eq!(grace.total(), grace.partition.total() + grace.join.total());
+        let cp = phj::cachepart::CachePartConfig {
+            cache_budget: 4096,
+            mem_budget: 16384,
+            ..Default::default()
+        };
+        let direct = sim_direct_cache(&gen, &cp, MemConfig::paper()).expect("applies");
+        assert_eq!(direct.matches, gen.expected_matches);
+        let two = sim_two_step(&gen, &cp, MemConfig::paper());
+        assert_eq!(two.matches, gen.expected_matches);
+    }
+
+    #[test]
+    fn scheme_lists_have_expected_shape() {
+        let j = paper_join_schemes(19, 2);
+        assert_eq!(j[2].1, JoinScheme::Group { g: 19 });
+        assert_eq!(j[3].1, JoinScheme::Swp { d: 2 });
+        let p = paper_partition_schemes(12, 1);
+        assert_eq!(p[0].0, "baseline");
+    }
+}

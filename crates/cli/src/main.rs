@@ -1,0 +1,349 @@
+//! `phj` — command-line driver for the prefetching hash join engine.
+//!
+//! ```text
+//! phj join   [--build-mb N] [--tuple-size B] [--matches M] [--pct P]
+//!            [--scheme baseline|simple|group|swp] [--g G] [--d D]
+//!            [--mem-mb N] [--sim] [--hybrid]
+//! phj agg    [--rows N] [--keys K] [--scheme ...] [--sim]
+//! phj tune   [--build-mb N] [--tuple-size B] [--sim]
+//! phj params [--tuple-size B]
+//! ```
+//!
+//! `--sim` runs under the cycle-level memory-hierarchy simulator (Table-2
+//! configuration) and prints the execution-time breakdown; without it the
+//! join runs natively with real prefetch instructions and reports
+//! wall-clock time.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use phj::grace::{grace_join_with_sink, GraceConfig};
+use phj::hybrid::{hybrid_join, HybridConfig};
+use phj::join::JoinScheme;
+use phj::model::{min_group_size, min_prefetch_distance};
+use phj::partition::PartitionScheme;
+use phj::sink::{CountSink, JoinSink};
+use phj::{cost, plan};
+use phj_memsim::{MemConfig, NativeModel, SimEngine};
+use phj_workload::{single_relation, tuples_for, JoinSpec};
+
+mod args;
+use args::Args;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "join" => cmd_join(&args),
+        "agg" => cmd_agg(&args),
+        "disk" => cmd_disk(&args),
+        "tune" => cmd_tune(&args),
+        "params" => cmd_params(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+phj — prefetching hash join engine (Chen et al., ICDE 2004)
+
+USAGE:
+  phj join   [--build-mb N] [--tuple-size B] [--matches M] [--pct P]
+             [--scheme baseline|simple|group|swp] [--g G] [--d D]
+             [--mem-mb N] [--sim] [--hybrid]
+  phj agg    [--rows N] [--keys K] [--scheme S] [--g G] [--d D] [--sim]
+  phj disk   [--build-mb N] [--mem-mb N] [--stripes S] [--dir PATH]
+  phj tune   [--build-mb N] [--tuple-size B]
+  phj params [--tuple-size B]
+  phj help";
+
+fn scheme_of(args: &Args) -> Result<JoinScheme, String> {
+    let g = args.get_usize("g", 16)?;
+    let d = args.get_usize("d", 1)?;
+    match args.get_str("scheme", "group").as_str() {
+        "baseline" => Ok(JoinScheme::Baseline),
+        "simple" => Ok(JoinScheme::Simple),
+        "group" => Ok(JoinScheme::Group { g }),
+        "swp" => Ok(JoinScheme::Swp { d }),
+        other => Err(format!("unknown scheme `{other}`")),
+    }
+}
+
+fn cmd_join(args: &Args) -> Result<(), String> {
+    args.allow(&["build-mb", "tuple-size", "matches", "pct", "scheme", "g", "d", "mem-mb", "sim", "hybrid"])?;
+    let build_mb = args.get_usize("build-mb", 16)?;
+    let tuple_size = args.get_usize("tuple-size", 100)?;
+    let spec = JoinSpec {
+        build_tuples: tuples_for(build_mb << 20, tuple_size),
+        tuple_size,
+        matches_per_build: args.get_usize("matches", 2)?,
+        pct_match: args.get_usize("pct", 100)?.min(100) as u8,
+        seed: 0x11D0,
+    };
+    let mem_budget = args.get_usize("mem-mb", build_mb.div_ceil(4).max(1))? << 20;
+    let scheme = scheme_of(args)?;
+    println!(
+        "join: {} build x {} probe tuples of {}B, scheme {}, memory {} MB{}",
+        spec.build_tuples,
+        spec.probe_tuples(),
+        tuple_size,
+        scheme.label(),
+        mem_budget >> 20,
+        if args.flag("hybrid") { ", hybrid" } else { "" }
+    );
+    let gen = spec.generate();
+    let run = |mem: &mut dyn FnMut(&mut CountSink) -> usize| {
+        let mut sink = CountSink::new();
+        let t0 = Instant::now();
+        let p = mem(&mut sink);
+        (sink, p, t0.elapsed())
+    };
+    let g = match scheme {
+        JoinScheme::Group { g } => g,
+        _ => 16,
+    };
+    let grace_cfg = GraceConfig {
+        mem_budget,
+        partition_scheme: PartitionScheme::combined_default(),
+        join_scheme: scheme,
+        ..Default::default()
+    };
+    let hybrid_cfg = HybridConfig { mem_budget, g, ..Default::default() };
+    if args.flag("sim") {
+        let mut engine = SimEngine::paper();
+        let (sink, p, _) = run(&mut |s| {
+            if args.flag("hybrid") {
+                hybrid_join(&mut engine, &hybrid_cfg, &gen.build, &gen.probe, s)
+            } else {
+                grace_join_with_sink(&mut engine, &grace_cfg, &gen.build, &gen.probe, s)
+            }
+        });
+        let b = engine.breakdown();
+        println!("partitions: {p}, matches: {}", sink.matches());
+        println!(
+            "simulated: {:.1} Mcycles = busy {:.1} + dcache {:.1} + dtlb {:.1} + other {:.1}",
+            b.total() as f64 / 1e6,
+            b.busy as f64 / 1e6,
+            b.dcache_stall as f64 / 1e6,
+            b.dtlb_stall as f64 / 1e6,
+            b.other_stall as f64 / 1e6,
+        );
+    } else {
+        let mut native = NativeModel;
+        let (sink, p, wall) = run(&mut |s| {
+            if args.flag("hybrid") {
+                hybrid_join(&mut native, &hybrid_cfg, &gen.build, &gen.probe, s)
+            } else {
+                grace_join_with_sink(&mut native, &grace_cfg, &gen.build, &gen.probe, s)
+            }
+        });
+        println!("partitions: {p}, matches: {}", sink.matches());
+        println!(
+            "native: {:?} ({:.1} M tuples/s through the probe side)",
+            wall,
+            gen.probe.num_tuples() as f64 / wall.as_secs_f64() / 1e6
+        );
+    }
+    if gen.expected_matches > 0 {
+        assert_eq!(
+            {
+                let mut s = CountSink::new();
+                let mut m = NativeModel;
+                grace_join_with_sink(&mut m, &grace_cfg, &gen.build, &gen.probe, &mut s);
+                s.matches()
+            },
+            gen.expected_matches
+        );
+    }
+    Ok(())
+}
+
+fn cmd_agg(args: &Args) -> Result<(), String> {
+    use phj::aggregate::{aggregate, AggScheme};
+    args.allow(&["rows", "keys", "scheme", "g", "d", "sim"])?;
+    let rows = args.get_usize("rows", 1_000_000)?;
+    let keys = args.get_usize("keys", 100_000)?.max(1);
+    let scheme = match args.get_str("scheme", "group").as_str() {
+        "baseline" => AggScheme::Baseline,
+        "simple" => AggScheme::Simple,
+        "group" => AggScheme::Group { g: args.get_usize("g", 16)? },
+        "swp" => AggScheme::Swp { d: args.get_usize("d", 2)? },
+        other => return Err(format!("unknown scheme `{other}`")),
+    };
+    // Reuse the workload generator, folding the key space down to `keys`.
+    let input = {
+        use phj_storage::{RelationBuilder, Schema};
+        let schema = Schema::key_payload(100);
+        let mut b = RelationBuilder::new(schema);
+        let mut t = [0u8; 100];
+        for i in 0..rows {
+            let key = phj_workload::key_of_index((i % keys) as u32);
+            t[..4].copy_from_slice(&key.to_le_bytes());
+            b.push(&t);
+        }
+        b.finish()
+    };
+    let buckets = plan::hash_table_buckets(keys, 1);
+    let extract = |t: &[u8]| t[4] as i64;
+    println!("aggregating {rows} rows into {keys} groups ({scheme:?})");
+    if args.flag("sim") {
+        let mut engine = SimEngine::paper();
+        let table = aggregate(&mut engine, scheme, &input, buckets, extract);
+        let b = engine.breakdown();
+        println!(
+            "groups: {}; simulated {:.1} Mcycles ({:.0}% dcache stalls)",
+            table.num_groups(),
+            b.total() as f64 / 1e6,
+            100.0 * b.dcache_fraction()
+        );
+    } else {
+        let t0 = Instant::now();
+        let table = aggregate(&mut NativeModel, scheme, &input, buckets, extract);
+        println!("groups: {}; native {:?}", table.num_groups(), t0.elapsed());
+    }
+    Ok(())
+}
+
+fn cmd_disk(args: &Args) -> Result<(), String> {
+    args.allow(&["build-mb", "mem-mb", "stripes", "dir"])?;
+    let build_mb = args.get_usize("build-mb", 16)?;
+    let mem_mb = args.get_usize("mem-mb", build_mb.div_ceil(4).max(1))?;
+    let stripes = args.get_usize("stripes", 6)?.max(1);
+    let dir = match args.get_str("dir", "").as_str() {
+        "" => std::env::temp_dir().join(format!("phj-cli-disk-{}", std::process::id())),
+        d => std::path::PathBuf::from(d),
+    };
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let spec = JoinSpec {
+        build_tuples: tuples_for(build_mb << 20, 100),
+        tuple_size: 100,
+        matches_per_build: 2,
+        pct_match: 100,
+        seed: 0xD15C,
+    };
+    let gen = spec.generate();
+    println!(
+        "on-disk GRACE: {} MB build x {} MB probe across {stripes} stripe files under {}",
+        build_mb,
+        2 * build_mb,
+        dir.display()
+    );
+    let fb = phj_disk::FileRelation::create(&dir, "build", &gen.build, stripes, 32)
+        .map_err(|e| e.to_string())?;
+    let fp = phj_disk::FileRelation::create(&dir, "probe", &gen.probe, stripes, 32)
+        .map_err(|e| e.to_string())?;
+    let cfg = phj_disk::DiskGraceConfig {
+        mem_budget: mem_mb << 20,
+        num_stripes: stripes,
+        ..phj_disk::DiskGraceConfig::new(&dir)
+    };
+    let report = phj_disk::grace_join_files(&cfg, &fb, &fp).map_err(|e| e.to_string())?;
+    if report.matches != gen.expected_matches {
+        return Err(format!(
+            "wrong match count: {} vs {}",
+            report.matches, gen.expected_matches
+        ));
+    }
+    println!(
+        "partitions: {}; partition {:.2}s + join {:.2}s; input stall {:.3}s; {} matches -> {} output pages",
+        report.num_partitions,
+        report.partition_s,
+        report.join_s,
+        report.input_stall_s,
+        report.matches,
+        report.output.num_pages()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
+
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    args.allow(&["build-mb", "tuple-size"])?;
+    let build_mb = args.get_usize("build-mb", 8)?;
+    let tuple_size = args.get_usize("tuple-size", 20)?;
+    let spec = JoinSpec {
+        build_tuples: tuples_for(build_mb << 20, tuple_size),
+        tuple_size,
+        matches_per_build: 2,
+        pct_match: 100,
+        seed: 0x70E,
+    };
+    let gen = spec.generate();
+    let measure = |scheme: JoinScheme| {
+        (0..3)
+            .map(|_| {
+                let mut sink = CountSink::new();
+                let t0 = Instant::now();
+                phj::join::join_pair(
+                    &mut NativeModel,
+                    &phj::join::JoinParams { scheme, use_stored_hash: true },
+                    &gen.build,
+                    &gen.probe,
+                    1,
+                    &mut sink,
+                );
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let base = measure(JoinScheme::Baseline);
+    println!("baseline: {:.1} ms", base * 1e3);
+    println!("  G    ms  speedup");
+    for g in [2usize, 4, 8, 16, 32, 64] {
+        let t = measure(JoinScheme::Group { g });
+        println!("{g:>3} {:>6.1}  {:.2}x", t * 1e3, base / t);
+    }
+    println!("  D    ms  speedup");
+    for d in [1usize, 2, 4, 8, 16] {
+        let t = measure(JoinScheme::Swp { d });
+        println!("{d:>3} {:>6.1}  {:.2}x", t * 1e3, base / t);
+    }
+    Ok(())
+}
+
+fn cmd_params(args: &Args) -> Result<(), String> {
+    args.allow(&["tuple-size"])?;
+    let tuple_size = args.get_usize("tuple-size", 100)?;
+    let cfg = MemConfig::paper();
+    let probe_costs = cost::probe_stage_costs(true, 2 * tuple_size);
+    let build_costs = cost::build_stage_costs(true);
+    let part_costs = cost::partition_stage_costs(tuple_size);
+    println!("Table-2 memory system: T={} T_next={} cycles", cfg.t_full, cfg.t_next);
+    println!(
+        "probe:     Theorem 1 G >= {:<4} Theorem 2 D >= {}",
+        min_group_size(cfg.t_full, cfg.t_next, &probe_costs).g,
+        min_prefetch_distance(cfg.t_full, cfg.t_next, &probe_costs)
+    );
+    println!(
+        "build:     Theorem 1 G >= {:<4} Theorem 2 D >= {}",
+        min_group_size(cfg.t_full, cfg.t_next, &build_costs).g,
+        min_prefetch_distance(cfg.t_full, cfg.t_next, &build_costs)
+    );
+    println!(
+        "partition: Theorem 1 G >= {:<4} Theorem 2 D >= {}",
+        min_group_size(cfg.t_full, cfg.t_next, &part_costs).g,
+        min_prefetch_distance(cfg.t_full, cfg.t_next, &part_costs)
+    );
+    let _ = single_relation(1, tuple_size); // sanity: tuple size valid
+    Ok(())
+}

@@ -1,0 +1,523 @@
+//! Hash-based group-by / aggregation with prefetching.
+//!
+//! The paper's conclusion (§8) claims the techniques "can improve other
+//! hash-based algorithms such as hash-based group-by and aggregation
+//! algorithms". This module substantiates that: a grouping operator
+//! (COUNT(*) + SUM(expr) per key) over the same slotted-page relations,
+//! with the same four schemes.
+//!
+//! The dependency structure per input tuple is the join build's plus a
+//! read-modify-write: hash the group key → visit the bucket header →
+//! (maybe) visit the entry array → update or insert the group entry.
+//! Because an update *mutates* shared state, the staged schemes reuse the
+//! build-side conflict machinery: a busy flag guards a bucket from stage 1
+//! until the tuple's update lands; conflicting tuples are delayed to the
+//! group boundary (group prefetching) or parked on waiting queues
+//! (software pipelining), exactly as in §4.4 / §5.3.
+
+mod table;
+
+pub use table::{AggEntry, AggTable, UpsertStep};
+
+use phj_memsim::MemoryModel;
+use phj_storage::{tuple::key_bytes_of, Relation};
+
+use crate::cost;
+use crate::hash::hash_key;
+use crate::join::Scan;
+use crate::model::swp_state_slots;
+
+/// Which aggregation algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggScheme {
+    /// One tuple at a time, no prefetching.
+    Baseline,
+    /// Prefetch each input page after reading it.
+    Simple,
+    /// Group prefetching with group size `g`.
+    Group {
+        /// Group size `G`.
+        g: usize,
+    },
+    /// Software-pipelined prefetching with prefetch distance `d`.
+    Swp {
+        /// Prefetch distance `D`.
+        d: usize,
+    },
+}
+
+/// Aggregate `input` by join key: COUNT(*) and SUM(`extract(tuple)`).
+///
+/// `buckets` sizes the hash table (≈ expected distinct keys). The
+/// extractor is the aggregated expression; its evaluation is charged as
+/// part of the per-tuple stage cost.
+///
+/// ```
+/// use phj::aggregate::{aggregate, AggScheme};
+/// use phj::hash::hash_key;
+/// use phj_memsim::NativeModel;
+/// use phj_storage::{RelationBuilder, Schema};
+///
+/// let mut b = RelationBuilder::new(Schema::key_payload(12));
+/// for i in 0u32..100 {
+///     let mut t = [0u8; 12];
+///     t[..4].copy_from_slice(&(i % 10).to_le_bytes());
+///     t[4] = 1;
+///     b.push(&t);
+/// }
+/// let input = b.finish();
+/// let table = aggregate(
+///     &mut NativeModel,
+///     AggScheme::Group { g: 8 },
+///     &input,
+///     13,
+///     |t| t[4] as i64,
+/// );
+/// assert_eq!(table.num_groups(), 10);
+/// let key = 3u32.to_le_bytes();
+/// let e = table.lookup(hash_key(&key), &key).unwrap();
+/// assert_eq!((e.count, e.sum), (10, 10));
+/// ```
+pub fn aggregate<M, F>(
+    mem: &mut M,
+    scheme: AggScheme,
+    input: &Relation,
+    buckets: usize,
+    extract: F,
+) -> AggTable
+where
+    M: MemoryModel,
+    F: Fn(&[u8]) -> i64,
+{
+    // Worst case every tuple is a distinct group; the arena reservation
+    // must cover that (plus doubling waste, handled inside AggTable).
+    let mut table = AggTable::new(buckets, input.num_tuples());
+    match scheme {
+        AggScheme::Baseline => straight(mem, input, &mut table, &extract, false),
+        AggScheme::Simple => straight(mem, input, &mut table, &extract, true),
+        AggScheme::Group { g } => group(mem, input, &mut table, &extract, g),
+        AggScheme::Swp { d } => swp(mem, input, &mut table, &extract, d),
+    }
+    table.assert_quiescent();
+    table
+}
+
+/// Hash + key of one input tuple (group keys are the join-key bytes).
+#[inline]
+fn tuple_hash_key(input: &Relation, pi: usize, slot: u16) -> (u32, &[u8]) {
+    let t = input.page(pi).tuple(slot);
+    let key = key_bytes_of(input.schema(), t);
+    (hash_key(key), key)
+}
+
+/// Straight-line upsert of one tuple, all memory accesses charged. Also
+/// the conflict-resolution path of the staged variants (bucket warm).
+fn upsert_one<M: MemoryModel, F: Fn(&[u8]) -> i64>(
+    mem: &mut M,
+    table: &mut AggTable,
+    input: &Relation,
+    pi: usize,
+    slot: u16,
+    extract: &F,
+) {
+    let (hash, key) = tuple_hash_key(input, pi, slot);
+    let value = extract(input.page(pi).tuple(slot));
+    mem.busy(cost::AGG_EXTRACT);
+    let b = table.bucket_of(hash);
+    mem.visit(table.header_addr(b), AggTable::header_len());
+    mem.busy(cost::HEADER_CHECK);
+    let mut grown = 0usize;
+    match table.begin_upsert(b, hash, key, 0, &mut grown) {
+        UpsertStep::UpdatedInline | UpsertStep::InsertedInline => {
+            mem.write(table.header_addr(b), AggTable::header_len());
+            mem.busy(cost::CELL_WRITE);
+            table.apply_pending(b, value);
+        }
+        UpsertStep::TouchEntry(idx) => {
+            if grown > 0 {
+                let (addr, len) = table.array_span(b).expect("grown implies array");
+                mem.visit(addr, len.min(grown));
+                mem.busy(cost::copy_cost(grown));
+            }
+            let (addr, len) = table.array_span(b).expect("overflow entry implies array");
+            mem.visit(addr, len);
+            mem.busy(cost::CELL_CHECK * table.overflow_len(b).max(1) as u64);
+            mem.write(table.entry_addr(idx), AggTable::entry_len());
+            mem.busy(cost::CELL_WRITE);
+            table.finish_overflow_upsert(b, idx, value);
+        }
+        UpsertStep::Busy(_) => unreachable!("straight-line upsert is atomic"),
+    }
+}
+
+fn straight<M: MemoryModel, F: Fn(&[u8]) -> i64>(
+    mem: &mut M,
+    input: &Relation,
+    table: &mut AggTable,
+    extract: &F,
+    prefetch_input: bool,
+) {
+    let mut scan = Scan::new(input, prefetch_input);
+    while let Some((pi, slot)) = scan.next(mem) {
+        mem.busy(cost::code0_cost(false));
+        upsert_one(mem, table, input, pi, slot, extract);
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum AggState {
+    Done,
+    /// Scan/update/insert within the overflow array at stage 2.
+    Touch(u32),
+    /// Bucket busy (group: resolve at boundary; swp: waiting queue).
+    Parked,
+}
+
+struct AggSlot {
+    pi: usize,
+    slot: u16,
+    hash: u32,
+    bucket: usize,
+    value: i64,
+    state: AggState,
+    next_waiting: u32,
+}
+
+impl AggSlot {
+    fn fresh() -> Self {
+        AggSlot {
+            pi: 0,
+            slot: 0,
+            hash: 0,
+            bucket: 0,
+            value: 0,
+            state: AggState::Done,
+            next_waiting: NIL,
+        }
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+fn group<M: MemoryModel, F: Fn(&[u8]) -> i64>(
+    mem: &mut M,
+    input: &Relation,
+    table: &mut AggTable,
+    extract: &F,
+    g: usize,
+) {
+    let g = g.max(2);
+    let mut slots: Vec<AggSlot> = (0..g).map(|_| AggSlot::fresh()).collect();
+    let mut delayed: Vec<usize> = Vec::new();
+    let mut scan = Scan::new(input, true);
+    loop {
+        // Stage 0: hash the group key, prefetch the bucket header.
+        let mut n = 0usize;
+        delayed.clear();
+        for s in slots.iter_mut().take(g) {
+            let Some((pi, slot)) = scan.next(mem) else { break };
+            mem.busy(cost::code0_cost(false) + cost::AGG_EXTRACT + cost::STAGE_BOOKKEEPING);
+            let (hash, _) = tuple_hash_key(input, pi, slot);
+            s.pi = pi;
+            s.slot = slot;
+            s.hash = hash;
+            s.bucket = table.bucket_of(hash);
+            s.value = extract(input.page(pi).tuple(slot));
+            s.state = AggState::Done;
+            mem.prefetch(table.header_addr(s.bucket), AggTable::header_len());
+            n += 1;
+        }
+        if n == 0 {
+            break;
+        }
+        // Stage 1: examine headers; update/insert inline groups, or
+        // prefetch the entry array for stage 2.
+        for (i, s) in slots.iter_mut().enumerate().take(n) {
+            mem.visit(table.header_addr(s.bucket), AggTable::header_len());
+            mem.busy(cost::HEADER_CHECK + cost::STAGE_BOOKKEEPING);
+            let key_tuple = input.page(s.pi).tuple(s.slot);
+            let key = key_bytes_of(input.schema(), key_tuple);
+            let mut grown = 0usize;
+            match table.begin_upsert(s.bucket, s.hash, key, i as u32, &mut grown) {
+                UpsertStep::UpdatedInline | UpsertStep::InsertedInline => {
+                    mem.write(table.header_addr(s.bucket), AggTable::header_len());
+                    mem.busy(cost::CELL_WRITE);
+                    table.apply_pending(s.bucket, s.value);
+                }
+                UpsertStep::TouchEntry(idx) => {
+                    if grown > 0 {
+                        let (addr, len) = table.array_span(s.bucket).expect("array");
+                        mem.visit(addr, len.min(grown));
+                        mem.busy(cost::copy_cost(grown));
+                    }
+                    let (addr, len) = table.array_span(s.bucket).expect("array");
+                    mem.prefetch(addr, len);
+                    s.state = AggState::Touch(idx);
+                }
+                UpsertStep::Busy(_) => {
+                    mem.other(cost::BRANCH_MISS);
+                    s.state = AggState::Parked;
+                    delayed.push(i);
+                }
+            }
+        }
+        // Stage 2: scan arrays, land the updates/inserts.
+        for s in slots.iter_mut().take(n) {
+            mem.busy(cost::STAGE_BOOKKEEPING);
+            if let AggState::Touch(idx) = s.state {
+                let (addr, len) = table.array_span(s.bucket).expect("array");
+                mem.visit(addr, len);
+                mem.busy(cost::CELL_CHECK * table.overflow_len(s.bucket).max(1) as u64);
+                mem.write(table.entry_addr(idx), AggTable::entry_len());
+                mem.busy(cost::CELL_WRITE);
+                table.finish_overflow_upsert(s.bucket, idx, s.value);
+                s.state = AggState::Done;
+            }
+        }
+        // Group boundary: conflicting tuples re-run warm.
+        for &i in &delayed {
+            let s = &slots[i];
+            upsert_one(mem, table, input, s.pi, s.slot, extract);
+            slots[i].state = AggState::Done;
+        }
+        if n < g {
+            break;
+        }
+    }
+}
+
+fn swp<M: MemoryModel, F: Fn(&[u8]) -> i64>(
+    mem: &mut M,
+    input: &Relation,
+    table: &mut AggTable,
+    extract: &F,
+    d: usize,
+) {
+    let d = d.max(1);
+    let size = swp_state_slots(2, d);
+    let mask = size - 1;
+    let mut slots: Vec<AggSlot> = (0..size).map(|_| AggSlot::fresh()).collect();
+    let mut scan = Scan::new(input, true);
+    let mut total: Option<usize> = None;
+    let mut it = 0usize;
+    let bk = cost::STAGE_BOOKKEEPING + cost::SWP_EXTRA;
+    loop {
+        // Stage 0 for element `it`.
+        if total.is_none() {
+            match scan.next(mem) {
+                Some((pi, slot)) => {
+                    let me = it & mask;
+                    mem.busy(cost::code0_cost(false) + cost::AGG_EXTRACT + bk);
+                    let (hash, _) = tuple_hash_key(input, pi, slot);
+                    let s = &mut slots[me];
+                    debug_assert_eq!(s.state, AggState::Done, "slot reused too early");
+                    s.pi = pi;
+                    s.slot = slot;
+                    s.hash = hash;
+                    s.bucket = table.bucket_of(hash);
+                    s.value = extract(input.page(pi).tuple(slot));
+                    s.next_waiting = NIL;
+                    mem.prefetch(table.header_addr(s.bucket), AggTable::header_len());
+                }
+                None => total = Some(it),
+            }
+        }
+        // Stage 1 for element `it - D`.
+        if it >= d {
+            let e = it - d;
+            if total.is_none_or(|t| e < t) {
+                let me = (e & mask) as u32;
+                let (bucket, hash, value, pi, slot) = {
+                    let s = &slots[me as usize];
+                    (s.bucket, s.hash, s.value, s.pi, s.slot)
+                };
+                mem.visit(table.header_addr(bucket), AggTable::header_len());
+                mem.busy(cost::HEADER_CHECK + bk);
+                let key_tuple = input.page(pi).tuple(slot);
+                let key = key_bytes_of(input.schema(), key_tuple);
+                let mut grown = 0usize;
+                match table.begin_upsert(bucket, hash, key, me, &mut grown) {
+                    UpsertStep::UpdatedInline | UpsertStep::InsertedInline => {
+                        mem.write(table.header_addr(bucket), AggTable::header_len());
+                        mem.busy(cost::CELL_WRITE);
+                        table.apply_pending(bucket, value);
+                        slots[me as usize].state = AggState::Done;
+                    }
+                    UpsertStep::TouchEntry(idx) => {
+                        if grown > 0 {
+                            let (addr, len) = table.array_span(bucket).expect("array");
+                            mem.visit(addr, len.min(grown));
+                            mem.busy(cost::copy_cost(grown));
+                        }
+                        let (addr, len) = table.array_span(bucket).expect("array");
+                        mem.prefetch(addr, len);
+                        slots[me as usize].state = AggState::Touch(idx);
+                    }
+                    UpsertStep::Busy(owner) => {
+                        mem.other(cost::BRANCH_MISS);
+                        mem.busy(cost::SWP_EXTRA);
+                        let mut cur = owner;
+                        while slots[cur as usize].next_waiting != NIL {
+                            cur = slots[cur as usize].next_waiting;
+                        }
+                        slots[cur as usize].next_waiting = me;
+                        slots[me as usize].state = AggState::Parked;
+                    }
+                }
+            }
+        }
+        // Stage 2 for element `it - 2D`.
+        if it >= 2 * d {
+            let e = it - 2 * d;
+            if total.is_none_or(|t| e < t) {
+                let me = e & mask;
+                mem.busy(bk);
+                if let AggState::Touch(idx) = slots[me].state {
+                    let bucket = slots[me].bucket;
+                    let (addr, len) = table.array_span(bucket).expect("array");
+                    mem.visit(addr, len);
+                    mem.busy(cost::CELL_CHECK * table.overflow_len(bucket).max(1) as u64);
+                    mem.write(table.entry_addr(idx), AggTable::entry_len());
+                    mem.busy(cost::CELL_WRITE);
+                    table.finish_overflow_upsert(bucket, idx, slots[me].value);
+                    slots[me].state = AggState::Done;
+                    // Drain this bucket's waiting queue (warm lines).
+                    let mut w = slots[me].next_waiting;
+                    slots[me].next_waiting = NIL;
+                    while w != NIL {
+                        let next = slots[w as usize].next_waiting;
+                        slots[w as usize].next_waiting = NIL;
+                        debug_assert_eq!(slots[w as usize].state, AggState::Parked);
+                        let (pi, slot) = (slots[w as usize].pi, slots[w as usize].slot);
+                        upsert_one(mem, table, input, pi, slot, extract);
+                        slots[w as usize].state = AggState::Done;
+                        w = next;
+                    }
+                }
+            }
+        }
+        if let Some(t) = total {
+            if t == 0 || it >= t - 1 + 2 * d {
+                break;
+            }
+        }
+        it += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phj_memsim::{NativeModel, SimEngine};
+    use phj_storage::{RelationBuilder, Schema};
+    use std::collections::HashMap;
+
+    fn rel(keys: &[u32]) -> Relation {
+        let schema = Schema::key_payload(16);
+        let mut b = RelationBuilder::new(schema);
+        let mut t = [0u8; 16];
+        for (i, &k) in keys.iter().enumerate() {
+            t[..4].copy_from_slice(&k.to_le_bytes());
+            t[4..12].copy_from_slice(&(i as u64).to_le_bytes());
+            b.push(&t);
+        }
+        b.finish()
+    }
+
+    fn extract(t: &[u8]) -> i64 {
+        u64::from_le_bytes(t[4..12].try_into().unwrap()) as i64
+    }
+
+    fn reference(keys: &[u32]) -> HashMap<u32, (u64, i64)> {
+        let mut m = HashMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            let e = m.entry(k).or_insert((0u64, 0i64));
+            e.0 += 1;
+            e.1 += i as i64;
+        }
+        m
+    }
+
+    fn check(table: &AggTable, want: &HashMap<u32, (u64, i64)>) {
+        assert_eq!(table.num_groups(), want.len());
+        for (&key, &(count, sum)) in want {
+            let kb = key.to_le_bytes();
+            let e = table.lookup(hash_key(&kb), &kb).expect("group exists");
+            assert_eq!(e.count, count, "key {key}");
+            assert_eq!(e.sum, sum, "key {key}");
+        }
+    }
+
+    fn schemes() -> Vec<AggScheme> {
+        vec![
+            AggScheme::Baseline,
+            AggScheme::Simple,
+            AggScheme::Group { g: 2 },
+            AggScheme::Group { g: 16 },
+            AggScheme::Swp { d: 1 },
+            AggScheme::Swp { d: 4 },
+        ]
+    }
+
+    #[test]
+    fn all_schemes_match_reference() {
+        let keys: Vec<u32> = (0..3000u32).map(|i| i % 257).collect();
+        let input = rel(&keys);
+        let want = reference(&keys);
+        for scheme in schemes() {
+            let mut mem = NativeModel;
+            let table = aggregate(&mut mem, scheme, &input, 301, extract);
+            check(&table, &want);
+        }
+    }
+
+    #[test]
+    fn single_hot_key_forces_conflicts() {
+        let keys = vec![42u32; 500];
+        let input = rel(&keys);
+        let want = reference(&keys);
+        for scheme in schemes() {
+            let mut mem = NativeModel;
+            let table = aggregate(&mut mem, scheme, &input, 7, extract);
+            check(&table, &want);
+        }
+    }
+
+    #[test]
+    fn distinct_keys_only_inserts() {
+        let keys: Vec<u32> = (0..1000u32).collect();
+        let input = rel(&keys);
+        let want = reference(&keys);
+        for scheme in schemes() {
+            let mut mem = NativeModel;
+            let table = aggregate(&mut mem, scheme, &input, 1009, extract);
+            check(&table, &want);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let input = rel(&[]);
+        let mut mem = NativeModel;
+        let table = aggregate(&mut mem, AggScheme::Group { g: 8 }, &input, 16, extract);
+        assert_eq!(table.num_groups(), 0);
+    }
+
+    #[test]
+    fn staged_schemes_beat_baseline_in_sim() {
+        // Many distinct keys over a large table: every upsert misses.
+        let keys: Vec<u32> = (0..40_000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let input = rel(&keys);
+        let time = |scheme| {
+            let mut mem = SimEngine::paper();
+            let t = aggregate(&mut mem, scheme, &input, 40_009, extract);
+            assert!(t.num_groups() > 0);
+            mem.breakdown().total()
+        };
+        let base = time(AggScheme::Baseline);
+        let grp = time(AggScheme::Group { g: 16 });
+        let swp = time(AggScheme::Swp { d: 2 });
+        assert!(grp * 3 < base * 2, "group {grp} vs baseline {base}");
+        assert!(swp * 3 < base * 2, "swp {swp} vs baseline {base}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-stage computation costs (`C_i`) charged to the memory model.
+//!
+//! The paper's analytical model (§4.2, Table 1) characterizes each code
+//! stage by its execution time `C_i`. Under the simulator these are charged
+//! explicitly via [`MemoryModel::busy`]; under the native model the charges
+//! compile to nothing and the real instructions cost what they cost.
+//!
+//! Calibration (documented so the Theorem-1/2 predictions line up with the
+//! simulated sweeps, cf. Fig 12):
+//!
+//! * the hash function is a few dozen ALU ops (`HASH_FN` = 30) and the
+//!   bucket/partition modulo is an integer divide — the paper substitutes
+//!   the Pentium 4 integer-divide latency into its Alpha-based simulator
+//!   (§7.1), hence the large `MOD` = 68;
+//! * header and cell-array examinations are short compare-and-branch
+//!   sequences (8 cycles), deliberately *below* `T_next` = 10, so the
+//!   binding constraint of Theorem 1 is `(G-1)·T_next ≥ T`, giving
+//!   `G* = 16` at `T = 150` — the same regime as the paper's `G = 19`;
+//! * tuple copies cost [`copy_cost`] ≈ 15 + len/2 cycles (a 1 GHz 4-wide
+//!   2003-class core sustains ~2 B/cycle through the slotted-page copy
+//!   path).
+//!
+//! With these constants Theorem 2 predicts `D = 1` for 100 B tuples —
+//! exactly the paper's optimal prefetch distance (§7.3).
+//!
+//! [`MemoryModel::busy`]: phj_memsim::MemoryModel::busy
+
+/// Hash-function evaluation over a short key (cycles).
+pub const HASH_FN: u64 = 30;
+
+/// Integer modulo by a non-power-of-two (bucket or partition number):
+/// the paper substitutes the Pentium 4 integer-divide latency (§7.1),
+/// which is 60-80 cycles for 32-bit operands.
+pub const MOD: u64 = 68;
+
+/// Reading the stashed hash code from the page slot area instead of
+/// recomputing (the §7.1 optimization): load + loop overhead.
+pub const HASH_REUSE: u64 = 10;
+
+/// Examining a bucket header: null/empty tests, inline-cell hash compare.
+pub const HEADER_CHECK: u64 = 8;
+
+/// Examining one step of a hash-cell array scan (hash-code compare).
+pub const CELL_CHECK: u64 = 8;
+
+/// Writing one hash cell during build (stores + count update).
+pub const CELL_WRITE: u64 = 15;
+
+/// Full join-key comparison on a hash-code match.
+pub const KEY_COMPARE: u64 = 15;
+
+/// Per-tuple loop overhead of reading the next input tuple (slot decode,
+/// bounds checks, iterator advance).
+pub const TUPLE_FETCH: u64 = 12;
+
+/// Group/software-pipeline bookkeeping per element per stage (state reads
+/// and writes, circular-index masking). Software pipelining pays it with a
+/// small premium (`SWP_EXTRA`) for modular indexing and queue upkeep
+/// (§5.4: "software-pipelined prefetching has larger bookkeeping
+/// overhead").
+pub const STAGE_BOOKKEEPING: u64 = 3;
+
+/// Additional software-pipelining bookkeeping per element per stage.
+pub const SWP_EXTRA: u64 = 2;
+
+/// Evaluating the aggregated expression for one tuple (hash group-by).
+pub const AGG_EXTRACT: u64 = 8;
+
+/// Average branch-misprediction cost charged (as an "other stall") at the
+/// data-dependent match/no-match and code-path-dispatch branches. The
+/// prefetching schemes execute more dispatch branches, which is why the
+/// paper's Fig 11 shows their "other stalls" slightly increasing.
+pub const BRANCH_MISS: u64 = 2;
+
+/// Cost of copying `len` bytes between cached buffers (slot decode,
+/// length checks, and ~2 B/cycle of sustained copy on a 2003-class core).
+#[inline]
+pub const fn copy_cost(len: usize) -> u64 {
+    15 + (len as u64) / 2
+}
+
+/// Cost of code-0 (address generation) when the hash is computed from the
+/// key vs reused from the slot area.
+#[inline]
+pub const fn code0_cost(reuse_stored_hash: bool) -> u64 {
+    if reuse_stored_hash {
+        HASH_REUSE + MOD + TUPLE_FETCH
+    } else {
+        HASH_FN + MOD + TUPLE_FETCH
+    }
+}
+
+/// The probe loop's stage costs `[C_0, C_1, C_2, C_3]` for Theorem
+/// predictions: hash+bucket, header check, cell scan, key compare + output
+/// materialization of `out_len` bytes.
+pub fn probe_stage_costs(reuse_stored_hash: bool, out_len: usize) -> [u64; 4] {
+    [
+        code0_cost(reuse_stored_hash),
+        HEADER_CHECK,
+        CELL_CHECK,
+        KEY_COMPARE + copy_cost(out_len),
+    ]
+}
+
+/// The build loop's stage costs `[C_0, C_1, C_2]`: hash+bucket, header
+/// examination, cell write.
+pub fn build_stage_costs(reuse_stored_hash: bool) -> [u64; 3] {
+    [code0_cost(reuse_stored_hash), HEADER_CHECK, CELL_WRITE]
+}
+
+/// The partition loop's stage costs `[C_0, C_1]`: hash+partition number,
+/// tuple copy into the output buffer.
+pub fn partition_stage_costs(tuple_len: usize) -> [u64; 2] {
+    [HASH_FN + MOD + TUPLE_FETCH, copy_cost(tuple_len)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_cost_scales() {
+        assert_eq!(copy_cost(0), 15);
+        assert_eq!(copy_cost(100), 65);
+        assert!(copy_cost(1400) > copy_cost(100));
+    }
+
+    #[test]
+    fn code0_reuse_is_cheaper() {
+        assert!(code0_cost(true) < code0_cost(false));
+    }
+
+    #[test]
+    fn stage_cost_vectors() {
+        let p = probe_stage_costs(true, 200);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0], code0_cost(true));
+        assert_eq!(p[3], KEY_COMPARE + copy_cost(200));
+        let b = build_stage_costs(false);
+        assert_eq!(b[0], code0_cost(false));
+        let q = partition_stage_costs(100);
+        assert_eq!(q[1], copy_cost(100));
+    }
+}

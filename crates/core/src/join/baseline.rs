@@ -1,0 +1,241 @@
+//! GRACE baseline join loops: one tuple at a time, no prefetching.
+//!
+//! This is the algorithm of the paper's Figure 3(a) generalized to the
+//! real code paths (§4.4): hash buckets may be empty, hold only the inline
+//! cell, or have an overflow cell array; a probe may match zero or many
+//! build tuples. Every dependent memory reference on the critical path —
+//! bucket header, cell array, matched build tuple — is a fully exposed
+//! cache miss, which is what Figure 1 measures at 73% of user time.
+
+use phj_memsim::MemoryModel;
+use phj_storage::Relation;
+
+use crate::cost;
+use crate::sink::JoinSink;
+use crate::table::{HashCell, HashTable, InsertStep};
+
+use super::{charge_code0, keys_equal, tuple_hash, JoinParams, Scan};
+
+/// Straight-line insert of one cell, charging all memory accesses. Also
+/// used by the prefetching variants to resolve read-write conflicts at
+/// group boundaries / waiting queues, where the bucket is already warm.
+pub(crate) fn insert_one<M: MemoryModel>(mem: &mut M, table: &mut HashTable, cell: HashCell) {
+    let b = table.bucket_of(cell.hash);
+    mem.visit(table.header_addr(b), HashTable::header_len());
+    mem.busy(cost::HEADER_CHECK);
+    let mut grown = 0usize;
+    match table.begin_insert(b, cell, 0, &mut grown) {
+        InsertStep::DoneInline => {
+            // The cell write lands in the header line just visited.
+            mem.write(table.header_addr(b), HashTable::header_len());
+            mem.busy(cost::CELL_WRITE);
+        }
+        InsertStep::WriteCell(idx) => {
+            if grown > 0 {
+                // The growth copy streamed old cells into the new block.
+                let (addr, len) =
+                    table.array_span(b).expect("growth implies an overflow array");
+                mem.visit(addr, len.min(grown));
+                mem.busy(cost::copy_cost(grown));
+            }
+            mem.write(table.arena().cell_addr(idx), 16);
+            mem.busy(cost::CELL_WRITE);
+            table.finish_overflow_insert(b, idx, cell);
+        }
+        InsertStep::Busy(_) => unreachable!("baseline insert is atomic"),
+    }
+}
+
+/// Probe one tuple against the table, charging all memory accesses, and
+/// emit matches. Shared with the simple-prefetching variant.
+#[allow(clippy::too_many_arguments)] // the probe's full context, no more
+pub(crate) fn probe_one<M: MemoryModel, S: JoinSink>(
+    mem: &mut M,
+    table: &HashTable,
+    build_rel: &Relation,
+    probe_rel: &Relation,
+    pi: usize,
+    slot: u16,
+    hash: u32,
+    sink: &mut S,
+) {
+    let b = table.bucket_of(hash);
+    mem.visit(table.header_addr(b), HashTable::header_len());
+    mem.busy(cost::HEADER_CHECK);
+    let h = *table.header(b);
+    if h.count == 0 {
+        return;
+    }
+    let pt = probe_rel.page(pi).tuple(slot);
+    if h.inline_cell.hash == hash {
+        mem.other(cost::BRANCH_MISS);
+        emit_if_match(mem, build_rel, probe_rel, h.inline_cell, pt, sink);
+    }
+    if h.count > 1 {
+        let (addr, len) = table.array_span(b).expect("count > 1 implies array");
+        mem.visit(addr, len);
+        mem.busy(cost::CELL_CHECK * (h.count as u64 - 1));
+        // Collect matching cells first: the overflow slice borrows the
+        // table, and emit may need to re-borrow.
+        let cells: Vec<HashCell> = table
+            .overflow_cells(b)
+            .iter()
+            .filter(|c| c.hash == hash)
+            .copied()
+            .collect();
+        for c in cells {
+            mem.other(cost::BRANCH_MISS);
+            emit_if_match(mem, build_rel, probe_rel, c, pt, sink);
+        }
+    }
+}
+
+fn emit_if_match<M: MemoryModel, S: JoinSink>(
+    mem: &mut M,
+    build_rel: &Relation,
+    probe_rel: &Relation,
+    cell: HashCell,
+    pt: &[u8],
+    sink: &mut S,
+) {
+    mem.visit(cell.tuple_addr(), cell.tuple_len());
+    mem.busy(cost::KEY_COMPARE);
+    // SAFETY: the cell was built over `build_rel`, which is borrowed for
+    // the duration of this probe, and relation pages never move.
+    let bt = unsafe { cell.tuple_bytes() };
+    if keys_equal(build_rel, probe_rel, bt, pt) {
+        sink.emit(mem, bt, pt);
+    }
+}
+
+/// Build the hash table over the build partition, GRACE style.
+pub fn build<M: MemoryModel>(
+    mem: &mut M,
+    params: &JoinParams,
+    table: &mut HashTable,
+    build: &Relation,
+) {
+    let mut scan = Scan::new(build, false);
+    while let Some((pi, slot)) = scan.next(mem) {
+        charge_code0(mem, params.use_stored_hash);
+        let hash = tuple_hash(build, pi, slot, params.use_stored_hash);
+        let t = build.page(pi).tuple(slot);
+        insert_one(mem, table, HashCell::new(hash, t.as_ptr() as usize, t.len() as u32));
+    }
+}
+
+/// Probe the table with the probe partition, GRACE style.
+pub fn probe<M: MemoryModel, S: JoinSink>(
+    mem: &mut M,
+    params: &JoinParams,
+    table: &HashTable,
+    build_rel: &Relation,
+    probe_rel: &Relation,
+    sink: &mut S,
+) {
+    let mut scan = Scan::new(probe_rel, false);
+    while let Some((pi, slot)) = scan.next(mem) {
+        charge_code0(mem, params.use_stored_hash);
+        let hash = tuple_hash(probe_rel, pi, slot, params.use_stored_hash);
+        probe_one(mem, table, build_rel, probe_rel, pi, slot, hash, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CountSink;
+    use phj_memsim::NativeModel;
+    use phj_storage::{RelationBuilder, Schema};
+
+    fn make_rel(keys: &[u32], size: usize) -> Relation {
+        let schema = Schema::key_payload(size);
+        let mut b = RelationBuilder::new(schema);
+        let mut t = vec![0u8; size];
+        for &k in keys {
+            t[..4].copy_from_slice(&k.to_le_bytes());
+            b.push_hashed(&t, crate::hash::hash_key(&k.to_le_bytes()));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn build_and_probe_counts_matches() {
+        let build_rel = make_rel(&[1, 2, 3, 4, 5], 20);
+        let probe_rel = make_rel(&[1, 1, 3, 9, 9, 5], 20);
+        let mut mem = NativeModel;
+        let params = JoinParams {
+            scheme: super::super::JoinScheme::Baseline,
+            use_stored_hash: true,
+        };
+        let mut table = HashTable::new(7, 5);
+        build(&mut mem, &params, &mut table, &build_rel);
+        assert_eq!(table.len(), 5);
+        let mut sink = CountSink::new();
+        probe(&mut mem, &params, &table, &build_rel, &probe_rel, &mut sink);
+        assert_eq!(sink.matches(), 4); // 1,1,3,5
+    }
+
+    #[test]
+    fn recomputed_hash_agrees_with_stored() {
+        let build_rel = make_rel(&[10, 20, 30], 16);
+        let probe_rel = make_rel(&[20, 30, 40], 16);
+        let mut mem = NativeModel;
+        for use_stored in [true, false] {
+            let params = JoinParams {
+                scheme: super::super::JoinScheme::Baseline,
+                use_stored_hash: use_stored,
+            };
+            let mut table = HashTable::new(5, 3);
+            build(&mut mem, &params, &mut table, &build_rel);
+            let mut sink = CountSink::new();
+            probe(&mut mem, &params, &table, &build_rel, &probe_rel, &mut sink);
+            assert_eq!(sink.matches(), 2, "use_stored={use_stored}");
+        }
+    }
+
+    #[test]
+    fn duplicate_build_keys_all_match() {
+        let build_rel = make_rel(&[7, 7, 7], 12);
+        let probe_rel = make_rel(&[7], 12);
+        let mut mem = NativeModel;
+        let params = JoinParams {
+            scheme: super::super::JoinScheme::Baseline,
+            use_stored_hash: true,
+        };
+        let mut table = HashTable::new(3, 3);
+        build(&mut mem, &params, &mut table, &build_rel);
+        let mut sink = CountSink::new();
+        probe(&mut mem, &params, &table, &build_rel, &probe_rel, &mut sink);
+        assert_eq!(sink.matches(), 3);
+    }
+
+    #[test]
+    fn hash_code_collision_rejected_by_key_compare() {
+        // Force two different keys into the same cell-filter situation by
+        // storing an identical fake hash for both; only the key compare
+        // separates them.
+        let schema = Schema::key_payload(12);
+        let mut b = RelationBuilder::new(schema.clone());
+        let mut t = [0u8; 12];
+        t[..4].copy_from_slice(&1u32.to_le_bytes());
+        b.push_hashed(&t, 42);
+        t[..4].copy_from_slice(&2u32.to_le_bytes());
+        b.push_hashed(&t, 42);
+        let build_rel = b.finish();
+        let mut p = RelationBuilder::new(schema);
+        t[..4].copy_from_slice(&1u32.to_le_bytes());
+        p.push_hashed(&t, 42);
+        let probe_rel = p.finish();
+        let mut mem = NativeModel;
+        let params = JoinParams {
+            scheme: super::super::JoinScheme::Baseline,
+            use_stored_hash: true,
+        };
+        let mut table = HashTable::new(3, 2);
+        build(&mut mem, &params, &mut table, &build_rel);
+        let mut sink = CountSink::new();
+        probe(&mut mem, &params, &table, &build_rel, &probe_rel, &mut sink);
+        assert_eq!(sink.matches(), 1, "only the true key-equal pair");
+    }
+}

@@ -1,0 +1,150 @@
+//! Analytic models: the paper's Theorem 1 and Theorem 2.
+//!
+//! Given the per-stage costs `C_0..C_k`, the full miss latency `T`, and the
+//! pipelined additional-miss latency `T_next`, these predict the minimal
+//! group size `G` (group prefetching, §4.2) and prefetch distance `D`
+//! (software-pipelined prefetching, §5.1) that fully hide all cache miss
+//! latencies. The experiment harness cross-validates them against the
+//! simulated parameter sweeps of Fig 12/16 — the predicted knee must fall
+//! where the simulated curves flatten.
+
+/// Theorem 1 prediction for group prefetching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupPrediction {
+    /// Minimal group size satisfying both inequalities.
+    pub g: u64,
+    /// Whether the *first* reference of each group can be hidden at all:
+    /// false iff `C_0 = 0` (§5.4: "group prefetching achieves this only
+    /// when code 0 is not empty").
+    pub first_miss_hidden: bool,
+}
+
+/// Minimal `G` such that `(G-1)·C_0 ≥ T` and
+/// `(G-1)·max{C_i, T_next} ≥ T` for `i = 1..k` (Theorem 1).
+///
+/// `costs` is `[C_0, C_1, ..., C_k]` with `k ≥ 1`.
+///
+/// ```
+/// use phj::cost::probe_stage_costs;
+/// use phj::model::min_group_size;
+/// // Table-2 memory system, 100 B tuples: the binding constraint is
+/// // (G-1)·T_next ≥ T → G = 16.
+/// let g = min_group_size(150, 10, &probe_stage_costs(true, 200));
+/// assert_eq!(g.g, 16);
+/// assert!(g.first_miss_hidden);
+/// ```
+///
+/// # Panics
+/// Panics if `costs.len() < 2` or `t_next == 0`.
+pub fn min_group_size(t: u64, t_next: u64, costs: &[u64]) -> GroupPrediction {
+    assert!(costs.len() >= 2, "need C_0 and at least one C_i");
+    assert!(t_next > 0, "T_next must be positive");
+    let c0 = costs[0];
+    let first_miss_hidden = c0 > 0;
+    let mut need = 0u64;
+    if first_miss_hidden {
+        need = need.max(t.div_ceil(c0));
+    }
+    for &c in &costs[1..] {
+        need = need.max(t.div_ceil(c.max(t_next)));
+    }
+    GroupPrediction { g: need + 1, first_miss_hidden }
+}
+
+/// Minimal `D` such that
+/// `D·(max{C_0 + C_k, T_next} + Σ_{i=1}^{k-1} max{C_i, T_next}) ≥ T`
+/// (Theorem 2). `costs` is `[C_0, ..., C_k]`.
+///
+/// Software pipelining can always hide all latencies (the denominator is
+/// ≥ `T_next` > 0), hence a plain `u64`.
+///
+/// # Panics
+/// Panics if `costs.len() < 2` or `t_next == 0`.
+pub fn min_prefetch_distance(t: u64, t_next: u64, costs: &[u64]) -> u64 {
+    assert!(costs.len() >= 2, "need C_0 and at least one C_i");
+    assert!(t_next > 0, "T_next must be positive");
+    let k = costs.len() - 1;
+    let mut per_iter = (costs[0] + costs[k]).max(t_next);
+    for &c in &costs[1..k] {
+        per_iter += c.max(t_next);
+    }
+    t.div_ceil(per_iter).max(1)
+}
+
+/// The number of state slots the software pipeline needs: a power of two
+/// of at least `k·D + 1` (§5.3: "we ensure the array size is at least
+/// kD + 1" and "choose the array size to be a power of 2").
+pub fn swp_state_slots(k: usize, d: usize) -> usize {
+    (k * d + 1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost;
+
+    #[test]
+    fn theorem1_paper_regime() {
+        // T = 150, T_next = 10, probe stages with small middle costs:
+        // the binding constraint is (G-1)*10 >= 150 → G = 16.
+        let costs = cost::probe_stage_costs(true, 200);
+        let p = min_group_size(150, 10, &costs);
+        assert!(p.first_miss_hidden);
+        assert_eq!(p.g, 16);
+    }
+
+    #[test]
+    fn theorem1_scales_with_latency() {
+        // Raising T to 1000 (Fig 12 top curves) pushes the optimum right.
+        let costs = cost::probe_stage_costs(true, 200);
+        let p150 = min_group_size(150, 10, &costs);
+        let p1000 = min_group_size(1000, 66, &costs);
+        assert!(p1000.g > p150.g);
+    }
+
+    #[test]
+    fn theorem1_empty_code0() {
+        let p = min_group_size(150, 10, &[0, 8, 8]);
+        assert!(!p.first_miss_hidden);
+        assert_eq!(p.g, 16); // other inequalities still bound G
+    }
+
+    #[test]
+    fn theorem1_large_c0_binds_on_middle_stages() {
+        // Huge C_0 → only the middle stages matter.
+        let p = min_group_size(150, 10, &[1000, 10, 10]);
+        assert_eq!(p.g, 16);
+    }
+
+    #[test]
+    fn theorem2_paper_regime_gives_d1() {
+        // 100 B tuples → 200 B output: C_0 + C_3 dominates an iteration
+        // and exceeds T = 150, so D = 1, matching §7.3 ("G = 19 and D = 1
+        // for probing" at the paper's costs).
+        let costs = cost::probe_stage_costs(true, 200);
+        assert_eq!(min_prefetch_distance(150, 10, &costs), 1);
+    }
+
+    #[test]
+    fn theorem2_scales_with_latency() {
+        let costs = cost::probe_stage_costs(true, 200);
+        let d1000 = min_prefetch_distance(1000, 66, &costs);
+        assert!(d1000 > 1);
+    }
+
+    #[test]
+    fn theorem2_thin_stages_need_distance() {
+        // All stages below T_next: per-iteration hiding is k·T_next.
+        let d = min_prefetch_distance(150, 10, &[2, 2, 2, 2]);
+        // per_iter = max(2+2,10) + max(2,10) + max(2,10) = 30 → D = 5.
+        assert_eq!(d, 5);
+    }
+
+    #[test]
+    fn swp_state_sizing() {
+        assert_eq!(swp_state_slots(3, 1), 4);
+        assert_eq!(swp_state_slots(3, 2), 8);
+        assert_eq!(swp_state_slots(1, 1), 2);
+        assert_eq!(swp_state_slots(3, 5), 16);
+    }
+}

@@ -1,0 +1,162 @@
+//! Group prefetching for the partition phase.
+//!
+//! `k = 1`: the single dependent reference of a tuple is its output-buffer
+//! location, whose exact addresses are known at stage 0 via the
+//! reservation protocol. A buffer-full event is the phase's read-write
+//! conflict (§6): the tuple is deferred to the group boundary, where all
+//! in-flight copies have committed and the buffer can be written out
+//! safely — "in group prefetching, we wait until the end of the loop body
+//! to write out the buffer and process the second tuple."
+
+use phj_memsim::MemoryModel;
+use phj_storage::Relation;
+
+use crate::cost;
+use crate::hash::partition_of;
+use crate::join::Scan;
+
+use super::{phase_hash, OutputBuffers};
+
+struct Slot {
+    pi: usize,
+    slot: u16,
+    hash: u32,
+    p: usize,
+    reserved: Option<(usize, usize)>,
+}
+
+/// Run the group-prefetching partition loop.
+pub(crate) fn run<M: MemoryModel>(
+    mem: &mut M,
+    input: &Relation,
+    out: &mut OutputBuffers,
+    g: usize,
+    use_stored_hash: bool,
+) {
+    let g = g.max(2);
+    let mut slots: Vec<Slot> = (0..g)
+        .map(|_| Slot { pi: 0, slot: 0, hash: 0, p: 0, reserved: None })
+        .collect();
+    let mut delayed: Vec<usize> = Vec::new();
+    let mut scan = Scan::new(input, true);
+    loop {
+        // Stage 0: hash, partition number, reserve + prefetch the output
+        // location.
+        let mut n = 0usize;
+        delayed.clear();
+        for (i, s) in slots.iter_mut().enumerate().take(g) {
+            let Some((pi, slot)) = scan.next(mem) else { break };
+            let t = input.page(pi).tuple(slot);
+            mem.busy(cost::code0_cost(use_stored_hash) + cost::STAGE_BOOKKEEPING);
+            s.pi = pi;
+            s.slot = slot;
+            s.hash = phase_hash(input, pi, slot, use_stored_hash);
+            s.p = partition_of(s.hash, out.num_partitions());
+            s.reserved = out.try_reserve(s.p, t.len());
+            match s.reserved {
+                Some((data_addr, slot_addr)) => {
+                    mem.prefetch(data_addr, t.len());
+                    mem.prefetch(slot_addr, 8);
+                }
+                None => {
+                    // Buffer full: defer to the group boundary.
+                    mem.other(cost::BRANCH_MISS);
+                    delayed.push(i);
+                }
+            }
+            n += 1;
+        }
+        if n == 0 {
+            break;
+        }
+        // Stage 1: copy reserved tuples into their output buffers.
+        for s in slots.iter_mut().take(n) {
+            mem.busy(cost::STAGE_BOOKKEEPING);
+            if let Some(addrs) = s.reserved.take() {
+                let t = input.page(s.pi).tuple(s.slot);
+                out.commit(mem, s.p, t, s.hash, addrs);
+            }
+        }
+        // Group boundary: all copies committed; write out full buffers and
+        // process the deferred tuples without prefetching.
+        for &i in &delayed {
+            let s = &slots[i];
+            let t = input.page(s.pi).tuple(s.slot);
+            out.append_direct(mem, s.p, t, s.hash);
+        }
+        if n < g {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{partition_relation, PartitionScheme};
+    use phj_memsim::{NativeModel, SimEngine};
+    use phj_storage::{Relation, RelationBuilder, Schema};
+
+    fn input_rel(n: usize, size: usize) -> Relation {
+        let schema = Schema::key_payload(size);
+        let mut b = RelationBuilder::new(schema);
+        let mut t = vec![0u8; size];
+        for i in 0..n {
+            t[..4].copy_from_slice(&(i as u32).to_le_bytes());
+            b.push(&t);
+        }
+        b.finish()
+    }
+
+    fn tuple_multisets(parts: &[Relation]) -> Vec<Vec<Vec<u8>>> {
+        parts
+            .iter()
+            .map(|r| {
+                let mut v = r.to_tuple_vec();
+                v.sort();
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn group_matches_baseline_partitioning() {
+        let input = input_rel(4000, 100);
+        let mut mem = NativeModel;
+        let base = partition_relation(&mut mem, PartitionScheme::Baseline, &input, 11, false);
+        for g in [2, 5, 12, 40] {
+            let got =
+                partition_relation(&mut mem, PartitionScheme::Group { g }, &input, 11, false);
+            assert_eq!(tuple_multisets(&got), tuple_multisets(&base), "G={g}");
+        }
+    }
+
+    #[test]
+    fn group_single_partition_exercises_conflicts() {
+        // One partition: every page-full event defers tuples within the
+        // group (heaviest possible conflict pressure).
+        let input = input_rel(2000, 100);
+        let mut mem = NativeModel;
+        let base = partition_relation(&mut mem, PartitionScheme::Baseline, &input, 1, false);
+        let got = partition_relation(&mut mem, PartitionScheme::Group { g: 16 }, &input, 1, false);
+        assert_eq!(tuple_multisets(&got), tuple_multisets(&base));
+        assert_eq!(got[0].num_tuples(), 2000);
+    }
+
+    #[test]
+    fn group_beats_baseline_with_many_partitions_in_sim() {
+        // 400 partitions blow out the 1 MB L2 (Fig 14 right region).
+        let input = input_rel(20_000, 100);
+        let time = |scheme| {
+            let mut mem = SimEngine::paper();
+            let parts = partition_relation(&mut mem, scheme, &input, 400, false);
+            assert_eq!(
+                parts.iter().map(|r| r.num_tuples()).sum::<usize>(),
+                20_000
+            );
+            mem.breakdown().total()
+        };
+        let base = time(PartitionScheme::Baseline);
+        let grp = time(PartitionScheme::Group { g: 12 });
+        assert!(grp < base, "group {grp} vs baseline {base}");
+    }
+}

@@ -1,0 +1,464 @@
+//! The I/O partition phase (§6 of the paper).
+//!
+//! "An input relation is divided into multiple output partitions by
+//! hashing on the join keys. Typically an output buffer per partition and
+//! an input buffer are allocated in main memory. [...] Every input tuple
+//! is examined. Its partition number is computed from the join key. The
+//! relevant columns of the input tuple are then extracted and copied to
+//! the target output buffer."
+//!
+//! Four schemes, as in §6/§7.4:
+//!
+//! * **baseline** — no prefetching;
+//! * **simple** — prefetch each input page after its disk read; best when
+//!   all output buffers fit in cache (≲ 100 partitions in Fig 14);
+//! * **group / software-pipelined** — when the buffers outgrow the cache,
+//!   every output-buffer visit misses; these exploit inter-tuple
+//!   parallelism exactly like the join phase (`k = 1` dependent reference:
+//!   the output-buffer location). Buffer-full events are the phase's
+//!   read-write conflicts: group prefetching defers the tuple to the group
+//!   boundary where the buffer is safely flushed; software pipelining
+//!   parks it on the partition's waiting queue until in-flight copies
+//!   drain;
+//! * **combined** — picks simple vs group from the partition count and
+//!   cache size ("we choose the prefetching algorithm based on the cache
+//!   size and the number of partitions", §7.4).
+//!
+//! The partition phase computes each tuple's hash code once and **stashes
+//! it in the output page's slot area** so the join phase can reuse it
+//! (§7.1).
+
+pub mod group;
+pub mod swp;
+
+use phj_memsim::MemoryModel;
+use phj_storage::{tuple::key_bytes_of, Page, Relation, PAGE_SIZE};
+
+use crate::cost;
+use crate::hash::{hash_key, partition_of};
+
+use super::join::Scan;
+
+/// Which partition-phase algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// No prefetching.
+    Baseline,
+    /// Prefetch each input page after reading it.
+    Simple,
+    /// Group prefetching with group size `g`.
+    Group {
+        /// Group size `G`.
+        g: usize,
+    },
+    /// Software-pipelined prefetching with prefetch distance `d`.
+    Swp {
+        /// Prefetch distance `D`.
+        d: usize,
+    },
+    /// Simple when the output buffers fit in cache, group otherwise.
+    Combined {
+        /// Group size `G` for the many-partitions regime.
+        g: usize,
+        /// Use simple prefetching when `num_partitions` ≤ this. The
+        /// default ([`PartitionScheme::combined_default`]) derives it
+        /// from the 1 MB L2: 128 pages minus headroom.
+        cache_pages: usize,
+    },
+}
+
+impl PartitionScheme {
+    /// The paper's combined scheme with the Table-2 cache geometry: the
+    /// 1 MB L2 holds 128 pages; half of it for output buffers (the rest
+    /// streams input and holds metadata) puts the switch point at 64
+    /// partitions, which is where the simulated Fig-14 curves cross.
+    pub fn combined_default() -> Self {
+        PartitionScheme::Combined { g: 12, cache_pages: 64 }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            PartitionScheme::Baseline => "baseline".into(),
+            PartitionScheme::Simple => "simple".into(),
+            PartitionScheme::Group { g } => format!("group(G={g})"),
+            PartitionScheme::Swp { d } => format!("swp(D={d})"),
+            PartitionScheme::Combined { g, cache_pages } => {
+                format!("combined(G={g},≤{cache_pages}p→simple)")
+            }
+        }
+    }
+}
+
+/// Divide `input` into `num_partitions` partitions by join-key hash.
+/// Returns one relation per partition, with hash codes stashed in the
+/// page slot areas.
+///
+/// ```
+/// use phj::partition::{partition_relation, PartitionScheme};
+/// use phj_memsim::NativeModel;
+/// use phj_storage::{RelationBuilder, Schema};
+///
+/// let mut b = RelationBuilder::new(Schema::key_payload(16));
+/// for k in 0u32..1000 {
+///     let mut t = [0u8; 16];
+///     t[..4].copy_from_slice(&k.to_le_bytes());
+///     b.push(&t);
+/// }
+/// let input = b.finish();
+/// let mut mem = NativeModel;
+/// let parts = partition_relation(
+///     &mut mem,
+///     PartitionScheme::Group { g: 12 },
+///     &input,
+///     8,
+///     false,
+/// );
+/// assert_eq!(parts.len(), 8);
+/// assert_eq!(parts.iter().map(|p| p.num_tuples()).sum::<usize>(), 1000);
+/// ```
+pub fn partition_relation<M: MemoryModel>(
+    mem: &mut M,
+    scheme: PartitionScheme,
+    input: &Relation,
+    num_partitions: usize,
+    use_stored_hash: bool,
+) -> Vec<Relation> {
+    assert!(num_partitions > 0);
+    let mut out = OutputBuffers::new(input, num_partitions);
+    match scheme {
+        PartitionScheme::Baseline => straight(mem, input, &mut out, false, use_stored_hash),
+        PartitionScheme::Simple => straight(mem, input, &mut out, true, use_stored_hash),
+        PartitionScheme::Group { g } => group::run(mem, input, &mut out, g, use_stored_hash),
+        PartitionScheme::Swp { d } => swp::run(mem, input, &mut out, d, use_stored_hash),
+        PartitionScheme::Combined { g, cache_pages } => {
+            if num_partitions <= cache_pages {
+                straight(mem, input, &mut out, true, use_stored_hash)
+            } else {
+                group::run(mem, input, &mut out, g, use_stored_hash)
+            }
+        }
+    }
+    debug_assert_eq!(out.tuples() as usize, input.num_tuples(), "tuples lost");
+    out.finish()
+}
+
+/// Read or recompute a tuple's partition-phase hash code.
+#[inline]
+pub(crate) fn phase_hash(input: &Relation, pi: usize, slot: u16, use_stored: bool) -> u32 {
+    if use_stored {
+        input.page(pi).hash_code(slot)
+    } else {
+        hash_key(key_bytes_of(input.schema(), input.page(pi).tuple(slot)))
+    }
+}
+
+/// One tuple at a time, optional input-page prefetch (baseline / simple).
+fn straight<M: MemoryModel>(
+    mem: &mut M,
+    input: &Relation,
+    out: &mut OutputBuffers,
+    prefetch_input: bool,
+    use_stored_hash: bool,
+) {
+    let mut scan = Scan::new(input, prefetch_input);
+    while let Some((pi, slot)) = scan.next(mem) {
+        mem.busy(cost::code0_cost(use_stored_hash));
+        let hash = phase_hash(input, pi, slot, use_stored_hash);
+        let p = partition_of(hash, out.num_partitions());
+        let t = input.page(pi).tuple(slot);
+        out.append_direct(mem, p, t, hash);
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+/// The per-partition output buffers, with the reservation protocol the
+/// staged schemes need: stage 0 *reserves* an insertion position (so its
+/// exact addresses can be prefetched) and stage 1 *commits* the copy.
+/// Reservations and commits happen in the same per-partition order, so a
+/// reservation's addresses are exact.
+pub(crate) struct OutputBuffers {
+    parts: Vec<PartBuf>,
+    tuples: u64,
+}
+
+struct PartBuf {
+    rel: Relation,
+    page: Page,
+    /// Slots handed out including uncommitted reservations.
+    reserved_slots: u16,
+    /// Data cursor including uncommitted reservations.
+    reserved_data: u16,
+    /// Reservations not yet committed.
+    pending: u32,
+    /// Head of the waiting chain (software pipelining), by state index.
+    waiting: u32,
+}
+
+impl PartBuf {
+    fn fresh(schema: &phj_storage::Schema) -> Self {
+        PartBuf {
+            rel: Relation::new(schema.clone()),
+            page: Page::new(),
+            reserved_slots: 0,
+            reserved_data: PAGE_SIZE as u16,
+            pending: 0,
+            waiting: NIL,
+        }
+    }
+}
+
+impl OutputBuffers {
+    pub(crate) fn new(input: &Relation, num_partitions: usize) -> Self {
+        OutputBuffers {
+            parts: (0..num_partitions)
+                .map(|_| PartBuf::fresh(input.schema()))
+                .collect(),
+            tuples: 0,
+        }
+    }
+
+    pub(crate) fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Straight append: flush if full, then copy. Charges the output-side
+    /// memory writes and copy cost. Used by baseline/simple and by the
+    /// staged schemes' conflict-resolution paths (no prefetching there:
+    /// the buffer page is either fresh or warm).
+    pub(crate) fn append_direct<M: MemoryModel>(
+        &mut self,
+        mem: &mut M,
+        p: usize,
+        tuple: &[u8],
+        hash: u32,
+    ) {
+        let pb = &mut self.parts[p];
+        debug_assert_eq!(pb.pending, 0, "direct append with reservations in flight");
+        if !pb.page.fits(tuple.len()) {
+            Self::flush_buf(pb);
+        }
+        let (data_addr, slot_addr) = pb.page.next_insert_addrs(tuple.len());
+        mem.write(data_addr, tuple.len());
+        mem.write(slot_addr, 8);
+        mem.busy(cost::copy_cost(tuple.len()));
+        pb.page.insert(tuple, hash).expect("fits after flush");
+        pb.reserved_slots = pb.page.nslots();
+        pb.reserved_data = (data_addr - pb.page.base_addr()) as u16;
+        self.tuples += 1;
+    }
+
+    /// Stage-0 reservation: returns the exact `(data_addr, slot_addr)` the
+    /// commit will write, or `None` when the buffer page is full.
+    pub(crate) fn try_reserve(&mut self, p: usize, len: usize) -> Option<(usize, usize)> {
+        let pb = &mut self.parts[p];
+        let free = pb.reserved_data as usize - (4 + 8 * pb.reserved_slots as usize);
+        if free < len + 8 {
+            return None;
+        }
+        pb.reserved_data -= len as u16;
+        let data_addr = pb.page.base_addr() + pb.reserved_data as usize;
+        let slot_addr = pb.page.slot_addr(pb.reserved_slots);
+        pb.reserved_slots += 1;
+        pb.pending += 1;
+        Some((data_addr, slot_addr))
+    }
+
+    /// Stage-1 commit of a reservation made by [`Self::try_reserve`].
+    /// Commits must arrive in reservation order per partition (the staged
+    /// loops guarantee this). Charges the writes and the copy.
+    pub(crate) fn commit<M: MemoryModel>(
+        &mut self,
+        mem: &mut M,
+        p: usize,
+        tuple: &[u8],
+        hash: u32,
+        reserved: (usize, usize),
+    ) {
+        let pb = &mut self.parts[p];
+        debug_assert!(pb.pending > 0, "commit without reservation");
+        mem.write(reserved.0, tuple.len());
+        mem.write(reserved.1, 8);
+        mem.busy(cost::copy_cost(tuple.len()));
+        let slot = pb.page.insert(tuple, hash).expect("reservation guaranteed space");
+        debug_assert_eq!(pb.page.tuple_addr(slot), reserved.0, "commit out of order");
+        debug_assert_eq!(pb.page.slot_addr(slot), reserved.1);
+        pb.pending -= 1;
+        self.tuples += 1;
+    }
+
+    /// Number of uncommitted reservations on partition `p`.
+    pub(crate) fn pending(&self, p: usize) -> u32 {
+        self.parts[p].pending
+    }
+
+    /// Waiting-chain head for partition `p` (software pipelining).
+    pub(crate) fn waiting(&self, p: usize) -> u32 {
+        self.parts[p].waiting
+    }
+
+    /// Set the waiting-chain head.
+    pub(crate) fn set_waiting(&mut self, p: usize, head: u32) {
+        self.parts[p].waiting = head;
+    }
+
+    /// Flush partition `p`'s buffer page (requires no pending
+    /// reservations: the staged schemes only flush at safe points — that
+    /// is exactly the read-write-conflict discipline of §6).
+    pub(crate) fn flush(&mut self, p: usize) {
+        let pb = &mut self.parts[p];
+        assert_eq!(pb.pending, 0, "flush with in-flight copies (conflict bug)");
+        Self::flush_buf(pb);
+    }
+
+    /// "Write out" the buffer page: copy it to the partition's relation
+    /// (our stand-in for the disk, uncharged like a DMA write) and reuse
+    /// the same buffer in place — the buffer's cache lines stay where
+    /// they are, which is why few-partition runs keep their buffers
+    /// cache-resident (Fig 14's left region).
+    fn flush_buf(pb: &mut PartBuf) {
+        if pb.page.nslots() > 0 {
+            pb.rel.push_page(pb.page.clone());
+            pb.page.reset();
+        }
+        pb.reserved_slots = 0;
+        pb.reserved_data = PAGE_SIZE as u16;
+    }
+
+    /// Total tuples written so far.
+    #[allow(dead_code)] // used in debug assertions and tests
+    pub(crate) fn tuples(&self) -> u64 {
+        self.tuples
+    }
+
+    /// Flush everything and return the partition relations.
+    pub(crate) fn finish(mut self) -> Vec<Relation> {
+        self.parts
+            .iter_mut()
+            .for_each(|pb| {
+                assert_eq!(pb.pending, 0, "finish with in-flight copies");
+                assert_eq!(pb.waiting, NIL, "finish with waiting tuples");
+                Self::flush_buf(pb)
+            });
+        self.parts.into_iter().map(|pb| pb.rel).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phj_memsim::NativeModel;
+    use phj_storage::{RelationBuilder, Schema};
+
+    pub(crate) fn input_rel(n: usize, size: usize) -> Relation {
+        let schema = Schema::key_payload(size);
+        let mut b = RelationBuilder::new(schema);
+        let mut t = vec![0u8; size];
+        for i in 0..n {
+            t[..4].copy_from_slice(&(i as u32).to_le_bytes());
+            b.push(&t);
+        }
+        b.finish()
+    }
+
+    fn check_partitioning(input: &Relation, parts: &[Relation]) {
+        // Every tuple lands in the partition its hash prescribes, with the
+        // hash stashed; the multiset of tuples is preserved.
+        let total: usize = parts.iter().map(|r| r.num_tuples()).sum();
+        assert_eq!(total, input.num_tuples());
+        for (p, rel) in parts.iter().enumerate() {
+            for (_, t, h) in rel.iter() {
+                let expect = hash_key(key_bytes_of(input.schema(), t));
+                assert_eq!(h, expect, "stashed hash");
+                assert_eq!(partition_of(h, parts.len()), p, "placement");
+            }
+        }
+        let mut a = input.to_tuple_vec();
+        let mut b: Vec<Vec<u8>> =
+            parts.iter().flat_map(|r| r.to_tuple_vec()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "tuple multiset preserved");
+    }
+
+    #[test]
+    fn baseline_partitions_correctly() {
+        let input = input_rel(5000, 100);
+        let mut mem = NativeModel;
+        let parts = partition_relation(&mut mem, PartitionScheme::Baseline, &input, 13, false);
+        assert_eq!(parts.len(), 13);
+        check_partitioning(&input, &parts);
+    }
+
+    #[test]
+    fn simple_matches_baseline() {
+        let input = input_rel(3000, 64);
+        let mut mem = NativeModel;
+        let a = partition_relation(&mut mem, PartitionScheme::Baseline, &input, 7, false);
+        let b = partition_relation(&mut mem, PartitionScheme::Simple, &input, 7, false);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_tuple_vec(), y.to_tuple_vec());
+        }
+    }
+
+    #[test]
+    fn combined_picks_by_partition_count() {
+        let input = input_rel(2000, 100);
+        let mut mem = NativeModel;
+        let scheme = PartitionScheme::combined_default();
+        for nparts in [3, 300] {
+            let parts = partition_relation(&mut mem, scheme, &input, nparts, false);
+            check_partitioning(&input, &parts);
+        }
+    }
+
+    #[test]
+    fn single_partition_degenerate() {
+        let input = input_rel(100, 100);
+        let mut mem = NativeModel;
+        let parts = partition_relation(&mut mem, PartitionScheme::Baseline, &input, 1, false);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].num_tuples(), 100);
+    }
+
+    #[test]
+    fn reservation_protocol_addresses_are_exact() {
+        let input = input_rel(1, 40);
+        let mut out = OutputBuffers::new(&input, 2);
+        let mut mem = NativeModel;
+        let r1 = out.try_reserve(0, 40).unwrap();
+        let r2 = out.try_reserve(0, 40).unwrap();
+        assert_eq!(r1.0 - 40, r2.0, "data grows downward");
+        assert_eq!(r2.1 - 8, r1.1, "slots grow upward");
+        let t = vec![9u8; 40];
+        out.commit(&mut mem, 0, &t, 1, r1);
+        out.commit(&mut mem, 0, &t, 2, r2);
+        assert_eq!(out.pending(0), 0);
+        assert_eq!(out.tuples(), 2);
+        let rels = out.finish();
+        assert_eq!(rels[0].num_tuples(), 2);
+        assert_eq!(rels[1].num_tuples(), 0);
+    }
+
+    #[test]
+    fn reservation_fails_when_page_reserved_full() {
+        let input = input_rel(1, 2000);
+        let mut out = OutputBuffers::new(&input, 1);
+        let mut n = 0;
+        while out.try_reserve(0, 2000).is_some() {
+            n += 1;
+        }
+        // 8188 / 2008 = 4 reservations per 8 KB page.
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "flush with in-flight")]
+    fn flush_with_pending_panics() {
+        let input = input_rel(1, 16);
+        let mut out = OutputBuffers::new(&input, 1);
+        out.try_reserve(0, 16).unwrap();
+        out.flush(0);
+    }
+}

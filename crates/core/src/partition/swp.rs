@@ -1,0 +1,237 @@
+//! Software-pipelined prefetching for the partition phase.
+//!
+//! `k = 1`, so the pipeline has two stages: stage 0 hashes the tuple,
+//! reserves its output location, and prefetches it; stage 1 (D iterations
+//! later) performs the copy. Buffer-full events use **waiting queues**
+//! (§6: "In software-pipelined prefetching, we use waiting queues similar
+//! to those for hash table building in the join phase"): a tuple that
+//! finds its buffer full while copies are still in flight parks on the
+//! partition's chain; the commit that drains the last in-flight copy
+//! writes the buffer out and processes the chain.
+
+use phj_memsim::MemoryModel;
+use phj_storage::Relation;
+
+use crate::cost;
+use crate::hash::partition_of;
+use crate::join::Scan;
+use crate::model::swp_state_slots;
+
+use super::{phase_hash, OutputBuffers};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Done,
+    Copy((usize, usize)),
+    Waiting,
+}
+
+struct Slot {
+    pi: usize,
+    slot: u16,
+    hash: u32,
+    p: usize,
+    state: State,
+    next_waiting: u32,
+}
+
+/// Run the software-pipelined partition loop.
+pub(crate) fn run<M: MemoryModel>(
+    mem: &mut M,
+    input: &Relation,
+    out: &mut OutputBuffers,
+    d: usize,
+    use_stored_hash: bool,
+) {
+    let d = d.max(1);
+    let size = swp_state_slots(1, d);
+    let mask = size - 1;
+    let mut slots: Vec<Slot> = (0..size)
+        .map(|_| Slot {
+            pi: 0,
+            slot: 0,
+            hash: 0,
+            p: 0,
+            state: State::Done,
+            next_waiting: NIL,
+        })
+        .collect();
+    let mut scan = Scan::new(input, true);
+    let mut total: Option<usize> = None;
+    let mut it = 0usize;
+    let bk = cost::STAGE_BOOKKEEPING + cost::SWP_EXTRA;
+    loop {
+        // Stage 0 for element `it`.
+        if total.is_none() {
+            match scan.next(mem) {
+                Some((pi, slot)) => {
+                    let me = (it & mask) as u32;
+                    let t = input.page(pi).tuple(slot);
+                    mem.busy(cost::code0_cost(use_stored_hash) + bk);
+                    let hash = phase_hash(input, pi, slot, use_stored_hash);
+                    let p = partition_of(hash, out.num_partitions());
+                    {
+                        let s = &mut slots[me as usize];
+                        debug_assert_eq!(s.state, State::Done, "slot reused too early");
+                        s.pi = pi;
+                        s.slot = slot;
+                        s.hash = hash;
+                        s.p = p;
+                        s.next_waiting = NIL;
+                    }
+                    match out.try_reserve(p, t.len()) {
+                        Some(addrs) => {
+                            mem.prefetch(addrs.0, t.len());
+                            mem.prefetch(addrs.1, 8);
+                            slots[me as usize].state = State::Copy(addrs);
+                        }
+                        None if out.pending(p) == 0 => {
+                            // No copies in flight: safe to write out now.
+                            out.flush(p);
+                            let addrs = out
+                                .try_reserve(p, t.len())
+                                .expect("fresh page fits any tuple");
+                            mem.prefetch(addrs.0, t.len());
+                            mem.prefetch(addrs.1, 8);
+                            slots[me as usize].state = State::Copy(addrs);
+                        }
+                        None => {
+                            // Copies in flight: park on the waiting queue.
+                            mem.other(cost::BRANCH_MISS);
+                            mem.busy(cost::SWP_EXTRA);
+                            let head = out.waiting(p);
+                            if head == NIL {
+                                out.set_waiting(p, me);
+                            } else {
+                                let mut cur = head;
+                                while slots[cur as usize].next_waiting != NIL {
+                                    cur = slots[cur as usize].next_waiting;
+                                }
+                                slots[cur as usize].next_waiting = me;
+                            }
+                            slots[me as usize].state = State::Waiting;
+                        }
+                    }
+                }
+                None => total = Some(it),
+            }
+        }
+        // Stage 1 for element `it - D`.
+        if it >= d {
+            let e = it - d;
+            if total.is_none_or(|t| e < t) {
+                let me = e & mask;
+                mem.busy(bk);
+                if let State::Copy(addrs) = slots[me].state {
+                    let (p, hash) = (slots[me].p, slots[me].hash);
+                    let t = input.page(slots[me].pi).tuple(slots[me].slot);
+                    out.commit(mem, p, t, hash, addrs);
+                    slots[me].state = State::Done;
+                    // Last in-flight copy gone? Write out and drain the
+                    // partition's waiting queue without prefetching.
+                    if out.pending(p) == 0 && out.waiting(p) != NIL {
+                        out.flush(p);
+                        let mut w = out.waiting(p);
+                        out.set_waiting(p, NIL);
+                        while w != NIL {
+                            let next = slots[w as usize].next_waiting;
+                            slots[w as usize].next_waiting = NIL;
+                            debug_assert_eq!(slots[w as usize].state, State::Waiting);
+                            let wt =
+                                input.page(slots[w as usize].pi).tuple(slots[w as usize].slot);
+                            out.append_direct(mem, slots[w as usize].p, wt, slots[w as usize].hash);
+                            slots[w as usize].state = State::Done;
+                            w = next;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(t) = total {
+            if t == 0 || it >= t - 1 + d {
+                break;
+            }
+        }
+        it += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{partition_relation, PartitionScheme};
+    use phj_memsim::{NativeModel, SimEngine};
+    use phj_storage::{Relation, RelationBuilder, Schema};
+
+    fn input_rel(n: usize, size: usize) -> Relation {
+        let schema = Schema::key_payload(size);
+        let mut b = RelationBuilder::new(schema);
+        let mut t = vec![0u8; size];
+        for i in 0..n {
+            t[..4].copy_from_slice(&(i as u32).to_le_bytes());
+            b.push(&t);
+        }
+        b.finish()
+    }
+
+    fn tuple_multisets(parts: &[Relation]) -> Vec<Vec<Vec<u8>>> {
+        parts
+            .iter()
+            .map(|r| {
+                let mut v = r.to_tuple_vec();
+                v.sort();
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn swp_matches_baseline_partitioning() {
+        let input = input_rel(4000, 100);
+        let mut mem = NativeModel;
+        let base = partition_relation(&mut mem, PartitionScheme::Baseline, &input, 11, false);
+        for d in [1, 2, 4, 9] {
+            let got =
+                partition_relation(&mut mem, PartitionScheme::Swp { d }, &input, 11, false);
+            assert_eq!(tuple_multisets(&got), tuple_multisets(&base), "D={d}");
+        }
+    }
+
+    #[test]
+    fn swp_single_partition_exercises_waiting_queue() {
+        let input = input_rel(2000, 100);
+        let mut mem = NativeModel;
+        let base = partition_relation(&mut mem, PartitionScheme::Baseline, &input, 1, false);
+        for d in [1, 3, 8] {
+            let got =
+                partition_relation(&mut mem, PartitionScheme::Swp { d }, &input, 1, false);
+            assert_eq!(tuple_multisets(&got), tuple_multisets(&base), "D={d}");
+        }
+    }
+
+    #[test]
+    fn swp_large_tuples_flush_often() {
+        // 2000-byte tuples: only 4 per page, so buffer-full conflicts are
+        // constant and the waiting-queue path dominates.
+        let input = input_rel(500, 2000);
+        let mut mem = NativeModel;
+        let base = partition_relation(&mut mem, PartitionScheme::Baseline, &input, 3, false);
+        let got = partition_relation(&mut mem, PartitionScheme::Swp { d: 4 }, &input, 3, false);
+        assert_eq!(tuple_multisets(&got), tuple_multisets(&base));
+    }
+
+    #[test]
+    fn swp_beats_baseline_with_many_partitions_in_sim() {
+        let input = input_rel(20_000, 100);
+        let time = |scheme| {
+            let mut mem = SimEngine::paper();
+            let parts = partition_relation(&mut mem, scheme, &input, 400, false);
+            assert_eq!(parts.iter().map(|r| r.num_tuples()).sum::<usize>(), 20_000);
+            mem.breakdown().total()
+        };
+        let base = time(PartitionScheme::Baseline);
+        let swp = time(PartitionScheme::Swp { d: 1 });
+        assert!(swp < base, "swp {swp} vs baseline {base}");
+    }
+}

@@ -1,0 +1,317 @@
+//! Join output sinks: where matched tuple pairs go.
+//!
+//! The paper's experiments materialize full output tuples ("an output
+//! tuple contains all the fields of the matching build and probe tuples",
+//! §7.1); [`OutputWriter`] does that into an output [`Relation`], charging
+//! the memory model for the output-buffer writes (these sequential writes
+//! are a real part of the join's cache behaviour). [`CountSink`] is a
+//! non-materializing sink for tests and micro-benchmarks: it keeps an
+//! order-insensitive checksum so any two correct schemes can be compared
+//! exactly.
+
+use phj_memsim::MemoryModel;
+use phj_storage::{tuple::materialize_join_output, Page, Relation, Schema};
+
+use crate::cost;
+
+/// Consumer of join matches.
+pub trait JoinSink {
+    /// A probe tuple matched a build tuple.
+    fn emit<M: MemoryModel>(&mut self, mem: &mut M, build: &[u8], probe: &[u8]);
+
+    /// Number of matches emitted so far.
+    fn matches(&self) -> u64;
+}
+
+/// Materializes output tuples into a relation.
+pub struct OutputWriter {
+    build_schema: Schema,
+    probe_schema: Schema,
+    out: Relation,
+    page: Page,
+    buf: Vec<u8>,
+    matches: u64,
+    prefetch_ahead: bool,
+}
+
+impl OutputWriter {
+    /// A writer joining tuples of the given schemas.
+    pub fn new(build_schema: Schema, probe_schema: Schema) -> Self {
+        let out_schema = Schema::join_output(&build_schema, &probe_schema);
+        OutputWriter {
+            build_schema,
+            probe_schema,
+            out: Relation::new(out_schema),
+            page: Page::new(),
+            buf: Vec::new(),
+            matches: 0,
+            prefetch_ahead: false,
+        }
+    }
+
+    /// Enable output-buffer prefetching: after each emit, prefetch the
+    /// location the *next* output tuple will occupy. Output is strictly
+    /// sequential, so this is one of the "multiple independent prefetches"
+    /// a staged scheme issues per stage (§4.4); the baseline and simple
+    /// schemes leave it off.
+    pub fn with_output_prefetch(mut self) -> Self {
+        self.prefetch_ahead = true;
+        self
+    }
+
+    /// Finish, returning the output relation.
+    pub fn finish(mut self) -> Relation {
+        if self.page.nslots() > 0 {
+            self.out.push_page(self.page.clone());
+        }
+        self.out
+    }
+}
+
+impl JoinSink for OutputWriter {
+    fn emit<M: MemoryModel>(&mut self, mem: &mut M, build: &[u8], probe: &[u8]) {
+        materialize_join_output(
+            &self.build_schema,
+            &self.probe_schema,
+            build,
+            probe,
+            &mut self.buf,
+        );
+        if !self.page.fits(self.buf.len()) {
+            // "Write out" the full buffer (uncharged, DMA-like) and keep
+            // reusing the same buffer page, as the engine's buffer
+            // manager would — its lines stay cache-resident.
+            self.out.push_page(self.page.clone());
+            self.page.reset();
+        }
+        let (data_addr, slot_addr) = self.page.next_insert_addrs(self.buf.len());
+        mem.write(data_addr, self.buf.len());
+        mem.write(slot_addr, 8);
+        mem.busy(cost::copy_cost(self.buf.len()));
+        self.page
+            .insert(&self.buf, 0)
+            .expect("output tuple larger than a page");
+        self.matches += 1;
+        if self.prefetch_ahead {
+            // Two tuples of lead time: back-to-back emits (group stage 3)
+            // are closer together than the memory latency, so one emit of
+            // lead would leave the fill chronically half-finished.
+            let span = 2 * self.buf.len();
+            if self.page.fits(span) {
+                let (next_data, next_slot) = self.page.next_insert_addrs(span);
+                mem.prefetch(next_data, span);
+                mem.prefetch(next_slot, 16);
+            }
+        }
+    }
+
+    fn matches(&self) -> u64 {
+        self.matches
+    }
+}
+
+/// Hands matches to a parent operator in bounded batches — the hook for
+/// pipelined query processing. §5.4: "the join phase can pause at group
+/// boundaries and send outputs to the parent operator to support
+/// pipelined query processing" — a staged probe emits at most `G`
+/// matches' worth of output per stage, so a batch of a few `G` keeps the
+/// parent fed without unbounded buffering.
+pub struct BatchingSink<F: FnMut(&[(Vec<u8>, Vec<u8>)])> {
+    batch: Vec<(Vec<u8>, Vec<u8>)>,
+    capacity: usize,
+    consumer: F,
+    matches: u64,
+}
+
+impl<F: FnMut(&[(Vec<u8>, Vec<u8>)])> BatchingSink<F> {
+    /// A sink delivering batches of up to `capacity` (build, probe) pairs
+    /// to `consumer`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, consumer: F) -> Self {
+        assert!(capacity > 0, "batch capacity must be non-zero");
+        BatchingSink { batch: Vec::with_capacity(capacity), capacity, consumer, matches: 0 }
+    }
+
+    /// Deliver any buffered matches and return the total count.
+    pub fn finish(mut self) -> u64 {
+        self.flush();
+        self.matches
+    }
+
+    fn flush(&mut self) {
+        if !self.batch.is_empty() {
+            (self.consumer)(&self.batch);
+            self.batch.clear();
+        }
+    }
+}
+
+impl<F: FnMut(&[(Vec<u8>, Vec<u8>)])> JoinSink for BatchingSink<F> {
+    fn emit<M: MemoryModel>(&mut self, _mem: &mut M, build: &[u8], probe: &[u8]) {
+        self.batch.push((build.to_vec(), probe.to_vec()));
+        self.matches += 1;
+        if self.batch.len() == self.capacity {
+            self.flush();
+        }
+    }
+
+    fn matches(&self) -> u64 {
+        self.matches
+    }
+}
+
+/// Order-insensitive counting/checksumming sink.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountSink {
+    matches: u64,
+    /// XOR of per-pair FNV digests: equal multisets of (build, probe)
+    /// pairs produce equal checksums regardless of emission order.
+    checksum: u64,
+}
+
+impl CountSink {
+    /// A fresh sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The order-insensitive checksum.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    fn digest(bytes: &[u8], mut h: u64) -> u64 {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        h
+    }
+}
+
+impl JoinSink for CountSink {
+    fn emit<M: MemoryModel>(&mut self, _mem: &mut M, build: &[u8], probe: &[u8]) {
+        self.matches += 1;
+        let d = Self::digest(probe, Self::digest(build, 0xCBF2_9CE4_8422_2325));
+        self.checksum ^= d.max(1); // never XOR 0: keep pair visible
+    }
+
+    fn matches(&self) -> u64 {
+        self.matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phj_memsim::NativeModel;
+
+    #[test]
+    fn count_sink_is_order_insensitive() {
+        let mut m = NativeModel;
+        let mut a = CountSink::new();
+        a.emit(&mut m, b"b1", b"p1");
+        a.emit(&mut m, b"b2", b"p2");
+        let mut b = CountSink::new();
+        b.emit(&mut m, b"b2", b"p2");
+        b.emit(&mut m, b"b1", b"p1");
+        assert_eq!(a, b);
+        assert_eq!(a.matches(), 2);
+    }
+
+    #[test]
+    fn count_sink_detects_difference() {
+        let mut m = NativeModel;
+        let mut a = CountSink::new();
+        a.emit(&mut m, b"b1", b"p1");
+        let mut b = CountSink::new();
+        b.emit(&mut m, b"b1", b"p2");
+        assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn count_sink_multiset_semantics() {
+        // Duplicate pairs XOR to different checksums for odd/even counts.
+        let mut m = NativeModel;
+        let mut once = CountSink::new();
+        once.emit(&mut m, b"x", b"y");
+        let mut thrice = CountSink::new();
+        for _ in 0..3 {
+            thrice.emit(&mut m, b"x", b"y");
+        }
+        assert_eq!(once.checksum(), thrice.checksum());
+        assert_ne!(once.matches(), thrice.matches());
+    }
+
+    #[test]
+    fn batching_sink_delivers_everything_in_order() {
+        let mut m = NativeModel;
+        let mut seen: Vec<u32> = Vec::new();
+        let mut batches = 0usize;
+        {
+            let mut sink = BatchingSink::new(7, |batch| {
+                batches += 1;
+                assert!(batch.len() <= 7);
+                for (b, p) in batch {
+                    assert_eq!(b, p);
+                    seen.push(u32::from_le_bytes(b[..4].try_into().unwrap()));
+                }
+            });
+            for i in 0u32..23 {
+                let t = i.to_le_bytes().to_vec();
+                sink.emit(&mut m, &t, &t);
+            }
+            assert_eq!(sink.matches(), 23);
+            assert_eq!(sink.finish(), 23);
+        }
+        assert_eq!(batches, 4, "3 full + 1 tail batch");
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batching_sink_empty() {
+        let mut called = false;
+        let sink = BatchingSink::new(4, |_| called = true);
+        assert_eq!(sink.finish(), 0);
+        assert!(!called, "no empty batches delivered");
+    }
+
+    #[test]
+    fn output_prefetch_writer_equals_plain() {
+        let bs = Schema::key_payload(8);
+        let ps = Schema::key_payload(8);
+        let mut m = phj_memsim::SimEngine::paper();
+        let mut plain = OutputWriter::new(bs.clone(), ps.clone());
+        let mut pf = OutputWriter::new(bs.clone(), ps.clone()).with_output_prefetch();
+        for i in 0u32..500 {
+            let t = i.to_le_bytes().repeat(2);
+            plain.emit(&mut m, &t, &t);
+            pf.emit(&mut m, &t, &t);
+        }
+        assert_eq!(plain.finish().to_tuple_vec(), pf.finish().to_tuple_vec());
+    }
+
+    #[test]
+    fn output_writer_materializes() {
+        let bs = Schema::key_payload(8);
+        let ps = Schema::key_payload(12);
+        let mut w = OutputWriter::new(bs.clone(), ps.clone());
+        let mut m = NativeModel;
+        let bt = [1u8; 8];
+        let pt = [2u8; 12];
+        for _ in 0..1000 {
+            w.emit(&mut m, &bt, &pt);
+        }
+        assert_eq!(w.matches(), 1000);
+        let rel = w.finish();
+        assert_eq!(rel.num_tuples(), 1000);
+        assert!(rel.num_pages() > 1);
+        for (_, t, _) in rel.iter() {
+            assert_eq!(t.len(), 20);
+            assert_eq!(&t[..8], &bt);
+            assert_eq!(&t[8..], &pt);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Background write-back: the buffer manager's "background writing".
+//!
+//! The main thread hands full output pages to per-stripe worker threads
+//! through bounded channels and keeps computing; `finish` drains the
+//! in-flight window and surfaces any I/O error (§7.2's overlap of output
+//! I/O with computation).
+
+use std::io;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use phj_storage::PAGE_SIZE;
+
+use crate::stripe::StripeSet;
+
+enum Job {
+    Write(u64, Box<[u8; PAGE_SIZE]>),
+    Shutdown,
+}
+
+/// A background page writer over a [`StripeSet`].
+pub struct BackgroundWriter {
+    stripes: StripeSet,
+    tx: Vec<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    first_error: Arc<Mutex<Option<io::Error>>>,
+}
+
+impl BackgroundWriter {
+    /// Start one worker per stripe with `window` in-flight pages total.
+    pub fn start(stripes: StripeSet, window: usize) -> Self {
+        let n = stripes.num_stripes();
+        let per_stripe = (window / n).max(1);
+        let first_error = Arc::new(Mutex::new(None));
+        let mut tx = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for _s in 0..n {
+            let (t, r): (SyncSender<Job>, Receiver<Job>) =
+                std::sync::mpsc::sync_channel(per_stripe);
+            tx.push(t);
+            let stripes = stripes.clone();
+            let err = Arc::clone(&first_error);
+            workers.push(std::thread::spawn(move || {
+                while let Ok(job) = r.recv() {
+                    match job {
+                        Job::Shutdown => break,
+                        Job::Write(page, image) => {
+                            if let Err(e) = stripes.write_page(page, &image) {
+                                err.lock().expect("error lock").get_or_insert(e);
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        BackgroundWriter { stripes, tx, workers, first_error }
+    }
+
+    /// Enqueue a page write (blocks only when the stripe's in-flight
+    /// window is full — backpressure, not unbounded buffering).
+    pub fn write(&self, page: u64, image: Box<[u8; PAGE_SIZE]>) {
+        let s = self.stripes.stripe_of(page);
+        self.tx[s]
+            .send(Job::Write(page, image))
+            .expect("writer worker vanished");
+    }
+
+    /// Drain all in-flight writes, join the workers, and surface the
+    /// first I/O error if any occurred.
+    pub fn finish(mut self) -> io::Result<()> {
+        for t in &self.tx {
+            let _ = t.send(Job::Shutdown);
+        }
+        self.tx.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        match self.first_error.lock().expect("error lock").take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for BackgroundWriter {
+    fn drop(&mut self) {
+        for t in &self.tx {
+            let _ = t.send(Job::Shutdown);
+        }
+        self.tx.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("phj-writer-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_land_and_finish_drains() {
+        let dir = temp_dir("basic");
+        let s = StripeSet::create(&dir, "t", 3, 2).unwrap();
+        let w = BackgroundWriter::start(s.clone(), 8);
+        for p in 0..40u64 {
+            let mut img = Box::new([0u8; PAGE_SIZE]);
+            img[7] = p as u8;
+            w.write(p, img);
+        }
+        w.finish().unwrap();
+        for p in 0..40u64 {
+            assert_eq!(s.read_page(p).unwrap()[7], p as u8);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_without_finish_joins_workers() {
+        let dir = temp_dir("drop");
+        let s = StripeSet::create(&dir, "t", 2, 1).unwrap();
+        {
+            let w = BackgroundWriter::start(s.clone(), 2);
+            w.write(0, Box::new([1u8; PAGE_SIZE]));
+        } // drop must not hang
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

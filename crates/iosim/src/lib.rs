@@ -1,0 +1,300 @@
+#![warn(missing_docs)]
+
+//! Discrete-event I/O model for the paper's CPU-bound-vs-I/O-bound study
+//! (Figure 9).
+//!
+//! The paper measures GRACE hash join on a quad-550 MHz Pentium III with
+//! up to six Seagate Cheetah X15 36LP disks (≤ 68 MB/s each), relations
+//! striped in 256 KB units, and a buffer manager with "a dedicated worker
+//! thread for each of the disks, which performs I/O operations on behalf
+//! of the main hash join thread [...] implements I/O prefetching and
+//! background writing so that I/O operations can be overlapped with
+//! computations as much as possible" (§7.2).
+//!
+//! We do not have that disk array; this crate reproduces the experiment's
+//! *mechanics* instead: a main thread consuming striped input pages with
+//! bounded read-ahead, producing output pages written back in the
+//! background, over `d` disks of fixed bandwidth. The published claim —
+//! the join becomes CPU-bound at ≥ 4 disks, with the worker-I/O curve
+//! falling as disks are added while total elapsed time flattens at the
+//! CPU time — is bandwidth arithmetic that this model preserves exactly
+//! (see DESIGN.md, substitutions).
+
+/// Hardware/configuration parameters of the simulated I/O subsystem.
+#[derive(Debug, Clone, Copy)]
+pub struct IoConfig {
+    /// Number of disks the relation is striped across.
+    pub disks: usize,
+    /// Peak per-disk transfer rate in MB/s (Cheetah X15 36LP: 68).
+    pub disk_mb_per_s: f64,
+    /// Stripe unit in bytes (256 KB in §7.2).
+    pub stripe_bytes: u64,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Read-ahead window: how many pages the workers may run ahead of the
+    /// main thread (bounded by the buffer pool).
+    pub readahead_pages: u64,
+    /// Main-thread clock rate in MHz (550 for the paper's machine).
+    pub cpu_mhz: f64,
+}
+
+impl Default for IoConfig {
+    fn default() -> Self {
+        IoConfig {
+            disks: 1,
+            disk_mb_per_s: 68.0,
+            stripe_bytes: 256 * 1024,
+            page_bytes: 8 * 1024,
+            readahead_pages: 256,
+            cpu_mhz: 550.0,
+        }
+    }
+}
+
+impl IoConfig {
+    /// The paper's testbed with `disks` disks.
+    pub fn paper(disks: usize) -> Self {
+        IoConfig { disks, ..Default::default() }
+    }
+
+    fn page_service_s(&self) -> f64 {
+        self.page_bytes as f64 / (self.disk_mb_per_s * 1e6)
+    }
+
+    fn pages_per_stripe(&self) -> u64 {
+        (self.stripe_bytes / self.page_bytes).max(1)
+    }
+}
+
+/// One phase's workload: bytes streamed in, bytes streamed out, and the
+/// total CPU work in cycles.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseSpec {
+    /// Sequential input volume (bytes), striped across the disks.
+    pub read_bytes: u64,
+    /// Sequential output volume (bytes), written in the background.
+    pub write_bytes: u64,
+    /// Total main-thread computation (cycles at `cpu_mhz`).
+    pub cpu_cycles: u64,
+}
+
+/// Timing outcome of a simulated phase (all in seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseResult {
+    /// Wall-clock: when both the main thread and every disk finished.
+    pub elapsed_s: f64,
+    /// The busiest disk's total I/O time — the paper's "worker I/O stall
+    /// time [...] the time to finish all the I/Os in background".
+    pub worker_io_s: f64,
+    /// Time the main thread spent waiting for input pages.
+    pub main_stall_s: f64,
+    /// Pure computation time of the main thread.
+    pub cpu_s: f64,
+}
+
+/// Simulate one phase.
+///
+/// ```
+/// use phj_iosim::{simulate_phase, IoConfig, PhaseSpec};
+/// let spec = PhaseSpec {
+///     read_bytes: 1 << 30,
+///     write_bytes: 1 << 30,
+///     cpu_cycles: 4_000_000_000,
+/// };
+/// let one = simulate_phase(&IoConfig::paper(1), &spec);
+/// let six = simulate_phase(&IoConfig::paper(6), &spec);
+/// assert!(one.elapsed_s > six.elapsed_s, "disks help");
+/// assert!(six.elapsed_s >= six.cpu_s, "but never below the CPU time");
+/// ```
+pub fn simulate_phase(cfg: &IoConfig, spec: &PhaseSpec) -> PhaseResult {
+    assert!(cfg.disks > 0, "need at least one disk");
+    let svc = cfg.page_service_s();
+    let pps = cfg.pages_per_stripe();
+    let read_pages = spec.read_bytes / cfg.page_bytes;
+    let write_pages = spec.write_bytes / cfg.page_bytes;
+    let cpu_s_total = spec.cpu_cycles as f64 / (cfg.cpu_mhz * 1e6);
+    let cpu_per_page = if read_pages > 0 { cpu_s_total / read_pages as f64 } else { 0.0 };
+    let write_ratio = if read_pages > 0 {
+        write_pages as f64 / read_pages as f64
+    } else {
+        0.0
+    };
+    let stripe_of = |page: u64| ((page / pps) % cfg.disks as u64) as usize;
+
+    let mut disk_free = vec![0.0f64; cfg.disks];
+    let mut disk_busy = vec![0.0f64; cfg.disks];
+    // Background writes queue per disk with their issue (production)
+    // times; each disk services requests in issue-time order, so a write
+    // produced at time `t` never delays a read that was issued (by
+    // read-ahead) before `t`.
+    let mut write_queue: Vec<std::collections::VecDeque<f64>> =
+        vec![std::collections::VecDeque::new(); cfg.disks];
+    let mut t = 0.0f64; // main-thread clock
+    let mut main_stall = 0.0f64;
+    let mut write_accum = 0.0f64;
+    let mut writes_issued = 0u64;
+    // Ring of main-thread consumption times for the read-ahead bound.
+    let ra = cfg.readahead_pages.max(1) as usize;
+    let mut consumed_at = vec![0.0f64; ra];
+
+    let service =
+        |disk_free: &mut [f64], disk_busy: &mut [f64], d: usize, issue: f64| -> f64 {
+            let start = disk_free[d].max(issue);
+            disk_free[d] = start + svc;
+            disk_busy[d] += svc;
+            start + svc
+        };
+
+    for page in 0..read_pages {
+        let d = stripe_of(page);
+        // Workers may not run more than `ra` pages ahead of consumption.
+        let gate = if page as usize >= ra {
+            consumed_at[(page as usize - ra) % ra]
+        } else {
+            0.0
+        };
+        // Service older write requests on this disk first (issue order).
+        while write_queue[d].front().is_some_and(|&w| w <= gate) {
+            let w = write_queue[d].pop_front().unwrap();
+            service(&mut disk_free, &mut disk_busy, d, w);
+        }
+        let ready = service(&mut disk_free, &mut disk_busy, d, gate);
+        // Main thread waits for the page, then computes.
+        if ready > t {
+            main_stall += ready - t;
+            t = ready;
+        }
+        t += cpu_per_page;
+        consumed_at[page as usize % ra] = t;
+        // Background writes paced by production (enqueued, not serviced).
+        write_accum += write_ratio;
+        while write_accum >= 1.0 {
+            write_accum -= 1.0;
+            write_queue[stripe_of(writes_issued)].push_back(t);
+            writes_issued += 1;
+        }
+    }
+    // Enqueue any remaining writes (rounding / write-only phases).
+    while writes_issued < write_pages {
+        write_queue[stripe_of(writes_issued)].push_back(t);
+        writes_issued += 1;
+    }
+    if read_pages == 0 {
+        t += cpu_s_total;
+    }
+    // Drain the write backlog.
+    for (d, queue) in write_queue.iter_mut().enumerate() {
+        while let Some(w) = queue.pop_front() {
+            service(&mut disk_free, &mut disk_busy, d, w);
+        }
+    }
+    let io_end = disk_free.iter().cloned().fold(0.0f64, f64::max);
+    PhaseResult {
+        elapsed_s: t.max(io_end),
+        worker_io_s: disk_busy.iter().cloned().fold(0.0f64, f64::max),
+        main_stall_s: main_stall,
+        cpu_s: cpu_s_total,
+    }
+}
+
+/// Sweep a phase over 1..=`max_disks` disks (the Fig 9 x-axis).
+pub fn disk_sweep(base: &IoConfig, spec: &PhaseSpec, max_disks: usize) -> Vec<(usize, PhaseResult)> {
+    (1..=max_disks)
+        .map(|d| {
+            let cfg = IoConfig { disks: d, ..*base };
+            (d, simulate_phase(&cfg, spec))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1 << 30;
+
+    fn spec() -> PhaseSpec {
+        // Partition 1.5 GB: read it, write it, ~400 cycles per 100 B tuple.
+        let read = 3 * GB / 2;
+        let tuples = read / 108; // incl. slot overhead
+        PhaseSpec { read_bytes: read, write_bytes: read, cpu_cycles: tuples * 400 }
+    }
+
+    #[test]
+    fn conservation_laws() {
+        for d in 1..=6 {
+            let r = simulate_phase(&IoConfig::paper(d), &spec());
+            assert!(r.elapsed_s >= r.cpu_s, "elapsed ≥ cpu at {d} disks");
+            assert!(r.elapsed_s >= r.worker_io_s, "elapsed ≥ busiest disk at {d}");
+            assert!(r.main_stall_s >= 0.0);
+            // Busiest disk carries at least volume/(bw·d).
+            let min_io = (spec().read_bytes + spec().write_bytes) as f64 / (68e6 * d as f64);
+            assert!(r.worker_io_s >= min_io * 0.99, "{} < {}", r.worker_io_s, min_io);
+        }
+    }
+
+    #[test]
+    fn io_bound_with_one_disk() {
+        let r = simulate_phase(&IoConfig::paper(1), &spec());
+        // One disk: elapsed ≈ total I/O time, far above CPU time.
+        assert!(r.worker_io_s > r.cpu_s * 2.0);
+        assert!(r.elapsed_s >= r.worker_io_s * 0.99);
+        assert!(r.main_stall_s > r.cpu_s, "main thread mostly waits");
+    }
+
+    #[test]
+    fn cpu_bound_with_many_disks() {
+        let r = simulate_phase(&IoConfig::paper(6), &spec());
+        // Six disks: elapsed flattens near the CPU time.
+        assert!(r.elapsed_s < r.cpu_s * 1.25, "{} vs {}", r.elapsed_s, r.cpu_s);
+        assert!(r.main_stall_s < r.cpu_s * 0.25);
+    }
+
+    #[test]
+    fn elapsed_monotonically_improves_with_disks() {
+        let sweep = disk_sweep(&IoConfig::default(), &spec(), 6);
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].1.elapsed_s <= w[0].1.elapsed_s * 1.001,
+                "{} disks {} vs {} disks {}",
+                w[0].0,
+                w[0].1.elapsed_s,
+                w[1].0,
+                w[1].1.elapsed_s
+            );
+            assert!(w[1].1.worker_io_s < w[0].1.worker_io_s);
+        }
+    }
+
+    #[test]
+    fn crossover_at_about_four_disks() {
+        // The paper: "With four or more disks, hash join is clearly
+        // CPU-bound; the total elapsed time becomes flat."
+        let sweep = disk_sweep(&IoConfig::default(), &spec(), 6);
+        let e4 = sweep[3].1.elapsed_s;
+        let e6 = sweep[5].1.elapsed_s;
+        assert!(e4 / e6 < 1.15, "flat after 4 disks: {e4} vs {e6}");
+        let e1 = sweep[0].1.elapsed_s;
+        assert!(e1 / e6 > 2.0, "large gain from 1 to 6 disks");
+    }
+
+    #[test]
+    fn write_only_phase() {
+        let r = simulate_phase(
+            &IoConfig::paper(2),
+            &PhaseSpec { read_bytes: 0, write_bytes: GB, cpu_cycles: 1_000_000 },
+        );
+        assert!(r.elapsed_s >= GB as f64 / (2.0 * 68e6) * 0.99);
+        assert!(r.cpu_s > 0.0);
+    }
+
+    #[test]
+    fn readahead_limits_worker_lead() {
+        // With a tiny read-ahead window and fast CPU, disks stay gated by
+        // consumption; elapsed approaches serial behaviour on one disk.
+        let cfg = IoConfig { readahead_pages: 1, ..IoConfig::paper(1) };
+        let tight = simulate_phase(&cfg, &spec());
+        let loose = simulate_phase(&IoConfig::paper(1), &spec());
+        assert!(tight.elapsed_s >= loose.elapsed_s * 0.999);
+    }
+}

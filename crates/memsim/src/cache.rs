@@ -1,0 +1,290 @@
+//! Set-associative caches with in-flight fills.
+//!
+//! A [`SetAssocCache`] indexes cache-line addresses into LRU sets. Lines
+//! carry a `ready_at` cycle: a line installed by a prefetch is *in flight*
+//! until its fill completes, and a demand access that arrives early stalls
+//! only for the remaining latency — this is what makes prefetching overlap
+//! misses with computation in the timing model.
+//!
+//! Lines also record whether they were installed by a prefetch and whether
+//! they have been demand-used, so the engine can count prefetched lines
+//! that were **evicted before use** — the conflict-miss pathology the paper
+//! observes when the group size `G` or prefetch distance `D` is too large
+//! (Figs 13 and 17).
+
+/// Result of probing a cache for a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Line resident and fill complete.
+    Hit,
+    /// Line resident but still in flight; usable at the given cycle.
+    InFlight(u64),
+    /// Line absent.
+    Miss,
+}
+
+/// What was displaced by an install.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Evicted {
+    /// No line was displaced (an invalid way was filled).
+    None,
+    /// A line was displaced.
+    Line {
+        /// True when the victim had been installed by a prefetch and was
+        /// never demand-accessed (wasted prefetch — cache pollution).
+        prefetched_unused: bool,
+        /// True when the victim was dirty (a write-back is due).
+        dirty: bool,
+    },
+}
+
+#[derive(Clone, Copy)]
+struct Line {
+    tag: u64,
+    ready_at: u64,
+    valid: bool,
+    prefetched: bool,
+    used: bool,
+    dirty: bool,
+    /// Per-set LRU stamp (larger = more recent).
+    stamp: u64,
+}
+
+const INVALID: Line = Line {
+    tag: 0,
+    ready_at: 0,
+    valid: false,
+    prefetched: false,
+    used: false,
+    dirty: false,
+    stamp: 0,
+};
+
+/// A set-associative cache over line addresses (`addr >> line_shift`).
+pub struct SetAssocCache {
+    ways: usize,
+    set_mask: u64,
+    lines: Vec<Line>,
+    clock: u64,
+}
+
+impl SetAssocCache {
+    /// Create a cache with `sets` sets (power of two) of `ways` ways.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two() && sets > 0);
+        assert!(ways > 0);
+        SetAssocCache {
+            ways,
+            set_mask: (sets - 1) as u64,
+            lines: vec![INVALID; sets * ways],
+            clock: 0,
+        }
+    }
+
+    /// Probe for `line` without changing replacement state.
+    pub fn probe(&self, line: u64, now: u64) -> Probe {
+        let base = self.set_base(line);
+        for w in &self.lines[base..base + self.ways] {
+            if w.valid && w.tag == line {
+                return if w.ready_at <= now {
+                    Probe::Hit
+                } else {
+                    Probe::InFlight(w.ready_at)
+                };
+            }
+        }
+        Probe::Miss
+    }
+
+    /// Demand access: probe and, on residency, promote to MRU and mark
+    /// used (and dirty, for writes). Returns the probe result (timing
+    /// handled by the engine).
+    pub fn access(&mut self, line: u64, now: u64) -> Probe {
+        self.access_rw(line, now, false)
+    }
+
+    /// [`Self::access`] with an explicit read/write flag.
+    pub fn access_rw(&mut self, line: u64, now: u64, write: bool) -> Probe {
+        let base = self.set_base(line);
+        self.clock += 1;
+        let clock = self.clock;
+        for w in &mut self.lines[base..base + self.ways] {
+            if w.valid && w.tag == line {
+                w.stamp = clock;
+                w.used = true;
+                w.dirty |= write;
+                return if w.ready_at <= now {
+                    Probe::Hit
+                } else {
+                    Probe::InFlight(w.ready_at)
+                };
+            }
+        }
+        Probe::Miss
+    }
+
+    /// Install `line` with fill completion `ready_at`, evicting the set's
+    /// LRU way if needed. `by_prefetch` tags the line for the
+    /// evicted-before-use statistic. A demand install is born "used".
+    pub fn install(&mut self, line: u64, ready_at: u64, by_prefetch: bool) -> Evicted {
+        let base = self.set_base(line);
+        self.clock += 1;
+        let clock = self.clock;
+        // Prefer an invalid way; otherwise evict the smallest stamp.
+        let mut victim = base;
+        let mut best = u64::MAX;
+        for i in base..base + self.ways {
+            let w = &self.lines[i];
+            if !w.valid {
+                victim = i;
+                break;
+            }
+            debug_assert_ne!(w.tag, line, "install of resident line");
+            if w.stamp < best {
+                best = w.stamp;
+                victim = i;
+            }
+        }
+        let old = self.lines[victim];
+        self.lines[victim] = Line {
+            tag: line,
+            ready_at,
+            valid: true,
+            prefetched: by_prefetch,
+            used: !by_prefetch,
+            dirty: false,
+            stamp: clock,
+        };
+        if old.valid {
+            Evicted::Line {
+                prefetched_unused: old.prefetched && !old.used,
+                dirty: old.dirty,
+            }
+        } else {
+            Evicted::None
+        }
+    }
+
+    /// Invalidate everything (the Fig 18 periodic flush).
+    pub fn flush(&mut self) -> u64 {
+        let mut dropped = 0;
+        for w in &mut self.lines {
+            if w.valid {
+                dropped += 1;
+            }
+            *w = INVALID;
+        }
+        dropped
+    }
+
+    /// Number of resident lines (diagnostics).
+    pub fn resident(&self) -> usize {
+        self.lines.iter().filter(|w| w.valid).count()
+    }
+
+    #[inline]
+    fn set_base(&self, line: u64) -> usize {
+        ((line & self.set_mask) as usize) * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = SetAssocCache::new(4, 2);
+        assert_eq!(c.access(42, 0), Probe::Miss);
+        c.install(42, 0, false);
+        assert_eq!(c.access(42, 1), Probe::Hit);
+    }
+
+    #[test]
+    fn inflight_until_ready() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.install(7, 100, true);
+        assert_eq!(c.access(7, 50), Probe::InFlight(100));
+        assert_eq!(c.access(7, 100), Probe::Hit);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        // 1 set, 2 ways: lines 0 and 4 map to the same set when mask = 0.
+        let mut c = SetAssocCache::new(1, 2);
+        c.install(0, 0, false);
+        c.install(1, 0, false);
+        c.access(0, 0); // 0 is MRU
+        c.install(2, 0, false); // evicts 1
+        assert_eq!(c.probe(0, 0), Probe::Hit);
+        assert_eq!(c.probe(1, 0), Probe::Miss);
+        assert_eq!(c.probe(2, 0), Probe::Hit);
+    }
+
+    #[test]
+    fn eviction_reports_unused_prefetch() {
+        let mut c = SetAssocCache::new(1, 1);
+        c.install(1, 10, true); // prefetched, never used
+        let e = c.install(2, 20, false);
+        assert_eq!(e, Evicted::Line { prefetched_unused: true, dirty: false });
+        // Now use line 2 (demand install counts as used).
+        let e = c.install(3, 30, true);
+        assert_eq!(e, Evicted::Line { prefetched_unused: false, dirty: false });
+    }
+
+    #[test]
+    fn prefetched_line_used_then_evicted_is_not_wasted() {
+        let mut c = SetAssocCache::new(1, 1);
+        c.install(1, 0, true);
+        assert_eq!(c.access(1, 5), Probe::Hit); // marks used
+        let e = c.install(2, 0, false);
+        assert_eq!(e, Evicted::Line { prefetched_unused: false, dirty: false });
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = SetAssocCache::new(2, 1);
+        c.install(0, 0, false); // set 0
+        c.install(1, 0, false); // set 1
+        assert_eq!(c.probe(0, 0), Probe::Hit);
+        assert_eq!(c.probe(1, 0), Probe::Hit);
+        c.install(2, 0, false); // set 0 again, evicts 0
+        assert_eq!(c.probe(0, 0), Probe::Miss);
+        assert_eq!(c.probe(1, 0), Probe::Hit);
+    }
+
+    #[test]
+    fn flush_invalidates_all() {
+        let mut c = SetAssocCache::new(4, 2);
+        for l in 0..8u64 {
+            c.install(l, 0, false);
+        }
+        assert_eq!(c.resident(), 8);
+        assert_eq!(c.flush(), 8);
+        assert_eq!(c.resident(), 0);
+        assert_eq!(c.probe(3, 0), Probe::Miss);
+    }
+
+    #[test]
+    fn dirty_lines_reported_on_eviction() {
+        let mut c = SetAssocCache::new(1, 1);
+        c.install(1, 0, false);
+        c.access_rw(1, 0, true); // dirty it
+        let e = c.install(2, 0, false);
+        assert_eq!(e, Evicted::Line { prefetched_unused: false, dirty: true });
+        // Clean line evicts clean.
+        let e = c.install(3, 0, false);
+        assert_eq!(e, Evicted::Line { prefetched_unused: false, dirty: false });
+    }
+
+    #[test]
+    fn capacity_matches_geometry() {
+        let mut c = SetAssocCache::new(256, 4);
+        for l in 0..1024u64 {
+            c.install(l, 0, false);
+        }
+        assert_eq!(c.resident(), 1024);
+        // One more line must evict something.
+        assert_ne!(c.install(5000, 0, false), Evicted::None);
+    }
+}

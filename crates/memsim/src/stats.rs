@@ -1,0 +1,187 @@
+//! Execution-time breakdowns and cache statistics.
+
+use std::fmt;
+use std::ops::Sub;
+
+/// User-time breakdown in cycles, matching the stacked bars of the paper's
+/// Figures 1, 11, and 15: busy time, data-cache stalls, D-TLB stalls, and
+/// other (pipeline) stalls.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Cycles doing computation (including prefetch-instruction overhead).
+    pub busy: u64,
+    /// Cycles stalled on data-cache misses.
+    pub dcache_stall: u64,
+    /// Cycles stalled on demand D-TLB walks.
+    pub dtlb_stall: u64,
+    /// Cycles of other stalls (branch mispredictions and similar, charged
+    /// explicitly by the algorithms at data-dependent branches).
+    pub other_stall: u64,
+}
+
+impl Breakdown {
+    /// Total execution time.
+    pub fn total(&self) -> u64 {
+        self.busy + self.dcache_stall + self.dtlb_stall + self.other_stall
+    }
+
+    /// Fraction of total time stalled on the data cache.
+    pub fn dcache_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.dcache_stall as f64 / self.total() as f64
+        }
+    }
+}
+
+impl Sub for Breakdown {
+    type Output = Breakdown;
+    fn sub(self, rhs: Breakdown) -> Breakdown {
+        Breakdown {
+            busy: self.busy - rhs.busy,
+            dcache_stall: self.dcache_stall - rhs.dcache_stall,
+            dtlb_stall: self.dtlb_stall - rhs.dtlb_stall,
+            other_stall: self.other_stall - rhs.other_stall,
+        }
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {} = busy {} + dcache {} + dtlb {} + other {}",
+            self.total(),
+            self.busy,
+            self.dcache_stall,
+            self.dtlb_stall,
+            self.other_stall
+        )
+    }
+}
+
+/// Cache and prefetch event counters (the raw material for the cache-miss
+/// breakdowns of Figs 13 and 17).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (each spanning ≥ 1 line).
+    pub visits: u64,
+    /// Demand line accesses.
+    pub visit_lines: u64,
+    /// Demand lines that hit a completed L1 line.
+    pub l1_hits: u64,
+    /// Demand lines that hit an **in-flight** L1 fill (prefetch issued but
+    /// not complete — a *partially hidden* miss; its stall is the remaining
+    /// latency only).
+    pub l1_inflight_hits: u64,
+    /// Demand lines missing L1 and hitting L2.
+    pub l2_hits: u64,
+    /// Demand lines missing both caches (full-latency memory fetches).
+    pub mem_misses: u64,
+    /// Demand L1 misses classified as conflict misses (resident in a
+    /// same-capacity fully-associative shadow cache). Only counted when
+    /// `classify_conflicts` is enabled.
+    pub l1_conflict_misses: u64,
+    /// Prefetch requests.
+    pub prefetches: u64,
+    /// Prefetched lines already resident or in flight (dropped).
+    pub pf_dropped: u64,
+    /// Prefetched lines filled from L2.
+    pub pf_from_l2: u64,
+    /// Prefetched lines filled from memory.
+    pub pf_from_mem: u64,
+    /// Prefetched lines evicted from L1 before any demand use — the cache
+    /// pollution that appears when G or D grows too large.
+    pub pf_evicted_unused: u64,
+    /// D-TLB walks on demand accesses (these stall the processor).
+    pub tlb_demand_walks: u64,
+    /// D-TLB walks triggered by prefetches (overlapped; they only delay
+    /// the prefetched fill).
+    pub tlb_prefetch_walks: u64,
+    /// Lines fetched by the (optional) hardware stride prefetcher.
+    pub hw_prefetches: u64,
+    /// Dirty lines written back on eviction (counted always; charged to
+    /// the bus only when `model_writebacks` is set).
+    pub writebacks: u64,
+    /// Periodic cache flushes performed (Fig 18 interference model).
+    pub flushes: u64,
+}
+
+impl CacheStats {
+    /// Demand line accesses that needed any fill (L1 misses).
+    pub fn l1_misses(&self) -> u64 {
+        self.l1_inflight_hits + self.l2_hits + self.mem_misses
+    }
+
+    /// L1 demand hit rate.
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.visit_lines == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / self.visit_lines as f64
+        }
+    }
+}
+
+impl Sub for CacheStats {
+    type Output = CacheStats;
+    fn sub(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            visits: self.visits - rhs.visits,
+            visit_lines: self.visit_lines - rhs.visit_lines,
+            l1_hits: self.l1_hits - rhs.l1_hits,
+            l1_inflight_hits: self.l1_inflight_hits - rhs.l1_inflight_hits,
+            l2_hits: self.l2_hits - rhs.l2_hits,
+            mem_misses: self.mem_misses - rhs.mem_misses,
+            l1_conflict_misses: self.l1_conflict_misses - rhs.l1_conflict_misses,
+            prefetches: self.prefetches - rhs.prefetches,
+            pf_dropped: self.pf_dropped - rhs.pf_dropped,
+            pf_from_l2: self.pf_from_l2 - rhs.pf_from_l2,
+            pf_from_mem: self.pf_from_mem - rhs.pf_from_mem,
+            pf_evicted_unused: self.pf_evicted_unused - rhs.pf_evicted_unused,
+            tlb_demand_walks: self.tlb_demand_walks - rhs.tlb_demand_walks,
+            tlb_prefetch_walks: self.tlb_prefetch_walks - rhs.tlb_prefetch_walks,
+            hw_prefetches: self.hw_prefetches - rhs.hw_prefetches,
+            writebacks: self.writebacks - rhs.writebacks,
+            flushes: self.flushes - rhs.flushes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_and_fraction() {
+        let b = Breakdown { busy: 25, dcache_stall: 50, dtlb_stall: 15, other_stall: 10 };
+        assert_eq!(b.total(), 100);
+        assert!((b.dcache_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(Breakdown::default().dcache_fraction(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_sub() {
+        let a = Breakdown { busy: 10, dcache_stall: 20, dtlb_stall: 5, other_stall: 1 };
+        let b = Breakdown { busy: 4, dcache_stall: 8, dtlb_stall: 2, other_stall: 0 };
+        let d = a - b;
+        assert_eq!(d.busy, 6);
+        assert_eq!(d.dcache_stall, 12);
+        assert_eq!(d.total(), 22);
+    }
+
+    #[test]
+    fn stats_derived_counters() {
+        let s = CacheStats {
+            visit_lines: 10,
+            l1_hits: 5,
+            l1_inflight_hits: 2,
+            l2_hits: 2,
+            mem_misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.l1_misses(), 5);
+        assert!((s.l1_hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Storage layer for the `phj` hash join engine.
+//!
+//! This crate implements the on-"disk" representation the paper's engine
+//! uses (§7.1 of *Improving Hash Join Performance through Prefetching*,
+//! Chen et al.):
+//!
+//! * relations and intermediate partitions are stored in **slotted pages**
+//!   ([`page::Page`], 8 KB by default, same as the simulated system);
+//! * tuples support **fixed- and variable-length attributes**
+//!   ([`schema::Schema`], [`mod@tuple`]);
+//! * the slot area of intermediate-partition pages can **stash the 4-byte
+//!   hash code** of each tuple, so the join phase reuses the hash computed
+//!   by the partition phase instead of re-reading the join key
+//!   (the paper's "storing hash codes in the page slot area" optimization);
+//! * a [`relation::Relation`] is an append-only arena of pages, which stands
+//!   in for a disk file of a relation or of one intermediate partition. The
+//!   simulation study in the paper measures user-mode CPU time only, so an
+//!   in-memory page arena preserves the measured behaviour.
+//!
+//! Everything is plain safe Rust; the memory-model instrumentation hooks
+//! live in `phj-memsim` and consume the *addresses* of the buffers exposed
+//! here (e.g. [`relation::Relation::tuple_addr`]).
+
+pub mod page;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+
+pub use page::{Page, SlotId, PAGE_SIZE};
+pub use relation::{Relation, RelationBuilder, TupleRef};
+pub use schema::{AttrType, Attribute, Schema};
+pub use tuple::{TupleAssembler, TupleView};

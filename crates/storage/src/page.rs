@@ -1,0 +1,340 @@
+//! Slotted pages.
+//!
+//! The engine "employs slotted page structure" (§7.1). A page is a fixed
+//! 8 KB buffer (matching the simulated system's page size, Table 2) with:
+//!
+//! ```text
+//! +--------+--------+------------------ ... -------------------+
+//! | header | slots →                         ← tuple data      |
+//! +--------+--------+------------------ ... -------------------+
+//! ```
+//!
+//! * header: `nslots: u16`, `data_start: u16` (4 bytes);
+//! * slot `i` (8 bytes, growing upward): `offset: u16`, `len: u16`,
+//!   `hash: u32` — the 4-byte **stashed hash code**. For base relations it
+//!   is unused; for intermediate partitions the partition phase writes the
+//!   join-key hash code here so the join phase can reuse it without
+//!   re-reading the key (§7.1: "storing hash codes in the page slot area in
+//!   the intermediate partitions and reusing them in the join phase");
+//! * tuple data grows downward from the end of the page.
+
+/// Page size in bytes (Table 2 of the paper).
+pub const PAGE_SIZE: usize = 8192;
+
+const HDR: usize = 4;
+const SLOT: usize = 8;
+
+/// Index of a tuple slot within one page.
+pub type SlotId = u16;
+
+/// A fixed-size slotted page.
+///
+/// The buffer is boxed so `Vec<Page>` growth moves only thin handles and
+/// each page's bytes stay at a stable heap address — the memory model keys
+/// its cache simulation off those addresses.
+///
+/// `Clone` deep-copies the buffer (used when an output buffer is "written
+/// to disk": the engine copies the page out and keeps reusing the same
+/// buffer, as a real buffer manager would — the copy stands in for the
+/// DMA transfer and is not charged to the memory model).
+pub struct Page {
+    buf: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Clone for Page {
+    fn clone(&self) -> Self {
+        Page { buf: self.buf.clone() }
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// An empty page.
+    pub fn new() -> Self {
+        let mut buf: Box<[u8; PAGE_SIZE]> = vec![0u8; PAGE_SIZE]
+            .into_boxed_slice()
+            .try_into()
+            .expect("exact size");
+        buf[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+        Page { buf }
+    }
+
+    /// Remove all tuples, returning the page to its empty state.
+    pub fn reset(&mut self) {
+        self.set_nslots(0);
+        self.set_data_start(PAGE_SIZE as u16);
+    }
+
+    /// Number of tuples stored.
+    #[inline]
+    pub fn nslots(&self) -> u16 {
+        u16::from_le_bytes([self.buf[0], self.buf[1]])
+    }
+
+    /// Free bytes available for one more `insert` (slot + data).
+    #[inline]
+    pub fn free_space(&self) -> usize {
+        self.data_start() as usize - (HDR + SLOT * self.nslots() as usize)
+    }
+
+    /// Whether a tuple of `len` bytes fits.
+    #[inline]
+    pub fn fits(&self, len: usize) -> bool {
+        self.free_space() >= len + SLOT
+    }
+
+    /// Append a tuple with its stashed hash code. Returns the slot id, or
+    /// `None` if the page is full.
+    pub fn insert(&mut self, tuple: &[u8], hash: u32) -> Option<SlotId> {
+        if !self.fits(tuple.len()) {
+            return None;
+        }
+        let n = self.nslots();
+        let start = self.data_start() as usize - tuple.len();
+        self.buf[start..start + tuple.len()].copy_from_slice(tuple);
+        let so = HDR + SLOT * n as usize;
+        self.buf[so..so + 2].copy_from_slice(&(start as u16).to_le_bytes());
+        self.buf[so + 2..so + 4].copy_from_slice(&(tuple.len() as u16).to_le_bytes());
+        self.buf[so + 4..so + 8].copy_from_slice(&hash.to_le_bytes());
+        self.set_data_start(start as u16);
+        self.set_nslots(n + 1);
+        Some(n)
+    }
+
+    /// Tuple bytes at `slot`.
+    ///
+    /// # Panics
+    /// Panics (in debug) or returns garbage-free but arbitrary data (never
+    /// out of bounds) if `slot >= nslots()`; callers iterate valid slots.
+    #[inline]
+    pub fn tuple(&self, slot: SlotId) -> &[u8] {
+        debug_assert!(slot < self.nslots());
+        let so = HDR + SLOT * slot as usize;
+        let off = u16::from_le_bytes([self.buf[so], self.buf[so + 1]]) as usize;
+        let len = u16::from_le_bytes([self.buf[so + 2], self.buf[so + 3]]) as usize;
+        &self.buf[off..off + len]
+    }
+
+    /// Stashed hash code at `slot`.
+    #[inline]
+    pub fn hash_code(&self, slot: SlotId) -> u32 {
+        debug_assert!(slot < self.nslots());
+        let so = HDR + SLOT * slot as usize;
+        u32::from_le_bytes(self.buf[so + 4..so + 8].try_into().unwrap())
+    }
+
+    /// Overwrite the stashed hash code at `slot`.
+    pub fn set_hash_code(&mut self, slot: SlotId, hash: u32) {
+        assert!(slot < self.nslots());
+        let so = HDR + SLOT * slot as usize;
+        self.buf[so + 4..so + 8].copy_from_slice(&hash.to_le_bytes());
+    }
+
+    /// Address of the start of the page buffer (memory-model hook).
+    #[inline]
+    pub fn base_addr(&self) -> usize {
+        self.buf.as_ptr() as usize
+    }
+
+    /// Address of slot `slot`'s 8-byte entry (memory-model hook).
+    #[inline]
+    pub fn slot_addr(&self, slot: SlotId) -> usize {
+        self.base_addr() + HDR + SLOT * slot as usize
+    }
+
+    /// Address of the tuple bytes at `slot` (memory-model hook). This reads
+    /// the slot entry, mirroring the real dependency chain slot → tuple.
+    #[inline]
+    pub fn tuple_addr(&self, slot: SlotId) -> usize {
+        let so = HDR + SLOT * slot as usize;
+        let off = u16::from_le_bytes([self.buf[so], self.buf[so + 1]]) as usize;
+        self.base_addr() + off
+    }
+
+    /// Address where the *next* inserted tuple's data would start, given its
+    /// length, plus the address of the next slot entry. Used by the
+    /// partition phase to prefetch the output-buffer locations it is about
+    /// to write (§6).
+    #[inline]
+    pub fn next_insert_addrs(&self, len: usize) -> (usize, usize) {
+        let data = self.base_addr() + self.data_start() as usize - len;
+        let slot = self.slot_addr(self.nslots());
+        (data, slot)
+    }
+
+    /// Iterate `(slot, tuple_bytes, hash_code)`.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &[u8], u32)> + '_ {
+        (0..self.nslots()).map(move |s| (s, self.tuple(s), self.hash_code(s)))
+    }
+
+    /// The raw page image (for writing the page to disk).
+    pub fn as_bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.buf
+    }
+
+    /// Reconstruct a page from a disk image.
+    ///
+    /// # Panics
+    /// Panics if the header is structurally invalid (slot area and data
+    /// area overlapping) — a torn or foreign page.
+    pub fn from_bytes(buf: Box<[u8; PAGE_SIZE]>) -> Page {
+        let page = Page { buf };
+        let ds = page.data_start() as usize;
+        assert!(
+            ds <= PAGE_SIZE && HDR + SLOT * page.nslots() as usize <= ds,
+            "corrupt page image: {} slots, data_start {}",
+            page.nslots(),
+            ds
+        );
+        page
+    }
+
+    #[inline]
+    fn data_start(&self) -> u16 {
+        u16::from_le_bytes([self.buf[2], self.buf[3]])
+    }
+
+    fn set_nslots(&mut self, n: u16) {
+        self.buf[0..2].copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn set_data_start(&mut self, d: u16) {
+        self.buf[2..4].copy_from_slice(&d.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_page() {
+        let p = Page::new();
+        assert_eq!(p.nslots(), 0);
+        assert_eq!(p.free_space(), PAGE_SIZE - HDR);
+        assert!(p.fits(PAGE_SIZE - HDR - SLOT));
+        assert!(!p.fits(PAGE_SIZE - HDR - SLOT + 1));
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut p = Page::new();
+        let s0 = p.insert(b"hello", 0x1111).unwrap();
+        let s1 = p.insert(b"world!!", 0x2222).unwrap();
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(p.tuple(0), b"hello");
+        assert_eq!(p.tuple(1), b"world!!");
+        assert_eq!(p.hash_code(0), 0x1111);
+        assert_eq!(p.hash_code(1), 0x2222);
+        assert_eq!(p.nslots(), 2);
+    }
+
+    #[test]
+    fn fill_to_capacity() {
+        let mut p = Page::new();
+        let tuple = [7u8; 100];
+        let mut n = 0;
+        while p.insert(&tuple, n).is_some() {
+            n += 1;
+        }
+        // 8188 / 108 = 75 tuples of 100 B (+8 B slot) fit in an 8 KB page.
+        assert_eq!(n as usize, (PAGE_SIZE - HDR) / (100 + SLOT));
+        assert_eq!(p.nslots() as u32, n);
+        assert!(p.free_space() < 100 + SLOT);
+        for s in 0..p.nslots() {
+            assert_eq!(p.tuple(s), &tuple);
+            assert_eq!(p.hash_code(s), s as u32);
+        }
+    }
+
+    #[test]
+    fn reset_empties() {
+        let mut p = Page::new();
+        p.insert(b"x", 1).unwrap();
+        p.reset();
+        assert_eq!(p.nslots(), 0);
+        assert_eq!(p.free_space(), PAGE_SIZE - HDR);
+        assert_eq!(p.insert(b"y", 2), Some(0));
+        assert_eq!(p.tuple(0), b"y");
+    }
+
+    #[test]
+    fn set_hash_code_updates() {
+        let mut p = Page::new();
+        p.insert(b"t", 0).unwrap();
+        p.set_hash_code(0, 42);
+        assert_eq!(p.hash_code(0), 42);
+        assert_eq!(p.tuple(0), b"t");
+    }
+
+    #[test]
+    fn addresses_are_consistent() {
+        let mut p = Page::new();
+        p.insert(&[1u8; 16], 9).unwrap();
+        let base = p.base_addr();
+        assert_eq!(p.slot_addr(0), base + HDR);
+        assert_eq!(p.tuple_addr(0), base + PAGE_SIZE - 16);
+        let (data, slot) = p.next_insert_addrs(32);
+        assert_eq!(data, base + PAGE_SIZE - 16 - 32);
+        assert_eq!(slot, base + HDR + SLOT);
+        // The tuple slice really lives at tuple_addr.
+        assert_eq!(p.tuple(0).as_ptr() as usize, p.tuple_addr(0));
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut p = Page::new();
+        for i in 0..10u32 {
+            p.insert(&i.to_le_bytes(), i * 7).unwrap();
+        }
+        let collected: Vec<_> = p.iter().map(|(s, t, h)| (s, t.to_vec(), h)).collect();
+        assert_eq!(collected.len(), 10);
+        for (i, (s, t, h)) in collected.iter().enumerate() {
+            assert_eq!(*s as usize, i);
+            assert_eq!(t, &(i as u32).to_le_bytes());
+            assert_eq!(*h, i as u32 * 7);
+        }
+    }
+
+    #[test]
+    fn zero_length_tuple() {
+        let mut p = Page::new();
+        let s = p.insert(b"", 5).unwrap();
+        assert_eq!(p.tuple(s), b"");
+        assert_eq!(p.hash_code(s), 5);
+    }
+}
+
+#[cfg(test)]
+mod io_tests {
+    use super::*;
+
+    #[test]
+    fn page_image_roundtrip() {
+        let mut p = Page::new();
+        for i in 0..20u32 {
+            p.insert(&i.to_le_bytes(), i * 3).unwrap();
+        }
+        let image = Box::new(*p.as_bytes());
+        let q = Page::from_bytes(image);
+        assert_eq!(q.nslots(), 20);
+        for (s, t, h) in q.iter() {
+            assert_eq!(t, (s as u32).to_le_bytes());
+            assert_eq!(h, s as u32 * 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt page image")]
+    fn corrupt_image_rejected() {
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        buf[0..2].copy_from_slice(&2000u16.to_le_bytes()); // 2000 slots
+        buf[2..4].copy_from_slice(&8u16.to_le_bytes()); // data_start 8
+        let _ = Page::from_bytes(buf);
+    }
+}

@@ -1,0 +1,281 @@
+//! Relations as append-only arenas of slotted pages.
+//!
+//! A [`Relation`] stands in for a disk file holding a base relation or one
+//! intermediate partition (the paper stores both as files and streams them
+//! page-by-page; its simulation study measures user-mode CPU time only, so
+//! an in-memory page arena is behaviour-preserving — see DESIGN.md).
+//!
+//! [`TupleRef`] is a compact `(page, slot)` tuple locator used by scans
+//! and diagnostics. (Hash-table cells store *direct* tuple pointers
+//! instead — see `phj::table` — because the staged probe must prefetch a
+//! build tuple the moment its cell is read, without a further dependent
+//! slot lookup.)
+
+use crate::page::{Page, SlotId, PAGE_SIZE};
+use crate::schema::Schema;
+
+/// Compact reference to a tuple: 48-bit page index + 16-bit slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleRef(u64);
+
+impl TupleRef {
+    /// Pack a page/slot pair.
+    #[inline]
+    pub fn new(page: usize, slot: SlotId) -> Self {
+        debug_assert!(page < (1usize << 48));
+        TupleRef(((page as u64) << 16) | slot as u64)
+    }
+
+    /// Page index.
+    #[inline]
+    pub fn page(self) -> usize {
+        (self.0 >> 16) as usize
+    }
+
+    /// Slot within the page.
+    #[inline]
+    pub fn slot(self) -> SlotId {
+        (self.0 & 0xFFFF) as u16
+    }
+
+    /// Raw packed value (for arena-friendly storage in hash cells).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from [`TupleRef::raw`].
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        TupleRef(raw)
+    }
+}
+
+/// An append-only paged relation (or intermediate partition).
+///
+/// `Clone` deep-copies every page (each clone gets fresh, stable buffer
+/// addresses).
+#[derive(Clone)]
+pub struct Relation {
+    schema: Schema,
+    pages: Vec<Page>,
+    tuples: usize,
+    bytes: usize,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Relation { schema, pages: Vec::new(), tuples: 0, bytes: 0 }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of tuples.
+    pub fn num_tuples(&self) -> usize {
+        self.tuples
+    }
+
+    /// Total tuple payload bytes (excluding slot/header overhead).
+    pub fn tuple_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Total size as it would occupy on disk (whole pages).
+    pub fn size_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
+    /// Borrow a page.
+    #[inline]
+    pub fn page(&self, i: usize) -> &Page {
+        &self.pages[i]
+    }
+
+    /// Mutably borrow a page.
+    #[inline]
+    pub fn page_mut(&mut self, i: usize) -> &mut Page {
+        &mut self.pages[i]
+    }
+
+    /// All pages.
+    pub fn pages(&self) -> &[Page] {
+        &self.pages
+    }
+
+    /// Append a tuple, allocating a new page when the last one is full.
+    /// Returns the tuple's reference.
+    ///
+    /// # Panics
+    /// Panics if the tuple cannot fit even in an empty page.
+    pub fn append(&mut self, tuple: &[u8], hash: u32) -> TupleRef {
+        if let Some(last) = self.pages.last_mut() {
+            if let Some(slot) = last.insert(tuple, hash) {
+                self.tuples += 1;
+                self.bytes += tuple.len();
+                return TupleRef::new(self.pages.len() - 1, slot);
+            }
+        }
+        let mut page = Page::new();
+        let slot = page
+            .insert(tuple, hash)
+            .expect("tuple larger than an empty page");
+        self.pages.push(page);
+        self.tuples += 1;
+        self.bytes += tuple.len();
+        TupleRef::new(self.pages.len() - 1, slot)
+    }
+
+    /// Push an externally filled page (used by the partition phase when it
+    /// flushes a full output buffer).
+    pub fn push_page(&mut self, page: Page) {
+        self.tuples += page.nslots() as usize;
+        self.bytes += page
+            .iter()
+            .map(|(_, t, _)| t.len())
+            .sum::<usize>();
+        self.pages.push(page);
+    }
+
+    /// Tuple bytes behind a reference.
+    #[inline]
+    pub fn tuple(&self, r: TupleRef) -> &[u8] {
+        self.pages[r.page()].tuple(r.slot())
+    }
+
+    /// Stashed hash code behind a reference.
+    #[inline]
+    pub fn hash_code(&self, r: TupleRef) -> u32 {
+        self.pages[r.page()].hash_code(r.slot())
+    }
+
+    /// Address of the tuple bytes behind a reference (memory-model hook).
+    #[inline]
+    pub fn tuple_addr(&self, r: TupleRef) -> usize {
+        self.pages[r.page()].tuple_addr(r.slot())
+    }
+
+    /// Iterate `(TupleRef, tuple_bytes, hash_code)` in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleRef, &[u8], u32)> + '_ {
+        self.pages.iter().enumerate().flat_map(|(pi, page)| {
+            page.iter()
+                .map(move |(s, t, h)| (TupleRef::new(pi, s), t, h))
+        })
+    }
+
+    /// Collect every tuple as an owned byte vector (test/diagnostic helper).
+    pub fn to_tuple_vec(&self) -> Vec<Vec<u8>> {
+        self.iter().map(|(_, t, _)| t.to_vec()).collect()
+    }
+}
+
+/// Streaming relation writer that reuses a fill page; convenience over
+/// [`Relation::append`] when generating workloads.
+pub struct RelationBuilder {
+    rel: Relation,
+}
+
+impl RelationBuilder {
+    /// Start building a relation with `schema`.
+    pub fn new(schema: Schema) -> Self {
+        RelationBuilder { rel: Relation::new(schema) }
+    }
+
+    /// Append one tuple (hash code stash defaults to 0 for base relations).
+    pub fn push(&mut self, tuple: &[u8]) -> TupleRef {
+        self.rel.append(tuple, 0)
+    }
+
+    /// Append one tuple with a stashed hash code.
+    pub fn push_hashed(&mut self, tuple: &[u8], hash: u32) -> TupleRef {
+        self.rel.append(tuple, hash)
+    }
+
+    /// Finish and return the relation.
+    pub fn finish(self) -> Relation {
+        self.rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_100b(n: usize) -> Relation {
+        let schema = Schema::key_payload(100);
+        let mut b = RelationBuilder::new(schema);
+        let mut tuple = [0u8; 100];
+        for i in 0..n {
+            tuple[..4].copy_from_slice(&(i as u32).to_le_bytes());
+            b.push_hashed(&tuple, i as u32);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn tuple_ref_packing() {
+        let r = TupleRef::new(123_456, 789);
+        assert_eq!(r.page(), 123_456);
+        assert_eq!(r.slot(), 789);
+        assert_eq!(TupleRef::from_raw(r.raw()), r);
+    }
+
+    #[test]
+    fn append_spills_to_new_pages() {
+        let rel = rel_100b(200);
+        assert_eq!(rel.num_tuples(), 200);
+        // 75 tuples of (100+8) bytes per 8 KB page.
+        assert_eq!(rel.num_pages(), 200usize.div_ceil(75));
+        assert_eq!(rel.tuple_bytes(), 200 * 100);
+    }
+
+    #[test]
+    fn iter_and_resolve_agree() {
+        let rel = rel_100b(100);
+        let mut seen = 0usize;
+        for (r, t, h) in rel.iter() {
+            assert_eq!(rel.tuple(r), t);
+            assert_eq!(rel.hash_code(r), h);
+            let key = u32::from_le_bytes(t[..4].try_into().unwrap());
+            assert_eq!(key, h); // we stashed key as hash
+            assert_eq!(rel.tuple_addr(r), t.as_ptr() as usize);
+            seen += 1;
+        }
+        assert_eq!(seen, 100);
+    }
+
+    #[test]
+    fn push_page_accounts() {
+        let schema = Schema::key_payload(16);
+        let mut rel = Relation::new(schema);
+        let mut page = Page::new();
+        page.insert(&[1u8; 16], 3).unwrap();
+        page.insert(&[2u8; 16], 4).unwrap();
+        rel.push_page(page);
+        assert_eq!(rel.num_tuples(), 2);
+        assert_eq!(rel.tuple_bytes(), 32);
+        assert_eq!(rel.num_pages(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than an empty page")]
+    fn oversized_tuple_panics() {
+        let schema = Schema::key_payload(4);
+        let mut rel = Relation::new(schema);
+        rel.append(&vec![0u8; PAGE_SIZE], 0);
+    }
+
+    #[test]
+    fn size_bytes_counts_whole_pages() {
+        let rel = rel_100b(1);
+        assert_eq!(rel.size_bytes(), PAGE_SIZE);
+    }
+}

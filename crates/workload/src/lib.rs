@@ -1,0 +1,370 @@
+#![warn(missing_docs)]
+
+//! Synthetic relation generators for the paper's experiments (§7.1).
+//!
+//! "Build relations and probe relations have the same schemas: a tuple
+//! consists of a 4-byte join key and a fixed-length payload. [...] The
+//! join keys are randomly generated. A build tuple may match zero or more
+//! probe tuples and a probe tuple may match zero or one build tuple. In
+//! our experiments, we vary the tuple size, the number of probe tuples
+//! matching a build tuple, and the percentage of tuples that have
+//! matches."
+//!
+//! [`JoinSpec`] captures exactly those three knobs plus the build-side
+//! size; [`JoinSpec::generate`] produces the pair of relations with a
+//! deterministic seed, and reports the exact number of matches the join
+//! must produce (used as a correctness oracle by tests and the harness).
+//!
+//! Generated relations model **intermediate partitions**: each page slot
+//! carries the tuple's stashed hash code, exactly as the partition phase
+//! would have left it (§7.1) — the paper's join-phase experiments "model
+//! the processing of a pair of partitions in the join phase", so the
+//! join may run with `use_stored_hash: true` against them.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use phj::hash::hash_key;
+use phj_storage::{Relation, RelationBuilder, Schema, PAGE_SIZE};
+
+/// Slot overhead per tuple in a slotted page.
+const SLOT_BYTES: usize = 8;
+/// Page header bytes.
+const PAGE_HDR: usize = 4;
+
+/// Bijective mixing of a 32-bit index into a pseudo-random distinct key.
+/// Every step is invertible, so distinct indices give distinct keys —
+/// disjoint index ranges give disjoint key sets.
+#[inline]
+pub fn key_of_index(i: u32) -> u32 {
+    let mut k = i.wrapping_mul(0x9E37_79B1); // odd multiplier: bijective
+    k ^= 0x5851_F42D;
+    k = k.rotate_left(13);
+    k = k.wrapping_mul(0x85EB_CA6B); // odd multiplier: bijective
+    k.wrapping_add(0x1656_67B1)
+}
+
+/// Tuples of `tuple_size` bytes that fit in `bytes` of slotted pages.
+pub fn tuples_for(bytes: usize, tuple_size: usize) -> usize {
+    let per_page = (PAGE_SIZE - PAGE_HDR) / (tuple_size + SLOT_BYTES);
+    assert!(per_page > 0, "tuple larger than a page");
+    (bytes / PAGE_SIZE) * per_page
+}
+
+/// A join workload in the paper's experiment space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinSpec {
+    /// Number of build tuples.
+    pub build_tuples: usize,
+    /// Tuple size in bytes (≥ 4; both relations share the schema).
+    pub tuple_size: usize,
+    /// Probe tuples matching each matched build tuple (Fig 10(b) knob).
+    pub matches_per_build: usize,
+    /// Percentage (0–100) of tuples that have matches (Fig 10(c) knob).
+    pub pct_match: u8,
+    /// RNG seed for the probe-order shuffle.
+    pub seed: u64,
+}
+
+impl JoinSpec {
+    /// The paper's pivot point: "tuples are 100B long and every build
+    /// tuple matches two probe tuples", build partition sized to fill
+    /// `build_bytes` of memory (50 MB in §7.3).
+    pub fn pivot(build_bytes: usize) -> Self {
+        JoinSpec {
+            build_tuples: tuples_for(build_bytes, 100),
+            tuple_size: 100,
+            matches_per_build: 2,
+            pct_match: 100,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Number of probe tuples this spec generates (constant across
+    /// `pct_match`, as in Fig 10(c): unmatched probes replace matched
+    /// ones one-for-one).
+    pub fn probe_tuples(&self) -> usize {
+        self.build_tuples * self.matches_per_build
+    }
+
+    /// The exact number of output matches the join must produce.
+    pub fn expected_matches(&self) -> u64 {
+        let matched_builds = self.build_tuples * self.pct_match as usize / 100;
+        (matched_builds * self.matches_per_build) as u64
+    }
+
+    /// Generate the build and probe relations.
+    pub fn generate(&self) -> GeneratedJoin {
+        assert!(self.tuple_size >= 4);
+        assert!(self.pct_match <= 100);
+        let schema = Schema::key_payload(self.tuple_size);
+        let mut payload = vec![0u8; self.tuple_size];
+
+        // Build side: distinct keys from index range [0, B).
+        let mut build = RelationBuilder::new(schema.clone());
+        for i in 0..self.build_tuples {
+            let key = key_of_index(i as u32);
+            fill_tuple(&mut payload, key, i as u32);
+            build.push_hashed(&payload, hash_key(&key.to_le_bytes()));
+        }
+
+        // Probe side: the first `matched_builds` build keys appear
+        // `matches_per_build` times each; the rest of the probe keys come
+        // from the disjoint index range [B, ...) so they match nothing.
+        let matched_builds = self.build_tuples * self.pct_match as usize / 100;
+        let total_probes = self.probe_tuples();
+        let mut keys: Vec<u32> = Vec::with_capacity(total_probes);
+        for i in 0..matched_builds {
+            for _ in 0..self.matches_per_build {
+                keys.push(key_of_index(i as u32));
+            }
+        }
+        let mut next_unmatched = self.build_tuples as u32;
+        while keys.len() < total_probes {
+            keys.push(key_of_index(next_unmatched));
+            next_unmatched += 1;
+        }
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        keys.shuffle(&mut rng);
+
+        let mut probe = RelationBuilder::new(schema);
+        for (i, &key) in keys.iter().enumerate() {
+            fill_tuple(&mut payload, key, !(i as u32));
+            probe.push_hashed(&payload, hash_key(&key.to_le_bytes()));
+        }
+
+        GeneratedJoin {
+            build: build.finish(),
+            probe: probe.finish(),
+            expected_matches: self.expected_matches(),
+        }
+    }
+}
+
+fn fill_tuple(buf: &mut [u8], key: u32, salt: u32) {
+    buf[..4].copy_from_slice(&key.to_le_bytes());
+    for (j, b) in buf[4..].iter_mut().enumerate() {
+        *b = (salt as usize + j) as u8;
+    }
+}
+
+/// A generated build/probe pair with its correctness oracle.
+pub struct GeneratedJoin {
+    /// The (smaller) build relation.
+    pub build: Relation,
+    /// The (larger) probe relation.
+    pub probe: Relation,
+    /// Exact number of matches the join must produce.
+    pub expected_matches: u64,
+}
+
+/// Generate a single relation of `n` tuples of `tuple_size` bytes with
+/// distinct pseudo-random keys (partition-phase input, Fig 14).
+pub fn single_relation(n: usize, tuple_size: usize) -> Relation {
+    let schema = Schema::key_payload(tuple_size);
+    let mut b = RelationBuilder::new(schema);
+    let mut payload = vec![0u8; tuple_size];
+    for i in 0..n {
+        let key = key_of_index(i as u32);
+        fill_tuple(&mut payload, key, i as u32);
+        b.push_hashed(&payload, hash_key(&key.to_le_bytes()));
+    }
+    b.finish()
+}
+
+/// A relation sized to `bytes` of slotted pages (e.g. "a 1 GB relation").
+pub fn relation_of_bytes(bytes: usize, tuple_size: usize) -> Relation {
+    single_relation(tuples_for(bytes, tuple_size), tuple_size)
+}
+
+/// A Zipf(θ) sampler over ranks `0..n` (inverse-CDF with a precomputed
+/// harmonic table). θ = 0 is uniform; θ ≈ 1 is the classic heavy skew.
+/// Used to stress the prefetching schemes' conflict machinery — §4.4
+/// sizes the delayed-tuple list "to tolerate skews in the key
+/// distribution".
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `theta ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(theta >= 0.0 && theta.is_finite(), "bad Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample<R: rand::Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// A relation of `n` tuples whose keys follow Zipf(θ) over `key_space`
+/// distinct keys (rank 0 is the hottest key).
+pub fn zipf_relation(n: usize, tuple_size: usize, key_space: usize, theta: f64, seed: u64) -> Relation {
+    let schema = Schema::key_payload(tuple_size);
+    let mut b = RelationBuilder::new(schema);
+    let mut payload = vec![0u8; tuple_size];
+    let zipf = Zipf::new(key_space, theta);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in 0..n {
+        let key = key_of_index(zipf.sample(&mut rng) as u32);
+        fill_tuple(&mut payload, key, i as u32);
+        b.push_hashed(&payload, hash_key(&key.to_le_bytes()));
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn key_bijection_has_no_collisions_in_range() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200_000u32 {
+            assert!(seen.insert(key_of_index(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn tuples_for_accounts_slots() {
+        // 100 B tuples: 75 per 8 KB page.
+        assert_eq!(tuples_for(PAGE_SIZE, 100), 75);
+        assert_eq!(tuples_for(10 * PAGE_SIZE, 100), 750);
+        // 20 B tuples: 8188/28 = 292 per page.
+        assert_eq!(tuples_for(PAGE_SIZE, 20), 292);
+    }
+
+    #[test]
+    fn pivot_spec_sizes() {
+        let spec = JoinSpec::pivot(50 * 1024 * 1024);
+        assert_eq!(spec.tuple_size, 100);
+        assert_eq!(spec.matches_per_build, 2);
+        // 50 MB / 8 KB pages × 75 tuples = 480 000 tuples.
+        assert_eq!(spec.build_tuples, 480_000);
+        assert_eq!(spec.probe_tuples(), 960_000);
+        assert_eq!(spec.expected_matches(), 960_000);
+    }
+
+    #[test]
+    fn generated_join_matches_oracle() {
+        let spec = JoinSpec {
+            build_tuples: 2_000,
+            tuple_size: 20,
+            matches_per_build: 3,
+            pct_match: 50,
+            seed: 7,
+        };
+        let g = spec.generate();
+        assert_eq!(g.build.num_tuples(), 2_000);
+        assert_eq!(g.probe.num_tuples(), 6_000);
+        // Count matches by brute force.
+        let mut build_keys = HashMap::new();
+        for (_, t, _) in g.build.iter() {
+            *build_keys
+                .entry(u32::from_le_bytes(t[..4].try_into().unwrap()))
+                .or_insert(0u64) += 1;
+        }
+        let mut matches = 0u64;
+        for (_, t, _) in g.probe.iter() {
+            let k = u32::from_le_bytes(t[..4].try_into().unwrap());
+            matches += build_keys.get(&k).copied().unwrap_or(0);
+        }
+        assert_eq!(matches, g.expected_matches);
+        assert_eq!(g.expected_matches, 3_000);
+    }
+
+    #[test]
+    fn probe_keys_match_zero_or_one_build_tuple() {
+        let spec = JoinSpec {
+            build_tuples: 500,
+            tuple_size: 16,
+            matches_per_build: 2,
+            pct_match: 80,
+            seed: 3,
+        };
+        let g = spec.generate();
+        let keys: std::collections::HashSet<u32> = g
+            .build
+            .iter()
+            .map(|(_, t, _)| u32::from_le_bytes(t[..4].try_into().unwrap()))
+            .collect();
+        assert_eq!(keys.len(), 500, "build keys distinct");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = JoinSpec {
+            build_tuples: 300,
+            tuple_size: 24,
+            matches_per_build: 2,
+            pct_match: 100,
+            seed: 42,
+        };
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.probe.to_tuple_vec(), b.probe.to_tuple_vec());
+        let c = JoinSpec { seed: 43, ..spec }.generate();
+        assert_ne!(a.probe.to_tuple_vec(), c.probe.to_tuple_vec(), "seed changes order");
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 is far hotter than rank 500, roughly by the Zipf ratio.
+        assert!(counts[0] > 50 * counts[500].max(1));
+        // ...while theta = 0 is flat-ish.
+        let u = Zipf::new(1000, 0.0);
+        let mut flat = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            flat[u.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (flat.iter().min().unwrap(), flat.iter().max().unwrap());
+        assert!(*max < 3 * min.max(&1), "uniform: {min}..{max}");
+    }
+
+    #[test]
+    fn zipf_relation_generates_valid_tuples() {
+        let r = zipf_relation(5000, 24, 100, 0.99, 7);
+        assert_eq!(r.num_tuples(), 5000);
+        let mut distinct = std::collections::HashSet::new();
+        for (_, t, h) in r.iter() {
+            let k = u32::from_le_bytes(t[..4].try_into().unwrap());
+            assert_eq!(h, hash_key(&k.to_le_bytes()), "stashed hash");
+            distinct.insert(k);
+        }
+        assert!(distinct.len() <= 100);
+        assert!(distinct.len() > 20);
+    }
+
+    #[test]
+    fn single_relation_shape() {
+        let r = single_relation(1000, 100);
+        assert_eq!(r.num_tuples(), 1000);
+        let r2 = relation_of_bytes(PAGE_SIZE * 4, 100);
+        assert_eq!(r2.num_tuples(), 300);
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end GRACE runs against the workload oracle, plus agreement of
+//! the cache-partitioning variants with GRACE on the same inputs.
+
+use phj::cachepart::{
+    direct_cache_join, direct_cache_partition, two_step_join, two_step_partition,
+    CachePartConfig,
+};
+use phj::grace::{grace_join, grace_join_with_sink, GraceConfig};
+use phj::join::JoinScheme;
+use phj::partition::PartitionScheme;
+use phj::sink::{CountSink, JoinSink};
+use phj_memsim::NativeModel;
+use phj_storage::TupleView;
+use phj_workload::JoinSpec;
+
+fn spec() -> JoinSpec {
+    JoinSpec {
+        build_tuples: 6_000,
+        tuple_size: 48,
+        matches_per_build: 2,
+        pct_match: 75,
+        seed: 99,
+    }
+}
+
+#[test]
+fn grace_matches_workload_oracle_for_all_schemes() {
+    let gen = spec().generate();
+    let mut reference: Option<CountSink> = None;
+    for ps in [
+        PartitionScheme::Baseline,
+        PartitionScheme::Simple,
+        PartitionScheme::Group { g: 12 },
+        PartitionScheme::Swp { d: 2 },
+        PartitionScheme::combined_default(),
+    ] {
+        for js in [
+            JoinScheme::Baseline,
+            JoinScheme::Simple,
+            JoinScheme::Group { g: 16 },
+            JoinScheme::Swp { d: 1 },
+        ] {
+            let cfg = GraceConfig {
+                mem_budget: 64 * 1024,
+                partition_scheme: ps,
+                join_scheme: js,
+                ..Default::default()
+            };
+            let mut mem = NativeModel;
+            let mut sink = CountSink::new();
+            let p = grace_join_with_sink(&mut mem, &cfg, &gen.build, &gen.probe, &mut sink);
+            assert!(p > 1, "expected multiple partitions");
+            assert_eq!(sink.matches(), gen.expected_matches);
+            match &reference {
+                None => reference = Some(sink),
+                Some(r) => assert_eq!(&sink, r, "{ps:?}+{js:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_partitioning_agrees_with_grace() {
+    let gen = spec().generate();
+    let mut mem = NativeModel;
+    let mut grace_sink = CountSink::new();
+    grace_join_with_sink(
+        &mut mem,
+        &GraceConfig { mem_budget: 96 * 1024, ..Default::default() },
+        &gen.build,
+        &gen.probe,
+        &mut grace_sink,
+    );
+    assert_eq!(grace_sink.matches(), gen.expected_matches);
+
+    let cp = CachePartConfig {
+        cache_budget: 16 * 1024,
+        mem_budget: 96 * 1024,
+        ..Default::default()
+    };
+    let (bp, pp, p) = direct_cache_partition(&mut mem, &cp, &gen.build, &gen.probe)
+        .expect("within partition limit");
+    let mut direct_sink = CountSink::new();
+    direct_cache_join(&mut mem, &cp, &bp, &pp, p, &mut direct_sink);
+    assert_eq!(direct_sink, grace_sink, "direct cache");
+
+    let (bp, pp, p) = two_step_partition(&mut mem, &cp, &gen.build, &gen.probe);
+    let mut ts_sink = CountSink::new();
+    two_step_join(&mut mem, &cp, &bp, &pp, p, &mut ts_sink);
+    assert_eq!(ts_sink, grace_sink, "two-step cache");
+}
+
+#[test]
+fn materialized_output_is_well_formed() {
+    let gen = spec().generate();
+    let cfg = GraceConfig { mem_budget: 64 * 1024, ..Default::default() };
+    let mut mem = NativeModel;
+    let res = grace_join(&mut mem, &cfg, &gen.build, &gen.probe);
+    assert_eq!(res.output.num_tuples() as u64, gen.expected_matches);
+    let schema = res.output.schema().clone();
+    assert_eq!(schema.arity(), 4); // key+payload from each side
+    for (_, t, _) in res.output.iter() {
+        let v = TupleView::new(&schema, t);
+        assert_eq!(v.u32(0), v.u32(2), "build key == probe key in output");
+        assert_eq!(t.len(), 96);
+    }
+}
+
+#[test]
+fn single_partition_budget_still_works() {
+    let gen = JoinSpec {
+        build_tuples: 500,
+        tuple_size: 20,
+        matches_per_build: 1,
+        pct_match: 100,
+        seed: 5,
+    }
+    .generate();
+    let cfg = GraceConfig { mem_budget: 1 << 30, ..Default::default() };
+    let mut mem = NativeModel;
+    let res = grace_join(&mut mem, &cfg, &gen.build, &gen.probe);
+    assert_eq!(res.num_partitions, 1);
+    assert_eq!(res.output.num_tuples() as u64, gen.expected_matches);
+}
