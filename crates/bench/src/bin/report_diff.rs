@@ -1,0 +1,143 @@
+//! Compare two structured run reports (`phj ... --json`), or validate one.
+//!
+//! ```text
+//! report_diff --check RUN.json
+//! report_diff OLD.json NEW.json [--threshold-pct P]
+//! ```
+//!
+//! Compare mode prints the total-cycle (or wall-clock, for native runs)
+//! delta plus the derived-rate changes, and exits non-zero when the new
+//! run regresses beyond the threshold (default 5%) — a CI tripwire for
+//! "did this change make the join slower?".
+//!
+//! Exit codes: 0 = ok, 1 = regression beyond threshold, 2 = usage /
+//! unreadable / invalid report.
+
+use phj_obs::RunReport;
+use std::process::ExitCode;
+
+const DEFAULT_THRESHOLD_PCT: f64 = 5.0;
+
+fn load(path: &str) -> Result<RunReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let report = RunReport::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    report.validate().map_err(|e| format!("{path}: invalid report: {e}"))?;
+    Ok(report)
+}
+
+fn describe(label: &str, r: &RunReport) {
+    let cycles = r.totals.breakdown.total();
+    println!(
+        "{label}: command={} simulated={} spans={} cycles={} wall_ns={}",
+        r.command,
+        r.simulated,
+        r.spans.len(),
+        cycles,
+        r.wall_ns
+    );
+    if r.simulated {
+        println!(
+            "  coverage={:.3} pollution={:.3} busy={} dcache_stall={} dtlb_stall={}",
+            r.prefetch_coverage(),
+            r.pollution_rate(),
+            r.totals.breakdown.busy,
+            r.totals.breakdown.dcache_stall,
+            r.totals.breakdown.dtlb_stall,
+        );
+    }
+}
+
+/// The headline cost of a run: simulated cycles when available, wall-clock
+/// nanoseconds for native runs (cycles are all zero there).
+fn cost_of(r: &RunReport) -> (u64, &'static str) {
+    let cycles = r.totals.breakdown.total();
+    if cycles > 0 {
+        (cycles, "cycles")
+    } else {
+        (r.wall_ns, "wall_ns")
+    }
+}
+
+fn compare(old: &RunReport, new: &RunReport, threshold_pct: f64) -> ExitCode {
+    describe("old", old);
+    describe("new", new);
+    let (oc, ounit) = cost_of(old);
+    let (nc, nunit) = cost_of(new);
+    if ounit != nunit {
+        eprintln!("error: cannot compare a simulated run against a native run");
+        return ExitCode::from(2);
+    }
+    if oc == 0 {
+        eprintln!("error: old report has zero cost; nothing to compare against");
+        return ExitCode::from(2);
+    }
+    let delta_pct = (nc as f64 - oc as f64) / oc as f64 * 100.0;
+    println!("delta: {delta_pct:+.2}% total {ounit} (threshold {threshold_pct:.2}%)");
+    if old.simulated && new.simulated {
+        println!(
+            "  coverage {:.3} -> {:.3}, pollution {:.3} -> {:.3}",
+            old.prefetch_coverage(),
+            new.prefetch_coverage(),
+            old.pollution_rate(),
+            new.pollution_rate(),
+        );
+    }
+    if delta_pct > threshold_pct {
+        println!("REGRESSION: new run is {delta_pct:.2}% more expensive");
+        ExitCode::from(1)
+    } else {
+        println!("ok");
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: report_diff --check RUN.json");
+    eprintln!("       report_diff OLD.json NEW.json [--threshold-pct P]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--check") => {
+            let [_, path] = args.as_slice() else { return usage() };
+            match load(path) {
+                Ok(r) => {
+                    describe("report", &r);
+                    println!("ok");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some(_) => {
+            let (paths, mut threshold) = (&args[..], DEFAULT_THRESHOLD_PCT);
+            let (paths, threshold) = match paths {
+                [old, new] => ([old, new], threshold),
+                [old, new, flag, p] if flag == "--threshold-pct" => {
+                    match p.parse::<f64>() {
+                        Ok(v) if v >= 0.0 => threshold = v,
+                        _ => {
+                            eprintln!("error: bad threshold {p:?}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                    ([old, new], threshold)
+                }
+                _ => return usage(),
+            };
+            match (load(paths[0]), load(paths[1])) {
+                (Ok(old), Ok(new)) => compare(&old, &new, threshold),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        None => usage(),
+    }
+}

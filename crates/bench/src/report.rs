@@ -1,7 +1,8 @@
 //! Reporting helpers shared by the figure-regeneration binaries: aligned
-//! console tables (the "same rows/series the paper reports") plus CSV
-//! output under `bench_out/` for plotting.
+//! console tables (the "same rows/series the paper reports") plus CSV and
+//! JSON output under `bench_out/` for plotting and machine diffing.
 
+use phj_obs::Json;
 use std::fmt::Display;
 use std::fs;
 use std::io::Write;
@@ -30,7 +31,8 @@ impl Table {
         self.rows.push(cells.iter().map(|c| c.to_string()).collect());
     }
 
-    /// Print to stdout and write `bench_out/<slug>.csv`.
+    /// Print to stdout and write `bench_out/<slug>.csv` plus a
+    /// machine-readable `bench_out/<slug>.json` sibling.
     pub fn emit(&self, slug: &str) {
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
         for r in &self.rows {
@@ -54,18 +56,57 @@ impl Table {
         if let Err(e) = self.write_csv(slug) {
             eprintln!("warning: could not write CSV for {slug}: {e}");
         }
+        if let Err(e) = self.write_json(slug) {
+            eprintln!("warning: could not write JSON for {slug}: {e}");
+        }
     }
 
     fn write_csv(&self, slug: &str) -> std::io::Result<()> {
         let dir = out_dir();
         fs::create_dir_all(&dir)?;
         let mut f = fs::File::create(dir.join(format!("{slug}.csv")))?;
-        writeln!(f, "{}", self.header.join(","))?;
+        writeln!(f, "{}", csv_line(&self.header))?;
         for r in &self.rows {
-            writeln!(f, "{}", r.join(","))?;
+            writeln!(f, "{}", csv_line(r))?;
         }
         Ok(())
     }
+
+    fn write_json(&self, slug: &str) -> std::io::Result<()> {
+        let dir = out_dir();
+        fs::create_dir_all(&dir)?;
+        let mut f = fs::File::create(dir.join(format!("{slug}.json")))?;
+        write!(f, "{}", self.to_json().render_pretty())?;
+        Ok(())
+    }
+
+    /// The table as JSON: `{title, header, rows}`, rows as arrays of
+    /// strings in column order.
+    pub fn to_json(&self) -> Json {
+        let cells = |r: &[String]| Json::Arr(r.iter().map(|c| Json::Str(c.clone())).collect());
+        Json::obj(vec![
+            ("title", Json::Str(self.title.clone())),
+            ("header", cells(&self.header)),
+            ("rows", Json::Arr(self.rows.iter().map(|r| cells(r)).collect())),
+        ])
+    }
+}
+
+/// Join cells into one CSV record, quoting per RFC 4180: a cell containing
+/// a comma, double quote, CR, or LF is wrapped in quotes with inner quotes
+/// doubled; anything else is written bare.
+fn csv_line(cells: &[String]) -> String {
+    let quoted: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            if c.contains(['"', ',', '\n', '\r']) {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    quoted.join(",")
 }
 
 /// Output directory for CSVs (override with `PHJ_BENCH_OUT`).
@@ -119,8 +160,25 @@ mod tests {
         t.emit("unit_test_table");
         let csv = std::fs::read_to_string(dir.join("unit_test_table.csv")).unwrap();
         assert_eq!(csv, "a,b\n1,x\n22,yy\n");
+        let json = std::fs::read_to_string(dir.join("unit_test_table.json")).unwrap();
+        let parsed = phj_obs::json::parse(&json).expect("sibling JSON parses");
+        assert_eq!(parsed.get("title").and_then(Json::as_str), Some("unit test table"));
+        assert_eq!(parsed.get("rows").and_then(Json::as_arr).map(|r| r.len()), Some(2));
         std::env::remove_var("PHJ_BENCH_OUT");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_quotes_per_rfc_4180() {
+        // Plain cells stay bare; commas, quotes, and newlines trigger
+        // quoting with inner quotes doubled.
+        let line = csv_line(&[
+            "plain".to_string(),
+            "has,comma".to_string(),
+            "has \"quote\"".to_string(),
+            "two\nlines".to_string(),
+        ]);
+        assert_eq!(line, "plain,\"has,comma\",\"has \"\"quote\"\"\",\"two\nlines\"");
     }
 
     #[test]

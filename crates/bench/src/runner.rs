@@ -8,12 +8,12 @@ use phj::cachepart::{
     direct_cache_join, direct_cache_partition, two_step_join, two_step_partition,
     CachePartConfig,
 };
-use phj::join::{self, JoinParams, JoinScheme};
+use phj::join::{dispatch_build, dispatch_probe, JoinParams, JoinScheme};
 use phj::partition::{partition_relation, PartitionScheme};
 use phj::plan;
 use phj::sink::{CountSink, JoinSink, OutputWriter};
 use phj::table::HashTable;
-use phj_memsim::{Breakdown, CacheStats, MemConfig, MemoryModel, SimEngine};
+use phj_memsim::{Breakdown, CacheStats, MemConfig, SimEngine};
 use phj_storage::Relation;
 use phj_workload::GeneratedJoin;
 
@@ -46,40 +46,6 @@ impl JoinRun {
     }
 }
 
-/// Dispatch a build over the scheme (exposed so drivers can snapshot the
-/// engine between build and probe).
-fn run_build<M: MemoryModel>(
-    mem: &mut M,
-    params: &JoinParams,
-    table: &mut HashTable,
-    build: &Relation,
-) {
-    match params.scheme {
-        JoinScheme::Baseline => join::baseline::build(mem, params, table, build),
-        JoinScheme::Simple => join::simple::build(mem, params, table, build),
-        JoinScheme::Group { g } => join::group::build(mem, params, table, build, g),
-        JoinScheme::Swp { d } => join::swp::build(mem, params, table, build, d),
-    }
-}
-
-fn run_probe<M: MemoryModel, S: JoinSink>(
-    mem: &mut M,
-    params: &JoinParams,
-    table: &HashTable,
-    build: &Relation,
-    probe: &Relation,
-    sink: &mut S,
-) {
-    match params.scheme {
-        JoinScheme::Baseline => join::baseline::probe(mem, params, table, build, probe, sink),
-        JoinScheme::Simple => join::simple::probe(mem, params, table, build, probe, sink),
-        JoinScheme::Group { g } => {
-            join::group::probe(mem, params, table, build, probe, g, sink)
-        }
-        JoinScheme::Swp { d } => join::swp::probe(mem, params, table, build, probe, d, sink),
-    }
-}
-
 /// Whether a scheme is one of the staged prefetchers (which also enable
 /// output-buffer prefetch-ahead).
 fn staged(scheme: JoinScheme) -> bool {
@@ -101,7 +67,7 @@ pub fn sim_join(
     let params = JoinParams { scheme, use_stored_hash: true };
     let buckets = plan::hash_table_buckets(gen.build.num_tuples(), 1);
     let mut table = HashTable::new(buckets, gen.build.num_tuples());
-    run_build(&mut mem, &params, &mut table, &gen.build);
+    dispatch_build(&mut mem, &params, &mut table, &gen.build);
     let build_bd = mem.breakdown();
     let matches;
     if materialize {
@@ -112,11 +78,11 @@ pub fn sim_join(
         if staged(scheme) {
             sink = sink.with_output_prefetch();
         }
-        run_probe(&mut mem, &params, &table, &gen.build, &gen.probe, &mut sink);
+        dispatch_probe(&mut mem, &params, &table, &gen.build, &gen.probe, &mut sink);
         matches = sink.matches();
     } else {
         let mut sink = CountSink::new();
-        run_probe(&mut mem, &params, &table, &gen.build, &gen.probe, &mut sink);
+        dispatch_probe(&mut mem, &params, &table, &gen.build, &gen.probe, &mut sink);
         matches = sink.matches();
     }
     table.assert_quiescent();
@@ -193,8 +159,8 @@ pub fn sim_grace(
     for (b, pr) in bp.iter().zip(&pp) {
         let buckets = plan::hash_table_buckets(b.num_tuples(), p);
         let mut table = HashTable::new(buckets, b.num_tuples());
-        run_build(&mut mem, &params, &mut table, b);
-        run_probe(&mut mem, &params, &table, b, pr, &mut sink);
+        dispatch_build(&mut mem, &params, &mut table, b);
+        dispatch_probe(&mut mem, &params, &table, b, pr, &mut sink);
     }
     let matches = sink.matches();
     assert_eq!(matches, gen.expected_matches, "grace produced wrong matches");

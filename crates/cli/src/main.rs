@@ -4,8 +4,10 @@
 //! phj join   [--build-mb N] [--tuple-size B] [--matches M] [--pct P]
 //!            [--scheme baseline|simple|group|swp] [--g G] [--d D]
 //!            [--mem-mb N] [--sim] [--hybrid]
+//!            [--json PATH] [--trace-out PATH]
 //! phj agg    [--rows N] [--keys K] [--scheme ...] [--sim]
-//! phj tune   [--build-mb N] [--tuple-size B] [--sim]
+//!            [--json PATH] [--trace-out PATH]
+//! phj tune   [--build-mb N] [--tuple-size B] [--json PATH] [--trace-out PATH]
 //! phj params [--tuple-size B]
 //! ```
 //!
@@ -13,18 +15,24 @@
 //! configuration) and prints the execution-time breakdown; without it the
 //! join runs natively with real prefetch instructions and reports
 //! wall-clock time.
+//!
+//! `--json PATH` writes a structured run report (config fingerprint,
+//! per-phase spans with cycle breakdowns, derived prefetch-coverage and
+//! pollution rates); `--trace-out PATH` writes the same spans as a
+//! `chrome://tracing` / Perfetto trace-event file.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use phj::grace::{grace_join_with_sink, GraceConfig};
-use phj::hybrid::{hybrid_join, HybridConfig};
+use phj::grace::{grace_join_with_sink_rec, GraceConfig};
+use phj::hybrid::{hybrid_join_rec, HybridConfig};
 use phj::join::JoinScheme;
 use phj::model::{min_group_size, min_prefetch_distance};
 use phj::partition::PartitionScheme;
 use phj::sink::{CountSink, JoinSink};
 use phj::{cost, plan};
-use phj_memsim::{MemConfig, NativeModel, SimEngine};
+use phj_memsim::{MemConfig, MemoryModel, NativeModel, SimEngine};
+use phj_obs::{trace_text, Recorder, RunReport};
 use phj_workload::{single_relation, tuples_for, JoinSpec};
 
 mod args;
@@ -71,11 +79,58 @@ USAGE:
   phj join   [--build-mb N] [--tuple-size B] [--matches M] [--pct P]
              [--scheme baseline|simple|group|swp] [--g G] [--d D]
              [--mem-mb N] [--sim] [--hybrid]
+             [--json PATH] [--trace-out PATH]
   phj agg    [--rows N] [--keys K] [--scheme S] [--g G] [--d D] [--sim]
+             [--json PATH] [--trace-out PATH]
   phj disk   [--build-mb N] [--mem-mb N] [--stripes S] [--dir PATH]
-  phj tune   [--build-mb N] [--tuple-size B]
+  phj tune   [--build-mb N] [--tuple-size B] [--json PATH] [--trace-out PATH]
   phj params [--tuple-size B]
   phj help";
+
+/// Where (if anywhere) the observability artifacts of a run go.
+struct ObsOut {
+    json: Option<String>,
+    trace: Option<String>,
+}
+
+impl ObsOut {
+    fn from_args(args: &Args) -> ObsOut {
+        let path = |name: &str| match args.get_str(name, "") {
+            s if s.is_empty() => None,
+            s => Some(s),
+        };
+        ObsOut { json: path("json"), trace: path("trace-out") }
+    }
+
+    /// A recorder, but only when some output wants it — otherwise the
+    /// pipeline runs recorder-free.
+    fn recorder(&self) -> Option<Recorder> {
+        (self.json.is_some() || self.trace.is_some()).then(Recorder::new)
+    }
+
+    /// Fingerprint the memory-system configuration into the report.
+    fn config_mem(report: &mut RunReport, cfg: &MemConfig) {
+        report.config_kv("t_full", cfg.t_full);
+        report.config_kv("t_next", cfg.t_next);
+        report.config_kv("tlb_walk", cfg.tlb_walk);
+        report.config_kv("l2_size", cfg.l2_size);
+        report.config_kv("line_size", cfg.line_size);
+    }
+
+    /// Validate and write the report (and its trace) where requested.
+    fn write(&self, report: &RunReport) -> Result<(), String> {
+        report.validate().map_err(|e| format!("internal: invalid run report: {e}"))?;
+        if let Some(path) = &self.json {
+            std::fs::write(path, report.render()).map_err(|e| format!("{path}: {e}"))?;
+            println!("run report: {path}");
+        }
+        if let Some(path) = &self.trace {
+            std::fs::write(path, trace_text(report)).map_err(|e| format!("{path}: {e}"))?;
+            println!("trace (load in chrome://tracing or ui.perfetto.dev): {path}");
+        }
+        Ok(())
+    }
+}
 
 fn scheme_of(args: &Args) -> Result<JoinScheme, String> {
     let g = args.get_usize("g", 16)?;
@@ -90,7 +145,10 @@ fn scheme_of(args: &Args) -> Result<JoinScheme, String> {
 }
 
 fn cmd_join(args: &Args) -> Result<(), String> {
-    args.allow(&["build-mb", "tuple-size", "matches", "pct", "scheme", "g", "d", "mem-mb", "sim", "hybrid"])?;
+    args.allow(&[
+        "build-mb", "tuple-size", "matches", "pct", "scheme", "g", "d", "mem-mb", "sim",
+        "hybrid", "json", "trace-out",
+    ])?;
     let build_mb = args.get_usize("build-mb", 16)?;
     let tuple_size = args.get_usize("tuple-size", 100)?;
     let spec = JoinSpec {
@@ -112,11 +170,15 @@ fn cmd_join(args: &Args) -> Result<(), String> {
         if args.flag("hybrid") { ", hybrid" } else { "" }
     );
     let gen = spec.generate();
-    let run = |mem: &mut dyn FnMut(&mut CountSink) -> usize| {
-        let mut sink = CountSink::new();
-        let t0 = Instant::now();
-        let p = mem(&mut sink);
-        (sink, p, t0.elapsed())
+    let obs_out = ObsOut::from_args(args);
+    let mut recorder = obs_out.recorder();
+    let fingerprint = |report: &mut RunReport| {
+        report.config_kv("scheme", scheme.label());
+        report.config_kv("tuple_size", tuple_size);
+        report.config_kv("build_tuples", spec.build_tuples);
+        report.config_kv("probe_tuples", spec.probe_tuples());
+        report.config_kv("mem_budget", mem_budget);
+        report.config_kv("hybrid", args.flag("hybrid"));
     };
     let g = match scheme {
         JoinScheme::Group { g } => g,
@@ -131,13 +193,18 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     let hybrid_cfg = HybridConfig { mem_budget, g, ..Default::default() };
     if args.flag("sim") {
         let mut engine = SimEngine::paper();
-        let (sink, p, _) = run(&mut |s| {
-            if args.flag("hybrid") {
-                hybrid_join(&mut engine, &hybrid_cfg, &gen.build, &gen.probe, s)
-            } else {
-                grace_join_with_sink(&mut engine, &grace_cfg, &gen.build, &gen.probe, s)
-            }
-        });
+        let root = recorder.as_mut().map(|r| r.begin("run", engine.snapshot()));
+        let mut sink = CountSink::new();
+        let t0 = Instant::now();
+        let p = if args.flag("hybrid") {
+            hybrid_join_rec(&mut engine, &hybrid_cfg, &gen.build, &gen.probe, &mut sink, recorder.as_mut())
+        } else {
+            grace_join_with_sink_rec(&mut engine, &grace_cfg, &gen.build, &gen.probe, &mut sink, recorder.as_mut())
+        };
+        let wall = t0.elapsed();
+        if let (Some(r), Some(root)) = (recorder.as_mut(), root) {
+            r.end(root, engine.snapshot());
+        }
         let b = engine.breakdown();
         println!("partitions: {p}, matches: {}", sink.matches());
         println!(
@@ -148,39 +215,62 @@ fn cmd_join(args: &Args) -> Result<(), String> {
             b.dtlb_stall as f64 / 1e6,
             b.other_stall as f64 / 1e6,
         );
+        if let Some(rec) = recorder.take() {
+            let mut report =
+                RunReport::from_recorder("join", rec, engine.snapshot(), wall.as_nanos() as u64);
+            report.simulated = true;
+            report.tuples = (gen.build.num_tuples() + gen.probe.num_tuples()) as u64;
+            report.matches = sink.matches();
+            fingerprint(&mut report);
+            ObsOut::config_mem(&mut report, &MemConfig::paper());
+            println!(
+                "prefetch coverage: {:.1}%, pollution: {:.1}%",
+                100.0 * report.prefetch_coverage(),
+                100.0 * report.pollution_rate()
+            );
+            obs_out.write(&report)?;
+        }
     } else {
         let mut native = NativeModel;
-        let (sink, p, wall) = run(&mut |s| {
-            if args.flag("hybrid") {
-                hybrid_join(&mut native, &hybrid_cfg, &gen.build, &gen.probe, s)
-            } else {
-                grace_join_with_sink(&mut native, &grace_cfg, &gen.build, &gen.probe, s)
-            }
-        });
+        let root = recorder.as_mut().map(|r| r.begin("run", native.snapshot()));
+        let mut sink = CountSink::new();
+        let t0 = Instant::now();
+        let p = if args.flag("hybrid") {
+            hybrid_join_rec(&mut native, &hybrid_cfg, &gen.build, &gen.probe, &mut sink, recorder.as_mut())
+        } else {
+            grace_join_with_sink_rec(&mut native, &grace_cfg, &gen.build, &gen.probe, &mut sink, recorder.as_mut())
+        };
+        let wall = t0.elapsed();
+        if let (Some(r), Some(root)) = (recorder.as_mut(), root) {
+            r.end(root, native.snapshot());
+        }
         println!("partitions: {p}, matches: {}", sink.matches());
         println!(
             "native: {:?} ({:.1} M tuples/s through the probe side)",
             wall,
             gen.probe.num_tuples() as f64 / wall.as_secs_f64() / 1e6
         );
+        if let Some(rec) = recorder.take() {
+            let mut report =
+                RunReport::from_recorder("join", rec, native.snapshot(), wall.as_nanos() as u64);
+            report.tuples = (gen.build.num_tuples() + gen.probe.num_tuples()) as u64;
+            report.matches = sink.matches();
+            fingerprint(&mut report);
+            obs_out.write(&report)?;
+        }
     }
     if gen.expected_matches > 0 {
-        assert_eq!(
-            {
-                let mut s = CountSink::new();
-                let mut m = NativeModel;
-                grace_join_with_sink(&mut m, &grace_cfg, &gen.build, &gen.probe, &mut s);
-                s.matches()
-            },
-            gen.expected_matches
-        );
+        let mut s = CountSink::new();
+        let mut m = NativeModel;
+        grace_join_with_sink_rec(&mut m, &grace_cfg, &gen.build, &gen.probe, &mut s, None);
+        assert_eq!(s.matches(), gen.expected_matches);
     }
     Ok(())
 }
 
 fn cmd_agg(args: &Args) -> Result<(), String> {
     use phj::aggregate::{aggregate, AggScheme};
-    args.allow(&["rows", "keys", "scheme", "g", "d", "sim"])?;
+    args.allow(&["rows", "keys", "scheme", "g", "d", "sim", "json", "trace-out"])?;
     let rows = args.get_usize("rows", 1_000_000)?;
     let keys = args.get_usize("keys", 100_000)?.max(1);
     let scheme = match args.get_str("scheme", "group").as_str() {
@@ -206,9 +296,26 @@ fn cmd_agg(args: &Args) -> Result<(), String> {
     let buckets = plan::hash_table_buckets(keys, 1);
     let extract = |t: &[u8]| t[4] as i64;
     println!("aggregating {rows} rows into {keys} groups ({scheme:?})");
+    let obs_out = ObsOut::from_args(args);
+    let mut recorder = obs_out.recorder();
+    let fingerprint = |report: &mut RunReport, groups: u64| {
+        report.config_kv("scheme", format!("{scheme:?}"));
+        report.config_kv("rows", rows);
+        report.config_kv("keys", keys);
+        report.tuples = rows as u64;
+        report.matches = groups;
+    };
     if args.flag("sim") {
         let mut engine = SimEngine::paper();
+        let root = recorder.as_mut().map(|r| r.begin("run", engine.snapshot()));
+        let inner = recorder.as_mut().map(|r| r.begin("aggregate", engine.snapshot()));
+        let t0 = Instant::now();
         let table = aggregate(&mut engine, scheme, &input, buckets, extract);
+        let wall = t0.elapsed();
+        if let Some(r) = recorder.as_mut() {
+            r.end(inner.unwrap(), engine.snapshot());
+            r.end(root.unwrap(), engine.snapshot());
+        }
         let b = engine.breakdown();
         println!(
             "groups: {}; simulated {:.1} Mcycles ({:.0}% dcache stalls)",
@@ -216,10 +323,32 @@ fn cmd_agg(args: &Args) -> Result<(), String> {
             b.total() as f64 / 1e6,
             100.0 * b.dcache_fraction()
         );
+        if let Some(rec) = recorder.take() {
+            let mut report =
+                RunReport::from_recorder("agg", rec, engine.snapshot(), wall.as_nanos() as u64);
+            report.simulated = true;
+            fingerprint(&mut report, table.num_groups() as u64);
+            ObsOut::config_mem(&mut report, &MemConfig::paper());
+            obs_out.write(&report)?;
+        }
     } else {
+        let mut native = NativeModel;
+        let root = recorder.as_mut().map(|r| r.begin("run", native.snapshot()));
+        let inner = recorder.as_mut().map(|r| r.begin("aggregate", native.snapshot()));
         let t0 = Instant::now();
-        let table = aggregate(&mut NativeModel, scheme, &input, buckets, extract);
-        println!("groups: {}; native {:?}", table.num_groups(), t0.elapsed());
+        let table = aggregate(&mut native, scheme, &input, buckets, extract);
+        let wall = t0.elapsed();
+        if let Some(r) = recorder.as_mut() {
+            r.end(inner.unwrap(), native.snapshot());
+            r.end(root.unwrap(), native.snapshot());
+        }
+        println!("groups: {}; native {:?}", table.num_groups(), wall);
+        if let Some(rec) = recorder.take() {
+            let mut report =
+                RunReport::from_recorder("agg", rec, native.snapshot(), wall.as_nanos() as u64);
+            fingerprint(&mut report, table.num_groups() as u64);
+            obs_out.write(&report)?;
+        }
     }
     Ok(())
 }
@@ -278,7 +407,7 @@ fn cmd_disk(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_tune(args: &Args) -> Result<(), String> {
-    args.allow(&["build-mb", "tuple-size"])?;
+    args.allow(&["build-mb", "tuple-size", "json", "trace-out"])?;
     let build_mb = args.get_usize("build-mb", 8)?;
     let tuple_size = args.get_usize("tuple-size", 20)?;
     let spec = JoinSpec {
@@ -289,8 +418,18 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         seed: 0x70E,
     };
     let gen = spec.generate();
-    let measure = |scheme: JoinScheme| {
-        (0..3)
+    let obs_out = ObsOut::from_args(args);
+    let mut recorder = obs_out.recorder();
+    let root = recorder.as_mut().map(|r| r.begin("run", NativeModel.snapshot()));
+    let t0 = Instant::now();
+    // Each measured configuration becomes its own span; under the native
+    // model wall-clock is the signal, so the spans carry best-of-3 ms.
+    let measure = |rec: &mut Option<Recorder>, scheme: JoinScheme| {
+        let span = rec.as_mut().map(|r| r.begin("measure", NativeModel.snapshot()));
+        if let Some(r) = rec.as_mut() {
+            r.meta("scheme", scheme.label());
+        }
+        let best = (0..3)
             .map(|_| {
                 let mut sink = CountSink::new();
                 let t0 = Instant::now();
@@ -304,19 +443,34 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
                 );
                 t0.elapsed().as_secs_f64()
             })
-            .fold(f64::INFINITY, f64::min)
+            .fold(f64::INFINITY, f64::min);
+        if let Some(r) = rec.as_mut() {
+            r.meta("best_ms", format!("{:.3}", best * 1e3));
+            r.end(span.unwrap(), NativeModel.snapshot());
+        }
+        best
     };
-    let base = measure(JoinScheme::Baseline);
+    let base = measure(&mut recorder, JoinScheme::Baseline);
     println!("baseline: {:.1} ms", base * 1e3);
     println!("  G    ms  speedup");
     for g in [2usize, 4, 8, 16, 32, 64] {
-        let t = measure(JoinScheme::Group { g });
+        let t = measure(&mut recorder, JoinScheme::Group { g });
         println!("{g:>3} {:>6.1}  {:.2}x", t * 1e3, base / t);
     }
     println!("  D    ms  speedup");
     for d in [1usize, 2, 4, 8, 16] {
-        let t = measure(JoinScheme::Swp { d });
+        let t = measure(&mut recorder, JoinScheme::Swp { d });
         println!("{d:>3} {:>6.1}  {:.2}x", t * 1e3, base / t);
+    }
+    let wall = t0.elapsed();
+    if let Some(mut rec) = recorder.take() {
+        rec.end(root.unwrap(), NativeModel.snapshot());
+        let mut report =
+            RunReport::from_recorder("tune", rec, NativeModel.snapshot(), wall.as_nanos() as u64);
+        report.config_kv("tuple_size", tuple_size);
+        report.config_kv("build_tuples", spec.build_tuples);
+        report.tuples = (gen.build.num_tuples() + gen.probe.num_tuples()) as u64;
+        obs_out.write(&report)?;
     }
     Ok(())
 }

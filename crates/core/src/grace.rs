@@ -9,10 +9,11 @@
 //! hash join variants (§2).
 
 use phj_memsim::MemoryModel;
+use phj_obs::{self as obs, Recorder};
 use phj_storage::Relation;
 
-use crate::join::{join_pair, JoinParams, JoinScheme};
-use crate::partition::{partition_relation, PartitionScheme};
+use crate::join::{join_pair_rec, JoinParams, JoinScheme};
+use crate::partition::{partition_relation_rec, PartitionScheme};
 use crate::plan;
 use crate::sink::{JoinSink, OutputWriter};
 
@@ -76,13 +77,35 @@ pub fn grace_join_with_sink<M: MemoryModel, S: JoinSink>(
     probe: &Relation,
     sink: &mut S,
 ) -> usize {
-    join_level(mem, cfg, build, probe, sink, 1, false)
+    grace_join_with_sink_rec(mem, cfg, build, probe, sink, None)
+}
+
+/// [`grace_join_with_sink`] with an optional span recorder. The whole
+/// join becomes a `"grace_join"` span; each partitioning pass records a
+/// `"partition_pass"` span (two nested `"partition"` spans, one per
+/// relation) and each partition pair a `"pair"` span with nested
+/// `"build"`/`"probe"` spans — the shape of the paper's phase breakdowns.
+pub fn grace_join_with_sink_rec<M: MemoryModel, S: JoinSink>(
+    mem: &mut M,
+    cfg: &GraceConfig,
+    build: &Relation,
+    probe: &Relation,
+    sink: &mut S,
+    mut rec: Option<&mut Recorder>,
+) -> usize {
+    let span = obs::span_begin(&mut rec, mem, "grace_join");
+    obs::span_meta(&mut rec, "partition_scheme", cfg.partition_scheme.label());
+    obs::span_meta(&mut rec, "join_scheme", cfg.join_scheme.label());
+    let p = join_level(mem, cfg, build, probe, sink, 1, false, rec.as_deref_mut());
+    obs::span_end(&mut rec, mem, span);
+    p
 }
 
 /// One partitioning pass: split the pair, then join (or recurse into)
 /// each sub-pair. `moduli` is the product of partition counts already
 /// applied to these tuples' hash codes; `use_stored` whether this level's
 /// input carries stashed hash codes (true for every level but the first).
+#[allow(clippy::too_many_arguments)]
 fn join_level<M: MemoryModel, S: JoinSink>(
     mem: &mut M,
     cfg: &GraceConfig,
@@ -91,25 +114,38 @@ fn join_level<M: MemoryModel, S: JoinSink>(
     sink: &mut S,
     moduli: usize,
     use_stored: bool,
+    mut rec: Option<&mut Recorder>,
 ) -> usize {
     assert!(cfg.max_active_partitions >= 2, "need at least two partitions per pass");
     let needed = plan::num_partitions(build.size_bytes(), cfg.mem_budget);
     if needed <= 1 {
         let params = JoinParams { scheme: cfg.join_scheme, use_stored_hash: use_stored };
-        join_pair(mem, &params, build, probe, moduli, sink);
+        let span = obs::span_begin(&mut rec, mem, "pair");
+        obs::span_meta(&mut rec, "index", 0);
+        join_pair_rec(mem, &params, build, probe, moduli, sink, rec.as_deref_mut());
+        obs::span_end(&mut rec, mem, span);
         return 1;
     }
     let p = plan::coprime_partitions(needed.min(cfg.max_active_partitions), moduli);
-    let build_parts = partition_relation(mem, cfg.partition_scheme, build, p, use_stored);
-    let probe_parts = partition_relation(mem, cfg.partition_scheme, probe, p, use_stored);
+    let pass = obs::span_begin(&mut rec, mem, "partition_pass");
+    obs::span_meta(&mut rec, "fanout", p);
+    obs::span_meta(&mut rec, "moduli", moduli);
+    let build_parts =
+        partition_relation_rec(mem, cfg.partition_scheme, build, p, use_stored, rec.as_deref_mut());
+    let probe_parts =
+        partition_relation_rec(mem, cfg.partition_scheme, probe, p, use_stored, rec.as_deref_mut());
+    obs::span_end(&mut rec, mem, pass);
     let params = JoinParams { scheme: cfg.join_scheme, use_stored_hash: true };
-    for (bp, pp) in build_parts.iter().zip(&probe_parts) {
+    for (i, (bp, pp)) in build_parts.iter().zip(&probe_parts).enumerate() {
         if bp.size_bytes() > cfg.mem_budget {
             // This partition still exceeds memory (cap hit, or skew):
             // take an additional pass over it (§1.1).
-            join_level(mem, cfg, bp, pp, sink, moduli * p, true);
+            join_level(mem, cfg, bp, pp, sink, moduli * p, true, rec.as_deref_mut());
         } else {
-            join_pair(mem, &params, bp, pp, moduli * p, sink);
+            let span = obs::span_begin(&mut rec, mem, "pair");
+            obs::span_meta(&mut rec, "index", i);
+            join_pair_rec(mem, &params, bp, pp, moduli * p, sink, rec.as_deref_mut());
+            obs::span_end(&mut rec, mem, span);
         }
     }
     p

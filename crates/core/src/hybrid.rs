@@ -21,6 +21,7 @@
 //! buffers, both resolved at the group boundary.
 
 use phj_memsim::MemoryModel;
+use phj_obs::{self as obs, Recorder};
 use phj_storage::Relation;
 
 use crate::cost;
@@ -109,11 +110,30 @@ pub fn hybrid_join<M: MemoryModel, S: JoinSink>(
     probe: &Relation,
     sink: &mut S,
 ) -> usize {
+    hybrid_join_rec(mem, cfg, build, probe, sink, None)
+}
+
+/// [`hybrid_join`] with an optional span recorder: the fused
+/// partition+build pass, the fused partition+probe pass, and each spilled
+/// pair get their own spans under a `"hybrid_join"` root.
+pub fn hybrid_join_rec<M: MemoryModel, S: JoinSink>(
+    mem: &mut M,
+    cfg: &HybridConfig,
+    build: &Relation,
+    probe: &Relation,
+    sink: &mut S,
+    mut rec: Option<&mut Recorder>,
+) -> usize {
     let p = plan::num_partitions(build.size_bytes(), cfg.mem_budget).max(1);
     let g = cfg.g.max(2);
+    let whole = obs::span_begin(&mut rec, mem, "hybrid_join");
+    obs::span_meta(&mut rec, "partitions", p);
+    obs::span_meta(&mut rec, "g", g);
 
     // ---- Pass 1: partition the build side, building partition 0's hash
     // table on the fly. ----
+    let pass1 = obs::span_begin(&mut rec, mem, "hybrid_build_pass");
+    obs::span_meta(&mut rec, "tuples", build.num_tuples());
     let expected_p0 = build.num_tuples() / p + 1;
     let buckets = plan::hash_table_buckets(expected_p0.max(1), p);
     let mut table = HashTable::new(buckets, expected_p0 * 2 + 16);
@@ -237,9 +257,12 @@ pub fn hybrid_join<M: MemoryModel, S: JoinSink>(
     }
     let build_parts = build_out.finish();
     table.assert_quiescent();
+    obs::span_end(&mut rec, mem, pass1);
 
     // ---- Pass 2: partition the probe side, probing partition 0 on the
     // fly. ----
+    let pass2 = obs::span_begin(&mut rec, mem, "hybrid_probe_pass");
+    obs::span_meta(&mut rec, "tuples", probe.num_tuples());
     let mut probe_out = OutputBuffers::new(probe, p);
     {
         let mut slots: Vec<ProbeSlot> = (0..g)
@@ -383,13 +406,26 @@ pub fn hybrid_join<M: MemoryModel, S: JoinSink>(
         }
     }
     let probe_parts = probe_out.finish();
+    obs::span_end(&mut rec, mem, pass2);
 
     // ---- Join the spilled pairs (partitions 1..p) with the configured
     // in-memory scheme. ----
     let params = JoinParams { scheme: cfg.spill_join, use_stored_hash: true };
     for part in 1..p {
-        join::join_pair(mem, &params, &build_parts[part], &probe_parts[part], p, sink);
+        let span = obs::span_begin(&mut rec, mem, "pair");
+        obs::span_meta(&mut rec, "index", part);
+        join::join_pair_rec(
+            mem,
+            &params,
+            &build_parts[part],
+            &probe_parts[part],
+            p,
+            sink,
+            rec.as_deref_mut(),
+        );
+        obs::span_end(&mut rec, mem, span);
     }
+    obs::span_end(&mut rec, mem, whole);
     p
 }
 

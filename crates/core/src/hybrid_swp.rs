@@ -141,7 +141,7 @@ fn build_pass<M: MemoryModel>(
         // Stage 1 for element `it - D`.
         if it >= d {
             let e = it - d;
-            if total.map_or(true, |t| e < t) {
+            if total.is_none_or(|t| e < t) {
                 let me = (e & mask) as u32;
                 mem.busy(bk);
                 match slots[me as usize].path {
@@ -190,7 +190,7 @@ fn build_pass<M: MemoryModel>(
         // Stage 2 for element `it - 2D`.
         if it >= 2 * d {
             let e = it - 2 * d;
-            if total.map_or(true, |t| e < t) {
+            if total.is_none_or(|t| e < t) {
                 let me = e & mask;
                 mem.busy(bk);
                 if let BuildPath::TableWrite(idx) = slots[me].path {
@@ -385,7 +385,7 @@ fn probe_pass<M: MemoryModel, S: JoinSink>(
         // Stage 1.
         if it >= d {
             let e = it - d;
-            if total.map_or(true, |t| e < t) {
+            if total.is_none_or(|t| e < t) {
                 let me = e & mask;
                 mem.busy(bk);
                 match slots[me].path {
@@ -423,7 +423,7 @@ fn probe_pass<M: MemoryModel, S: JoinSink>(
         // Stage 2: scan cell arrays.
         if it >= 2 * d {
             let e = it - 2 * d;
-            if total.map_or(true, |t| e < t) {
+            if total.is_none_or(|t| e < t) {
                 let me = e & mask;
                 mem.busy(bk);
                 if slots[me].path == ProbePath::Probe && slots[me].header.count > 1 {
@@ -445,7 +445,7 @@ fn probe_pass<M: MemoryModel, S: JoinSink>(
         // Stage 3: emit matches.
         if it >= 3 * d {
             let e = it - 3 * d;
-            if total.map_or(true, |t| e < t) {
+            if total.is_none_or(|t| e < t) {
                 let me = e & mask;
                 mem.busy(bk);
                 if slots[me].path == ProbePath::Probe {

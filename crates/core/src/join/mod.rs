@@ -24,6 +24,7 @@ pub mod swp;
 pub use group::GroupProbe;
 
 use phj_memsim::MemoryModel;
+use phj_obs::{self as obs, Recorder};
 use phj_storage::{tuple::key_bytes_of, Relation, PAGE_SIZE};
 
 use crate::cost;
@@ -119,28 +120,67 @@ pub fn join_pair<M: MemoryModel, S: JoinSink>(
     num_partitions: usize,
     sink: &mut S,
 ) -> HashTable {
+    join_pair_rec(mem, params, build, probe, num_partitions, sink, None)
+}
+
+/// [`join_pair`] with an optional span recorder: the build and probe
+/// sub-phases each get their own span (with tuple counts in the meta),
+/// nested under whatever span the caller holds open.
+pub fn join_pair_rec<M: MemoryModel, S: JoinSink>(
+    mem: &mut M,
+    params: &JoinParams,
+    build: &Relation,
+    probe: &Relation,
+    num_partitions: usize,
+    sink: &mut S,
+    mut rec: Option<&mut Recorder>,
+) -> HashTable {
     let buckets = plan::hash_table_buckets(build.num_tuples(), num_partitions);
     let mut table = HashTable::new(buckets, build.num_tuples());
-    match params.scheme {
-        JoinScheme::Baseline => {
-            baseline::build(mem, params, &mut table, build);
-            baseline::probe(mem, params, &table, build, probe, sink);
-        }
-        JoinScheme::Simple => {
-            simple::build(mem, params, &mut table, build);
-            simple::probe(mem, params, &table, build, probe, sink);
-        }
-        JoinScheme::Group { g } => {
-            group::build(mem, params, &mut table, build, g);
-            group::probe(mem, params, &table, build, probe, g, sink);
-        }
-        JoinScheme::Swp { d } => {
-            swp::build(mem, params, &mut table, build, d);
-            swp::probe(mem, params, &table, build, probe, d, sink);
-        }
-    }
+    let span = obs::span_begin(&mut rec, mem, "build");
+    obs::span_meta(&mut rec, "tuples", build.num_tuples());
+    dispatch_build(mem, params, &mut table, build);
+    obs::span_end(&mut rec, mem, span);
+    let span = obs::span_begin(&mut rec, mem, "probe");
+    obs::span_meta(&mut rec, "tuples", probe.num_tuples());
+    dispatch_probe(mem, params, &table, build, probe, sink);
+    obs::span_end(&mut rec, mem, span);
     table.assert_quiescent();
     table
+}
+
+/// Build-side dispatch on the scheme — the build half of [`join_pair`],
+/// public so harnesses that phase build and probe separately (the bench
+/// runner, partition-sweep experiments) share one dispatch point.
+pub fn dispatch_build<M: MemoryModel>(
+    mem: &mut M,
+    params: &JoinParams,
+    table: &mut HashTable,
+    build: &Relation,
+) {
+    match params.scheme {
+        JoinScheme::Baseline => baseline::build(mem, params, table, build),
+        JoinScheme::Simple => simple::build(mem, params, table, build),
+        JoinScheme::Group { g } => group::build(mem, params, table, build, g),
+        JoinScheme::Swp { d } => swp::build(mem, params, table, build, d),
+    }
+}
+
+/// Probe-side dispatch on the scheme — the probe half of [`join_pair`].
+pub fn dispatch_probe<M: MemoryModel, S: JoinSink>(
+    mem: &mut M,
+    params: &JoinParams,
+    table: &HashTable,
+    build: &Relation,
+    probe: &Relation,
+    sink: &mut S,
+) {
+    match params.scheme {
+        JoinScheme::Baseline => baseline::probe(mem, params, table, build, probe, sink),
+        JoinScheme::Simple => simple::probe(mem, params, table, build, probe, sink),
+        JoinScheme::Group { g } => group::probe(mem, params, table, build, probe, g, sink),
+        JoinScheme::Swp { d } => swp::probe(mem, params, table, build, probe, d, sink),
+    }
 }
 
 /// A page/slot cursor over a relation that models the input-buffer

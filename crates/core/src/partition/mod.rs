@@ -32,6 +32,7 @@ pub mod group;
 pub mod swp;
 
 use phj_memsim::MemoryModel;
+use phj_obs::{self as obs, Recorder};
 use phj_storage::{tuple::key_bytes_of, Page, Relation, PAGE_SIZE};
 
 use crate::cost;
@@ -124,7 +125,25 @@ pub fn partition_relation<M: MemoryModel>(
     num_partitions: usize,
     use_stored_hash: bool,
 ) -> Vec<Relation> {
+    partition_relation_rec(mem, scheme, input, num_partitions, use_stored_hash, None)
+}
+
+/// [`partition_relation`] with an optional span recorder: the whole pass
+/// over this relation becomes one `"partition"` span annotated with the
+/// scheme, fan-out, and tuple count.
+pub fn partition_relation_rec<M: MemoryModel>(
+    mem: &mut M,
+    scheme: PartitionScheme,
+    input: &Relation,
+    num_partitions: usize,
+    use_stored_hash: bool,
+    mut rec: Option<&mut Recorder>,
+) -> Vec<Relation> {
     assert!(num_partitions > 0);
+    let span = obs::span_begin(&mut rec, mem, "partition");
+    obs::span_meta(&mut rec, "scheme", scheme.label());
+    obs::span_meta(&mut rec, "partitions", num_partitions);
+    obs::span_meta(&mut rec, "tuples", input.num_tuples());
     let mut out = OutputBuffers::new(input, num_partitions);
     match scheme {
         PartitionScheme::Baseline => straight(mem, input, &mut out, false, use_stored_hash),
@@ -140,7 +159,9 @@ pub fn partition_relation<M: MemoryModel>(
         }
     }
     debug_assert_eq!(out.tuples() as usize, input.num_tuples(), "tuples lost");
-    out.finish()
+    let parts = out.finish();
+    obs::span_end(&mut rec, mem, span);
+    parts
 }
 
 /// Read or recompute a tuple's partition-phase hash code.

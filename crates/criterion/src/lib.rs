@@ -1,0 +1,250 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace vendors a minimal, dependency-free harness with the same
+//! surface: [`criterion_group!`]/[`criterion_main!`], [`Criterion`],
+//! benchmark groups with [`Throughput`] and `sample_size`,
+//! [`BenchmarkId`], `bench_function`/`bench_with_input`, `Bencher::iter`,
+//! and [`black_box`].
+//!
+//! It is a *timer*, not a statistics engine: each benchmark runs one
+//! warm-up iteration plus a few timed iterations (scaled down from the
+//! configured sample size) and prints the mean wall-clock time, with
+//! throughput when configured. There is no outlier analysis, no HTML
+//! report, and no saved baseline — `cargo bench` output is a quick smoke
+//! signal; the paper figures come from `crates/bench`'s own binaries.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-group throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Just the parameter (the group supplies the rest of the path).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything `bench_function` accepts as a name.
+pub trait IntoBenchmarkId {
+    /// Convert to the printed identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The benchmark driver handed to every benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark directly on the driver (ungrouped).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", name, self.sample_size, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix, throughput annotation,
+/// and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate throughput for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of samples (scaled down by this stand-in).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into_id(), self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        run_one(&self.name, &id.into_id(), self.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (prints nothing extra in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` once to warm up, then `iters` timed times, accumulating
+    /// wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: F,
+) {
+    // The real crate runs `sample_size` statistical samples; this
+    // stand-in scales that down to a handful of iterations so heavyweight
+    // join benches stay tolerable.
+    let iters = (sample_size as u64).div_ceil(5).max(1);
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / b.iters as f64;
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            println!("{label}: mean {:.3} ms ({:.2} Melem/s)", mean * 1e3, n as f64 / mean / 1e6);
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            println!("{label}: mean {:.3} ms ({:.2} MiB/s)", mean * 1e3, n as f64 / mean / (1 << 20) as f64);
+        }
+        _ => println!("{label}: mean {:.3} ms", mean * 1e3),
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run_closures() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(4)).sample_size(10);
+            g.bench_function("plain", |b| b.iter(|| runs += 1));
+            g.bench_with_input(BenchmarkId::new("with", 3), &3u32, |b, &x| {
+                b.iter(|| runs += x)
+            });
+            g.bench_with_input(BenchmarkId::from_parameter("p"), &1u32, |b, &x| {
+                b.iter(|| runs += x)
+            });
+            g.finish();
+        }
+        c.bench_function("top", |b| b.iter(|| runs += 1));
+        // 4 benches × (1 warmup + 2 timed) iterations each ran.
+        assert!(runs >= 4 * 3);
+    }
+}

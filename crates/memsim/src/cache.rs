@@ -42,6 +42,10 @@ pub enum Evicted {
 struct Line {
     tag: u64,
     ready_at: u64,
+    /// Cycle the fill was requested (for prefetches: the issue time).
+    /// `ready_at - fill_start` is the latency the fill spent in flight —
+    /// the latency a successful prefetch *hides* from the demand access.
+    fill_start: u64,
     valid: bool,
     prefetched: bool,
     used: bool,
@@ -53,6 +57,7 @@ struct Line {
 const INVALID: Line = Line {
     tag: 0,
     ready_at: 0,
+    fill_start: 0,
     valid: false,
     prefetched: false,
     used: false,
@@ -105,28 +110,41 @@ impl SetAssocCache {
 
     /// [`Self::access`] with an explicit read/write flag.
     pub fn access_rw(&mut self, line: u64, now: u64, write: bool) -> Probe {
+        self.access_demand(line, now, write).0
+    }
+
+    /// Demand access that also reports prefetch coverage: on the *first*
+    /// demand touch of a prefetch-installed line, the second component is
+    /// `Some((fill_start, ready_at))` — the window whose latency the
+    /// prefetch took off the critical path.
+    pub fn access_demand(&mut self, line: u64, now: u64, write: bool) -> (Probe, Option<(u64, u64)>) {
         let base = self.set_base(line);
         self.clock += 1;
         let clock = self.clock;
         for w in &mut self.lines[base..base + self.ways] {
             if w.valid && w.tag == line {
+                let pf_first_use =
+                    (w.prefetched && !w.used).then_some((w.fill_start, w.ready_at));
                 w.stamp = clock;
                 w.used = true;
                 w.dirty |= write;
-                return if w.ready_at <= now {
+                let probe = if w.ready_at <= now {
                     Probe::Hit
                 } else {
                     Probe::InFlight(w.ready_at)
                 };
+                return (probe, pf_first_use);
             }
         }
-        Probe::Miss
+        (Probe::Miss, None)
     }
 
-    /// Install `line` with fill completion `ready_at`, evicting the set's
-    /// LRU way if needed. `by_prefetch` tags the line for the
-    /// evicted-before-use statistic. A demand install is born "used".
-    pub fn install(&mut self, line: u64, ready_at: u64, by_prefetch: bool) -> Evicted {
+    /// Install `line` with fill request time `fill_start` and completion
+    /// `ready_at`, evicting the set's LRU way if needed. `by_prefetch`
+    /// tags the line for the evicted-before-use statistic and the hidden
+    /// latency credited on its first demand use. A demand install is born
+    /// "used".
+    pub fn install(&mut self, line: u64, fill_start: u64, ready_at: u64, by_prefetch: bool) -> Evicted {
         let base = self.set_base(line);
         self.clock += 1;
         let clock = self.clock;
@@ -149,6 +167,7 @@ impl SetAssocCache {
         self.lines[victim] = Line {
             tag: line,
             ready_at,
+            fill_start,
             valid: true,
             prefetched: by_prefetch,
             used: !by_prefetch,
@@ -196,14 +215,14 @@ mod tests {
     fn miss_then_hit() {
         let mut c = SetAssocCache::new(4, 2);
         assert_eq!(c.access(42, 0), Probe::Miss);
-        c.install(42, 0, false);
+        c.install(42, 0, 0, false);
         assert_eq!(c.access(42, 1), Probe::Hit);
     }
 
     #[test]
     fn inflight_until_ready() {
         let mut c = SetAssocCache::new(4, 2);
-        c.install(7, 100, true);
+        c.install(7, 0, 100, true);
         assert_eq!(c.access(7, 50), Probe::InFlight(100));
         assert_eq!(c.access(7, 100), Probe::Hit);
     }
@@ -212,10 +231,10 @@ mod tests {
     fn lru_within_set() {
         // 1 set, 2 ways: lines 0 and 4 map to the same set when mask = 0.
         let mut c = SetAssocCache::new(1, 2);
-        c.install(0, 0, false);
-        c.install(1, 0, false);
+        c.install(0, 0, 0, false);
+        c.install(1, 0, 0, false);
         c.access(0, 0); // 0 is MRU
-        c.install(2, 0, false); // evicts 1
+        c.install(2, 0, 0, false); // evicts 1
         assert_eq!(c.probe(0, 0), Probe::Hit);
         assert_eq!(c.probe(1, 0), Probe::Miss);
         assert_eq!(c.probe(2, 0), Probe::Hit);
@@ -224,31 +243,46 @@ mod tests {
     #[test]
     fn eviction_reports_unused_prefetch() {
         let mut c = SetAssocCache::new(1, 1);
-        c.install(1, 10, true); // prefetched, never used
-        let e = c.install(2, 20, false);
+        c.install(1, 0, 10, true); // prefetched, never used
+        let e = c.install(2, 0, 20, false);
         assert_eq!(e, Evicted::Line { prefetched_unused: true, dirty: false });
         // Now use line 2 (demand install counts as used).
-        let e = c.install(3, 30, true);
+        let e = c.install(3, 0, 30, true);
         assert_eq!(e, Evicted::Line { prefetched_unused: false, dirty: false });
     }
 
     #[test]
     fn prefetched_line_used_then_evicted_is_not_wasted() {
         let mut c = SetAssocCache::new(1, 1);
-        c.install(1, 0, true);
+        c.install(1, 0, 0, true);
         assert_eq!(c.access(1, 5), Probe::Hit); // marks used
-        let e = c.install(2, 0, false);
+        let e = c.install(2, 0, 0, false);
         assert_eq!(e, Evicted::Line { prefetched_unused: false, dirty: false });
+    }
+
+    #[test]
+    fn access_demand_reports_first_prefetched_use_only() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.install(7, 5, 100, true); // prefetched at 5, ready at 100
+        let (p, pf) = c.access_demand(7, 150, false);
+        assert_eq!(p, Probe::Hit);
+        assert_eq!(pf, Some((5, 100)), "first demand use reports the fill window");
+        let (p, pf) = c.access_demand(7, 151, false);
+        assert_eq!(p, Probe::Hit);
+        assert_eq!(pf, None, "later uses report nothing");
+        // Demand installs are born used: no coverage report.
+        c.install(8, 0, 0, false);
+        assert_eq!(c.access_demand(8, 1, false).1, None);
     }
 
     #[test]
     fn sets_are_independent() {
         let mut c = SetAssocCache::new(2, 1);
-        c.install(0, 0, false); // set 0
-        c.install(1, 0, false); // set 1
+        c.install(0, 0, 0, false); // set 0
+        c.install(1, 0, 0, false); // set 1
         assert_eq!(c.probe(0, 0), Probe::Hit);
         assert_eq!(c.probe(1, 0), Probe::Hit);
-        c.install(2, 0, false); // set 0 again, evicts 0
+        c.install(2, 0, 0, false); // set 0 again, evicts 0
         assert_eq!(c.probe(0, 0), Probe::Miss);
         assert_eq!(c.probe(1, 0), Probe::Hit);
     }
@@ -257,7 +291,7 @@ mod tests {
     fn flush_invalidates_all() {
         let mut c = SetAssocCache::new(4, 2);
         for l in 0..8u64 {
-            c.install(l, 0, false);
+            c.install(l, 0, 0, false);
         }
         assert_eq!(c.resident(), 8);
         assert_eq!(c.flush(), 8);
@@ -268,12 +302,12 @@ mod tests {
     #[test]
     fn dirty_lines_reported_on_eviction() {
         let mut c = SetAssocCache::new(1, 1);
-        c.install(1, 0, false);
+        c.install(1, 0, 0, false);
         c.access_rw(1, 0, true); // dirty it
-        let e = c.install(2, 0, false);
+        let e = c.install(2, 0, 0, false);
         assert_eq!(e, Evicted::Line { prefetched_unused: false, dirty: true });
         // Clean line evicts clean.
-        let e = c.install(3, 0, false);
+        let e = c.install(3, 0, 0, false);
         assert_eq!(e, Evicted::Line { prefetched_unused: false, dirty: false });
     }
 
@@ -281,10 +315,10 @@ mod tests {
     fn capacity_matches_geometry() {
         let mut c = SetAssocCache::new(256, 4);
         for l in 0..1024u64 {
-            c.install(l, 0, false);
+            c.install(l, 0, 0, false);
         }
         assert_eq!(c.resident(), 1024);
         // One more line must evict something.
-        assert_ne!(c.install(5000, 0, false), Evicted::None);
+        assert_ne!(c.install(5000, 0, 0, false), Evicted::None);
     }
 }

@@ -45,4 +45,4 @@ pub mod tlb;
 pub use config::MemConfig;
 pub use engine::SimEngine;
 pub use model::{MemoryModel, NativeModel, SimModel};
-pub use stats::{Breakdown, CacheStats};
+pub use stats::{Breakdown, CacheStats, Snapshot};

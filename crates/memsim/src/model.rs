@@ -11,6 +11,7 @@
 //! latency T = 1000, periodic cache flushing).
 
 use crate::engine::SimEngine;
+use crate::stats::Snapshot;
 
 /// Instrumentation hooks threaded through the join/partition algorithms.
 ///
@@ -39,6 +40,16 @@ pub trait MemoryModel {
 
     /// `cycles` of non-memory stall (data-dependent branch misprediction).
     fn other(&mut self, cycles: u64);
+
+    /// Breakdown + cache-stats snapshot at this instant, for span-delta
+    /// accounting in the observability layer. Models that do not simulate
+    /// time return all zeros (the recorder then falls back to wall-clock
+    /// timing); the span deltas of a zero snapshot are zero, never
+    /// negative, thanks to the saturating `Sub` impls.
+    #[inline(always)]
+    fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
 }
 
 /// The real-hardware instantiation: zero-cost hooks + hardware prefetch
@@ -118,6 +129,11 @@ impl MemoryModel for SimEngine {
     #[inline]
     fn other(&mut self, cycles: u64) {
         SimEngine::other(self, cycles);
+    }
+
+    #[inline]
+    fn snapshot(&self) -> Snapshot {
+        SimEngine::snapshot(self)
     }
 }
 

@@ -37,12 +37,15 @@ impl Breakdown {
 
 impl Sub for Breakdown {
     type Output = Breakdown;
+    /// Delta between two snapshots. Saturating: an out-of-order pair of
+    /// snapshots yields zeros instead of panicking (debug) or wrapping to
+    /// absurd totals (release).
     fn sub(self, rhs: Breakdown) -> Breakdown {
         Breakdown {
-            busy: self.busy - rhs.busy,
-            dcache_stall: self.dcache_stall - rhs.dcache_stall,
-            dtlb_stall: self.dtlb_stall - rhs.dtlb_stall,
-            other_stall: self.other_stall - rhs.other_stall,
+            busy: self.busy.saturating_sub(rhs.busy),
+            dcache_stall: self.dcache_stall.saturating_sub(rhs.dcache_stall),
+            dtlb_stall: self.dtlb_stall.saturating_sub(rhs.dtlb_stall),
+            other_stall: self.other_stall.saturating_sub(rhs.other_stall),
         }
     }
 }
@@ -94,6 +97,13 @@ pub struct CacheStats {
     /// Prefetched lines evicted from L1 before any demand use — the cache
     /// pollution that appears when G or D grows too large.
     pub pf_evicted_unused: u64,
+    /// Cycles of miss latency hidden by prefetching: on the first demand
+    /// use of a prefetch-installed line, the fill latency that did *not*
+    /// stall the processor (full latency for a completed fill, the
+    /// already-elapsed part for an in-flight one). Together with the
+    /// `dcache_stall` of [`Breakdown`] this yields the *prefetch
+    /// coverage* — the fraction of miss latency prefetching hid.
+    pub pf_hidden_cycles: u64,
     /// D-TLB walks on demand accesses (these stall the processor).
     pub tlb_demand_walks: u64,
     /// D-TLB walks triggered by prefetches (overlapped; they only delay
@@ -126,25 +136,48 @@ impl CacheStats {
 
 impl Sub for CacheStats {
     type Output = CacheStats;
+    /// Delta between two snapshots. Saturating, like `Breakdown::sub`.
     fn sub(self, rhs: CacheStats) -> CacheStats {
         CacheStats {
-            visits: self.visits - rhs.visits,
-            visit_lines: self.visit_lines - rhs.visit_lines,
-            l1_hits: self.l1_hits - rhs.l1_hits,
-            l1_inflight_hits: self.l1_inflight_hits - rhs.l1_inflight_hits,
-            l2_hits: self.l2_hits - rhs.l2_hits,
-            mem_misses: self.mem_misses - rhs.mem_misses,
-            l1_conflict_misses: self.l1_conflict_misses - rhs.l1_conflict_misses,
-            prefetches: self.prefetches - rhs.prefetches,
-            pf_dropped: self.pf_dropped - rhs.pf_dropped,
-            pf_from_l2: self.pf_from_l2 - rhs.pf_from_l2,
-            pf_from_mem: self.pf_from_mem - rhs.pf_from_mem,
-            pf_evicted_unused: self.pf_evicted_unused - rhs.pf_evicted_unused,
-            tlb_demand_walks: self.tlb_demand_walks - rhs.tlb_demand_walks,
-            tlb_prefetch_walks: self.tlb_prefetch_walks - rhs.tlb_prefetch_walks,
-            hw_prefetches: self.hw_prefetches - rhs.hw_prefetches,
-            writebacks: self.writebacks - rhs.writebacks,
-            flushes: self.flushes - rhs.flushes,
+            visits: self.visits.saturating_sub(rhs.visits),
+            visit_lines: self.visit_lines.saturating_sub(rhs.visit_lines),
+            l1_hits: self.l1_hits.saturating_sub(rhs.l1_hits),
+            l1_inflight_hits: self.l1_inflight_hits.saturating_sub(rhs.l1_inflight_hits),
+            l2_hits: self.l2_hits.saturating_sub(rhs.l2_hits),
+            mem_misses: self.mem_misses.saturating_sub(rhs.mem_misses),
+            l1_conflict_misses: self.l1_conflict_misses.saturating_sub(rhs.l1_conflict_misses),
+            prefetches: self.prefetches.saturating_sub(rhs.prefetches),
+            pf_dropped: self.pf_dropped.saturating_sub(rhs.pf_dropped),
+            pf_from_l2: self.pf_from_l2.saturating_sub(rhs.pf_from_l2),
+            pf_from_mem: self.pf_from_mem.saturating_sub(rhs.pf_from_mem),
+            pf_evicted_unused: self.pf_evicted_unused.saturating_sub(rhs.pf_evicted_unused),
+            pf_hidden_cycles: self.pf_hidden_cycles.saturating_sub(rhs.pf_hidden_cycles),
+            tlb_demand_walks: self.tlb_demand_walks.saturating_sub(rhs.tlb_demand_walks),
+            tlb_prefetch_walks: self.tlb_prefetch_walks.saturating_sub(rhs.tlb_prefetch_walks),
+            hw_prefetches: self.hw_prefetches.saturating_sub(rhs.hw_prefetches),
+            writebacks: self.writebacks.saturating_sub(rhs.writebacks),
+            flushes: self.flushes.saturating_sub(rhs.flushes),
+        }
+    }
+}
+
+/// A paired snapshot of [`Breakdown`] and [`CacheStats`] — the unit the
+/// observability layer records at span boundaries
+/// ([`crate::MemoryModel::snapshot`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Execution-time breakdown at the snapshot instant.
+    pub breakdown: Breakdown,
+    /// Cache/prefetch counters at the snapshot instant.
+    pub stats: CacheStats,
+}
+
+impl Sub for Snapshot {
+    type Output = Snapshot;
+    fn sub(self, rhs: Snapshot) -> Snapshot {
+        Snapshot {
+            breakdown: self.breakdown - rhs.breakdown,
+            stats: self.stats - rhs.stats,
         }
     }
 }
@@ -169,6 +202,36 @@ mod tests {
         assert_eq!(d.busy, 6);
         assert_eq!(d.dcache_stall, 12);
         assert_eq!(d.total(), 22);
+    }
+
+    #[test]
+    fn sub_saturates_on_out_of_order_snapshots() {
+        // An "earlier" snapshot subtracted the wrong way round must not
+        // panic (debug) or wrap (release): deltas clamp to zero.
+        let small = Breakdown { busy: 1, dcache_stall: 2, dtlb_stall: 0, other_stall: 0 };
+        let big = Breakdown { busy: 10, dcache_stall: 20, dtlb_stall: 3, other_stall: 4 };
+        let d = small - big;
+        assert_eq!(d, Breakdown::default());
+        let s_small = CacheStats { visits: 1, prefetches: 2, ..Default::default() };
+        let s_big = CacheStats { visits: 9, prefetches: 9, ..Default::default() };
+        let sd = s_small - s_big;
+        assert_eq!(sd, CacheStats::default());
+    }
+
+    #[test]
+    fn snapshot_sub_is_componentwise() {
+        let a = Snapshot {
+            breakdown: Breakdown { busy: 10, dcache_stall: 5, dtlb_stall: 1, other_stall: 0 },
+            stats: CacheStats { prefetches: 4, pf_hidden_cycles: 300, ..Default::default() },
+        };
+        let b = Snapshot {
+            breakdown: Breakdown { busy: 4, ..Default::default() },
+            stats: CacheStats { prefetches: 1, pf_hidden_cycles: 100, ..Default::default() },
+        };
+        let d = a - b;
+        assert_eq!(d.breakdown.busy, 6);
+        assert_eq!(d.stats.prefetches, 3);
+        assert_eq!(d.stats.pf_hidden_cycles, 200);
     }
 
     #[test]

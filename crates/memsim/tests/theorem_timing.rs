@@ -118,6 +118,7 @@ fn bandwidth_bound_regime() {
 /// Figure 7(b): the general software-pipelined prefetching algorithm —
 /// iteration `it` runs code 0 + prefetch for element `it`, stage `r` for
 /// element `it - r·D`.
+#[allow(clippy::needless_range_loop)] // r is the stage number, not just an index
 fn run_swp(costs: &[u64; K + 1], d: usize) -> u64 {
     let mut e = SimEngine::paper();
     let mut it = 0usize;

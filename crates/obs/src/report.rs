@@ -1,0 +1,524 @@
+//! Structured run reports: config fingerprint + per-span metrics +
+//! derived rates, serialized as JSON.
+
+use crate::json::{self, Json};
+use crate::span::{Recorder, SpanRecord};
+use phj_memsim::{Breakdown, CacheStats, Snapshot};
+
+/// Report format version (bump on breaking layout changes).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A complete, serializable description of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// What ran (`"join"`, `"agg"`, `"tune"`, or a bench slug).
+    pub command: String,
+    /// Config fingerprint: ordered key–value pairs (scheme, G, D, tuple
+    /// size, memory-model parameters…). Strings so the report layer does
+    /// not depend on the algorithm crates.
+    pub config: Vec<(String, String)>,
+    /// True when the run drove the cycle-level simulator (cycle numbers
+    /// are meaningful); false for native runs (wall-clock only).
+    pub simulated: bool,
+    /// Whole-run memory-model delta.
+    pub totals: Snapshot,
+    /// Whole-run wall-clock time in nanoseconds.
+    pub wall_ns: u64,
+    /// Input tuples processed (build + probe), for rate derivation.
+    pub tuples: u64,
+    /// Join matches (or aggregate groups) produced.
+    pub matches: u64,
+    /// The recorded phase spans, in open order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl RunReport {
+    /// Build a report from a finished recorder. `totals` is the
+    /// whole-run snapshot delta (typically the engine's final snapshot,
+    /// since it starts at zero).
+    pub fn from_recorder(
+        command: &str,
+        recorder: Recorder,
+        totals: Snapshot,
+        wall_ns: u64,
+    ) -> Self {
+        RunReport {
+            command: command.to_string(),
+            config: Vec::new(),
+            simulated: false,
+            totals,
+            wall_ns,
+            tuples: 0,
+            matches: 0,
+            spans: recorder.finish(),
+        }
+    }
+
+    /// Append a config fingerprint entry.
+    pub fn config_kv(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.config.push((key.to_string(), value.to_string()));
+    }
+
+    /// Fraction of miss latency hidden by prefetching, in `[0, 1]`:
+    /// `pf_hidden_cycles / (pf_hidden_cycles + dcache_stall)`. Zero when
+    /// nothing was prefetched *and* nothing stalled (e.g. native runs).
+    pub fn prefetch_coverage(&self) -> f64 {
+        coverage(&self.totals)
+    }
+
+    /// Fraction of prefetches whose line was evicted before any demand
+    /// use: `pf_evicted_unused / prefetches`; zero when no prefetches
+    /// were issued.
+    pub fn pollution_rate(&self) -> f64 {
+        pollution(&self.totals.stats)
+    }
+
+    /// Input tuples per wall-clock second (zero when untimed).
+    pub fn tuples_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.tuples as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+
+    /// Simulated cycles per input tuple (`None` for native runs or empty
+    /// inputs).
+    pub fn cycles_per_tuple(&self) -> Option<f64> {
+        let cycles = self.totals.breakdown.total();
+        if self.simulated && self.tuples > 0 {
+            Some(cycles as f64 / self.tuples as f64)
+        } else {
+            None
+        }
+    }
+
+    /// Serialize to a JSON document.
+    pub fn to_json(&self) -> Json {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("name", Json::Str(s.name.clone())),
+                    (
+                        "parent",
+                        s.parent.map_or(Json::Null, |p| Json::U64(p as u64)),
+                    ),
+                    ("depth", Json::U64(s.depth as u64)),
+                    ("start_ns", Json::U64(s.start_ns)),
+                    ("wall_ns", Json::U64(s.wall_ns)),
+                    ("breakdown", breakdown_json(&s.delta.breakdown)),
+                    ("cache", cache_json(&s.delta.stats)),
+                    ("prefetch_coverage", Json::F64(coverage(&s.delta))),
+                    (
+                        "meta",
+                        Json::Obj(
+                            s.meta
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema_version", Json::U64(SCHEMA_VERSION)),
+            ("command", Json::Str(self.command.clone())),
+            ("simulated", Json::Bool(self.simulated)),
+            (
+                "config",
+                Json::Obj(
+                    self.config
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            ("wall_ns", Json::U64(self.wall_ns)),
+            ("tuples", Json::U64(self.tuples)),
+            ("matches", Json::U64(self.matches)),
+            ("breakdown", breakdown_json(&self.totals.breakdown)),
+            ("cache", cache_json(&self.totals.stats)),
+            (
+                "derived",
+                Json::obj(vec![
+                    ("tuples_per_sec", Json::F64(self.tuples_per_sec())),
+                    (
+                        "cycles_per_tuple",
+                        self.cycles_per_tuple().map_or(Json::Null, Json::F64),
+                    ),
+                    ("prefetch_coverage", Json::F64(self.prefetch_coverage())),
+                    ("pollution_rate", Json::F64(self.pollution_rate())),
+                ]),
+            ),
+            ("spans", Json::Arr(spans)),
+        ])
+    }
+
+    /// Serialize to pretty-printed JSON text.
+    pub fn render(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Parse a report back from JSON text (the inverse of [`Self::render`]
+    /// for every field the report model carries).
+    pub fn parse(text: &str) -> Result<RunReport, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let version = field_u64(&doc, "schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!("unsupported schema_version {version}"));
+        }
+        let spans = doc
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or("missing spans array")?
+            .iter()
+            .map(parse_span)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RunReport {
+            command: field_str(&doc, "command")?,
+            config: parse_kv(&doc, "config")?,
+            simulated: matches!(doc.get("simulated"), Some(Json::Bool(true))),
+            totals: Snapshot {
+                breakdown: parse_breakdown(doc.get("breakdown").ok_or("missing breakdown")?)?,
+                stats: parse_cache(doc.get("cache").ok_or("missing cache")?)?,
+            },
+            wall_ns: field_u64(&doc, "wall_ns")?,
+            tuples: field_u64(&doc, "tuples")?,
+            matches: field_u64(&doc, "matches")?,
+            spans,
+        })
+    }
+
+    /// Structural sanity checks; `Err` carries the first violation.
+    ///
+    /// * at least one span, exactly one root (depth 0, no parent);
+    /// * parents precede children and depths are parent + 1;
+    /// * children's cycle totals sum to at most their parent's;
+    /// * the root span's cycle total equals the report's total (the root
+    ///   wraps the whole run).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.spans.is_empty() {
+            return Err("no spans recorded".into());
+        }
+        let roots: Vec<usize> = (0..self.spans.len())
+            .filter(|&i| self.spans[i].parent.is_none())
+            .collect();
+        if roots.len() != 1 {
+            return Err(format!("expected exactly one root span, found {}", roots.len()));
+        }
+        let mut child_cycles = vec![0u64; self.spans.len()];
+        for (i, s) in self.spans.iter().enumerate() {
+            match s.parent {
+                None => {
+                    if s.depth != 0 {
+                        return Err(format!("root span '{}' has depth {}", s.name, s.depth));
+                    }
+                }
+                Some(p) => {
+                    if p >= i {
+                        return Err(format!("span '{}' parent {} does not precede it", s.name, p));
+                    }
+                    if s.depth != self.spans[p].depth + 1 {
+                        return Err(format!("span '{}' depth {} under parent depth {}",
+                            s.name, s.depth, self.spans[p].depth));
+                    }
+                    child_cycles[p] += s.delta.breakdown.total();
+                }
+            }
+        }
+        for (i, s) in self.spans.iter().enumerate() {
+            if child_cycles[i] > s.delta.breakdown.total() {
+                return Err(format!(
+                    "children of span '{}' account {} cycles > parent's {}",
+                    s.name,
+                    child_cycles[i],
+                    s.delta.breakdown.total()
+                ));
+            }
+        }
+        let root = roots[0];
+        let root_cycles = self.spans[root].delta.breakdown.total();
+        if self.simulated && root_cycles != self.totals.breakdown.total() {
+            return Err(format!(
+                "root span cycles {} != run total {}",
+                root_cycles,
+                self.totals.breakdown.total()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Coverage for one snapshot delta (see
+/// [`RunReport::prefetch_coverage`]).
+pub fn coverage(s: &Snapshot) -> f64 {
+    let hidden = s.stats.pf_hidden_cycles;
+    let exposed = s.breakdown.dcache_stall;
+    if hidden + exposed == 0 {
+        0.0
+    } else {
+        hidden as f64 / (hidden + exposed) as f64
+    }
+}
+
+/// Pollution rate for one stats delta (see
+/// [`RunReport::pollution_rate`]).
+pub fn pollution(s: &CacheStats) -> f64 {
+    if s.prefetches == 0 {
+        0.0
+    } else {
+        s.pf_evicted_unused as f64 / s.prefetches as f64
+    }
+}
+
+fn breakdown_json(b: &Breakdown) -> Json {
+    Json::obj(vec![
+        ("busy", Json::U64(b.busy)),
+        ("dcache_stall", Json::U64(b.dcache_stall)),
+        ("dtlb_stall", Json::U64(b.dtlb_stall)),
+        ("other_stall", Json::U64(b.other_stall)),
+        ("total", Json::U64(b.total())),
+    ])
+}
+
+fn cache_json(s: &CacheStats) -> Json {
+    Json::obj(vec![
+        ("visits", Json::U64(s.visits)),
+        ("visit_lines", Json::U64(s.visit_lines)),
+        ("l1_hits", Json::U64(s.l1_hits)),
+        ("l1_inflight_hits", Json::U64(s.l1_inflight_hits)),
+        ("l2_hits", Json::U64(s.l2_hits)),
+        ("mem_misses", Json::U64(s.mem_misses)),
+        ("l1_conflict_misses", Json::U64(s.l1_conflict_misses)),
+        ("prefetches", Json::U64(s.prefetches)),
+        ("pf_dropped", Json::U64(s.pf_dropped)),
+        ("pf_from_l2", Json::U64(s.pf_from_l2)),
+        ("pf_from_mem", Json::U64(s.pf_from_mem)),
+        ("pf_evicted_unused", Json::U64(s.pf_evicted_unused)),
+        ("pf_hidden_cycles", Json::U64(s.pf_hidden_cycles)),
+        ("tlb_demand_walks", Json::U64(s.tlb_demand_walks)),
+        ("tlb_prefetch_walks", Json::U64(s.tlb_prefetch_walks)),
+        ("hw_prefetches", Json::U64(s.hw_prefetches)),
+        ("writebacks", Json::U64(s.writebacks)),
+        ("flushes", Json::U64(s.flushes)),
+    ])
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key).and_then(Json::as_u64).ok_or_else(|| format!("missing u64 field '{key}'"))
+}
+
+fn field_str(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn parse_kv(doc: &Json, key: &str) -> Result<Vec<(String, String)>, String> {
+    match doc.get(key) {
+        Some(Json::Obj(members)) => members
+            .iter()
+            .map(|(k, v)| {
+                v.as_str()
+                    .map(|s| (k.clone(), s.to_string()))
+                    .ok_or_else(|| format!("non-string value in '{key}'"))
+            })
+            .collect(),
+        _ => Err(format!("missing object field '{key}'")),
+    }
+}
+
+fn parse_breakdown(doc: &Json) -> Result<Breakdown, String> {
+    Ok(Breakdown {
+        busy: field_u64(doc, "busy")?,
+        dcache_stall: field_u64(doc, "dcache_stall")?,
+        dtlb_stall: field_u64(doc, "dtlb_stall")?,
+        other_stall: field_u64(doc, "other_stall")?,
+    })
+}
+
+fn parse_cache(doc: &Json) -> Result<CacheStats, String> {
+    Ok(CacheStats {
+        visits: field_u64(doc, "visits")?,
+        visit_lines: field_u64(doc, "visit_lines")?,
+        l1_hits: field_u64(doc, "l1_hits")?,
+        l1_inflight_hits: field_u64(doc, "l1_inflight_hits")?,
+        l2_hits: field_u64(doc, "l2_hits")?,
+        mem_misses: field_u64(doc, "mem_misses")?,
+        l1_conflict_misses: field_u64(doc, "l1_conflict_misses")?,
+        prefetches: field_u64(doc, "prefetches")?,
+        pf_dropped: field_u64(doc, "pf_dropped")?,
+        pf_from_l2: field_u64(doc, "pf_from_l2")?,
+        pf_from_mem: field_u64(doc, "pf_from_mem")?,
+        pf_evicted_unused: field_u64(doc, "pf_evicted_unused")?,
+        pf_hidden_cycles: field_u64(doc, "pf_hidden_cycles")?,
+        tlb_demand_walks: field_u64(doc, "tlb_demand_walks")?,
+        tlb_prefetch_walks: field_u64(doc, "tlb_prefetch_walks")?,
+        hw_prefetches: field_u64(doc, "hw_prefetches")?,
+        writebacks: field_u64(doc, "writebacks")?,
+        flushes: field_u64(doc, "flushes")?,
+    })
+}
+
+fn parse_span(doc: &Json) -> Result<SpanRecord, String> {
+    let mut span = SpanRecord::reconstruct(
+        field_str(doc, "name")?,
+        match doc.get("parent") {
+            Some(Json::Null) | None => None,
+            Some(v) => Some(v.as_u64().ok_or("bad span parent")? as usize),
+        },
+        field_u64(doc, "depth")? as usize,
+        field_u64(doc, "start_ns")?,
+        field_u64(doc, "wall_ns")?,
+        Snapshot {
+            breakdown: parse_breakdown(doc.get("breakdown").ok_or("span missing breakdown")?)?,
+            stats: parse_cache(doc.get("cache").ok_or("span missing cache")?)?,
+        },
+    );
+    if let Some(Json::Obj(members)) = doc.get("meta") {
+        for (k, v) in members {
+            span.meta.push((k.clone(), v.as_str().unwrap_or_default().to_string()));
+        }
+    }
+    Ok(span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_snapshot() -> Snapshot {
+        Snapshot {
+            breakdown: Breakdown { busy: 100, dcache_stall: 60, dtlb_stall: 12, other_stall: 3 },
+            stats: CacheStats {
+                prefetches: 10,
+                pf_evicted_unused: 2,
+                pf_hidden_cycles: 90,
+                mem_misses: 4,
+                ..Default::default()
+            },
+        }
+    }
+
+    fn report_with_spans() -> RunReport {
+        let mut rec = Recorder::new();
+        let root = rec.begin("run", Snapshot::default());
+        let inner = rec.begin("build", Snapshot::default());
+        rec.meta("tuples", 7);
+        rec.end(
+            inner,
+            Snapshot {
+                breakdown: Breakdown { busy: 40, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        rec.end(root, sim_snapshot());
+        let mut report = RunReport::from_recorder("join", rec, sim_snapshot(), 5_000);
+        report.simulated = true;
+        report.tuples = 1_000;
+        report.matches = 500;
+        report.config_kv("scheme", "group");
+        report.config_kv("g", 16);
+        report
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report_with_spans();
+        // coverage = 90 / (90 + 60)
+        assert!((r.prefetch_coverage() - 0.6).abs() < 1e-12);
+        // pollution = 2 / 10
+        assert!((r.pollution_rate() - 0.2).abs() < 1e-12);
+        // 1000 tuples in 5 µs
+        assert!((r.tuples_per_sec() - 2e8).abs() < 1.0);
+        // 175 cycles / 1000 tuples
+        assert!((r.cycles_per_tuple().unwrap() - 0.175).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_edge_cases() {
+        // Zero prefetches, zero misses: no latency at all → coverage 0.
+        assert_eq!(coverage(&Snapshot::default()), 0.0);
+        // Misses but no prefetching: nothing hidden.
+        let all_exposed = Snapshot {
+            breakdown: Breakdown { dcache_stall: 500, ..Default::default() },
+            ..Default::default()
+        };
+        assert_eq!(coverage(&all_exposed), 0.0);
+        // Prefetching hid everything: no residual stall → coverage 1.
+        let all_hidden = Snapshot {
+            stats: CacheStats { pf_hidden_cycles: 300, ..Default::default() },
+            ..Default::default()
+        };
+        assert_eq!(coverage(&all_hidden), 1.0);
+        // Pollution with zero prefetches is 0, not NaN.
+        assert_eq!(pollution(&CacheStats::default()), 0.0);
+        let p = CacheStats { prefetches: 4, pf_evicted_unused: 4, ..Default::default() };
+        assert_eq!(pollution(&p), 1.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report_with_spans();
+        let text = r.render();
+        let back = RunReport::parse(&text).expect("parse");
+        assert_eq!(back.command, r.command);
+        assert_eq!(back.config, r.config);
+        assert_eq!(back.simulated, r.simulated);
+        assert_eq!(back.totals, r.totals);
+        assert_eq!(back.wall_ns, r.wall_ns);
+        assert_eq!(back.tuples, r.tuples);
+        assert_eq!(back.matches, r.matches);
+        assert_eq!(back.spans.len(), r.spans.len());
+        for (a, b) in back.spans.iter().zip(&r.spans) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.parent, b.parent);
+            assert_eq!(a.depth, b.depth);
+            assert_eq!(a.wall_ns, b.wall_ns);
+            assert_eq!(a.delta, b.delta);
+            assert_eq!(a.meta, b.meta);
+        }
+        // And the round-tripped report validates like the original.
+        assert_eq!(back.validate(), r.validate());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_reports() {
+        report_with_spans().validate().expect("valid");
+    }
+
+    #[test]
+    fn validate_rejects_structural_violations() {
+        let mut r = report_with_spans();
+        r.spans.clear();
+        assert!(r.validate().unwrap_err().contains("no spans"));
+
+        let mut r = report_with_spans();
+        r.spans[1].delta.breakdown.busy = r.spans[0].delta.breakdown.total() + 1;
+        assert!(r.validate().unwrap_err().contains("children"));
+
+        let mut r = report_with_spans();
+        r.totals.breakdown.busy += 1;
+        assert!(r.validate().unwrap_err().contains("run total"));
+
+        let mut r = report_with_spans();
+        let orphan = r.spans[1].clone();
+        r.spans.push(orphan); // second depth-1 span is fine…
+        r.spans.last_mut().unwrap().parent = None; // …a second root is not
+        assert!(r.validate().unwrap_err().contains("root"));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_garbage() {
+        assert!(RunReport::parse("{}").is_err());
+        assert!(RunReport::parse("not json").is_err());
+        let mut r = report_with_spans();
+        r.spans.truncate(0);
+        let doc = r.render().replace("\"schema_version\": 1", "\"schema_version\": 999");
+        assert!(RunReport::parse(&doc).unwrap_err().contains("schema_version"));
+    }
+}

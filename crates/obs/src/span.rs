@@ -1,0 +1,284 @@
+//! Phase spans: nested begin/end intervals with memory-model deltas.
+//!
+//! A [`Recorder`] collects [`SpanRecord`]s as the join pipeline runs: the
+//! GRACE driver opens a span per pass, the partition pass opens one per
+//! relation, the join phase one per partition pair, and build/probe nest
+//! inside those. Each span captures wall-clock time (always) and the
+//! delta of the memory model's [`Snapshot`] between entry and exit — so
+//! under the simulator every span carries its own cycle
+//! [`Breakdown`](phj_memsim::Breakdown) and
+//! [`CacheStats`](phj_memsim::CacheStats), while under [`NativeModel`]
+//! the snapshots are zero and wall-clock is the signal.
+//!
+//! The algorithms take `Option<&mut Recorder>` so the hot paths stay
+//! recorder-free when observability is off; the [`span_begin`] /
+//! [`span_end`] / [`span_meta`] helpers make that optional threading a
+//! one-liner at each phase boundary.
+//!
+//! [`NativeModel`]: phj_memsim::NativeModel
+
+use phj_memsim::{MemoryModel, Snapshot};
+use std::time::Instant;
+
+/// Identifier of a span within its recorder (index into
+/// [`Recorder::spans`]).
+pub type SpanId = usize;
+
+/// One recorded phase interval.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Phase name (`"grace_join"`, `"partition"`, `"build"`, …).
+    pub name: String,
+    /// Index of the enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Nesting depth (roots are 0).
+    pub depth: usize,
+    /// Wall-clock start, nanoseconds since the recorder was created.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub wall_ns: u64,
+    /// Memory-model snapshot at span entry (running totals).
+    pub enter: Snapshot,
+    /// Snapshot delta over the span (saturating; all-zero under a
+    /// non-simulating model).
+    pub delta: Snapshot,
+    /// Free-form key–value annotations (partition index, tuple counts…).
+    pub meta: Vec<(String, String)>,
+    closed: bool,
+}
+
+impl SpanRecord {
+    /// Whether `end` has been called for this span.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Rebuild a (closed) span from its serialized fields — the
+    /// deserialization path of
+    /// [`RunReport::parse`](crate::report::RunReport::parse).
+    pub fn reconstruct(
+        name: String,
+        parent: Option<SpanId>,
+        depth: usize,
+        start_ns: u64,
+        wall_ns: u64,
+        delta: Snapshot,
+    ) -> SpanRecord {
+        SpanRecord {
+            name,
+            parent,
+            depth,
+            start_ns,
+            wall_ns,
+            enter: Snapshot::default(),
+            delta,
+            meta: Vec::new(),
+            closed: true,
+        }
+    }
+}
+
+/// Collects nested spans. Create one per run, thread it (optionally)
+/// through the pipeline, then hand it to
+/// [`RunReport::from_recorder`](crate::report::RunReport::from_recorder).
+#[derive(Debug)]
+pub struct Recorder {
+    origin: Instant,
+    spans: Vec<SpanRecord>,
+    stack: Vec<SpanId>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A fresh recorder; wall-clock zero is now.
+    pub fn new() -> Self {
+        Recorder { origin: Instant::now(), spans: Vec::new(), stack: Vec::new() }
+    }
+
+    /// Open a span named `name`, nested inside the currently open span
+    /// (if any). `enter` is the memory model's snapshot at this instant.
+    pub fn begin(&mut self, name: &str, enter: Snapshot) -> SpanId {
+        let id = self.spans.len();
+        self.spans.push(SpanRecord {
+            name: name.to_string(),
+            parent: self.stack.last().copied(),
+            depth: self.stack.len(),
+            start_ns: self.origin.elapsed().as_nanos() as u64,
+            wall_ns: 0,
+            enter,
+            delta: Snapshot::default(),
+            meta: Vec::new(),
+            closed: false,
+        });
+        self.stack.push(id);
+        id
+    }
+
+    /// Close span `id` with the model's snapshot at exit. Spans must
+    /// close innermost-first; closing anything but the innermost open
+    /// span panics (it means a phase wrapper leaked a span).
+    pub fn end(&mut self, id: SpanId, exit: Snapshot) {
+        let top = self.stack.pop().expect("Recorder::end with no open span");
+        assert_eq!(top, id, "spans must close innermost-first");
+        let span = &mut self.spans[id];
+        span.wall_ns = (self.origin.elapsed().as_nanos() as u64).saturating_sub(span.start_ns);
+        span.delta = exit - span.enter;
+        span.closed = true;
+    }
+
+    /// Annotate the innermost open span (no-op when none is open).
+    pub fn meta(&mut self, key: &str, value: impl std::fmt::Display) {
+        if let Some(&id) = self.stack.last() {
+            self.spans[id].meta.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// All spans, in open order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Number of spans still open.
+    pub fn open_spans(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Consume the recorder, returning its spans. Panics if any span is
+    /// still open — every `begin` must have seen its `end`.
+    pub fn finish(self) -> Vec<SpanRecord> {
+        assert!(self.stack.is_empty(), "Recorder::finish with {} open span(s)", self.stack.len());
+        self.spans
+    }
+}
+
+/// Open a span on an optional recorder, snapshotting `model`. Returns
+/// `None` (for the matching [`span_end`]) when no recorder is attached.
+pub fn span_begin<M: MemoryModel>(
+    rec: &mut Option<&mut Recorder>,
+    model: &M,
+    name: &str,
+) -> Option<SpanId> {
+    rec.as_deref_mut().map(|r| r.begin(name, model.snapshot()))
+}
+
+/// Close the span opened by the matching [`span_begin`].
+pub fn span_end<M: MemoryModel>(
+    rec: &mut Option<&mut Recorder>,
+    model: &M,
+    id: Option<SpanId>,
+) {
+    if let (Some(r), Some(id)) = (rec.as_deref_mut(), id) {
+        r.end(id, model.snapshot());
+    }
+}
+
+/// Annotate the innermost open span of an optional recorder.
+pub fn span_meta(rec: &mut Option<&mut Recorder>, key: &str, value: impl std::fmt::Display) {
+    if let Some(r) = rec.as_deref_mut() {
+        r.meta(key, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phj_memsim::{Breakdown, CacheStats};
+
+    fn snap(busy: u64, prefetches: u64) -> Snapshot {
+        Snapshot {
+            breakdown: Breakdown { busy, ..Default::default() },
+            stats: CacheStats { prefetches, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn nesting_records_parents_and_depths() {
+        let mut r = Recorder::new();
+        let a = r.begin("join", snap(0, 0));
+        let b = r.begin("partition", snap(10, 1));
+        r.meta("rel", 0);
+        r.end(b, snap(30, 2));
+        let c = r.begin("pair", snap(30, 2));
+        let d = r.begin("build", snap(31, 2));
+        r.end(d, snap(40, 3));
+        r.end(c, snap(45, 3));
+        r.end(a, snap(50, 4));
+        let spans = r.finish();
+        let shape: Vec<(&str, Option<usize>, usize)> =
+            spans.iter().map(|s| (s.name.as_str(), s.parent, s.depth)).collect();
+        assert_eq!(
+            shape,
+            vec![
+                ("join", None, 0),
+                ("partition", Some(0), 1),
+                ("pair", Some(0), 1),
+                ("build", Some(2), 2),
+            ]
+        );
+        assert_eq!(spans[1].meta, vec![("rel".to_string(), "0".to_string())]);
+        assert_eq!(spans[1].delta.breakdown.busy, 20);
+        assert_eq!(spans[1].delta.stats.prefetches, 1);
+        assert_eq!(spans[0].delta.breakdown.busy, 50);
+        assert!(spans.iter().all(|s| s.is_closed()));
+    }
+
+    #[test]
+    #[should_panic(expected = "innermost-first")]
+    fn out_of_order_end_panics() {
+        let mut r = Recorder::new();
+        let a = r.begin("outer", Snapshot::default());
+        let _b = r.begin("inner", Snapshot::default());
+        r.end(a, Snapshot::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "open span")]
+    fn finish_with_open_span_panics() {
+        let mut r = Recorder::new();
+        r.begin("left-open", Snapshot::default());
+        let _ = r.finish();
+    }
+
+    #[test]
+    fn optional_helpers_are_noops_without_recorder() {
+        let mut rec: Option<&mut Recorder> = None;
+        let model = phj_memsim::NativeModel;
+        let id = span_begin(&mut rec, &model, "x");
+        assert_eq!(id, None);
+        span_meta(&mut rec, "k", 1);
+        span_end(&mut rec, &model, id); // must not panic
+    }
+
+    #[test]
+    fn optional_helpers_record_through_some() {
+        let mut recorder = Recorder::new();
+        let model = phj_memsim::NativeModel;
+        {
+            let mut rec = Some(&mut recorder);
+            let id = span_begin(&mut rec, &model, "phase");
+            span_meta(&mut rec, "tuples", 42);
+            span_end(&mut rec, &model, id);
+        }
+        let spans = recorder.finish();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "phase");
+        assert_eq!(spans[0].meta[0], ("tuples".to_string(), "42".to_string()));
+        // NativeModel snapshots are zero, so the delta is zero.
+        assert_eq!(spans[0].delta, Snapshot::default());
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_nonnegative() {
+        let mut r = Recorder::new();
+        let a = r.begin("t", Snapshot::default());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        r.end(a, Snapshot::default());
+        let spans = r.finish();
+        assert!(spans[0].wall_ns >= 1_000_000, "slept ≥ 1 ms: {}", spans[0].wall_ns);
+    }
+}

@@ -1,0 +1,144 @@
+//! `chrome://tracing` / Perfetto export.
+//!
+//! Emits the Trace Event Format's JSON object form: a `traceEvents`
+//! array of `"ph": "X"` (complete) events, one per recorded span, on a
+//! single process/thread track. Load the file at <https://ui.perfetto.dev>
+//! or `chrome://tracing` to see the phase hierarchy on a timeline.
+//!
+//! Timebase: the trace format counts microseconds. Simulated runs map
+//! **1 simulated cycle → 1 µs** (positions and widths are then exact
+//! cycle counts, just read "µs" as "cycles"); native runs use real
+//! wall-clock microseconds.
+
+use crate::json::Json;
+use crate::report::{coverage, RunReport};
+
+/// Render `report` as a Trace Event Format JSON document.
+pub fn trace_json(report: &RunReport) -> Json {
+    let mut events = Vec::with_capacity(report.spans.len() + 1);
+    // Name the (single) track after the command.
+    events.push(Json::obj(vec![
+        ("ph", Json::Str("M".into())),
+        ("pid", Json::U64(1)),
+        ("tid", Json::U64(1)),
+        ("name", Json::Str("process_name".into())),
+        (
+            "args",
+            Json::obj(vec![("name", Json::Str(format!("phj {}", report.command)))]),
+        ),
+    ]));
+    // Simulated spans are placed by cycle counts (enter/exit snapshots);
+    // native spans by wall clock.
+    for s in &report.spans {
+        let (ts, dur) = if report.simulated {
+            (
+                Json::U64(s.enter.breakdown.total()),
+                Json::U64(s.delta.breakdown.total()),
+            )
+        } else {
+            (
+                Json::F64(s.start_ns as f64 / 1e3),
+                Json::F64(s.wall_ns as f64 / 1e3),
+            )
+        };
+        let mut args = vec![
+            ("busy".to_string(), Json::U64(s.delta.breakdown.busy)),
+            ("dcache_stall".to_string(), Json::U64(s.delta.breakdown.dcache_stall)),
+            ("dtlb_stall".to_string(), Json::U64(s.delta.breakdown.dtlb_stall)),
+            ("other_stall".to_string(), Json::U64(s.delta.breakdown.other_stall)),
+            ("prefetches".to_string(), Json::U64(s.delta.stats.prefetches)),
+            ("prefetch_coverage".to_string(), Json::F64(coverage(&s.delta))),
+        ];
+        for (k, v) in &s.meta {
+            args.push((k.clone(), Json::Str(v.clone())));
+        }
+        events.push(Json::obj(vec![
+            ("ph", Json::Str("X".into())),
+            ("pid", Json::U64(1)),
+            ("tid", Json::U64(1)),
+            ("name", Json::Str(s.name.clone())),
+            ("cat", Json::Str(if report.simulated { "sim" } else { "native" }.into())),
+            ("ts", ts),
+            ("dur", dur),
+            ("args", Json::Obj(args)),
+        ]));
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        (
+            "displayTimeUnit",
+            Json::Str(if report.simulated { "ns" } else { "ms" }.into()),
+        ),
+    ])
+}
+
+/// [`trace_json`] rendered to compact text (the file format).
+pub fn trace_text(report: &RunReport) -> String {
+    trace_json(report).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::span::Recorder;
+    use phj_memsim::{Breakdown, Snapshot};
+
+    fn snap(busy: u64) -> Snapshot {
+        Snapshot {
+            breakdown: Breakdown { busy, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    fn sim_report() -> RunReport {
+        let mut rec = Recorder::new();
+        let run = rec.begin("run", snap(0));
+        let build = rec.begin("build", snap(5));
+        rec.meta("partition", 3);
+        rec.end(build, snap(45));
+        let probe = rec.begin("probe", snap(45));
+        rec.end(probe, snap(100));
+        rec.end(run, snap(100));
+        let mut r = RunReport::from_recorder("join", rec, snap(100), 1_000);
+        r.simulated = true;
+        r
+    }
+
+    #[test]
+    fn sim_events_are_cycle_positioned() {
+        let doc = trace_json(&sim_report());
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // Metadata event + 3 spans.
+        assert_eq!(events.len(), 4);
+        let build = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("build"))
+            .unwrap();
+        assert_eq!(build.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(build.get("ts").unwrap().as_u64(), Some(5));
+        assert_eq!(build.get("dur").unwrap().as_u64(), Some(40));
+        // Span meta rides along in args.
+        assert_eq!(
+            build.get("args").unwrap().get("partition").unwrap().as_str(),
+            Some("3")
+        );
+        // The document itself is valid JSON.
+        assert!(json::parse(&trace_text(&sim_report())).is_ok());
+    }
+
+    #[test]
+    fn native_events_use_wall_clock_microseconds() {
+        let mut rec = Recorder::new();
+        let id = rec.begin("run", Snapshot::default());
+        rec.end(id, Snapshot::default());
+        let mut r = RunReport::from_recorder("join", rec, Snapshot::default(), 2_500);
+        r.spans[0].start_ns = 1_500;
+        r.spans[0].wall_ns = 2_500;
+        let doc = trace_json(&r);
+        let run = &doc.get("traceEvents").unwrap().as_arr().unwrap()[1];
+        assert_eq!(run.get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(run.get("dur").unwrap().as_f64(), Some(2.5));
+        assert_eq!(run.get("cat").unwrap().as_str(), Some("native"));
+    }
+}

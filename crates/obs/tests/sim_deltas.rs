@@ -1,0 +1,92 @@
+//! Span deltas against the real cycle-level engine: what a span records
+//! must equal what the engine did between its boundaries.
+
+use phj_memsim::{MemConfig, SimEngine};
+use phj_obs::{Recorder, RunReport};
+
+const A: usize = 0x10000; // line-aligned, distinct pages
+const B: usize = 0x40000;
+
+#[test]
+fn span_deltas_partition_engine_activity() {
+    let mut e = SimEngine::new(MemConfig::paper());
+    let mut rec = Recorder::new();
+
+    let run = rec.begin("run", e.snapshot());
+
+    // Phase 1: pure computation.
+    let busy_phase = rec.begin("busy", e.snapshot());
+    e.busy(500);
+    rec.end(busy_phase, e.snapshot());
+
+    // Phase 2: a demand miss.
+    let miss_phase = rec.begin("miss", e.snapshot());
+    e.visit(A, 8);
+    rec.end(miss_phase, e.snapshot());
+
+    // Phase 3: a fully covered prefetch.
+    let pf_phase = rec.begin("prefetched", e.snapshot());
+    e.prefetch(B, 8);
+    e.busy(1000);
+    e.visit(B, 8);
+    rec.end(pf_phase, e.snapshot());
+
+    rec.end(run, e.snapshot());
+    let spans = rec.finish();
+
+    let busy = &spans[1].delta;
+    assert_eq!(busy.breakdown.busy, 500);
+    assert_eq!(busy.breakdown.total(), 500, "phase 1 is computation only");
+    assert_eq!(busy.stats.visits, 0);
+
+    let miss = &spans[2].delta;
+    assert_eq!(miss.stats.visits, 1);
+    assert_eq!(miss.stats.mem_misses, 1);
+    assert!(miss.breakdown.dcache_stall > 0, "demand miss stalls");
+    assert!(miss.breakdown.dtlb_stall > 0, "first touch of a page walks");
+    assert_eq!(miss.stats.pf_hidden_cycles, 0);
+
+    let pf = &spans[3].delta;
+    assert_eq!(pf.stats.prefetches, 1);
+    assert_eq!(pf.breakdown.dcache_stall, 0, "fill fully overlapped");
+    assert!(pf.stats.pf_hidden_cycles > 0, "hidden latency credited to this span");
+
+    // The phases partition the run exactly: root delta = sum of children.
+    let root = &spans[0].delta;
+    assert_eq!(
+        root.breakdown.total(),
+        busy.breakdown.total() + miss.breakdown.total() + pf.breakdown.total()
+    );
+    assert_eq!(root.breakdown.total(), e.now(), "root span covers the whole run");
+    assert_eq!(
+        root.stats.visits,
+        busy.stats.visits + miss.stats.visits + pf.stats.visits
+    );
+    assert_eq!(root.stats, e.stats(), "engine started at zero");
+}
+
+#[test]
+fn report_from_engine_validates_and_round_trips() {
+    let mut e = SimEngine::new(MemConfig::paper());
+    let mut rec = Recorder::new();
+    let run = rec.begin("run", e.snapshot());
+    let inner = rec.begin("work", e.snapshot());
+    e.prefetch(A, 64);
+    e.busy(2000);
+    for i in 0..8 {
+        e.visit(A + i * 8, 8);
+    }
+    rec.end(inner, e.snapshot());
+    rec.end(run, e.snapshot());
+
+    let mut report = RunReport::from_recorder("join", rec, e.snapshot(), 12_345);
+    report.simulated = true;
+    report.tuples = 8;
+    report.config_kv("scheme", "group");
+    report.validate().expect("engine-derived report validates");
+
+    let back = RunReport::parse(&report.render()).expect("round-trip");
+    assert_eq!(back.totals, report.totals);
+    back.validate().expect("round-tripped report validates");
+    assert!(report.prefetch_coverage() > 0.0, "prefetch hid some latency");
+}

@@ -1,0 +1,42 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generate a `Vec` whose length is drawn from `size` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn pick(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.pick(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_and_element_bounds() {
+        let mut r = TestRng::from_name("collection-tests");
+        let s = vec(5u32..9, 2..6);
+        for _ in 0..200 {
+            let v = s.pick(&mut r);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| (5..9).contains(&x)));
+        }
+    }
+}

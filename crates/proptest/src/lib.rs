@@ -1,0 +1,114 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace vendors a minimal, dependency-free property-testing
+//! harness with the same surface syntax: the [`proptest!`] macro with an
+//! optional `#![proptest_config(ProptestConfig::with_cases(N))]` header,
+//! strategies built from ranges, [`strategy::Just`], tuples,
+//! [`collection::vec`], [`prelude::any`], `prop_map`, [`prop_oneof!`],
+//! and the `prop_assert!`/`prop_assert_eq!` assertions.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports the generated inputs via
+//!   the panic message only;
+//! * **deterministic generation** — the RNG is seeded from the test's
+//!   name, so a failure reproduces exactly on re-run (there is no
+//!   persistence file because there is no nondeterminism to persist);
+//! * `prop_assert!` panics (unwinds) instead of returning a `TestCaseError`.
+//!
+//! For the invariants this workspace checks (join == reference oracle,
+//! multiset preservation, timing monotonicity) deterministic coverage of
+//! a few dozen random cases is what the tests rely on, and that is
+//! preserved.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn prop(x in 0u32..64, v in vec(any::<u8>(), 0..300)) { ... }
+/// }
+/// ```
+///
+/// Each test body runs `cases` times with fresh inputs drawn from the
+/// strategies; inputs are a deterministic function of the test name.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one `#[test] fn` per
+/// recursion step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; ) => {};
+    ($cfg:expr;
+     #[test]
+     fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*) => {
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::pick(&($strat), &mut rng);)+
+                let inputs = format!(
+                    concat!("case {} of ", stringify!($name), ":", $(" ", stringify!($arg), "={:?}",)+),
+                    __case, $(&$arg),+
+                );
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(e) = result {
+                    eprintln!("proptest failure inputs: {inputs}");
+                    ::std::panic::resume_unwind(e);
+                }
+            }
+        }
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same value
+/// type. (The real crate accepts weights; the workspace only uses the
+/// unweighted form.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert inside a property body (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}

@@ -1,0 +1,222 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// No shrinking: `pick` draws one value. Strategies are immutable, so a
+/// single instance can be reused across cases.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase for heterogeneous composition ([`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        (**self).pick(rng)
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn pick(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.pick(rng))
+    }
+}
+
+/// See [`crate::prop_oneof!`]: uniform choice among strategies.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from at least one option.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].pick(rng)
+    }
+}
+
+macro_rules! uint_ranges {
+    ($($t:ty),*) => {
+        $(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() - *self.start()) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                *self.start() + rng.below(span + 1) as $t
+            }
+        }
+        )*
+    };
+}
+uint_ranges!(u8, u16, u32, u64, usize);
+
+/// Strategy producing any value of `T` (see [`Arbitrary`]).
+pub struct Any<T>(PhantomData<T>);
+
+/// Produce arbitrary values of `T` uniformly over its domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.pick(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (3u32..17).pick(&mut r);
+            assert!((3..17).contains(&v));
+            let w = (0u8..=100).pick(&mut r);
+            assert!(w <= 100);
+        }
+    }
+
+    #[test]
+    fn ranges_cover_their_domain() {
+        let mut r = rng();
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[(0usize..8).pick(&mut r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..8 generated");
+    }
+
+    #[test]
+    fn map_just_union_tuples_compose() {
+        let mut r = rng();
+        let s = crate::prop_oneof![
+            Just(0u32),
+            (10u32..20).prop_map(|x| x * 2),
+            ((100u32..110), (1u32..3)).prop_map(|(a, b)| a + b),
+        ];
+        let mut kinds = [false; 3];
+        for _ in 0..200 {
+            match s.pick(&mut r) {
+                0 => kinds[0] = true,
+                v if (20..40).contains(&v) => kinds[1] = true,
+                v if (101..113).contains(&v) => kinds[2] = true,
+                v => panic!("value {v} outside every branch"),
+            }
+        }
+        assert!(kinds.iter().all(|&k| k), "every oneof branch taken");
+    }
+}

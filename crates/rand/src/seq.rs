@@ -1,0 +1,20 @@
+//! Sequence helpers (`shuffle`).
+
+use crate::RngCore;
+
+/// Extension methods on slices that consume randomness.
+pub trait SliceRandom {
+    /// Shuffle the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            // Modulo bias is negligible for the slice lengths used here
+            // and irrelevant for test-data synthesis.
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}
