@@ -2,21 +2,22 @@
 //!
 //! ```text
 //! report_diff --check RUN.json
-//! report_diff OLD.json NEW.json [--threshold-pct P]
+//! report_diff OLD.json NEW.json [--tolerance P]
 //! ```
 //!
 //! Compare mode prints the total-cycle (or wall-clock, for native runs)
 //! delta plus the derived-rate changes, and exits non-zero when the new
-//! run regresses beyond the threshold (default 5%) — a CI tripwire for
-//! "did this change make the join slower?".
+//! run regresses beyond the tolerance (default 5%) — a CI tripwire for
+//! "did this change make the join slower?". `--threshold-pct` is accepted
+//! as a deprecated spelling of `--tolerance`.
 //!
-//! Exit codes: 0 = ok, 1 = regression beyond threshold, 2 = usage /
+//! Exit codes: 0 = ok, 1 = regression beyond tolerance, 2 = usage /
 //! unreadable / invalid report.
 
 use phj_obs::RunReport;
 use std::process::ExitCode;
 
-const DEFAULT_THRESHOLD_PCT: f64 = 5.0;
+const DEFAULT_TOLERANCE_PCT: f64 = 5.0;
 
 fn load(path: &str) -> Result<RunReport, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -58,21 +59,51 @@ fn cost_of(r: &RunReport) -> (u64, &'static str) {
     }
 }
 
-fn compare(old: &RunReport, new: &RunReport, threshold_pct: f64) -> ExitCode {
-    describe("old", old);
-    describe("new", new);
+/// Outcome of comparing two reports at a given tolerance.
+#[derive(Debug, PartialEq)]
+enum Verdict {
+    /// Within tolerance; the signed delta in percent.
+    Ok { delta_pct: f64 },
+    /// New run is more than `tolerance` percent more expensive.
+    Regression { delta_pct: f64 },
+}
+
+/// Pure comparison: the new run regresses when its cost exceeds the old
+/// by strictly more than `tolerance_pct` percent (a delta exactly at the
+/// tolerance passes). Refuses mixed units — a simulated run's cycles say
+/// nothing about a native run's nanoseconds — and a zero-cost baseline.
+fn verdict(old: &RunReport, new: &RunReport, tolerance_pct: f64) -> Result<Verdict, String> {
     let (oc, ounit) = cost_of(old);
     let (nc, nunit) = cost_of(new);
     if ounit != nunit {
-        eprintln!("error: cannot compare a simulated run against a native run");
-        return ExitCode::from(2);
+        return Err("cannot compare a simulated run against a native run".to_string());
     }
     if oc == 0 {
-        eprintln!("error: old report has zero cost; nothing to compare against");
-        return ExitCode::from(2);
+        return Err("old report has zero cost; nothing to compare against".to_string());
     }
     let delta_pct = (nc as f64 - oc as f64) / oc as f64 * 100.0;
-    println!("delta: {delta_pct:+.2}% total {ounit} (threshold {threshold_pct:.2}%)");
+    if delta_pct > tolerance_pct {
+        Ok(Verdict::Regression { delta_pct })
+    } else {
+        Ok(Verdict::Ok { delta_pct })
+    }
+}
+
+fn compare(old: &RunReport, new: &RunReport, tolerance_pct: f64) -> ExitCode {
+    describe("old", old);
+    describe("new", new);
+    let v = match verdict(old, new, tolerance_pct) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (_, unit) = cost_of(old);
+    let delta_pct = match v {
+        Verdict::Ok { delta_pct } | Verdict::Regression { delta_pct } => delta_pct,
+    };
+    println!("delta: {delta_pct:+.2}% total {unit} (tolerance {tolerance_pct:.2}%)");
     if old.simulated && new.simulated {
         println!(
             "  coverage {:.3} -> {:.3}, pollution {:.3} -> {:.3}",
@@ -82,18 +113,21 @@ fn compare(old: &RunReport, new: &RunReport, threshold_pct: f64) -> ExitCode {
             new.pollution_rate(),
         );
     }
-    if delta_pct > threshold_pct {
-        println!("REGRESSION: new run is {delta_pct:.2}% more expensive");
-        ExitCode::from(1)
-    } else {
-        println!("ok");
-        ExitCode::SUCCESS
+    match v {
+        Verdict::Regression { delta_pct } => {
+            println!("REGRESSION: new run is {delta_pct:.2}% more expensive");
+            ExitCode::from(1)
+        }
+        Verdict::Ok { .. } => {
+            println!("ok");
+            ExitCode::SUCCESS
+        }
     }
 }
 
 fn usage() -> ExitCode {
     eprintln!("usage: report_diff --check RUN.json");
-    eprintln!("       report_diff OLD.json NEW.json [--threshold-pct P]");
+    eprintln!("       report_diff OLD.json NEW.json [--tolerance P]");
     ExitCode::from(2)
 }
 
@@ -115,23 +149,23 @@ fn main() -> ExitCode {
             }
         }
         Some(_) => {
-            let (paths, mut threshold) = (&args[..], DEFAULT_THRESHOLD_PCT);
-            let (paths, threshold) = match paths {
-                [old, new] => ([old, new], threshold),
-                [old, new, flag, p] if flag == "--threshold-pct" => {
+            let mut tolerance = DEFAULT_TOLERANCE_PCT;
+            let paths = match args.as_slice() {
+                [old, new] => [old, new],
+                [old, new, flag, p] if flag == "--tolerance" || flag == "--threshold-pct" => {
                     match p.parse::<f64>() {
-                        Ok(v) if v >= 0.0 => threshold = v,
+                        Ok(v) if v >= 0.0 => tolerance = v,
                         _ => {
-                            eprintln!("error: bad threshold {p:?}");
+                            eprintln!("error: bad tolerance {p:?}");
                             return ExitCode::from(2);
                         }
                     }
-                    ([old, new], threshold)
+                    [old, new]
                 }
                 _ => return usage(),
             };
             match (load(paths[0]), load(paths[1])) {
-                (Ok(old), Ok(new)) => compare(&old, &new, threshold),
+                (Ok(old), Ok(new)) => compare(&old, &new, tolerance),
                 (Err(e), _) | (_, Err(e)) => {
                     eprintln!("error: {e}");
                     ExitCode::from(2)
@@ -139,5 +173,72 @@ fn main() -> ExitCode {
             }
         }
         None => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phj_obs::Recorder;
+
+    /// A minimal report whose headline cost is `cycles` (simulated) or
+    /// `wall_ns` (native, when `cycles` is zero).
+    fn report(cycles: u64, wall_ns: u64) -> RunReport {
+        let rec = Recorder::new();
+        let mut snap = phj_memsim::Snapshot::default();
+        snap.breakdown.busy = cycles;
+        let mut r = RunReport::from_recorder("join", rec, snap, 0);
+        r.simulated = cycles > 0;
+        r.wall_ns = wall_ns;
+        r
+    }
+
+    #[test]
+    fn tolerance_boundary_is_inclusive() {
+        let old = report(1_000, 0);
+        // Exactly +5% on a 5% tolerance: passes (regression is strict).
+        let new = report(1_050, 0);
+        assert_eq!(verdict(&old, &new, 5.0).unwrap(), Verdict::Ok { delta_pct: 5.0 });
+        // One cycle past the boundary: regression.
+        let worse = report(1_051, 0);
+        match verdict(&old, &worse, 5.0).unwrap() {
+            Verdict::Regression { delta_pct } => assert!(delta_pct > 5.0),
+            v => panic!("expected regression, got {v:?}"),
+        }
+        // Improvements always pass, whatever the tolerance.
+        let better = report(900, 0);
+        assert!(matches!(verdict(&old, &better, 0.0).unwrap(), Verdict::Ok { .. }));
+    }
+
+    #[test]
+    fn zero_tolerance_flags_any_slowdown() {
+        let old = report(1_000, 0);
+        let new = report(1_001, 0);
+        assert!(matches!(verdict(&old, &new, 0.0).unwrap(), Verdict::Regression { .. }));
+        assert!(matches!(verdict(&old, &old, 0.0).unwrap(), Verdict::Ok { delta_pct } if delta_pct == 0.0));
+    }
+
+    #[test]
+    fn refuses_mixed_units() {
+        let sim = report(1_000, 0);
+        let native = report(0, 5_000);
+        let err = verdict(&sim, &native, 5.0).unwrap_err();
+        assert!(err.contains("simulated"), "unexpected message: {err}");
+        assert!(verdict(&native, &sim, 5.0).is_err());
+    }
+
+    #[test]
+    fn refuses_zero_cost_baseline() {
+        let empty = report(0, 0);
+        let new = report(0, 10);
+        let err = verdict(&empty, &new, 5.0).unwrap_err();
+        assert!(err.contains("zero cost"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn native_runs_compare_on_wall_clock() {
+        let old = report(0, 10_000);
+        let new = report(0, 12_000);
+        assert!(matches!(verdict(&old, &new, 5.0).unwrap(), Verdict::Regression { delta_pct } if (delta_pct - 20.0).abs() < 1e-9));
     }
 }

@@ -20,6 +20,14 @@
 //! per-phase spans with cycle breakdowns, derived prefetch-coverage and
 //! pollution rates); `--trace-out PATH` writes the same spans as a
 //! `chrome://tracing` / Perfetto trace-event file.
+//!
+//! `--profile-regions` (simulated runs) charges every cache hit, miss,
+//! TLB walk, and prefetch outcome to the data structure it touched
+//! (bucket headers, hash cells, tuples, partition buffers…) and adds a
+//! `regions` section — per-region counters, latency histograms, and the
+//! per-partition skew profile — to the JSON report and counter tracks to
+//! the trace. `--heatmap` implies it and prints the region × latency
+//! heatmap, miss-hotspot table, and skew bars to stdout.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -79,11 +87,14 @@ USAGE:
   phj join   [--build-mb N] [--tuple-size B] [--matches M] [--pct P]
              [--scheme baseline|simple|group|swp] [--g G] [--d D]
              [--mem-mb N] [--sim] [--hybrid]
+             [--profile-regions] [--heatmap]
              [--json PATH] [--trace-out PATH]
   phj agg    [--rows N] [--keys K] [--scheme S] [--g G] [--d D] [--sim]
+             [--profile-regions] [--heatmap]
              [--json PATH] [--trace-out PATH]
   phj disk   [--build-mb N] [--mem-mb N] [--stripes S] [--dir PATH]
-  phj tune   [--build-mb N] [--tuple-size B] [--json PATH] [--trace-out PATH]
+  phj tune   [--build-mb N] [--tuple-size B] [--profile-regions] [--heatmap]
+             [--json PATH] [--trace-out PATH]
   phj params [--tuple-size B]
   phj help";
 
@@ -132,6 +143,28 @@ impl ObsOut {
     }
 }
 
+/// Whether either attribution flag is set (`--heatmap` implies
+/// profiling — the heatmap is rendered from the region profile).
+fn wants_regions(args: &Args) -> bool {
+    args.flag("profile-regions") || args.flag("heatmap")
+}
+
+/// Attach the engine's region profile (when enabled) to `report` —
+/// per-region counters and histograms plus the skew profile derived from
+/// the recorded `pair` spans — then print the heatmap if requested.
+fn attach_regions(report: &mut RunReport, engine: &SimEngine, heatmap: bool) {
+    if let Some(p) = engine.region_profile() {
+        let mut sec = phj_obs::RegionsSection::from_profiler(p);
+        sec.skew = phj::profile::skew_profile(&report.spans);
+        report.regions = Some(sec);
+    }
+    if heatmap {
+        if let Some(text) = phj_obs::heatmap::render(report) {
+            print!("{text}");
+        }
+    }
+}
+
 fn scheme_of(args: &Args) -> Result<JoinScheme, String> {
     let g = args.get_usize("g", 16)?;
     let d = args.get_usize("d", 1)?;
@@ -147,7 +180,7 @@ fn scheme_of(args: &Args) -> Result<JoinScheme, String> {
 fn cmd_join(args: &Args) -> Result<(), String> {
     args.allow(&[
         "build-mb", "tuple-size", "matches", "pct", "scheme", "g", "d", "mem-mb", "sim",
-        "hybrid", "json", "trace-out",
+        "hybrid", "profile-regions", "heatmap", "json", "trace-out",
     ])?;
     let build_mb = args.get_usize("build-mb", 16)?;
     let tuple_size = args.get_usize("tuple-size", 100)?;
@@ -172,6 +205,11 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     let gen = spec.generate();
     let obs_out = ObsOut::from_args(args);
     let mut recorder = obs_out.recorder();
+    // Attribution needs the span tree (for the skew profile), so the
+    // flags force a recorder even without --json/--trace-out.
+    if wants_regions(args) && recorder.is_none() {
+        recorder = Some(Recorder::new());
+    }
     let fingerprint = |report: &mut RunReport| {
         report.config_kv("scheme", scheme.label());
         report.config_kv("tuple_size", tuple_size);
@@ -193,7 +231,12 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     let hybrid_cfg = HybridConfig { mem_budget, g, ..Default::default() };
     if args.flag("sim") {
         let mut engine = SimEngine::paper();
-        let root = recorder.as_mut().map(|r| r.begin("run", engine.snapshot()));
+        if wants_regions(args) {
+            engine.enable_region_profiling();
+        }
+        let root = recorder
+            .as_mut()
+            .map(|r| r.begin_profiled("run", engine.snapshot(), engine.latency_hist()));
         let mut sink = CountSink::new();
         let t0 = Instant::now();
         let p = if args.flag("hybrid") {
@@ -203,7 +246,7 @@ fn cmd_join(args: &Args) -> Result<(), String> {
         };
         let wall = t0.elapsed();
         if let (Some(r), Some(root)) = (recorder.as_mut(), root) {
-            r.end(root, engine.snapshot());
+            r.end_profiled(root, engine.snapshot(), engine.latency_hist());
         }
         let b = engine.breakdown();
         println!("partitions: {p}, matches: {}", sink.matches());
@@ -228,9 +271,13 @@ fn cmd_join(args: &Args) -> Result<(), String> {
                 100.0 * report.prefetch_coverage(),
                 100.0 * report.pollution_rate()
             );
+            attach_regions(&mut report, &engine, args.flag("heatmap"));
             obs_out.write(&report)?;
         }
     } else {
+        if wants_regions(args) {
+            println!("note: --profile-regions/--heatmap attribute simulated accesses; add --sim");
+        }
         let mut native = NativeModel;
         let root = recorder.as_mut().map(|r| r.begin("run", native.snapshot()));
         let mut sink = CountSink::new();
@@ -270,7 +317,10 @@ fn cmd_join(args: &Args) -> Result<(), String> {
 
 fn cmd_agg(args: &Args) -> Result<(), String> {
     use phj::aggregate::{aggregate, AggScheme};
-    args.allow(&["rows", "keys", "scheme", "g", "d", "sim", "json", "trace-out"])?;
+    args.allow(&[
+        "rows", "keys", "scheme", "g", "d", "sim", "profile-regions", "heatmap", "json",
+        "trace-out",
+    ])?;
     let rows = args.get_usize("rows", 1_000_000)?;
     let keys = args.get_usize("keys", 100_000)?.max(1);
     let scheme = match args.get_str("scheme", "group").as_str() {
@@ -298,6 +348,9 @@ fn cmd_agg(args: &Args) -> Result<(), String> {
     println!("aggregating {rows} rows into {keys} groups ({scheme:?})");
     let obs_out = ObsOut::from_args(args);
     let mut recorder = obs_out.recorder();
+    if wants_regions(args) && recorder.is_none() {
+        recorder = Some(Recorder::new());
+    }
     let fingerprint = |report: &mut RunReport, groups: u64| {
         report.config_kv("scheme", format!("{scheme:?}"));
         report.config_kv("rows", rows);
@@ -307,14 +360,21 @@ fn cmd_agg(args: &Args) -> Result<(), String> {
     };
     if args.flag("sim") {
         let mut engine = SimEngine::paper();
-        let root = recorder.as_mut().map(|r| r.begin("run", engine.snapshot()));
-        let inner = recorder.as_mut().map(|r| r.begin("aggregate", engine.snapshot()));
+        if wants_regions(args) {
+            engine.enable_region_profiling();
+        }
+        let root = recorder
+            .as_mut()
+            .map(|r| r.begin_profiled("run", engine.snapshot(), engine.latency_hist()));
+        let inner = recorder
+            .as_mut()
+            .map(|r| r.begin_profiled("aggregate", engine.snapshot(), engine.latency_hist()));
         let t0 = Instant::now();
         let table = aggregate(&mut engine, scheme, &input, buckets, extract);
         let wall = t0.elapsed();
         if let Some(r) = recorder.as_mut() {
-            r.end(inner.unwrap(), engine.snapshot());
-            r.end(root.unwrap(), engine.snapshot());
+            r.end_profiled(inner.unwrap(), engine.snapshot(), engine.latency_hist());
+            r.end_profiled(root.unwrap(), engine.snapshot(), engine.latency_hist());
         }
         let b = engine.breakdown();
         println!(
@@ -329,9 +389,13 @@ fn cmd_agg(args: &Args) -> Result<(), String> {
             report.simulated = true;
             fingerprint(&mut report, table.num_groups() as u64);
             ObsOut::config_mem(&mut report, &MemConfig::paper());
+            attach_regions(&mut report, &engine, args.flag("heatmap"));
             obs_out.write(&report)?;
         }
     } else {
+        if wants_regions(args) {
+            println!("note: --profile-regions/--heatmap attribute simulated accesses; add --sim");
+        }
         let mut native = NativeModel;
         let root = recorder.as_mut().map(|r| r.begin("run", native.snapshot()));
         let inner = recorder.as_mut().map(|r| r.begin("aggregate", native.snapshot()));
@@ -407,9 +471,12 @@ fn cmd_disk(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_tune(args: &Args) -> Result<(), String> {
-    args.allow(&["build-mb", "tuple-size", "json", "trace-out"])?;
+    args.allow(&["build-mb", "tuple-size", "profile-regions", "heatmap", "json", "trace-out"])?;
     let build_mb = args.get_usize("build-mb", 8)?;
     let tuple_size = args.get_usize("tuple-size", 20)?;
+    if wants_regions(args) {
+        println!("note: --profile-regions/--heatmap attribute simulated accesses; tune runs natively");
+    }
     let spec = JoinSpec {
         build_tuples: tuples_for(build_mb << 20, tuple_size),
         tuple_size,
@@ -467,8 +534,15 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         rec.end(root.unwrap(), NativeModel.snapshot());
         let mut report =
             RunReport::from_recorder("tune", rec, NativeModel.snapshot(), wall.as_nanos() as u64);
+        // Full workload fingerprint, so a diffed pair of tune reports can
+        // prove it compared like with like.
+        report.config_kv("build_mb", build_mb);
         report.config_kv("tuple_size", tuple_size);
         report.config_kv("build_tuples", spec.build_tuples);
+        report.config_kv("probe_tuples", spec.probe_tuples());
+        report.config_kv("matches_per_build", spec.matches_per_build);
+        report.config_kv("pct_match", spec.pct_match);
+        report.config_kv("seed", spec.seed);
         report.tuples = (gen.build.num_tuples() + gen.probe.num_tuples()) as u64;
         obs_out.write(&report)?;
     }

@@ -19,13 +19,14 @@ mod table;
 
 pub use table::{AggEntry, AggTable, UpsertStep};
 
-use phj_memsim::MemoryModel;
+use phj_memsim::{MemoryModel, RegionKind};
 use phj_storage::{tuple::key_bytes_of, Relation};
 
 use crate::cost;
 use crate::hash::hash_key;
 use crate::join::Scan;
 use crate::model::swp_state_slots;
+use crate::profile;
 
 /// Which aggregation algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +93,13 @@ where
     // Worst case every tuple is a distinct group; the arena reservation
     // must cover that (plus doubling waste, handled inside AggTable).
     let mut table = AggTable::new(buckets, input.num_tuples());
+    if profile::profiling(mem) {
+        let (addr, len) = table.headers_span();
+        mem.region_register(RegionKind::HashBucketHeaders, addr, len);
+        let (addr, len) = table.arena_span();
+        mem.region_register(RegionKind::HashCells, addr, len);
+    }
+    profile::register_relation(mem, RegionKind::SlottedPages, input);
     match scheme {
         AggScheme::Baseline => straight(mem, input, &mut table, &extract, false),
         AggScheme::Simple => straight(mem, input, &mut table, &extract, true),
@@ -99,6 +107,9 @@ where
         AggScheme::Swp { d } => swp(mem, input, &mut table, &extract, d),
     }
     table.assert_quiescent();
+    mem.region_clear(RegionKind::HashBucketHeaders);
+    mem.region_clear(RegionKind::HashCells);
+    mem.region_clear(RegionKind::SlottedPages);
     table
 }
 

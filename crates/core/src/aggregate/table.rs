@@ -157,6 +157,18 @@ impl AggTable {
         self.arena.as_ptr() as usize + idx as usize * std::mem::size_of::<AggEntry>()
     }
 
+    /// Address span of the bucket-header array (region attribution).
+    pub fn headers_span(&self) -> (usize, usize) {
+        (self.buckets.as_ptr() as usize, self.buckets.len() * std::mem::size_of::<AggHeader>())
+    }
+
+    /// Address span of the entry arena's full reservation (region
+    /// attribution). The arena never outgrows its reservation
+    /// ([`Self::assert_quiescent`] checks), so the span stays valid.
+    pub fn arena_span(&self) -> (usize, usize) {
+        (self.arena.as_ptr() as usize, self.arena.capacity() * std::mem::size_of::<AggEntry>())
+    }
+
     /// Overflow-array span of bucket `b` (address, bytes), if any entries
     /// or reserved capacity exist.
     pub fn array_span(&self, b: usize) -> Option<(usize, usize)> {

@@ -20,7 +20,7 @@
 //! coexist: busy flags on hash buckets, deferred tuples on full output
 //! buffers, both resolved at the group boundary.
 
-use phj_memsim::MemoryModel;
+use phj_memsim::{MemoryModel, RegionKind};
 use phj_obs::{self as obs, Recorder};
 use phj_storage::Relation;
 
@@ -29,6 +29,7 @@ use crate::hash::partition_of;
 use crate::join::{self, JoinParams, JoinScheme, Scan};
 use crate::partition::{OutputBuffers, PartitionScheme};
 use crate::plan;
+use crate::profile;
 use crate::sink::JoinSink;
 use crate::table::{BucketHeader, HashCell, HashTable, InsertStep};
 
@@ -138,6 +139,9 @@ pub fn hybrid_join_rec<M: MemoryModel, S: JoinSink>(
     let buckets = plan::hash_table_buckets(expected_p0.max(1), p);
     let mut table = HashTable::new(buckets, expected_p0 * 2 + 16);
     let mut build_out = OutputBuffers::new(build, p);
+    profile::register_table(mem, &table);
+    profile::register_relation(mem, RegionKind::BuildTuples, build);
+    build_out.register_regions(mem);
     {
         let mut slots: Vec<BuildSlot> = (0..g)
             .map(|_| BuildSlot {
@@ -258,12 +262,15 @@ pub fn hybrid_join_rec<M: MemoryModel, S: JoinSink>(
     let build_parts = build_out.finish();
     table.assert_quiescent();
     obs::span_end(&mut rec, mem, pass1);
+    mem.region_clear(RegionKind::PartitionBuffers);
 
     // ---- Pass 2: partition the probe side, probing partition 0 on the
     // fly. ----
     let pass2 = obs::span_begin(&mut rec, mem, "hybrid_probe_pass");
     obs::span_meta(&mut rec, "tuples", probe.num_tuples());
     let mut probe_out = OutputBuffers::new(probe, p);
+    profile::register_relation(mem, RegionKind::ProbeTuples, probe);
+    probe_out.register_regions(mem);
     {
         let mut slots: Vec<ProbeSlot> = (0..g)
             .map(|_| ProbeSlot {
@@ -407,6 +414,8 @@ pub fn hybrid_join_rec<M: MemoryModel, S: JoinSink>(
     }
     let probe_parts = probe_out.finish();
     obs::span_end(&mut rec, mem, pass2);
+    mem.region_clear(RegionKind::PartitionBuffers);
+    profile::clear_join_regions(mem);
 
     // ---- Join the spilled pairs (partitions 1..p) with the configured
     // in-memory scheme. ----

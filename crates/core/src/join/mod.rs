@@ -23,13 +23,14 @@ pub mod swp;
 
 pub use group::GroupProbe;
 
-use phj_memsim::MemoryModel;
+use phj_memsim::{MemoryModel, RegionKind};
 use phj_obs::{self as obs, Recorder};
 use phj_storage::{tuple::key_bytes_of, Relation, PAGE_SIZE};
 
 use crate::cost;
 use crate::hash::hash_key;
 use crate::plan;
+use crate::profile;
 use crate::sink::JoinSink;
 use crate::table::HashTable;
 
@@ -137,6 +138,9 @@ pub fn join_pair_rec<M: MemoryModel, S: JoinSink>(
 ) -> HashTable {
     let buckets = plan::hash_table_buckets(build.num_tuples(), num_partitions);
     let mut table = HashTable::new(buckets, build.num_tuples());
+    profile::register_table(mem, &table);
+    profile::register_relation(mem, RegionKind::BuildTuples, build);
+    profile::register_relation(mem, RegionKind::ProbeTuples, probe);
     let span = obs::span_begin(&mut rec, mem, "build");
     obs::span_meta(&mut rec, "tuples", build.num_tuples());
     dispatch_build(mem, params, &mut table, build);
@@ -146,6 +150,7 @@ pub fn join_pair_rec<M: MemoryModel, S: JoinSink>(
     dispatch_probe(mem, params, &table, build, probe, sink);
     obs::span_end(&mut rec, mem, span);
     table.assert_quiescent();
+    profile::clear_join_regions(mem);
     table
 }
 

@@ -56,6 +56,7 @@ pub mod join;
 pub mod model;
 pub mod partition;
 pub mod plan;
+pub mod profile;
 pub mod sink;
 pub mod table;
 

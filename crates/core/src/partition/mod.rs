@@ -31,12 +31,13 @@
 pub mod group;
 pub mod swp;
 
-use phj_memsim::MemoryModel;
+use phj_memsim::{MemoryModel, RegionKind};
 use phj_obs::{self as obs, Recorder};
 use phj_storage::{tuple::key_bytes_of, Page, Relation, PAGE_SIZE};
 
 use crate::cost;
 use crate::hash::{hash_key, partition_of};
+use crate::profile;
 
 use super::join::Scan;
 
@@ -145,6 +146,8 @@ pub fn partition_relation_rec<M: MemoryModel>(
     obs::span_meta(&mut rec, "partitions", num_partitions);
     obs::span_meta(&mut rec, "tuples", input.num_tuples());
     let mut out = OutputBuffers::new(input, num_partitions);
+    profile::register_relation(mem, RegionKind::SlottedPages, input);
+    out.register_regions(mem);
     match scheme {
         PartitionScheme::Baseline => straight(mem, input, &mut out, false, use_stored_hash),
         PartitionScheme::Simple => straight(mem, input, &mut out, true, use_stored_hash),
@@ -161,6 +164,7 @@ pub fn partition_relation_rec<M: MemoryModel>(
     debug_assert_eq!(out.tuples() as usize, input.num_tuples(), "tuples lost");
     let parts = out.finish();
     obs::span_end(&mut rec, mem, span);
+    profile::clear_partition_regions(mem);
     parts
 }
 
@@ -242,6 +246,18 @@ impl OutputBuffers {
 
     pub(crate) fn num_partitions(&self) -> usize {
         self.parts.len()
+    }
+
+    /// Tag every partition's output-buffer page for region attribution
+    /// (no-op unless `mem` profiles). The buffer pages are reused in
+    /// place across flushes, so one registration covers the whole pass.
+    pub(crate) fn register_regions<M: MemoryModel>(&self, mem: &mut M) {
+        if !profile::profiling(mem) {
+            return;
+        }
+        for pb in &self.parts {
+            mem.region_register(RegionKind::PartitionBuffers, pb.page.base_addr(), PAGE_SIZE);
+        }
     }
 
     /// Straight append: flush if full, then copy. Charges the output-side

@@ -1,0 +1,176 @@
+//! Memory-access attribution hooks: tagging the join's data structures
+//! as address regions, and deriving the per-partition skew profile from
+//! recorded spans.
+//!
+//! The simulator can charge every cache hit, miss, TLB walk, and prefetch
+//! outcome to the *data structure* whose line was touched (see
+//! [`phj_memsim::RegionProfiler`]). The algorithms only have to say where
+//! their structures live — that is this module. Each registration helper
+//! is a no-op unless the model profiles regions (checked once up front,
+//! so unprofiled runs skip even the page iteration), and registration
+//! never advances simulated time, keeping unprofiled runs byte-identical.
+
+use phj_memsim::{MemoryModel, RegionKind};
+use phj_obs::{SkewRow, SpanRecord};
+use phj_storage::{Relation, PAGE_SIZE};
+
+use crate::table::HashTable;
+
+/// Whether `mem` attributes accesses to regions (true only for a
+/// [`SimEngine`](phj_memsim::SimEngine) with profiling enabled).
+#[inline]
+pub fn profiling<M: MemoryModel>(mem: &M) -> bool {
+    mem.latency_hist().is_some()
+}
+
+/// Tag every page of `rel` as `kind` (build input, probe input, or the
+/// slotted pages streamed through the partition phase). Pages are boxed,
+/// so their addresses are stable for the relation's lifetime.
+pub fn register_relation<M: MemoryModel>(mem: &mut M, kind: RegionKind, rel: &Relation) {
+    if !profiling(mem) {
+        return;
+    }
+    for pi in 0..rel.num_pages() {
+        mem.region_register(kind, rel.page(pi).base_addr(), PAGE_SIZE);
+    }
+}
+
+/// Tag a hash table's bucket-header array and cell arena. The arena span
+/// covers the full reservation, so cells allocated later still land in
+/// [`RegionKind::HashCells`].
+pub fn register_table<M: MemoryModel>(mem: &mut M, table: &HashTable) {
+    if !profiling(mem) {
+        return;
+    }
+    let (addr, len) = table.headers_span();
+    mem.region_register(RegionKind::HashBucketHeaders, addr, len);
+    let (addr, len) = table.arena_span();
+    mem.region_register(RegionKind::HashCells, addr, len);
+}
+
+/// Drop every registration of the join-phase kinds (table + both tuple
+/// inputs) — called when a partition pair is done, so the next pair's
+/// structures (possibly reusing freed addresses) start clean.
+pub fn clear_join_regions<M: MemoryModel>(mem: &mut M) {
+    mem.region_clear(RegionKind::HashBucketHeaders);
+    mem.region_clear(RegionKind::HashCells);
+    mem.region_clear(RegionKind::BuildTuples);
+    mem.region_clear(RegionKind::ProbeTuples);
+}
+
+/// Drop the partition-phase registrations (streamed input pages + output
+/// buffers) at the end of a partitioning pass over one relation.
+pub fn clear_partition_regions<M: MemoryModel>(mem: &mut M) {
+    mem.region_clear(RegionKind::SlottedPages);
+    mem.region_clear(RegionKind::PartitionBuffers);
+}
+
+/// Derive the per-partition skew profile from recorded spans: one row per
+/// `"pair"` span, carrying its partition index, the tuple counts from its
+/// nested `"build"`/`"probe"` spans, and the pair's own cycle and miss
+/// deltas. Rows appear in execution order.
+pub fn skew_profile(spans: &[SpanRecord]) -> Vec<SkewRow> {
+    let mut rows: Vec<SkewRow> = Vec::new();
+    // Span id → index into `rows`, for attaching child tuple counts.
+    let mut pair_row: Vec<Option<usize>> = vec![None; spans.len()];
+    for (i, s) in spans.iter().enumerate() {
+        if s.name == "pair" {
+            pair_row[i] = Some(rows.len());
+            rows.push(SkewRow {
+                index: meta_u64(s, "index").unwrap_or(rows.len() as u64),
+                build_tuples: 0,
+                probe_tuples: 0,
+                cycles: s.delta.breakdown.total(),
+                l2_hits: s.delta.stats.l2_hits,
+                mem_misses: s.delta.stats.mem_misses,
+            });
+        } else if let Some(row) = s.parent.and_then(|p| pair_row[p]) {
+            match s.name.as_str() {
+                "build" => rows[row].build_tuples = meta_u64(s, "tuples").unwrap_or(0),
+                "probe" => rows[row].probe_tuples = meta_u64(s, "tuples").unwrap_or(0),
+                _ => {}
+            }
+        }
+    }
+    rows
+}
+
+fn meta_u64(span: &SpanRecord, key: &str) -> Option<u64> {
+    span.meta.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phj_memsim::{Breakdown, CacheStats, NativeModel, SimEngine, Snapshot};
+    use phj_obs::Recorder;
+
+    #[test]
+    fn profiling_only_on_enabled_engines() {
+        assert!(!profiling(&NativeModel));
+        let mut sim = SimEngine::paper();
+        assert!(!profiling(&sim));
+        sim.enable_region_profiling();
+        assert!(profiling(&sim));
+    }
+
+    #[test]
+    fn register_relation_is_noop_when_off() {
+        use phj_storage::{RelationBuilder, Schema};
+        let mut b = RelationBuilder::new(Schema::key_payload(16));
+        b.push(&[7u8; 16]);
+        let rel = b.finish();
+        // NativeModel has no registry at all; this must simply not panic.
+        register_relation(&mut NativeModel, RegionKind::BuildTuples, &rel);
+        // An unprofiled engine stays unprofiled.
+        let mut sim = SimEngine::paper();
+        register_relation(&mut sim, RegionKind::BuildTuples, &rel);
+        assert!(sim.region_profile().is_none());
+        // A profiled one picks up the pages.
+        sim.enable_region_profiling();
+        register_relation(&mut sim, RegionKind::BuildTuples, &rel);
+        sim.visit(rel.page(0).base_addr(), 4);
+        let stats = sim.region_profile().unwrap().stats(RegionKind::BuildTuples);
+        assert_eq!(stats.demand_lines(), 1);
+    }
+
+    #[test]
+    fn skew_profile_reads_pair_spans() {
+        let snap = |busy, l2_hits, mem_misses| Snapshot {
+            breakdown: Breakdown { busy, ..Default::default() },
+            stats: CacheStats { l2_hits, mem_misses, ..Default::default() },
+        };
+        let mut rec = Recorder::new();
+        let root = rec.begin("grace_join", snap(0, 0, 0));
+        let p0 = rec.begin("pair", snap(0, 0, 0));
+        rec.meta("index", 0);
+        let b = rec.begin("build", snap(0, 0, 0));
+        rec.meta("tuples", 100);
+        rec.end(b, snap(40, 1, 2));
+        let pr = rec.begin("probe", snap(40, 1, 2));
+        rec.meta("tuples", 300);
+        rec.end(pr, snap(90, 3, 5));
+        rec.end(p0, snap(100, 4, 6));
+        let p1 = rec.begin("pair", snap(100, 4, 6));
+        rec.meta("index", 3);
+        rec.end(p1, snap(400, 10, 26));
+        rec.end(root, snap(400, 10, 26));
+        let rows = skew_profile(&rec.finish());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0],
+            SkewRow {
+                index: 0,
+                build_tuples: 100,
+                probe_tuples: 300,
+                cycles: 100,
+                l2_hits: 4,
+                mem_misses: 6,
+            }
+        );
+        assert_eq!(rows[1].index, 3);
+        assert_eq!(rows[1].cycles, 300);
+        assert_eq!(rows[1].mem_misses, 20);
+        assert_eq!(rows[1].build_tuples, 0, "no nested spans recorded");
+    }
+}

@@ -271,6 +271,28 @@ impl HashTable {
         &self.arena
     }
 
+    /// Address and byte length of the whole bucket-header array (region
+    /// tagging for miss attribution).
+    #[inline]
+    pub fn headers_span(&self) -> (usize, usize) {
+        (
+            self.buckets.as_ptr() as usize,
+            self.buckets.len() * std::mem::size_of::<BucketHeader>(),
+        )
+    }
+
+    /// Address and byte length of the arena's *reserved* cell storage
+    /// (region tagging). Covers the full reservation rather than the cells
+    /// allocated so far, so overflow arrays allocated later still fall in
+    /// the tagged range (the backing `Vec` never reallocates).
+    #[inline]
+    pub fn arena_span(&self) -> (usize, usize) {
+        (
+            self.arena.cells.as_ptr() as usize,
+            self.arena.cells.capacity() * std::mem::size_of::<HashCell>(),
+        )
+    }
+
     /// Stage-1 of an insert: examine the header and either complete an
     /// inline insert, reserve the overflow slot to write, or report the
     /// bucket busy.

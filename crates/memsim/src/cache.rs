@@ -30,6 +30,9 @@ pub enum Evicted {
     None,
     /// A line was displaced.
     Line {
+        /// The victim's line address (for attributing pollution to the
+        /// region the wasted prefetch targeted).
+        tag: u64,
         /// True when the victim had been installed by a prefetch and was
         /// never demand-accessed (wasted prefetch — cache pollution).
         prefetched_unused: bool,
@@ -176,6 +179,7 @@ impl SetAssocCache {
         };
         if old.valid {
             Evicted::Line {
+                tag: old.tag,
                 prefetched_unused: old.prefetched && !old.used,
                 dirty: old.dirty,
             }
@@ -245,10 +249,10 @@ mod tests {
         let mut c = SetAssocCache::new(1, 1);
         c.install(1, 0, 10, true); // prefetched, never used
         let e = c.install(2, 0, 20, false);
-        assert_eq!(e, Evicted::Line { prefetched_unused: true, dirty: false });
+        assert_eq!(e, Evicted::Line { tag: 1, prefetched_unused: true, dirty: false });
         // Now use line 2 (demand install counts as used).
         let e = c.install(3, 0, 30, true);
-        assert_eq!(e, Evicted::Line { prefetched_unused: false, dirty: false });
+        assert_eq!(e, Evicted::Line { tag: 2, prefetched_unused: false, dirty: false });
     }
 
     #[test]
@@ -257,7 +261,7 @@ mod tests {
         c.install(1, 0, 0, true);
         assert_eq!(c.access(1, 5), Probe::Hit); // marks used
         let e = c.install(2, 0, 0, false);
-        assert_eq!(e, Evicted::Line { prefetched_unused: false, dirty: false });
+        assert_eq!(e, Evicted::Line { tag: 1, prefetched_unused: false, dirty: false });
     }
 
     #[test]
@@ -305,10 +309,10 @@ mod tests {
         c.install(1, 0, 0, false);
         c.access_rw(1, 0, true); // dirty it
         let e = c.install(2, 0, 0, false);
-        assert_eq!(e, Evicted::Line { prefetched_unused: false, dirty: true });
+        assert_eq!(e, Evicted::Line { tag: 1, prefetched_unused: false, dirty: true });
         // Clean line evicts clean.
         let e = c.install(3, 0, 0, false);
-        assert_eq!(e, Evicted::Line { prefetched_unused: false, dirty: false });
+        assert_eq!(e, Evicted::Line { tag: 2, prefetched_unused: false, dirty: false });
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use crate::cache::{Evicted, Probe, SetAssocCache};
 use crate::config::MemConfig;
 use crate::lru::LruSet;
+use crate::region::{LatencyHistogram, RegionKind, RegionProfiler};
 use crate::stats::{Breakdown, CacheStats};
 use crate::tlb::{Tlb, TlbAccess};
 
@@ -70,6 +71,9 @@ pub struct SimEngine {
     hw_streams: Vec<u64>,
     hw_rr: usize,
     stats: CacheStats,
+    /// Region-attribution profiler; `None` (the default) keeps the hot
+    /// paths at a single branch per line event. Never affects timing.
+    profiler: Option<Box<RegionProfiler>>,
 }
 
 impl SimEngine {
@@ -101,6 +105,7 @@ impl SimEngine {
             other: 0,
             next_flush,
             stats: CacheStats::default(),
+            profiler: None,
             cfg,
         }
     }
@@ -139,6 +144,59 @@ impl SimEngine {
     /// observability layer).
     pub fn snapshot(&self) -> crate::stats::Snapshot {
         crate::stats::Snapshot { breakdown: self.breakdown(), stats: self.stats }
+    }
+
+    /// Turn on memory-access attribution. Subsequent
+    /// [`Self::region_register`] calls tag address ranges, and every
+    /// demand/prefetch line event is charged to its region. Attribution
+    /// never changes simulated time: cycle counts are identical with
+    /// profiling on or off.
+    pub fn enable_region_profiling(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Box::default());
+        }
+    }
+
+    /// Whether region profiling is enabled.
+    pub fn region_profiling_enabled(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// The region profile accumulated so far (`None` when profiling is
+    /// off).
+    pub fn region_profile(&self) -> Option<&RegionProfiler> {
+        self.profiler.as_deref()
+    }
+
+    /// Tag `len` bytes at `addr` as `kind`. No-op when profiling is off.
+    ///
+    /// Attribution is line-granular — lookups use the line's start
+    /// address — so the range is widened to line boundaries here. A line
+    /// straddling two registrations goes to the higher-addressed one
+    /// (the registry resolves by greatest range start).
+    pub fn region_register(&mut self, kind: RegionKind, addr: usize, len: usize) {
+        if let Some(p) = self.profiler.as_deref_mut() {
+            if len == 0 {
+                return;
+            }
+            let line = 1usize << self.line_shift;
+            let start = addr & !(line - 1);
+            let end = (addr + len + line - 1) & !(line - 1);
+            p.registry.register(kind, start, end - start);
+        }
+    }
+
+    /// Drop every range tagged `kind`. No-op when profiling is off.
+    pub fn region_clear(&mut self, kind: RegionKind) {
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.registry.clear(kind);
+        }
+    }
+
+    /// Running histogram of exposed demand-line latencies (`None` when
+    /// profiling is off). Monotone: span boundaries snapshot and diff it.
+    pub fn latency_hist(&self) -> Option<LatencyHistogram> {
+        self.profiler.as_deref().map(|p| p.total_hist)
     }
 
     /// Charge `cycles` of computation.
@@ -214,13 +272,15 @@ impl SimEngine {
         // Demand TLB access: a walk stalls the processor (serially — the
         // translation gates the load).
         let page = line >> (self.page_shift - self.line_shift);
-        if self.tlb.access(page) == TlbAccess::Walked {
+        let walked = self.tlb.access(page) == TlbAccess::Walked;
+        if walked {
             self.stats.tlb_demand_walks += 1;
             self.now += self.cfg.tlb_walk;
             self.dtlb += self.cfg.tlb_walk;
         }
         let shadow_hit = self.shadow.as_mut().map(|s| s.touch(line));
         let (probe, pf_first_use) = self.l1.access_demand(line, self.now, is_write);
+        let mut fill_src = None;
         let result = match probe {
             Probe::Hit => {
                 self.stats.l1_hits += 1;
@@ -247,6 +307,7 @@ impl SimEngine {
                     self.stats.l1_conflict_misses += 1;
                 }
                 let (completion, src) = self.fill_line(line, self.now, false);
+                fill_src = Some(src);
                 match src {
                     FillSource::L2 => self.stats.l2_hits += 1,
                     FillSource::Memory => self.stats.mem_misses += 1,
@@ -258,10 +319,69 @@ impl SimEngine {
                 Some(completion)
             }
         };
+        if self.profiler.is_some() {
+            self.charge_demand_line(line, walked, probe, pf_first_use, fill_src, result);
+        }
         if !self.hw_streams.is_empty() {
             self.hw_advance(line, result.is_some());
         }
         result
+    }
+
+    /// Mirror one demand line event into the region profiler. Pure
+    /// bookkeeping — reads `now` but never advances it. Only called with
+    /// the profiler present.
+    fn charge_demand_line(
+        &mut self,
+        line: u64,
+        walked: bool,
+        probe: Probe,
+        pf_first_use: Option<(u64, u64)>,
+        fill_src: Option<FillSource>,
+        ready: Option<u64>,
+    ) {
+        let line_shift = self.line_shift;
+        let now = self.now;
+        let p = self.profiler.as_deref_mut().expect("profiler present");
+        let kind = p.registry.lookup((line << line_shift) as usize);
+        let s = &mut p.stats[kind.index()];
+        if walked {
+            s.tlb_demand_walks += 1;
+        }
+        match probe {
+            Probe::Hit => {
+                s.l1_hits += 1;
+                if let Some((start, fill_ready)) = pf_first_use {
+                    s.pf_hidden += 1;
+                    s.pf_hidden_cycles += fill_ready.saturating_sub(start);
+                }
+            }
+            Probe::InFlight(_) => {
+                s.l1_inflight_hits += 1;
+                if let Some((start, _)) = pf_first_use {
+                    let hidden = now.saturating_sub(start);
+                    if hidden > 0 {
+                        s.pf_partial += 1;
+                        s.pf_hidden_cycles += hidden;
+                    } else {
+                        s.pf_late += 1;
+                    }
+                }
+            }
+            Probe::Miss => match fill_src {
+                Some(FillSource::L2) => s.l2_hits += 1,
+                Some(FillSource::Memory) => s.mem_misses += 1,
+                None => unreachable!("miss without a fill"),
+            },
+        }
+        // Exposed latency of this line: zero for hits, the remaining
+        // in-flight/fill time otherwise. Lines of one reference fill
+        // concurrently, so per-region sums may exceed the wall-clock
+        // dcache stall (which counts the overlap once).
+        let exposed = ready.map_or(0, |r| r.saturating_sub(now));
+        s.stall_cycles += exposed;
+        p.hists[kind.index()].record(exposed);
+        p.total_hist.record(exposed);
     }
 
     /// Hardware next-line stride prefetcher (§1.2 discussion): a demand
@@ -289,6 +409,10 @@ impl SimEngine {
         match self.l1.probe(line, self.now) {
             Probe::Hit | Probe::InFlight(_) => {
                 self.stats.pf_dropped += 1;
+                if let Some(p) = self.profiler.as_deref_mut() {
+                    let kind = p.registry.lookup((line << self.line_shift) as usize);
+                    p.stats[kind.index()].pf_dropped += 1;
+                }
                 return;
             }
             Probe::Miss => {}
@@ -296,7 +420,8 @@ impl SimEngine {
         // TLB prefetching: a prefetch-induced walk delays only the fill.
         let page = line >> (self.page_shift - self.line_shift);
         let mut start = self.now;
-        if self.tlb.access(page) == TlbAccess::Walked {
+        let walked = self.tlb.access(page) == TlbAccess::Walked;
+        if walked {
             self.stats.tlb_prefetch_walks += 1;
             start += self.cfg.tlb_walk;
         }
@@ -304,6 +429,14 @@ impl SimEngine {
         match src {
             FillSource::L2 => self.stats.pf_from_l2 += 1,
             FillSource::Memory => self.stats.pf_from_mem += 1,
+        }
+        if let Some(p) = self.profiler.as_deref_mut() {
+            let kind = p.registry.lookup((line << self.line_shift) as usize);
+            let s = &mut p.stats[kind.index()];
+            s.prefetches += 1;
+            if walked {
+                s.tlb_prefetch_walks += 1;
+            }
         }
     }
 
@@ -334,9 +467,15 @@ impl SimEngine {
     }
 
     fn count_eviction(&mut self, e: Evicted) {
-        if let Evicted::Line { prefetched_unused, dirty } = e {
+        if let Evicted::Line { tag, prefetched_unused, dirty } = e {
             if prefetched_unused {
                 self.stats.pf_evicted_unused += 1;
+                if let Some(p) = self.profiler.as_deref_mut() {
+                    // Pollution: charge the wasted prefetch to the region
+                    // it was fetching for.
+                    let kind = p.registry.lookup((tag << self.line_shift) as usize);
+                    p.stats[kind.index()].pf_polluting += 1;
+                }
             }
             if dirty {
                 self.stats.writebacks += 1;
@@ -660,6 +799,199 @@ mod tests {
         e.visit(A, 4);
         e.visit(A + 64, 4); // same 8 KB page, different line
         assert_eq!(e.stats().tlb_demand_walks, 1);
+    }
+}
+
+#[cfg(test)]
+mod region_tests {
+    use super::*;
+    use crate::region::{RegionStats, NUM_REGION_KINDS};
+
+    const A: usize = 0x10_0000;
+    const B: usize = 0x20_0000;
+
+    /// A small mixed workload: demand misses, hits, prefetches (hidden,
+    /// partial, late, dropped), multi-line visits, writes.
+    fn workload(e: &mut SimEngine) {
+        e.visit(A, 4);
+        e.visit(A, 4);
+        e.prefetch(B, 4);
+        e.busy(1000);
+        e.visit(B, 4); // fully hidden
+        e.prefetch(B + 64, 4);
+        e.busy(50);
+        e.visit(B + 64, 4); // partially hidden
+        e.prefetch(B + 128, 4);
+        e.visit(B + 128, 4); // late
+        e.prefetch(B + 128, 4); // dropped (resident)
+        e.write(A + 256, 8);
+        e.visit(A + 1024, 256); // 4 lines in one reference
+        e.other(3);
+    }
+
+    #[test]
+    fn profiling_never_changes_timing() {
+        let mut off = SimEngine::paper();
+        workload(&mut off);
+        let mut on = SimEngine::paper();
+        on.enable_region_profiling();
+        on.region_register(RegionKind::HashBucketHeaders, A, 4096);
+        on.region_register(RegionKind::ProbeTuples, B, 4096);
+        workload(&mut on);
+        assert_eq!(on.now(), off.now());
+        assert_eq!(on.breakdown(), off.breakdown());
+        assert_eq!(on.stats(), off.stats());
+    }
+
+    #[test]
+    fn region_counters_sum_to_global_stats() {
+        let mut e = SimEngine::paper();
+        e.enable_region_profiling();
+        e.region_register(RegionKind::HashBucketHeaders, A, 4096);
+        e.region_register(RegionKind::ProbeTuples, B, 4096);
+        workload(&mut e);
+        let p = e.region_profile().expect("profiling on");
+        let g = e.stats();
+        let mut sums = RegionStats::default();
+        let mut hist_lines = 0;
+        for kind in RegionKind::ALL {
+            let s = p.stats(kind);
+            sums.l1_hits += s.l1_hits;
+            sums.l1_inflight_hits += s.l1_inflight_hits;
+            sums.l2_hits += s.l2_hits;
+            sums.mem_misses += s.mem_misses;
+            sums.tlb_demand_walks += s.tlb_demand_walks;
+            sums.tlb_prefetch_walks += s.tlb_prefetch_walks;
+            sums.prefetches += s.prefetches;
+            sums.pf_dropped += s.pf_dropped;
+            sums.pf_hidden_cycles += s.pf_hidden_cycles;
+            hist_lines += p.hist(kind).count();
+        }
+        // Every demand line is charged to exactly one region.
+        assert_eq!(sums.l1_hits, g.l1_hits);
+        assert_eq!(sums.l1_inflight_hits, g.l1_inflight_hits);
+        assert_eq!(sums.l2_hits, g.l2_hits);
+        assert_eq!(sums.mem_misses, g.mem_misses);
+        assert_eq!(sums.demand_lines(), g.visit_lines);
+        assert_eq!(sums.tlb_demand_walks, g.tlb_demand_walks);
+        assert_eq!(sums.tlb_prefetch_walks, g.tlb_prefetch_walks);
+        assert_eq!(sums.pf_dropped, g.pf_dropped);
+        assert_eq!(sums.pf_hidden_cycles, g.pf_hidden_cycles);
+        // Prefetched-line fills: one per non-dropped prefetch line.
+        assert_eq!(sums.prefetches, g.pf_from_l2 + g.pf_from_mem);
+        // One histogram sample per demand line, globally and per region.
+        assert_eq!(hist_lines, g.visit_lines);
+        assert_eq!(p.total_hist().count(), g.visit_lines);
+    }
+
+    #[test]
+    fn demand_lines_charged_to_their_region() {
+        let mut e = SimEngine::paper();
+        e.enable_region_profiling();
+        e.region_register(RegionKind::HashCells, A, 64);
+        e.visit(A, 4); // registered: mem miss + walk
+        e.visit(B, 4); // unregistered: falls to Other
+        let p = e.region_profile().unwrap();
+        let cells = p.stats(RegionKind::HashCells);
+        assert_eq!(cells.mem_misses, 1);
+        assert_eq!(cells.tlb_demand_walks, 1);
+        assert_eq!(cells.demand_lines(), 1);
+        assert!(cells.stall_cycles >= 150, "full latency exposed");
+        let other = p.stats(RegionKind::Other);
+        assert_eq!(other.mem_misses, 1);
+        assert_eq!(other.demand_lines(), 1);
+        assert_eq!(p.stats(RegionKind::BuildTuples).demand_lines(), 0);
+    }
+
+    #[test]
+    fn unaligned_registrations_cover_their_first_line() {
+        // Real allocations are rarely line-aligned (malloc hands out
+        // 16-byte alignment). Attribution looks regions up by *line
+        // start*, so registration must widen the range to line
+        // boundaries or the first/last lines leak to Other.
+        let mut e = SimEngine::paper();
+        e.enable_region_profiling();
+        e.region_register(RegionKind::BuildTuples, A + 16, 96); // spans lines A and A+64
+        e.visit(A + 16, 4); // line start A: before the raw range
+        e.visit(A + 104, 4); // line start A+64: past the raw range's end line start
+        let s = e.region_profile().unwrap().stats(RegionKind::BuildTuples);
+        assert_eq!(s.demand_lines(), 2, "both straddled lines charged to the region");
+        assert_eq!(e.region_profile().unwrap().stats(RegionKind::Other).demand_lines(), 0);
+    }
+
+    #[test]
+    fn prefetch_outcomes_classified_per_region() {
+        let mut e = SimEngine::paper();
+        e.enable_region_profiling();
+        e.region_register(RegionKind::ProbeTuples, B, 4096);
+        e.prefetch(B, 4);
+        e.busy(1000);
+        e.visit(B, 4); // hidden
+        e.prefetch(B + 64, 4);
+        e.busy(50);
+        e.visit(B + 64, 4); // partial
+        e.prefetch(B + 128, 4);
+        e.visit(B + 128, 4); // late (no cycles overlapped)
+        e.prefetch(B + 128, 4); // dropped
+        let s = e.region_profile().unwrap().stats(RegionKind::ProbeTuples);
+        assert_eq!(s.pf_hidden, 1);
+        assert_eq!(s.pf_partial, 1);
+        assert_eq!(s.pf_late, 1);
+        assert_eq!(s.pf_dropped, 1);
+        assert_eq!(s.prefetches, 3);
+        assert_eq!(s.pf_hidden_cycles, e.stats().pf_hidden_cycles);
+    }
+
+    #[test]
+    fn pollution_charged_to_victim_region() {
+        let mut cfg = MemConfig::paper();
+        cfg.l1_size = 64 * 4; // 1 set, 4 ways
+        cfg.l1_assoc = 4;
+        let mut e = SimEngine::new(cfg);
+        e.enable_region_profiling();
+        e.region_register(RegionKind::HashCells, B, 64 * 8);
+        for i in 0..5 {
+            e.prefetch(B + i * 64, 4); // 5 prefetches into a 4-way set
+        }
+        assert_eq!(e.stats().pf_evicted_unused, 1);
+        let s = e.region_profile().unwrap().stats(RegionKind::HashCells);
+        assert_eq!(s.pf_polluting, 1, "wasted prefetch charged to its region");
+    }
+
+    #[test]
+    fn latency_hist_none_when_off_and_monotone_when_on() {
+        let mut e = SimEngine::paper();
+        assert!(e.latency_hist().is_none());
+        // Registration before enabling is a silent no-op.
+        e.region_register(RegionKind::HashCells, A, 64);
+        e.visit(A, 4);
+        assert!(e.region_profile().is_none());
+        e.enable_region_profiling();
+        let h0 = e.latency_hist().unwrap();
+        assert_eq!(h0.count(), 0);
+        e.visit(B, 4); // miss: nonzero exposed latency
+        e.visit(B, 4); // hit: zero-latency sample
+        let h1 = e.latency_hist().unwrap();
+        assert_eq!(h1.count(), 2);
+        let delta = h1 - h0;
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.buckets[0], 1, "the hit lands in the zero bucket");
+        assert_eq!(delta.percentiles().2, h1.percentiles().2);
+    }
+
+    #[test]
+    fn clear_reroutes_to_other() {
+        let mut e = SimEngine::paper();
+        e.enable_region_profiling();
+        e.region_register(RegionKind::PartitionBuffers, A, 4096);
+        e.visit(A, 4);
+        e.region_clear(RegionKind::PartitionBuffers);
+        e.visit(A + 64, 4);
+        let p = e.region_profile().unwrap();
+        assert_eq!(p.stats(RegionKind::PartitionBuffers).demand_lines(), 1);
+        assert_eq!(p.stats(RegionKind::Other).demand_lines(), 1);
+        let _ = NUM_REGION_KINDS; // re-exported constant stays in sync
+        assert_eq!(RegionKind::ALL.len(), NUM_REGION_KINDS);
     }
 }
 

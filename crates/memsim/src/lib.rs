@@ -39,10 +39,15 @@ pub mod config;
 pub mod engine;
 pub mod lru;
 pub mod model;
+pub mod region;
 pub mod stats;
 pub mod tlb;
 
 pub use config::MemConfig;
 pub use engine::SimEngine;
 pub use model::{MemoryModel, NativeModel, SimModel};
+pub use region::{
+    LatencyHistogram, RegionKind, RegionProfiler, RegionRegistry, RegionStats, LATENCY_BUCKETS,
+    NUM_REGION_KINDS,
+};
 pub use stats::{Breakdown, CacheStats, Snapshot};

@@ -11,6 +11,7 @@
 //! latency T = 1000, periodic cache flushing).
 
 use crate::engine::SimEngine;
+use crate::region::{LatencyHistogram, RegionKind};
 use crate::stats::Snapshot;
 
 /// Instrumentation hooks threaded through the join/partition algorithms.
@@ -49,6 +50,31 @@ pub trait MemoryModel {
     #[inline(always)]
     fn snapshot(&self) -> Snapshot {
         Snapshot::default()
+    }
+
+    /// Tag `len` bytes at `addr` as region `kind` for miss attribution.
+    /// Default no-op: native runs and unprofiled simulations pay nothing;
+    /// the algorithms call this unconditionally at phase boundaries.
+    #[inline(always)]
+    fn region_register(&mut self, kind: RegionKind, addr: usize, len: usize) {
+        let _ = (kind, addr, len);
+    }
+
+    /// Drop every range tagged `kind` (a structure died or its addresses
+    /// are being re-registered). Default no-op, like
+    /// [`Self::region_register`].
+    #[inline(always)]
+    fn region_clear(&mut self, kind: RegionKind) {
+        let _ = kind;
+    }
+
+    /// Running histogram of exposed demand-line latencies, for per-span
+    /// latency percentiles. `None` (the default) when the model does not
+    /// profile — span records then omit their histogram entirely, keeping
+    /// unprofiled reports byte-identical.
+    #[inline(always)]
+    fn latency_hist(&self) -> Option<LatencyHistogram> {
+        None
     }
 }
 
@@ -134,6 +160,21 @@ impl MemoryModel for SimEngine {
     #[inline]
     fn snapshot(&self) -> Snapshot {
         SimEngine::snapshot(self)
+    }
+
+    #[inline]
+    fn region_register(&mut self, kind: RegionKind, addr: usize, len: usize) {
+        SimEngine::region_register(self, kind, addr, len);
+    }
+
+    #[inline]
+    fn region_clear(&mut self, kind: RegionKind) {
+        SimEngine::region_clear(self, kind);
+    }
+
+    #[inline]
+    fn latency_hist(&self) -> Option<LatencyHistogram> {
+        SimEngine::latency_hist(self)
     }
 }
 

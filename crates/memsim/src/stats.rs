@@ -219,6 +219,22 @@ mod tests {
     }
 
     #[test]
+    fn sub_saturates_per_field_not_wholesale() {
+        // Partial disorder: only the fields that actually underflow clamp;
+        // well-ordered fields still produce their true deltas.
+        let a = Breakdown { busy: 10, dcache_stall: 1, dtlb_stall: 7, other_stall: 0 };
+        let b = Breakdown { busy: 3, dcache_stall: 5, dtlb_stall: 7, other_stall: 2 };
+        let d = a - b;
+        assert_eq!(d, Breakdown { busy: 7, dcache_stall: 0, dtlb_stall: 0, other_stall: 0 });
+        let sa = CacheStats { visits: 100, l1_hits: 2, mem_misses: 50, ..Default::default() };
+        let sb = CacheStats { visits: 40, l1_hits: 8, mem_misses: 49, ..Default::default() };
+        let sd = sa - sb;
+        assert_eq!(sd.visits, 60);
+        assert_eq!(sd.l1_hits, 0, "underflowing field clamps alone");
+        assert_eq!(sd.mem_misses, 1);
+    }
+
+    #[test]
     fn snapshot_sub_is_componentwise() {
         let a = Snapshot {
             breakdown: Breakdown { busy: 10, dcache_stall: 5, dtlb_stall: 1, other_stall: 0 },

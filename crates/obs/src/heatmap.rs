@@ -1,0 +1,268 @@
+//! ASCII rendering of a report's memory-access attribution: a region ×
+//! latency heatmap, a top-N miss-hotspot table, and partition skew bars.
+//!
+//! The heatmap answers the paper's central diagnostic question — *which
+//! data structure is the join stalling on, and for how long per access* —
+//! at a glance in a terminal, without loading the JSON into anything.
+
+use crate::report::{RegionsSection, RunReport, SkewRow};
+use phj_memsim::LATENCY_BUCKETS;
+
+/// Shade ramp for heatmap cells, lightest to darkest.
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+/// Render the attribution section of `report` as ASCII: heatmap +
+/// hotspots + skew. `None` when the report has no `regions` section
+/// (the run did not profile).
+pub fn render(report: &RunReport) -> Option<String> {
+    report.regions.as_ref().map(render_section)
+}
+
+/// Render a [`RegionsSection`] directly.
+pub fn render_section(sec: &RegionsSection) -> String {
+    let mut out = String::new();
+    heatmap(sec, &mut out);
+    hotspots(sec, &mut out);
+    skew(&sec.skew, &mut out);
+    out
+}
+
+/// The region × log2-latency grid. Rows are regions with at least one
+/// demand line; columns cover the occupied bucket range; cell shade is
+/// log-scaled against the densest cell.
+fn heatmap(sec: &RegionsSection, out: &mut String) {
+    let rows: Vec<_> = sec.regions.iter().filter(|r| r.stats.demand_lines() > 0).collect();
+    if rows.is_empty() {
+        out.push_str("memory-access attribution: no demand accesses recorded\n");
+        return;
+    }
+    // Occupied bucket range across all shown regions.
+    let mut lo = LATENCY_BUCKETS;
+    let mut hi = 0usize;
+    let mut max_cell = 0u64;
+    for r in &rows {
+        for (i, &c) in r.hist.buckets.iter().enumerate() {
+            if c > 0 {
+                lo = lo.min(i);
+                hi = hi.max(i);
+                max_cell = max_cell.max(c);
+            }
+        }
+    }
+    let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(0).max(6);
+    out.push_str("exposed latency per demand line (columns: log2 cycle buckets)\n");
+    out.push_str(&format!("{:>name_w$} |", "cycles"));
+    for i in lo..=hi {
+        out.push_str(&format!("{:>6}", bucket_label(i)));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:-<w$}\n", "", w = name_w + 2 + 6 * (hi - lo + 1)));
+    for r in &rows {
+        out.push_str(&format!("{:>name_w$} |", r.name));
+        for i in lo..=hi {
+            let c = r.hist.buckets[i];
+            out.push_str(&format!("{:>5}{}", "", shade(c, max_cell) as char));
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+}
+
+/// Miss-hotspot table: regions ranked by memory misses, with share of the
+/// total and their latency percentiles.
+fn hotspots(sec: &RegionsSection, out: &mut String) {
+    let total_misses: u64 = sec.regions.iter().map(|r| r.stats.mem_misses).sum();
+    let total_l2: u64 = sec.regions.iter().map(|r| r.stats.l2_hits).sum();
+    out.push_str(&format!(
+        "miss hotspots ({total_misses} memory misses, {total_l2} L2 hits)\n"
+    ));
+    let mut ranked: Vec<_> = sec.regions.iter().filter(|r| r.stats.demand_lines() > 0).collect();
+    ranked.sort_by(|a, b| {
+        (b.stats.mem_misses, b.stats.l2_hits).cmp(&(a.stats.mem_misses, a.stats.l2_hits))
+    });
+    out.push_str(&format!(
+        "{:>20} {:>10} {:>6} {:>10} {:>8} {:>8} {:>8}\n",
+        "region", "mem_misses", "share", "l2_hits", "p50", "p95", "p99"
+    ));
+    for r in ranked {
+        let share = if total_misses == 0 {
+            0.0
+        } else {
+            100.0 * r.stats.mem_misses as f64 / total_misses as f64
+        };
+        let (p50, p95, p99) = r.hist.percentiles();
+        out.push_str(&format!(
+            "{:>20} {:>10} {:>5.1}% {:>10} {:>8} {:>8} {:>8}\n",
+            r.name, r.stats.mem_misses, share, r.stats.l2_hits, p50, p95, p99
+        ));
+    }
+    out.push('\n');
+}
+
+/// Per-partition skew bars: probes and misses per pair, normalized to the
+/// heaviest pair.
+fn skew(rows: &[SkewRow], out: &mut String) {
+    if rows.is_empty() {
+        return;
+    }
+    let max_cycles = rows.iter().map(|r| r.cycles).max().unwrap_or(0).max(1);
+    out.push_str(&format!("partition skew ({} pairs)\n", rows.len()));
+    out.push_str(&format!(
+        "{:>5} {:>12} {:>12} {:>12} {:>12}  cycles\n",
+        "pair", "build", "probe", "mem_misses", "cycles"
+    ));
+    for r in rows {
+        let bar_len = ((r.cycles as f64 / max_cycles as f64) * 30.0).round() as usize;
+        out.push_str(&format!(
+            "{:>5} {:>12} {:>12} {:>12} {:>12}  {}\n",
+            r.index,
+            r.build_tuples,
+            r.probe_tuples,
+            r.mem_misses,
+            r.cycles,
+            "#".repeat(bar_len.max(1)),
+        ));
+    }
+}
+
+/// Column label for bucket `i`: the log2 exponent of its upper bound
+/// (`0`, `1`, `2`, `4`, `8`, …, in cycles).
+fn bucket_label(i: usize) -> String {
+    if i == 0 {
+        "hit".to_string()
+    } else if i == LATENCY_BUCKETS - 1 {
+        "inf".to_string()
+    } else {
+        format!("<{}", 1u64 << i)
+    }
+}
+
+/// Log-scaled shade: empty cells are blank; the densest cell gets the
+/// darkest glyph.
+fn shade(count: u64, max: u64) -> u8 {
+    if count == 0 {
+        return SHADES[0];
+    }
+    let steps = (SHADES.len() - 1) as f64;
+    let frac = ((count as f64).ln_1p() / (max as f64).ln_1p()).clamp(0.0, 1.0);
+    SHADES[((frac * steps).ceil() as usize).clamp(1, SHADES.len() - 1)]
+}
+
+/// Expose the total histogram shade ramp for tests.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::RegionReport;
+    use phj_memsim::{LatencyHistogram, RegionStats};
+
+    fn section() -> RegionsSection {
+        let mut hot = LatencyHistogram::default();
+        for _ in 0..800 {
+            hot.record(150);
+        }
+        for _ in 0..200 {
+            hot.record(0);
+        }
+        let mut cold = LatencyHistogram::default();
+        for _ in 0..50 {
+            cold.record(0);
+        }
+        RegionsSection {
+            regions: vec![
+                RegionReport {
+                    name: "hash_bucket_headers".into(),
+                    stats: RegionStats {
+                        l1_hits: 200,
+                        mem_misses: 800,
+                        stall_cycles: 120_000,
+                        ..Default::default()
+                    },
+                    hist: hot,
+                },
+                RegionReport {
+                    name: "probe_tuples".into(),
+                    stats: RegionStats { l1_hits: 50, ..Default::default() },
+                    hist: cold,
+                },
+                RegionReport {
+                    name: "other".into(),
+                    stats: RegionStats::default(),
+                    hist: LatencyHistogram::default(),
+                },
+            ],
+            skew: vec![
+                SkewRow {
+                    index: 0,
+                    build_tuples: 100,
+                    probe_tuples: 200,
+                    cycles: 5_000,
+                    l2_hits: 3,
+                    mem_misses: 40,
+                },
+                SkewRow {
+                    index: 1,
+                    build_tuples: 900,
+                    probe_tuples: 1800,
+                    cycles: 50_000,
+                    l2_hits: 30,
+                    mem_misses: 400,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_all_three_sections() {
+        let text = render_section(&section());
+        assert!(text.contains("exposed latency per demand line"));
+        assert!(text.contains("miss hotspots"));
+        assert!(text.contains("partition skew (2 pairs)"));
+        // Regions with no demand lines are hidden from the grid.
+        let grid = text.split("miss hotspots").next().unwrap();
+        assert!(!grid.contains("\n other"), "empty region hidden: {grid}");
+    }
+
+    #[test]
+    fn hotspot_table_ranks_by_misses() {
+        let text = render_section(&section());
+        let hot = text.find("hash_bucket_headers").unwrap();
+        let tuples = text.find("probe_tuples").unwrap();
+        assert!(hot < tuples, "heaviest region listed first");
+        assert!(text.contains("800 memory misses"));
+        assert!(text.contains("100.0%"));
+    }
+
+    #[test]
+    fn skew_bars_scale_with_cycles() {
+        let text = render_section(&section());
+        let lines: Vec<&str> = text.lines().collect();
+        let light = lines.iter().find(|l| l.trim_start().starts_with("0 ")).unwrap();
+        let heavy = lines.iter().find(|l| l.trim_start().starts_with("1 ")).unwrap();
+        let bars = |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert!(bars(heavy) > bars(light), "heavy: {heavy} light: {light}");
+        assert_eq!(bars(heavy), 30, "heaviest pair gets the full bar");
+    }
+
+    #[test]
+    fn empty_section_says_so() {
+        let text = render_section(&RegionsSection::default());
+        assert!(text.contains("no demand accesses"));
+    }
+
+    #[test]
+    fn shade_monotone() {
+        assert_eq!(shade(0, 100), b' ');
+        let mid = shade(10, 1000);
+        let top = shade(1000, 1000);
+        assert_eq!(top, *SHADES.last().unwrap());
+        assert!(SHADES.iter().position(|&s| s == mid) < SHADES.iter().position(|&s| s == top));
+    }
+
+    #[test]
+    fn render_none_without_regions() {
+        let rec = crate::span::Recorder::new();
+        let report =
+            RunReport::from_recorder("join", rec, phj_memsim::Snapshot::default(), 0);
+        assert!(render(&report).is_none());
+    }
+}

@@ -28,12 +28,13 @@
 //! snapshot types), so every layer of the workspace — core algorithms,
 //! CLI, bench harness — can produce or consume reports.
 
+pub mod heatmap;
 pub mod json;
 pub mod report;
 pub mod span;
 pub mod trace;
 
 pub use json::Json;
-pub use report::{RunReport, SCHEMA_VERSION};
+pub use report::{RegionReport, RegionsSection, RunReport, SkewRow, SCHEMA_VERSION};
 pub use span::{span_begin, span_end, span_meta, Recorder, SpanId, SpanRecord};
 pub use trace::{trace_json, trace_text};

@@ -3,10 +3,73 @@
 
 use crate::json::{self, Json};
 use crate::span::{Recorder, SpanRecord};
-use phj_memsim::{Breakdown, CacheStats, Snapshot};
+use phj_memsim::{
+    Breakdown, CacheStats, LatencyHistogram, RegionStats, Snapshot, LATENCY_BUCKETS,
+};
 
 /// Report format version (bump on breaking layout changes).
 pub const SCHEMA_VERSION: u64 = 1;
+
+/// One region's attribution entry in a report's `regions` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionReport {
+    /// Region kind name (`"hash_bucket_headers"`, `"hash_cells"`, …).
+    pub name: String,
+    /// Counters charged to this region.
+    pub stats: RegionStats,
+    /// Exposed-latency histogram of the region's demand lines.
+    pub hist: LatencyHistogram,
+}
+
+/// One partition's row of the skew profile: how unevenly the partition
+/// phase spread work, and which pairs drove the misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SkewRow {
+    /// Partition index (the `index` meta of its `pair` span).
+    pub index: u64,
+    /// Build tuples in the pair.
+    pub build_tuples: u64,
+    /// Probe tuples in the pair.
+    pub probe_tuples: u64,
+    /// Simulated cycles the pair took.
+    pub cycles: u64,
+    /// L2 hits (L1 misses served from L2) in the pair.
+    pub l2_hits: u64,
+    /// Full memory misses in the pair.
+    pub mem_misses: u64,
+}
+
+/// The optional memory-access attribution section of a [`RunReport`]:
+/// per-region counters/histograms plus the per-partition skew profile.
+/// Present only when the run profiled regions (`--profile-regions`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegionsSection {
+    /// Per-region attribution, in [`RegionKind`](phj_memsim::RegionKind)
+    /// order.
+    pub regions: Vec<RegionReport>,
+    /// Per-partition skew rows (empty when the run had no `pair` spans).
+    pub skew: Vec<SkewRow>,
+}
+
+impl RegionsSection {
+    /// Lift an engine's [`RegionProfiler`](phj_memsim::RegionProfiler)
+    /// into report form (one entry per kind, in
+    /// [`RegionKind::ALL`](phj_memsim::RegionKind::ALL) order). The skew
+    /// rows are filled in separately by the caller.
+    pub fn from_profiler(p: &phj_memsim::RegionProfiler) -> Self {
+        RegionsSection {
+            regions: phj_memsim::RegionKind::ALL
+                .into_iter()
+                .map(|k| RegionReport {
+                    name: k.name().to_string(),
+                    stats: p.stats(k),
+                    hist: *p.hist(k),
+                })
+                .collect(),
+            skew: Vec::new(),
+        }
+    }
+}
 
 /// A complete, serializable description of one pipeline run.
 #[derive(Debug, Clone)]
@@ -30,6 +93,10 @@ pub struct RunReport {
     pub matches: u64,
     /// The recorded phase spans, in open order.
     pub spans: Vec<SpanRecord>,
+    /// Memory-access attribution (`None` unless the run profiled
+    /// regions; the JSON key is omitted entirely when absent, keeping
+    /// unprofiled reports byte-identical to pre-attribution ones).
+    pub regions: Option<RegionsSection>,
 }
 
 impl RunReport {
@@ -51,6 +118,7 @@ impl RunReport {
             tuples: 0,
             matches: 0,
             spans: recorder.finish(),
+            regions: None,
         }
     }
 
@@ -99,7 +167,7 @@ impl RunReport {
             .spans
             .iter()
             .map(|s| {
-                Json::obj(vec![
+                let mut pairs = vec![
                     ("name", Json::Str(s.name.clone())),
                     (
                         "parent",
@@ -111,19 +179,24 @@ impl RunReport {
                     ("breakdown", breakdown_json(&s.delta.breakdown)),
                     ("cache", cache_json(&s.delta.stats)),
                     ("prefetch_coverage", Json::F64(coverage(&s.delta))),
-                    (
-                        "meta",
-                        Json::Obj(
-                            s.meta
-                                .iter()
-                                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
-                                .collect(),
-                        ),
+                ];
+                // Only profiled runs carry the key at all.
+                if let Some(h) = &s.latency {
+                    pairs.push(("latency", hist_json(h)));
+                }
+                pairs.push((
+                    "meta",
+                    Json::Obj(
+                        s.meta
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                            .collect(),
                     ),
-                ])
+                ));
+                Json::obj(pairs)
             })
             .collect();
-        Json::obj(vec![
+        let mut doc = Json::obj(vec![
             ("schema_version", Json::U64(SCHEMA_VERSION)),
             ("command", Json::Str(self.command.clone())),
             ("simulated", Json::Bool(self.simulated)),
@@ -154,7 +227,13 @@ impl RunReport {
                 ]),
             ),
             ("spans", Json::Arr(spans)),
-        ])
+        ]);
+        if let Some(sec) = &self.regions {
+            if let Json::Obj(members) = &mut doc {
+                members.push(("regions".into(), regions_json(sec)));
+            }
+        }
+        doc
     }
 
     /// Serialize to pretty-printed JSON text.
@@ -189,6 +268,10 @@ impl RunReport {
             tuples: field_u64(&doc, "tuples")?,
             matches: field_u64(&doc, "matches")?,
             spans,
+            regions: match doc.get("regions") {
+                Some(sec) => Some(parse_regions(sec)?),
+                None => None,
+            },
         })
     }
 
@@ -248,6 +331,50 @@ impl RunReport {
                 self.totals.breakdown.total()
             ));
         }
+        if let Some(sec) = &self.regions {
+            self.validate_regions(sec)?;
+        }
+        Ok(())
+    }
+
+    /// Internal consistency of a `regions` section against the run
+    /// totals: every demand line is charged to exactly one region, so the
+    /// per-region hit/miss counters must sum exactly to the global cache
+    /// stats, and each region's histogram must hold one sample per demand
+    /// line.
+    fn validate_regions(&self, sec: &RegionsSection) -> Result<(), String> {
+        let mut sums = RegionStats::default();
+        for r in &sec.regions {
+            if r.hist.count() != r.stats.demand_lines() {
+                return Err(format!(
+                    "region '{}' histogram has {} samples for {} demand lines",
+                    r.name,
+                    r.hist.count(),
+                    r.stats.demand_lines()
+                ));
+            }
+            sums.l1_hits += r.stats.l1_hits;
+            sums.l1_inflight_hits += r.stats.l1_inflight_hits;
+            sums.l2_hits += r.stats.l2_hits;
+            sums.mem_misses += r.stats.mem_misses;
+            sums.tlb_demand_walks += r.stats.tlb_demand_walks;
+        }
+        let g = &self.totals.stats;
+        let checks = [
+            ("l1_hits", sums.l1_hits, g.l1_hits),
+            ("l1_inflight_hits", sums.l1_inflight_hits, g.l1_inflight_hits),
+            ("l2_hits", sums.l2_hits, g.l2_hits),
+            ("mem_misses", sums.mem_misses, g.mem_misses),
+            ("demand lines", sums.demand_lines(), g.visit_lines),
+            ("tlb_demand_walks", sums.tlb_demand_walks, g.tlb_demand_walks),
+        ];
+        for (what, region_sum, total) in checks {
+            if region_sum != total {
+                return Err(format!(
+                    "regions sum {region_sum} {what} but the run total is {total}"
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -305,6 +432,126 @@ fn cache_json(s: &CacheStats) -> Json {
         ("writebacks", Json::U64(s.writebacks)),
         ("flushes", Json::U64(s.flushes)),
     ])
+}
+
+fn hist_json(h: &LatencyHistogram) -> Json {
+    let (p50, p95, p99) = h.percentiles();
+    Json::obj(vec![
+        ("count", Json::U64(h.count())),
+        ("p50", Json::U64(p50)),
+        ("p95", Json::U64(p95)),
+        ("p99", Json::U64(p99)),
+        ("buckets", Json::Arr(h.buckets.iter().map(|&c| Json::U64(c)).collect())),
+    ])
+}
+
+fn region_json(r: &RegionReport) -> Json {
+    let s = &r.stats;
+    Json::obj(vec![
+        ("name", Json::Str(r.name.clone())),
+        ("l1_hits", Json::U64(s.l1_hits)),
+        ("l1_inflight_hits", Json::U64(s.l1_inflight_hits)),
+        ("l2_hits", Json::U64(s.l2_hits)),
+        ("mem_misses", Json::U64(s.mem_misses)),
+        ("demand_lines", Json::U64(s.demand_lines())),
+        ("tlb_demand_walks", Json::U64(s.tlb_demand_walks)),
+        ("stall_cycles", Json::U64(s.stall_cycles)),
+        ("prefetches", Json::U64(s.prefetches)),
+        ("pf_dropped", Json::U64(s.pf_dropped)),
+        ("tlb_prefetch_walks", Json::U64(s.tlb_prefetch_walks)),
+        ("pf_hidden", Json::U64(s.pf_hidden)),
+        ("pf_partial", Json::U64(s.pf_partial)),
+        ("pf_late", Json::U64(s.pf_late)),
+        ("pf_polluting", Json::U64(s.pf_polluting)),
+        ("pf_hidden_cycles", Json::U64(s.pf_hidden_cycles)),
+        ("hist", hist_json(&r.hist)),
+    ])
+}
+
+fn skew_json(row: &SkewRow) -> Json {
+    Json::obj(vec![
+        ("index", Json::U64(row.index)),
+        ("build_tuples", Json::U64(row.build_tuples)),
+        ("probe_tuples", Json::U64(row.probe_tuples)),
+        ("cycles", Json::U64(row.cycles)),
+        ("l2_hits", Json::U64(row.l2_hits)),
+        ("mem_misses", Json::U64(row.mem_misses)),
+    ])
+}
+
+fn regions_json(sec: &RegionsSection) -> Json {
+    Json::obj(vec![
+        ("regions", Json::Arr(sec.regions.iter().map(region_json).collect())),
+        ("skew", Json::Arr(sec.skew.iter().map(skew_json).collect())),
+    ])
+}
+
+fn parse_hist(doc: &Json) -> Result<LatencyHistogram, String> {
+    let arr = doc
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or("histogram missing buckets array")?;
+    if arr.len() != LATENCY_BUCKETS {
+        return Err(format!("histogram has {} buckets, expected {LATENCY_BUCKETS}", arr.len()));
+    }
+    let mut h = LatencyHistogram::default();
+    for (i, v) in arr.iter().enumerate() {
+        h.buckets[i] = v.as_u64().ok_or("non-integer histogram bucket")?;
+    }
+    Ok(h)
+}
+
+fn parse_region(doc: &Json) -> Result<RegionReport, String> {
+    Ok(RegionReport {
+        name: field_str(doc, "name")?,
+        stats: RegionStats {
+            l1_hits: field_u64(doc, "l1_hits")?,
+            l1_inflight_hits: field_u64(doc, "l1_inflight_hits")?,
+            l2_hits: field_u64(doc, "l2_hits")?,
+            mem_misses: field_u64(doc, "mem_misses")?,
+            tlb_demand_walks: field_u64(doc, "tlb_demand_walks")?,
+            stall_cycles: field_u64(doc, "stall_cycles")?,
+            prefetches: field_u64(doc, "prefetches")?,
+            pf_dropped: field_u64(doc, "pf_dropped")?,
+            tlb_prefetch_walks: field_u64(doc, "tlb_prefetch_walks")?,
+            pf_hidden: field_u64(doc, "pf_hidden")?,
+            pf_partial: field_u64(doc, "pf_partial")?,
+            pf_late: field_u64(doc, "pf_late")?,
+            pf_polluting: field_u64(doc, "pf_polluting")?,
+            pf_hidden_cycles: field_u64(doc, "pf_hidden_cycles")?,
+        },
+        hist: parse_hist(doc.get("hist").ok_or("region missing hist")?)?,
+    })
+}
+
+fn parse_skew(doc: &Json) -> Result<SkewRow, String> {
+    Ok(SkewRow {
+        index: field_u64(doc, "index")?,
+        build_tuples: field_u64(doc, "build_tuples")?,
+        probe_tuples: field_u64(doc, "probe_tuples")?,
+        cycles: field_u64(doc, "cycles")?,
+        l2_hits: field_u64(doc, "l2_hits")?,
+        mem_misses: field_u64(doc, "mem_misses")?,
+    })
+}
+
+fn parse_regions(doc: &Json) -> Result<RegionsSection, String> {
+    Ok(RegionsSection {
+        regions: doc
+            .get("regions")
+            .and_then(Json::as_arr)
+            .ok_or("regions section missing regions array")?
+            .iter()
+            .map(parse_region)
+            .collect::<Result<Vec<_>, _>>()?,
+        skew: doc
+            .get("skew")
+            .and_then(Json::as_arr)
+            .ok_or("regions section missing skew array")?
+            .iter()
+            .map(parse_skew)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
 }
 
 fn field_u64(doc: &Json, key: &str) -> Result<u64, String> {
@@ -379,6 +626,9 @@ fn parse_span(doc: &Json) -> Result<SpanRecord, String> {
             stats: parse_cache(doc.get("cache").ok_or("span missing cache")?)?,
         },
     );
+    if let Some(h) = doc.get("latency") {
+        span = span.with_latency(Some(parse_hist(h)?));
+    }
     if let Some(Json::Obj(members)) = doc.get("meta") {
         for (k, v) in members {
             span.meta.push((k.clone(), v.as_str().unwrap_or_default().to_string()));
@@ -510,6 +760,107 @@ mod tests {
         r.spans.push(orphan); // second depth-1 span is fine…
         r.spans.last_mut().unwrap().parent = None; // …a second root is not
         assert!(r.validate().unwrap_err().contains("root"));
+    }
+
+    /// A simulated report whose regions section is internally consistent
+    /// with its totals: 10 demand lines split 7/3 across two regions.
+    fn profiled_report() -> RunReport {
+        let totals = Snapshot {
+            breakdown: Breakdown { busy: 100, dcache_stall: 150, ..Default::default() },
+            stats: CacheStats {
+                visits: 10,
+                visit_lines: 10,
+                l1_hits: 6,
+                l2_hits: 3,
+                mem_misses: 1,
+                tlb_demand_walks: 2,
+                ..Default::default()
+            },
+        };
+        let mut cells_hist = LatencyHistogram::default();
+        for _ in 0..6 {
+            cells_hist.record(0);
+        }
+        cells_hist.record(8);
+        let mut other_hist = LatencyHistogram::default();
+        other_hist.record(8);
+        other_hist.record(8);
+        other_hist.record(150);
+        let mut run_hist = cells_hist;
+        run_hist.merge(&other_hist);
+        let mut rec = Recorder::new();
+        let root = rec.begin_profiled("run", Snapshot::default(), Some(LatencyHistogram::default()));
+        rec.end_profiled(root, totals, Some(run_hist));
+        let mut report = RunReport::from_recorder("join", rec, totals, 1_000);
+        report.simulated = true;
+        report.regions = Some(RegionsSection {
+            regions: vec![
+                RegionReport {
+                    name: "hash_cells".into(),
+                    stats: RegionStats {
+                        l1_hits: 6,
+                        l2_hits: 1,
+                        stall_cycles: 8,
+                        ..Default::default()
+                    },
+                    hist: cells_hist,
+                },
+                RegionReport {
+                    name: "other".into(),
+                    stats: RegionStats {
+                        l2_hits: 2,
+                        mem_misses: 1,
+                        tlb_demand_walks: 2,
+                        stall_cycles: 166,
+                        ..Default::default()
+                    },
+                    hist: other_hist,
+                },
+            ],
+            skew: vec![SkewRow {
+                index: 0,
+                build_tuples: 4,
+                probe_tuples: 6,
+                cycles: 250,
+                l2_hits: 3,
+                mem_misses: 1,
+            }],
+        });
+        report
+    }
+
+    #[test]
+    fn regions_section_round_trips_and_validates() {
+        let r = profiled_report();
+        r.validate().expect("consistent regions section");
+        let text = r.render();
+        assert!(text.contains("\"regions\""));
+        assert!(text.contains("\"latency\""));
+        let back = RunReport::parse(&text).expect("parse");
+        assert_eq!(back.regions, r.regions);
+        assert_eq!(back.spans[0].latency, r.spans[0].latency);
+        back.validate().expect("round-tripped report still validates");
+    }
+
+    #[test]
+    fn unprofiled_reports_never_mention_attribution_keys() {
+        let text = report_with_spans().render();
+        assert!(!text.contains("regions"));
+        assert!(!text.contains("latency"));
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_regions() {
+        // A counter that no longer sums to the run total (TLB walks are
+        // not demand lines, so the histogram check stays satisfied).
+        let mut r = profiled_report();
+        r.regions.as_mut().unwrap().regions[0].stats.tlb_demand_walks += 1;
+        assert!(r.validate().unwrap_err().contains("regions sum"));
+
+        // A histogram out of step with its region's demand lines.
+        let mut r = profiled_report();
+        r.regions.as_mut().unwrap().regions[0].hist.record(4);
+        assert!(r.validate().unwrap_err().contains("histogram"));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!
 //! [`NativeModel`]: phj_memsim::NativeModel
 
-use phj_memsim::{MemoryModel, Snapshot};
+use phj_memsim::{LatencyHistogram, MemoryModel, Snapshot};
 use std::time::Instant;
 
 /// Identifier of a span within its recorder (index into
@@ -44,6 +44,12 @@ pub struct SpanRecord {
     pub delta: Snapshot,
     /// Free-form key–value annotations (partition index, tuple counts…).
     pub meta: Vec<(String, String)>,
+    /// Exposed-latency histogram over the span (demand lines only).
+    /// `None` unless the model profiles regions — absent spans keep
+    /// unprofiled reports byte-identical.
+    pub latency: Option<LatencyHistogram>,
+    /// Model's running latency histogram at entry (for the exit diff).
+    enter_hist: Option<LatencyHistogram>,
     closed: bool,
 }
 
@@ -73,8 +79,16 @@ impl SpanRecord {
             enter: Snapshot::default(),
             delta,
             meta: Vec::new(),
+            latency: None,
+            enter_hist: None,
             closed: true,
         }
+    }
+
+    /// Attach a latency histogram (deserialization path).
+    pub fn with_latency(mut self, latency: Option<LatencyHistogram>) -> SpanRecord {
+        self.latency = latency;
+        self
     }
 }
 
@@ -103,6 +117,18 @@ impl Recorder {
     /// Open a span named `name`, nested inside the currently open span
     /// (if any). `enter` is the memory model's snapshot at this instant.
     pub fn begin(&mut self, name: &str, enter: Snapshot) -> SpanId {
+        self.begin_profiled(name, enter, None)
+    }
+
+    /// [`Self::begin`] also capturing the model's running latency
+    /// histogram (when it profiles), so the matching end can diff it into
+    /// the span's own histogram.
+    pub fn begin_profiled(
+        &mut self,
+        name: &str,
+        enter: Snapshot,
+        enter_hist: Option<LatencyHistogram>,
+    ) -> SpanId {
         let id = self.spans.len();
         self.spans.push(SpanRecord {
             name: name.to_string(),
@@ -113,6 +139,8 @@ impl Recorder {
             enter,
             delta: Snapshot::default(),
             meta: Vec::new(),
+            latency: None,
+            enter_hist,
             closed: false,
         });
         self.stack.push(id);
@@ -123,11 +151,27 @@ impl Recorder {
     /// close innermost-first; closing anything but the innermost open
     /// span panics (it means a phase wrapper leaked a span).
     pub fn end(&mut self, id: SpanId, exit: Snapshot) {
+        self.end_profiled(id, exit, None)
+    }
+
+    /// [`Self::end`] with the model's latency histogram at exit: the span
+    /// keeps the entry→exit diff (the histogram is monotone).
+    pub fn end_profiled(
+        &mut self,
+        id: SpanId,
+        exit: Snapshot,
+        exit_hist: Option<LatencyHistogram>,
+    ) {
         let top = self.stack.pop().expect("Recorder::end with no open span");
         assert_eq!(top, id, "spans must close innermost-first");
         let span = &mut self.spans[id];
         span.wall_ns = (self.origin.elapsed().as_nanos() as u64).saturating_sub(span.start_ns);
         span.delta = exit - span.enter;
+        span.latency = match (span.enter_hist, exit_hist) {
+            (Some(enter), Some(exit)) => Some(exit - enter),
+            (None, exit) => exit,
+            (Some(_), None) => None,
+        };
         span.closed = true;
     }
 
@@ -163,7 +207,7 @@ pub fn span_begin<M: MemoryModel>(
     model: &M,
     name: &str,
 ) -> Option<SpanId> {
-    rec.as_deref_mut().map(|r| r.begin(name, model.snapshot()))
+    rec.as_deref_mut().map(|r| r.begin_profiled(name, model.snapshot(), model.latency_hist()))
 }
 
 /// Close the span opened by the matching [`span_begin`].
@@ -173,7 +217,7 @@ pub fn span_end<M: MemoryModel>(
     id: Option<SpanId>,
 ) {
     if let (Some(r), Some(id)) = (rec.as_deref_mut(), id) {
-        r.end(id, model.snapshot());
+        r.end_profiled(id, model.snapshot(), model.latency_hist());
     }
 }
 

@@ -63,6 +63,41 @@ pub fn trace_json(report: &RunReport) -> Json {
             ("args", Json::Obj(args)),
         ]));
     }
+    // Region attribution rides along as counter tracks: one "C" event at
+    // t=0 (all zeros) and one at run end (the cumulative totals), so the
+    // viewer draws a ramp per region for misses and stall cycles.
+    if let Some(sec) = &report.regions {
+        let end_ts = if report.simulated {
+            Json::U64(report.totals.breakdown.total())
+        } else {
+            Json::F64(report.wall_ns as f64 / 1e3)
+        };
+        for (name, value_of) in [
+            ("region mem_misses", &(|r: &crate::report::RegionReport| r.stats.mem_misses)
+                as &dyn Fn(&crate::report::RegionReport) -> u64),
+            ("region stall_cycles", &|r: &crate::report::RegionReport| r.stats.stall_cycles),
+        ] {
+            for (ts, zero) in [(Json::U64(0), true), (end_ts.clone(), false)] {
+                let args = sec
+                    .regions
+                    .iter()
+                    .filter(|r| value_of(r) > 0)
+                    .map(|r| (r.name.clone(), Json::U64(if zero { 0 } else { value_of(r) })))
+                    .collect::<Vec<_>>();
+                if args.is_empty() {
+                    continue;
+                }
+                events.push(Json::obj(vec![
+                    ("ph", Json::Str("C".into())),
+                    ("pid", Json::U64(1)),
+                    ("tid", Json::U64(1)),
+                    ("name", Json::Str(name.into())),
+                    ("ts", ts),
+                    ("args", Json::Obj(args)),
+                ]));
+            }
+        }
+    }
     Json::obj(vec![
         ("traceEvents", Json::Arr(events)),
         (
@@ -125,6 +160,47 @@ mod tests {
         );
         // The document itself is valid JSON.
         assert!(json::parse(&trace_text(&sim_report())).is_ok());
+    }
+
+    #[test]
+    fn region_counter_events_ride_along_when_profiled() {
+        use crate::report::{RegionReport, RegionsSection};
+        use phj_memsim::{LatencyHistogram, RegionStats};
+        let mut r = sim_report();
+        r.regions = Some(RegionsSection {
+            regions: vec![
+                RegionReport {
+                    name: "hash_cells".into(),
+                    stats: RegionStats { mem_misses: 7, stall_cycles: 1_050, ..Default::default() },
+                    hist: LatencyHistogram::default(),
+                },
+                RegionReport {
+                    name: "other".into(),
+                    stats: RegionStats::default(),
+                    hist: LatencyHistogram::default(),
+                },
+            ],
+            skew: Vec::new(),
+        });
+        let doc = trace_json(&r);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let counters: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        // Two tracks (misses + stall cycles) × two samples (t=0 and end).
+        assert_eq!(counters.len(), 4);
+        let end = counters
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(Json::as_str) == Some("region mem_misses")
+                    && e.get("ts").and_then(Json::as_u64) == Some(100)
+            })
+            .expect("end-of-run miss counter");
+        let args = end.get("args").unwrap();
+        assert_eq!(args.get("hash_cells").and_then(Json::as_u64), Some(7));
+        // Zero-valued regions are left off the track entirely.
+        assert!(args.get("other").is_none());
     }
 
     #[test]

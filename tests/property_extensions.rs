@@ -1,9 +1,12 @@
 //! Property-based tests for the extension modules: hash aggregation,
-//! hybrid hash join, and the chained-bucket ablation table.
+//! hybrid hash join, the chained-bucket ablation table, and the latency
+//! histograms behind memory-access attribution.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::HashMap;
+
+use phj_memsim::LatencyHistogram;
 
 use phj::aggregate::{aggregate, AggScheme};
 use phj::hash::hash_key;
@@ -115,5 +118,65 @@ proptest! {
         let mut reference = CountSink::new();
         join_pair(&mut mem, &params, &build, &probe, 1, &mut reference);
         prop_assert_eq!(a, reference);
+    }
+}
+
+fn hist_from(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::default();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Span nesting and region totals both rely on histograms combining
+    // like counters: merging must be order-insensitive.
+    #[test]
+    fn histogram_merge_is_commutative_and_associative(
+        a in vec(0u64..1_000_000, 0..200),
+        b in vec(0u64..1_000_000, 0..200),
+        c in vec(0u64..1_000_000, 0..200),
+    ) {
+        let (ha, hb, hc) = (hist_from(&a), hist_from(&b), hist_from(&c));
+        let mut ab = ha;
+        ab.merge(&hb);
+        let mut ba = hb;
+        ba.merge(&ha);
+        prop_assert_eq!(ab.buckets, ba.buckets);
+        let mut ab_c = ab;
+        ab_c.merge(&hc);
+        let mut bc = hb;
+        bc.merge(&hc);
+        let mut a_bc = ha;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c.buckets, a_bc.buckets);
+        prop_assert_eq!(ab_c.count(), (a.len() + b.len() + c.len()) as u64);
+    }
+
+    // The log2 histogram's nearest-rank quantile agrees with the exact
+    // nearest-rank sample to bucket resolution: it reports the upper
+    // bound of the bucket the exact answer falls in (and thus never
+    // under-reports the latency).
+    #[test]
+    fn histogram_quantile_is_within_one_bucket_of_exact(
+        samples in vec(0u64..1_000_000, 1..300),
+        q_pct in 0u32..101,
+    ) {
+        let q = q_pct as f64 / 100.0;
+        let h = hist_from(&samples);
+        let mut samples = samples;
+        samples.sort_unstable();
+        let n = samples.len() as u64;
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let exact = samples[(rank - 1) as usize];
+        let got = h.quantile(q).expect("non-empty");
+        prop_assert_eq!(
+            got,
+            LatencyHistogram::bucket_bound(LatencyHistogram::bucket_index(exact))
+        );
+        prop_assert!(got >= exact);
     }
 }
