@@ -11,6 +11,11 @@
 //! "did this change make the join slower?". `--threshold-pct` is accepted
 //! as a deprecated spelling of `--tolerance`.
 //!
+//! A per-phase breakdown diffs spans by name. The two runs' span sets
+//! may differ — a `--threads N` run has worker-lane spans a sequential
+//! run lacks — so only the shared names are diffed, and the unmatched
+//! ones are listed in a warning rather than treated as an error.
+//!
 //! Exit codes: 0 = ok, 1 = regression beyond tolerance, 2 = usage /
 //! unreadable / invalid report.
 
@@ -89,6 +94,60 @@ fn verdict(old: &RunReport, new: &RunReport, tolerance_pct: f64) -> Result<Verdi
     }
 }
 
+/// Per-span-name cost totals: summed cycles (or wall ns for native
+/// spans) and occurrence count.
+type SpanTotals = std::collections::BTreeMap<String, (u64, usize)>;
+
+fn span_totals(r: &RunReport) -> SpanTotals {
+    let mut m = SpanTotals::new();
+    for s in &r.spans {
+        let cost = if r.simulated { s.delta.breakdown.total() } else { s.wall_ns };
+        let e = m.entry(s.name.clone()).or_insert((0, 0));
+        e.0 += cost;
+        e.1 += 1;
+    }
+    m
+}
+
+/// A span name both reports have: its (cost, span count) on each side.
+type SharedSpan = (String, (u64, usize), (u64, usize));
+
+/// The name-keyed comparison of two span sets: per-name costs for the
+/// names both reports have, plus the names unique to each side.
+struct SpanDiff {
+    shared: Vec<SharedSpan>,
+    only_old: Vec<String>,
+    only_new: Vec<String>,
+}
+
+fn span_diff(old: &RunReport, new: &RunReport) -> SpanDiff {
+    let o = span_totals(old);
+    let n = span_totals(new);
+    let shared = o
+        .iter()
+        .filter_map(|(name, &oc)| n.get(name).map(|&nc| (name.clone(), oc, nc)))
+        .collect();
+    let only_old = o.keys().filter(|k| !n.contains_key(*k)).cloned().collect();
+    let only_new = n.keys().filter(|k| !o.contains_key(*k)).cloned().collect();
+    SpanDiff { shared, only_old, only_new }
+}
+
+fn print_span_diff(d: &SpanDiff) {
+    for (name, (oc, on), (nc, nn)) in &d.shared {
+        let delta_pct = if *oc > 0 { (*nc as f64 - *oc as f64) / *oc as f64 * 100.0 } else { 0.0 };
+        println!("  span {name}: {oc} -> {nc} ({delta_pct:+.2}%) [{on} -> {nn} spans]");
+    }
+    if !d.only_old.is_empty() || !d.only_new.is_empty() {
+        println!("warning: span sets differ; diffed the shared names only");
+        if !d.only_old.is_empty() {
+            println!("  only in old: {}", d.only_old.join(", "));
+        }
+        if !d.only_new.is_empty() {
+            println!("  only in new: {}", d.only_new.join(", "));
+        }
+    }
+}
+
 fn compare(old: &RunReport, new: &RunReport, tolerance_pct: f64) -> ExitCode {
     describe("old", old);
     describe("new", new);
@@ -104,6 +163,7 @@ fn compare(old: &RunReport, new: &RunReport, tolerance_pct: f64) -> ExitCode {
         Verdict::Ok { delta_pct } | Verdict::Regression { delta_pct } => delta_pct,
     };
     println!("delta: {delta_pct:+.2}% total {unit} (tolerance {tolerance_pct:.2}%)");
+    print_span_diff(&span_diff(old, new));
     if old.simulated && new.simulated {
         println!(
             "  coverage {:.3} -> {:.3}, pollution {:.3} -> {:.3}",
@@ -233,6 +293,41 @@ mod tests {
         let new = report(0, 10);
         let err = verdict(&empty, &new, 5.0).unwrap_err();
         assert!(err.contains("zero cost"), "unexpected message: {err}");
+    }
+
+    /// A simulated report with one span per (name, cycles) entry.
+    fn report_with_spans(spans: &[(&str, u64)]) -> RunReport {
+        let mut rec = Recorder::new();
+        let mut cursor = phj_memsim::Snapshot::default();
+        for (name, cycles) in spans {
+            let id = rec.begin(name, cursor);
+            cursor.breakdown.busy += cycles;
+            rec.end(id, cursor);
+        }
+        let mut r = RunReport::from_recorder("join", rec, cursor, 0);
+        r.simulated = true;
+        r
+    }
+
+    #[test]
+    fn span_diff_covers_shared_names_and_reports_unmatched() {
+        let old = report_with_spans(&[("partition_pass", 100), ("pair", 50), ("pair", 30)]);
+        let new = report_with_spans(&[("partition_pass", 90), ("pair", 70), ("build", 10)]);
+        let d = span_diff(&old, &new);
+        // Shared names diff on summed cost and span count...
+        assert_eq!(
+            d.shared,
+            vec![
+                ("pair".to_string(), (80, 2), (70, 1)),
+                ("partition_pass".to_string(), (100, 1), (90, 1)),
+            ]
+        );
+        // ...and differing span sets warn instead of erroring.
+        assert!(d.only_old.is_empty());
+        assert_eq!(d.only_new, vec!["build".to_string()]);
+        let identical = span_diff(&old, &old);
+        assert!(identical.only_old.is_empty() && identical.only_new.is_empty());
+        assert_eq!(identical.shared.len(), 2);
     }
 
     #[test]

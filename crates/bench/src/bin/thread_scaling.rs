@@ -1,0 +1,112 @@
+//! Thread-scaling sweep for the morsel-driven parallel executor.
+//!
+//! For threads ∈ {1, 2, 4, 8} the same GRACE join runs through
+//! `phj-exec` twice:
+//!
+//! * **simulated** — deterministic virtual lanes; "elapsed" is the
+//!   critical-path cycle count, so the table shows the *algorithmic*
+//!   scalability (LPT balance, morsel granularity) independent of how
+//!   many cores this machine has;
+//! * **native** — real threads with work stealing, wall-clock elapsed
+//!   (meaningful only on a multi-core host).
+//!
+//! Emits `scaling_join_sim` / `scaling_join_native` tables plus a
+//! per-worker `scaling_join_workers` table recording each lane/worker's
+//! busy and idle share — the raw data behind the efficiency column.
+
+use phj::grace::GraceConfig;
+use phj::sink::JoinSink;
+use phj_bench::report::{mcycles, scaled, Table};
+use phj_workload::JoinSpec;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn ratio(base: f64, now: f64) -> f64 {
+    if now > 0.0 {
+        base / now
+    } else {
+        f64::INFINITY
+    }
+}
+
+fn main() {
+    let gen = JoinSpec::pivot(scaled(8 << 20)).generate();
+    let cfg = GraceConfig {
+        mem_budget: scaled(2 << 20).max(64 << 10),
+        ..Default::default()
+    };
+
+    let mut sim = Table::new(
+        "Thread scaling — simulated critical path (deterministic lanes)",
+        &["threads", "Mcycles", "speedup", "efficiency"],
+    );
+    let mut native = Table::new(
+        "Thread scaling — native wall clock (work-stealing pool)",
+        &["threads", "ms", "speedup", "efficiency"],
+    );
+    let mut workers = Table::new(
+        "Thread scaling — per-worker busy/idle",
+        &["mode", "threads", "worker", "tasks", "busy", "idle"],
+    );
+
+    let mut sim_base = 0.0;
+    let mut native_base = 0.0;
+    for (i, &n) in THREADS.iter().enumerate() {
+        let out = phj_exec::parallel_join_sim(&cfg, &gen.build, &gen.probe, n, false, false);
+        assert_eq!(out.sink.matches(), gen.expected_matches);
+        let cp = out.totals.breakdown.total() as f64;
+        if i == 0 {
+            sim_base = cp;
+        }
+        let s = ratio(sim_base, cp);
+        sim.row(&[
+            &n,
+            &mcycles(out.totals.breakdown.total()),
+            &format!("{s:.2}x"),
+            &format!("{:.0}%", 100.0 * s / n as f64),
+        ]);
+        // A lane's idle share is the gap between it and the critical path.
+        let cp_cycles = out.totals.breakdown.total();
+        for lane in &out.lanes {
+            workers.row(&[
+                &"sim",
+                &n,
+                &lane.lane,
+                &lane.tasks,
+                &format!("{} Mcyc", mcycles(lane.cycles)),
+                &format!("{} Mcyc", mcycles(cp_cycles.saturating_sub(lane.cycles))),
+            ]);
+        }
+
+        let t0 = std::time::Instant::now();
+        let out = phj_exec::parallel_join_native(&cfg, &gen.build, &gen.probe, n, false);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(out.sink.matches(), gen.expected_matches);
+        if i == 0 {
+            native_base = ms;
+        }
+        let s = ratio(native_base, ms);
+        native.row(&[
+            &n,
+            &format!("{ms:.1}"),
+            &format!("{s:.2}x"),
+            &format!("{:.0}%", 100.0 * s / n as f64),
+        ]);
+        for (phase, stats) in [("partition", &out.partition_stats), ("join", &out.join_stats)] {
+            for w in stats.iter() {
+                workers.row(&[
+                    &format!("native/{phase}"),
+                    &n,
+                    &w.worker,
+                    &w.tasks,
+                    &format!("{:.2} ms", w.busy_ns as f64 / 1e6),
+                    &format!("{:.2} ms", w.idle_ns as f64 / 1e6),
+                ]);
+            }
+        }
+    }
+
+    sim.emit("scaling_join_sim");
+    native.emit("scaling_join_native");
+    workers.emit("scaling_join_workers");
+}

@@ -16,6 +16,13 @@
 //! join runs natively with real prefetch instructions and reports
 //! wall-clock time.
 //!
+//! `--threads N` routes `join`/`agg` through the morsel-driven parallel
+//! executor (`phj-exec`): native runs use a work-stealing thread pool with
+//! partition pairs scheduled largest-first; simulated runs execute on `N`
+//! deterministic virtual lanes and report the critical-path breakdown.
+//! The match count and order-independent checksum are identical for every
+//! thread count (a debug-build assertion, and printed so CI can compare).
+//!
 //! `--json PATH` writes a structured run report (config fingerprint,
 //! per-phase spans with cycle breakdowns, derived prefetch-coverage and
 //! pollution rates); `--trace-out PATH` writes the same spans as a
@@ -86,11 +93,11 @@ phj — prefetching hash join engine (Chen et al., ICDE 2004)
 USAGE:
   phj join   [--build-mb N] [--tuple-size B] [--matches M] [--pct P]
              [--scheme baseline|simple|group|swp] [--g G] [--d D]
-             [--mem-mb N] [--sim] [--hybrid]
+             [--mem-mb N] [--sim] [--hybrid] [--threads N]
              [--profile-regions] [--heatmap]
              [--json PATH] [--trace-out PATH]
   phj agg    [--rows N] [--keys K] [--scheme S] [--g G] [--d D] [--sim]
-             [--profile-regions] [--heatmap]
+             [--threads N] [--profile-regions] [--heatmap]
              [--json PATH] [--trace-out PATH]
   phj disk   [--build-mb N] [--mem-mb N] [--stripes S] [--dir PATH]
   phj tune   [--build-mb N] [--tuple-size B] [--profile-regions] [--heatmap]
@@ -180,7 +187,7 @@ fn scheme_of(args: &Args) -> Result<JoinScheme, String> {
 fn cmd_join(args: &Args) -> Result<(), String> {
     args.allow(&[
         "build-mb", "tuple-size", "matches", "pct", "scheme", "g", "d", "mem-mb", "sim",
-        "hybrid", "profile-regions", "heatmap", "json", "trace-out",
+        "hybrid", "threads", "profile-regions", "heatmap", "json", "trace-out",
     ])?;
     let build_mb = args.get_usize("build-mb", 16)?;
     let tuple_size = args.get_usize("tuple-size", 100)?;
@@ -229,6 +236,16 @@ fn cmd_join(args: &Args) -> Result<(), String> {
         ..Default::default()
     };
     let hybrid_cfg = HybridConfig { mem_budget, g, ..Default::default() };
+    // `--threads` (even `--threads 1`) routes through the parallel
+    // executor, so thread counts print in a comparable format; without
+    // the flag the sequential driver runs exactly as before.
+    if !args.get_str("threads", "").is_empty() {
+        if args.flag("hybrid") {
+            return Err("--hybrid runs single-threaded; drop --threads or --hybrid".to_string());
+        }
+        let threads = args.get_usize("threads", 1)?.max(1);
+        return join_parallel(args, &obs_out, &grace_cfg, &gen, &spec, scheme, mem_budget, threads);
+    }
     if args.flag("sim") {
         let mut engine = SimEngine::paper();
         if wants_regions(args) {
@@ -315,11 +332,137 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--threads N` arm of `phj join`: run the morsel-driven parallel
+/// drivers from `phj-exec` and report per-worker (native) or per-lane
+/// (simulated) accounting alongside the usual result line. The checksum
+/// prints unconditionally so runs at different thread counts can be
+/// compared textually.
+#[allow(clippy::too_many_arguments)]
+fn join_parallel(
+    args: &Args,
+    obs_out: &ObsOut,
+    cfg: &GraceConfig,
+    gen: &phj_workload::GeneratedJoin,
+    spec: &JoinSpec,
+    scheme: JoinScheme,
+    mem_budget: usize,
+    threads: usize,
+) -> Result<(), String> {
+    let want_regions = wants_regions(args);
+    let fingerprint = |report: &mut RunReport| {
+        report.config_kv("scheme", scheme.label());
+        report.config_kv("tuple_size", spec.tuple_size);
+        report.config_kv("build_tuples", spec.build_tuples);
+        report.config_kv("probe_tuples", spec.probe_tuples());
+        report.config_kv("mem_budget", mem_budget);
+        report.config_kv("threads", threads);
+        report.tuples = (gen.build.num_tuples() + gen.probe.num_tuples()) as u64;
+    };
+    let matches;
+    if args.flag("sim") {
+        let want_obs = obs_out.json.is_some() || obs_out.trace.is_some() || want_regions;
+        let t0 = Instant::now();
+        let out =
+            phj_exec::parallel_join_sim(cfg, &gen.build, &gen.probe, threads, want_obs, want_regions);
+        let wall = t0.elapsed();
+        matches = out.sink.matches();
+        println!(
+            "partitions: {}, matches: {}, checksum: {:#018x}",
+            out.partitions,
+            out.sink.matches(),
+            out.sink.checksum()
+        );
+        let b = out.totals.breakdown;
+        println!(
+            "simulated critical path over {threads} lanes: {:.1} Mcycles = busy {:.1} + dcache {:.1} + dtlb {:.1} + other {:.1}",
+            b.total() as f64 / 1e6,
+            b.busy as f64 / 1e6,
+            b.dcache_stall as f64 / 1e6,
+            b.dtlb_stall as f64 / 1e6,
+            b.other_stall as f64 / 1e6,
+        );
+        for lane in &out.lanes {
+            println!(
+                "  lane {}: {} tasks, {:.1} Mcycles",
+                lane.lane,
+                lane.tasks,
+                lane.cycles as f64 / 1e6
+            );
+        }
+        if let Some(rec) = out.recorder {
+            let mut report =
+                RunReport::from_recorder("join", rec, out.totals, wall.as_nanos() as u64);
+            report.simulated = true;
+            report.matches = out.sink.matches();
+            fingerprint(&mut report);
+            ObsOut::config_mem(&mut report, &MemConfig::paper());
+            println!(
+                "prefetch coverage: {:.1}%, pollution: {:.1}%",
+                100.0 * report.prefetch_coverage(),
+                100.0 * report.pollution_rate()
+            );
+            if let Some(mut sec) = out.regions {
+                sec.skew = phj::profile::skew_profile(&report.spans);
+                report.regions = Some(sec);
+            }
+            if args.flag("heatmap") {
+                if let Some(text) = phj_obs::heatmap::render(&report) {
+                    print!("{text}");
+                }
+            }
+            obs_out.write(&report)?;
+        }
+    } else {
+        if want_regions {
+            println!("note: --profile-regions/--heatmap attribute simulated accesses; add --sim");
+        }
+        let want_obs = obs_out.json.is_some() || obs_out.trace.is_some();
+        let t0 = Instant::now();
+        let out = phj_exec::parallel_join_native(cfg, &gen.build, &gen.probe, threads, want_obs);
+        let wall = t0.elapsed();
+        matches = out.sink.matches();
+        println!(
+            "partitions: {}, matches: {}, checksum: {:#018x}",
+            out.partitions,
+            out.sink.matches(),
+            out.sink.checksum()
+        );
+        println!(
+            "native ({threads} threads): {:?} ({:.1} M tuples/s through the probe side)",
+            wall,
+            gen.probe.num_tuples() as f64 / wall.as_secs_f64() / 1e6
+        );
+        for (phase, stats) in [("partition", &out.partition_stats), ("join", &out.join_stats)] {
+            for w in stats.iter() {
+                println!(
+                    "  {phase} worker {}: {} tasks ({} stolen), busy {:.2} ms, idle {:.2} ms",
+                    w.worker,
+                    w.tasks,
+                    w.steals,
+                    w.busy_ns as f64 / 1e6,
+                    w.idle_ns as f64 / 1e6
+                );
+            }
+        }
+        if let Some(rec) = out.recorder {
+            let mut report =
+                RunReport::from_recorder("join", rec, phj_memsim::Snapshot::default(), wall.as_nanos() as u64);
+            report.matches = out.sink.matches();
+            fingerprint(&mut report);
+            obs_out.write(&report)?;
+        }
+    }
+    if gen.expected_matches > 0 {
+        assert_eq!(matches, gen.expected_matches, "parallel join missed matches");
+    }
+    Ok(())
+}
+
 fn cmd_agg(args: &Args) -> Result<(), String> {
     use phj::aggregate::{aggregate, AggScheme};
     args.allow(&[
-        "rows", "keys", "scheme", "g", "d", "sim", "profile-regions", "heatmap", "json",
-        "trace-out",
+        "rows", "keys", "scheme", "g", "d", "sim", "threads", "profile-regions", "heatmap",
+        "json", "trace-out",
     ])?;
     let rows = args.get_usize("rows", 1_000_000)?;
     let keys = args.get_usize("keys", 100_000)?.max(1);
@@ -347,6 +490,10 @@ fn cmd_agg(args: &Args) -> Result<(), String> {
     let extract = |t: &[u8]| t[4] as i64;
     println!("aggregating {rows} rows into {keys} groups ({scheme:?})");
     let obs_out = ObsOut::from_args(args);
+    if !args.get_str("threads", "").is_empty() {
+        let threads = args.get_usize("threads", 1)?.max(1);
+        return agg_parallel(args, &obs_out, scheme, &input, buckets, extract, rows, keys, threads);
+    }
     let mut recorder = obs_out.recorder();
     if wants_regions(args) && recorder.is_none() {
         recorder = Some(Recorder::new());
@@ -411,6 +558,106 @@ fn cmd_agg(args: &Args) -> Result<(), String> {
             let mut report =
                 RunReport::from_recorder("agg", rec, native.snapshot(), wall.as_nanos() as u64);
             fingerprint(&mut report, table.num_groups() as u64);
+            obs_out.write(&report)?;
+        }
+    }
+    Ok(())
+}
+
+/// The `--threads N` arm of `phj agg`: morsel-parallel aggregation with
+/// the group-set digest printed for cross-thread-count comparison.
+#[allow(clippy::too_many_arguments)]
+fn agg_parallel(
+    args: &Args,
+    obs_out: &ObsOut,
+    scheme: phj::aggregate::AggScheme,
+    input: &phj_storage::Relation,
+    buckets: usize,
+    extract: impl Fn(&[u8]) -> i64 + Sync + Copy,
+    rows: usize,
+    keys: usize,
+    threads: usize,
+) -> Result<(), String> {
+    let want_regions = wants_regions(args);
+    let fingerprint = |report: &mut RunReport, groups: u64| {
+        report.config_kv("scheme", format!("{scheme:?}"));
+        report.config_kv("rows", rows);
+        report.config_kv("keys", keys);
+        report.config_kv("threads", threads);
+        report.tuples = rows as u64;
+        report.matches = groups;
+    };
+    if args.flag("sim") {
+        let want_obs = obs_out.json.is_some() || obs_out.trace.is_some() || want_regions;
+        let t0 = Instant::now();
+        let out =
+            phj_exec::parallel_agg_sim(scheme, input, buckets, extract, threads, want_obs, want_regions);
+        let wall = t0.elapsed();
+        let b = out.totals.breakdown;
+        println!(
+            "groups: {}, checksum: {:#018x}; simulated critical path over {threads} lanes: {:.1} Mcycles ({:.0}% dcache stalls)",
+            out.table.num_groups(),
+            phj_exec::agg_checksum(&out.table),
+            b.total() as f64 / 1e6,
+            100.0 * b.dcache_fraction()
+        );
+        for lane in &out.lanes {
+            println!(
+                "  lane {}: {} tasks, {:.1} Mcycles",
+                lane.lane,
+                lane.tasks,
+                lane.cycles as f64 / 1e6
+            );
+        }
+        if let Some(rec) = out.recorder {
+            let mut report =
+                RunReport::from_recorder("agg", rec, out.totals, wall.as_nanos() as u64);
+            report.simulated = true;
+            fingerprint(&mut report, out.table.num_groups() as u64);
+            ObsOut::config_mem(&mut report, &MemConfig::paper());
+            if let Some(mut sec) = out.regions {
+                sec.skew = phj::profile::skew_profile(&report.spans);
+                report.regions = Some(sec);
+            }
+            if args.flag("heatmap") {
+                if let Some(text) = phj_obs::heatmap::render(&report) {
+                    print!("{text}");
+                }
+            }
+            obs_out.write(&report)?;
+        }
+    } else {
+        if want_regions {
+            println!("note: --profile-regions/--heatmap attribute simulated accesses; add --sim");
+        }
+        let want_obs = obs_out.json.is_some() || obs_out.trace.is_some();
+        let t0 = Instant::now();
+        let out = phj_exec::parallel_agg_native(scheme, input, buckets, extract, threads, want_obs);
+        let wall = t0.elapsed();
+        println!(
+            "groups: {}, checksum: {:#018x}; native ({threads} threads) {:?}",
+            out.table.num_groups(),
+            phj_exec::agg_checksum(&out.table),
+            wall
+        );
+        for w in &out.stats {
+            println!(
+                "  worker {}: {} tasks ({} stolen), busy {:.2} ms, idle {:.2} ms",
+                w.worker,
+                w.tasks,
+                w.steals,
+                w.busy_ns as f64 / 1e6,
+                w.idle_ns as f64 / 1e6
+            );
+        }
+        if let Some(rec) = out.recorder {
+            let mut report = RunReport::from_recorder(
+                "agg",
+                rec,
+                phj_memsim::Snapshot::default(),
+                wall.as_nanos() as u64,
+            );
+            fingerprint(&mut report, out.table.num_groups() as u64);
             obs_out.write(&report)?;
         }
     }

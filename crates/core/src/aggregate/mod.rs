@@ -90,9 +90,34 @@ where
     M: MemoryModel,
     F: Fn(&[u8]) -> i64,
 {
+    aggregate_page_range(mem, scheme, input, 0..input.num_pages(), buckets, extract)
+}
+
+/// [`aggregate`] over only the pages in `pages` — the morsel a parallel
+/// aggregation hands to one worker. Each worker aggregates its page
+/// ranges into a private table; [`AggTable::merge_from`] folds the
+/// per-worker tables together at the barrier, reproducing the sequential
+/// result exactly (COUNT and SUM are commutative and associative).
+pub fn aggregate_page_range<M, F>(
+    mem: &mut M,
+    scheme: AggScheme,
+    input: &Relation,
+    pages: std::ops::Range<usize>,
+    buckets: usize,
+    extract: F,
+) -> AggTable
+where
+    M: MemoryModel,
+    F: Fn(&[u8]) -> i64,
+{
+    let pages = pages.start.min(input.num_pages())..pages.end.min(input.num_pages());
     // Worst case every tuple is a distinct group; the arena reservation
     // must cover that (plus doubling waste, handled inside AggTable).
-    let mut table = AggTable::new(buckets, input.num_tuples());
+    let expect: usize = pages
+        .clone()
+        .map(|pi| input.page(pi).nslots() as usize)
+        .sum();
+    let mut table = AggTable::new(buckets, expect);
     if profile::profiling(mem) {
         let (addr, len) = table.headers_span();
         mem.region_register(RegionKind::HashBucketHeaders, addr, len);
@@ -101,10 +126,10 @@ where
     }
     profile::register_relation(mem, RegionKind::SlottedPages, input);
     match scheme {
-        AggScheme::Baseline => straight(mem, input, &mut table, &extract, false),
-        AggScheme::Simple => straight(mem, input, &mut table, &extract, true),
-        AggScheme::Group { g } => group(mem, input, &mut table, &extract, g),
-        AggScheme::Swp { d } => swp(mem, input, &mut table, &extract, d),
+        AggScheme::Baseline => straight(mem, input, pages, &mut table, &extract, false),
+        AggScheme::Simple => straight(mem, input, pages, &mut table, &extract, true),
+        AggScheme::Group { g } => group(mem, input, pages, &mut table, &extract, g),
+        AggScheme::Swp { d } => swp(mem, input, pages, &mut table, &extract, d),
     }
     table.assert_quiescent();
     mem.region_clear(RegionKind::HashBucketHeaders);
@@ -164,11 +189,12 @@ fn upsert_one<M: MemoryModel, F: Fn(&[u8]) -> i64>(
 fn straight<M: MemoryModel, F: Fn(&[u8]) -> i64>(
     mem: &mut M,
     input: &Relation,
+    pages: std::ops::Range<usize>,
     table: &mut AggTable,
     extract: &F,
     prefetch_input: bool,
 ) {
-    let mut scan = Scan::new(input, prefetch_input);
+    let mut scan = Scan::range(input, prefetch_input, pages);
     while let Some((pi, slot)) = scan.next(mem) {
         mem.busy(cost::code0_cost(false));
         upsert_one(mem, table, input, pi, slot, extract);
@@ -213,6 +239,7 @@ const NIL: u32 = u32::MAX;
 fn group<M: MemoryModel, F: Fn(&[u8]) -> i64>(
     mem: &mut M,
     input: &Relation,
+    pages: std::ops::Range<usize>,
     table: &mut AggTable,
     extract: &F,
     g: usize,
@@ -220,7 +247,7 @@ fn group<M: MemoryModel, F: Fn(&[u8]) -> i64>(
     let g = g.max(2);
     let mut slots: Vec<AggSlot> = (0..g).map(|_| AggSlot::fresh()).collect();
     let mut delayed: Vec<usize> = Vec::new();
-    let mut scan = Scan::new(input, true);
+    let mut scan = Scan::range(input, true, pages);
     loop {
         // Stage 0: hash the group key, prefetch the bucket header.
         let mut n = 0usize;
@@ -300,6 +327,7 @@ fn group<M: MemoryModel, F: Fn(&[u8]) -> i64>(
 fn swp<M: MemoryModel, F: Fn(&[u8]) -> i64>(
     mem: &mut M,
     input: &Relation,
+    pages: std::ops::Range<usize>,
     table: &mut AggTable,
     extract: &F,
     d: usize,
@@ -308,7 +336,7 @@ fn swp<M: MemoryModel, F: Fn(&[u8]) -> i64>(
     let size = swp_state_slots(2, d);
     let mask = size - 1;
     let mut slots: Vec<AggSlot> = (0..size).map(|_| AggSlot::fresh()).collect();
-    let mut scan = Scan::new(input, true);
+    let mut scan = Scan::range(input, true, pages);
     let mut total: Option<usize> = None;
     let mut it = 0usize;
     let bk = cost::STAGE_BOOKKEEPING + cost::SWP_EXTRA;

@@ -255,6 +255,12 @@ impl AggTable {
     /// matching entry, or commit the new group at `idx`. Releases the
     /// busy word.
     pub fn finish_overflow_upsert(&mut self, b: usize, idx: u32, value: i64) {
+        self.finish_overflow_acc(b, idx, 1, value)
+    }
+
+    /// [`Self::finish_overflow_upsert`] generalized to fold in a whole
+    /// group's accumulators at once (table merging).
+    fn finish_overflow_acc(&mut self, b: usize, idx: u32, count: u64, sum: i64) {
         let (array, over) = {
             let h = &self.buckets[b];
             debug_assert_ne!(h.busy, NOT_BUSY, "finish without begin");
@@ -265,17 +271,50 @@ impl AggTable {
         for i in 0..over {
             let e = &mut self.arena[(array + i as u32) as usize];
             if e.matches(pending.hash, pending.key()) {
-                e.accumulate(value);
+                e.count += count;
+                e.sum += sum;
                 let h = &mut self.buckets[b];
                 h.busy = NOT_BUSY;
                 return;
             }
         }
-        self.arena[idx as usize].accumulate(value);
+        let e = &mut self.arena[idx as usize];
+        e.count += count;
+        e.sum += sum;
         let h = &mut self.buckets[b];
         h.count += 1;
         h.busy = NOT_BUSY;
         self.groups += 1;
+    }
+
+    /// Fold every group of `other` into this table. No memory model is
+    /// charged: merging per-worker tables happens at the parallel
+    /// barrier, off the simulated (and measured) per-tuple path. The
+    /// result equals aggregating the concatenated inputs sequentially —
+    /// COUNT and SUM are commutative and associative.
+    pub fn merge_from(&mut self, other: &AggTable) {
+        for e in other.iter() {
+            let b = self.bucket_of(e.hash);
+            let mut grown = 0usize;
+            match self.begin_upsert(b, e.hash, e.key(), 0, &mut grown) {
+                UpsertStep::UpdatedInline => {
+                    let h = &mut self.buckets[b];
+                    h.inline.count += e.count;
+                    h.inline.sum += e.sum;
+                }
+                UpsertStep::InsertedInline => {
+                    let h = &mut self.buckets[b];
+                    // The fresh inline entry starts zeroed; install the
+                    // merged group's accumulators directly.
+                    h.inline.count = e.count;
+                    h.inline.sum = e.sum;
+                }
+                UpsertStep::TouchEntry(idx) => {
+                    self.finish_overflow_acc(b, idx, e.count, e.sum)
+                }
+                UpsertStep::Busy(_) => unreachable!("merge is single-threaded"),
+            }
+        }
     }
 
     /// Look up a group by hash and key.
@@ -396,6 +435,38 @@ mod tests {
         assert_eq!(t.num_groups(), 2);
         assert_eq!(t.lookup(7, b"x").unwrap().sum, 1);
         assert_eq!(t.lookup(7, b"y").unwrap().sum, 2);
+    }
+
+    #[test]
+    fn merge_from_equals_sequential() {
+        let upsert = |t: &mut AggTable, k: u32, v: i64| {
+            let key = k.to_le_bytes();
+            let b = t.bucket_of(k);
+            let mut grown = 0;
+            match t.begin_upsert(b, k, &key, 0, &mut grown) {
+                UpsertStep::InsertedInline | UpsertStep::UpdatedInline => t.apply_pending(b, v),
+                UpsertStep::TouchEntry(idx) => t.finish_overflow_upsert(b, idx, v),
+                UpsertStep::Busy(_) => unreachable!(),
+            }
+        };
+        // Sequential reference over 40 upserts of 13 keys.
+        let mut seq = AggTable::new(3, 64);
+        let mut a = AggTable::new(3, 64);
+        let mut b = AggTable::new(3, 64);
+        for i in 0u32..40 {
+            let (k, v) = (i % 13, i as i64);
+            upsert(&mut seq, k, v);
+            upsert(if i % 2 == 0 { &mut a } else { &mut b }, k, v);
+        }
+        let mut merged = AggTable::new(3, 64);
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.num_groups(), seq.num_groups());
+        for e in seq.iter() {
+            let m = merged.lookup(e.hash, e.key()).expect("group present");
+            assert_eq!((m.count, m.sum), (e.count, e.sum));
+        }
+        merged.assert_quiescent();
     }
 
     #[test]

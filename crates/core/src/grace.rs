@@ -96,15 +96,41 @@ pub fn grace_join_with_sink_rec<M: MemoryModel, S: JoinSink>(
     let span = obs::span_begin(&mut rec, mem, "grace_join");
     obs::span_meta(&mut rec, "partition_scheme", cfg.partition_scheme.label());
     obs::span_meta(&mut rec, "join_scheme", cfg.join_scheme.label());
-    let p = join_level(mem, cfg, build, probe, sink, 1, false, rec.as_deref_mut());
+    let p = join_level(mem, cfg, build, probe, sink, 1, 0, false, rec.as_deref_mut());
     obs::span_end(&mut rec, mem, span);
     p
 }
 
+/// Join one partition pair produced by a `moduli`-way (product over
+/// passes) partitioning, recursing into additional passes if the build
+/// side still exceeds the memory budget.
+///
+/// This is the task a *parallel* join driver schedules per partition
+/// pair: unlike [`grace_join_with_sink_rec`] it does not reset the moduli
+/// to 1, so an oversized (skewed) pair re-partitions with fresh coprime
+/// fan-out instead of degenerating. `index` labels the pair's `"pair"`
+/// span so merged parallel reports keep per-partition skew attribution.
+/// The pair's tuples must carry stashed hash codes (every
+/// partition-phase output does).
+#[allow(clippy::too_many_arguments)]
+pub fn grace_join_pair_rec<M: MemoryModel, S: JoinSink>(
+    mem: &mut M,
+    cfg: &GraceConfig,
+    build: &Relation,
+    probe: &Relation,
+    sink: &mut S,
+    moduli: usize,
+    index: usize,
+    rec: Option<&mut Recorder>,
+) -> usize {
+    join_level(mem, cfg, build, probe, sink, moduli, index, true, rec)
+}
+
 /// One partitioning pass: split the pair, then join (or recurse into)
 /// each sub-pair. `moduli` is the product of partition counts already
-/// applied to these tuples' hash codes; `use_stored` whether this level's
-/// input carries stashed hash codes (true for every level but the first).
+/// applied to these tuples' hash codes; `index` labels a directly-joined
+/// pair's span; `use_stored` whether this level's input carries stashed
+/// hash codes (true for every level but the first).
 #[allow(clippy::too_many_arguments)]
 fn join_level<M: MemoryModel, S: JoinSink>(
     mem: &mut M,
@@ -113,6 +139,7 @@ fn join_level<M: MemoryModel, S: JoinSink>(
     probe: &Relation,
     sink: &mut S,
     moduli: usize,
+    index: usize,
     use_stored: bool,
     mut rec: Option<&mut Recorder>,
 ) -> usize {
@@ -121,7 +148,7 @@ fn join_level<M: MemoryModel, S: JoinSink>(
     if needed <= 1 {
         let params = JoinParams { scheme: cfg.join_scheme, use_stored_hash: use_stored };
         let span = obs::span_begin(&mut rec, mem, "pair");
-        obs::span_meta(&mut rec, "index", 0);
+        obs::span_meta(&mut rec, "index", index);
         join_pair_rec(mem, &params, build, probe, moduli, sink, rec.as_deref_mut());
         obs::span_end(&mut rec, mem, span);
         return 1;
@@ -140,7 +167,7 @@ fn join_level<M: MemoryModel, S: JoinSink>(
         if bp.size_bytes() > cfg.mem_budget {
             // This partition still exceeds memory (cap hit, or skew):
             // take an additional pass over it (§1.1).
-            join_level(mem, cfg, bp, pp, sink, moduli * p, true, rec.as_deref_mut());
+            join_level(mem, cfg, bp, pp, sink, moduli * p, i, true, rec.as_deref_mut());
         } else {
             let span = obs::span_begin(&mut rec, mem, "pair");
             obs::span_meta(&mut rec, "index", i);

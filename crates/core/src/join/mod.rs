@@ -194,13 +194,26 @@ pub fn dispatch_probe<M: MemoryModel, S: JoinSink>(
 pub(crate) struct Scan<'r> {
     rel: &'r Relation,
     pi: usize,
+    end: usize,
     slot: u16,
     prefetch_pages: bool,
 }
 
 impl<'r> Scan<'r> {
     pub(crate) fn new(rel: &'r Relation, prefetch_pages: bool) -> Self {
-        Scan { rel, pi: 0, slot: 0, prefetch_pages }
+        Scan::range(rel, prefetch_pages, 0..rel.num_pages())
+    }
+
+    /// A cursor over the pages in `pages` only — the unit of work a
+    /// morsel-driven parallel scan hands to one worker. The range is
+    /// clamped to the relation's page count.
+    pub(crate) fn range(
+        rel: &'r Relation,
+        prefetch_pages: bool,
+        pages: std::ops::Range<usize>,
+    ) -> Self {
+        let end = pages.end.min(rel.num_pages());
+        Scan { rel, pi: pages.start.min(end), end, slot: 0, prefetch_pages }
     }
 
     /// Advance to the next tuple: returns its `(page, slot)` and performs
@@ -208,7 +221,7 @@ impl<'r> Scan<'r> {
     /// page prefetch on page boundaries when enabled.
     pub(crate) fn next<M: MemoryModel>(&mut self, mem: &mut M) -> Option<(usize, u16)> {
         loop {
-            if self.pi >= self.rel.num_pages() {
+            if self.pi >= self.end {
                 return None;
             }
             let page = self.rel.page(self.pi);

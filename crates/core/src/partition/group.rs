@@ -29,6 +29,7 @@ struct Slot {
 pub(crate) fn run<M: MemoryModel>(
     mem: &mut M,
     input: &Relation,
+    pages: std::ops::Range<usize>,
     out: &mut OutputBuffers,
     g: usize,
     use_stored_hash: bool,
@@ -38,7 +39,7 @@ pub(crate) fn run<M: MemoryModel>(
         .map(|_| Slot { pi: 0, slot: 0, hash: 0, p: 0, reserved: None })
         .collect();
     let mut delayed: Vec<usize> = Vec::new();
-    let mut scan = Scan::new(input, true);
+    let mut scan = Scan::range(input, true, pages);
     loop {
         // Stage 0: hash, partition number, reserve + prefetch the output
         // location.

@@ -138,30 +138,80 @@ pub fn partition_relation_rec<M: MemoryModel>(
     input: &Relation,
     num_partitions: usize,
     use_stored_hash: bool,
+    rec: Option<&mut Recorder>,
+) -> Vec<Relation> {
+    partition_page_range_rec(
+        mem,
+        scheme,
+        input,
+        0..input.num_pages(),
+        num_partitions,
+        use_stored_hash,
+        rec,
+    )
+}
+
+/// Partition only the pages in `pages` — the morsel a parallel partition
+/// phase hands to one worker. Each worker runs this on its own page
+/// ranges into private buffers; concatenating the per-worker outputs per
+/// partition (in any order) reproduces a sequential partitioning's tuple
+/// multiset, because tuple placement depends only on the hash.
+pub fn partition_page_range<M: MemoryModel>(
+    mem: &mut M,
+    scheme: PartitionScheme,
+    input: &Relation,
+    pages: std::ops::Range<usize>,
+    num_partitions: usize,
+    use_stored_hash: bool,
+) -> Vec<Relation> {
+    partition_page_range_rec(mem, scheme, input, pages, num_partitions, use_stored_hash, None)
+}
+
+/// [`partition_page_range`] with an optional span recorder.
+pub fn partition_page_range_rec<M: MemoryModel>(
+    mem: &mut M,
+    scheme: PartitionScheme,
+    input: &Relation,
+    pages: std::ops::Range<usize>,
+    num_partitions: usize,
+    use_stored_hash: bool,
     mut rec: Option<&mut Recorder>,
 ) -> Vec<Relation> {
     assert!(num_partitions > 0);
+    let pages = pages.start.min(input.num_pages())..pages.end.min(input.num_pages());
+    let expect: usize = pages
+        .clone()
+        .map(|pi| input.page(pi).nslots() as usize)
+        .sum();
     let span = obs::span_begin(&mut rec, mem, "partition");
     obs::span_meta(&mut rec, "scheme", scheme.label());
     obs::span_meta(&mut rec, "partitions", num_partitions);
-    obs::span_meta(&mut rec, "tuples", input.num_tuples());
+    obs::span_meta(&mut rec, "tuples", expect);
     let mut out = OutputBuffers::new(input, num_partitions);
     profile::register_relation(mem, RegionKind::SlottedPages, input);
     out.register_regions(mem);
     match scheme {
-        PartitionScheme::Baseline => straight(mem, input, &mut out, false, use_stored_hash),
-        PartitionScheme::Simple => straight(mem, input, &mut out, true, use_stored_hash),
-        PartitionScheme::Group { g } => group::run(mem, input, &mut out, g, use_stored_hash),
-        PartitionScheme::Swp { d } => swp::run(mem, input, &mut out, d, use_stored_hash),
+        PartitionScheme::Baseline => {
+            straight(mem, input, pages.clone(), &mut out, false, use_stored_hash)
+        }
+        PartitionScheme::Simple => {
+            straight(mem, input, pages.clone(), &mut out, true, use_stored_hash)
+        }
+        PartitionScheme::Group { g } => {
+            group::run(mem, input, pages.clone(), &mut out, g, use_stored_hash)
+        }
+        PartitionScheme::Swp { d } => {
+            swp::run(mem, input, pages.clone(), &mut out, d, use_stored_hash)
+        }
         PartitionScheme::Combined { g, cache_pages } => {
             if num_partitions <= cache_pages {
-                straight(mem, input, &mut out, true, use_stored_hash)
+                straight(mem, input, pages.clone(), &mut out, true, use_stored_hash)
             } else {
-                group::run(mem, input, &mut out, g, use_stored_hash)
+                group::run(mem, input, pages.clone(), &mut out, g, use_stored_hash)
             }
         }
     }
-    debug_assert_eq!(out.tuples() as usize, input.num_tuples(), "tuples lost");
+    debug_assert_eq!(out.tuples() as usize, expect, "tuples lost");
     let parts = out.finish();
     obs::span_end(&mut rec, mem, span);
     profile::clear_partition_regions(mem);
@@ -182,11 +232,12 @@ pub(crate) fn phase_hash(input: &Relation, pi: usize, slot: u16, use_stored: boo
 fn straight<M: MemoryModel>(
     mem: &mut M,
     input: &Relation,
+    pages: std::ops::Range<usize>,
     out: &mut OutputBuffers,
     prefetch_input: bool,
     use_stored_hash: bool,
 ) {
-    let mut scan = Scan::new(input, prefetch_input);
+    let mut scan = Scan::range(input, prefetch_input, pages);
     while let Some((pi, slot)) = scan.next(mem) {
         mem.busy(cost::code0_cost(use_stored_hash));
         let hash = phase_hash(input, pi, slot, use_stored_hash);

@@ -41,6 +41,7 @@ struct Slot {
 pub(crate) fn run<M: MemoryModel>(
     mem: &mut M,
     input: &Relation,
+    pages: std::ops::Range<usize>,
     out: &mut OutputBuffers,
     d: usize,
     use_stored_hash: bool,
@@ -58,7 +59,7 @@ pub(crate) fn run<M: MemoryModel>(
             next_waiting: NIL,
         })
         .collect();
-    let mut scan = Scan::new(input, true);
+    let mut scan = Scan::range(input, true, pages);
     let mut total: Option<usize> = None;
     let mut it = 0usize;
     let bk = cost::STAGE_BOOKKEEPING + cost::SWP_EXTRA;

@@ -182,6 +182,14 @@ impl CountSink {
         self.checksum
     }
 
+    /// Fold another sink's matches into this one. Because the checksum is
+    /// an XOR of per-pair digests, merging per-worker sinks yields exactly
+    /// the checksum a single sequential sink would have produced.
+    pub fn merge(&mut self, other: CountSink) {
+        self.matches += other.matches;
+        self.checksum ^= other.checksum;
+    }
+
     fn digest(bytes: &[u8], mut h: u64) -> u64 {
         for &b in bytes {
             h ^= b as u64;
@@ -229,6 +237,23 @@ mod tests {
         let mut b = CountSink::new();
         b.emit(&mut m, b"b1", b"p2");
         assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn count_sink_merge_equals_sequential() {
+        let mut m = NativeModel;
+        let mut seq = CountSink::new();
+        let mut w0 = CountSink::new();
+        let mut w1 = CountSink::new();
+        for i in 0u32..20 {
+            let t = i.to_le_bytes();
+            seq.emit(&mut m, &t, &t);
+            if i % 2 == 0 { &mut w0 } else { &mut w1 }.emit(&mut m, &t, &t);
+        }
+        let mut merged = CountSink::new();
+        merged.merge(w1);
+        merged.merge(w0);
+        assert_eq!(merged, seq);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! A fixed-capacity Chase–Lev work-stealing deque over `usize` task ids,
+//! plus the shared injector queue.
+//!
+//! The owner pushes and pops at the *bottom* (LIFO — it works on the
+//! largest task it was seeded with first, see
+//! [`lpt_assign`](crate::schedule::lpt_assign)); thieves steal from the
+//! *top* (FIFO — they take the victim's smallest remaining task, which
+//! minimizes the damage to the victim's locality and keeps the big tasks
+//! with their assigned worker).
+//!
+//! The implementation is the classic Chase–Lev algorithm in fully safe
+//! Rust: the ring buffer is a `Box<[AtomicUsize]>` (every slot access is
+//! an atomic load/store, so there are no data races to justify with
+//! `unsafe`), `top`/`bottom` are atomics, and the two racy claims — a
+//! thief taking `top`, and the owner taking the *last* element — are
+//! settled by a compare-exchange on `top`. The pool sizes each deque for
+//! the whole task list up front, so the ring never wraps while threads
+//! are running and the ABA hazards of the growing variant do not arise
+//! (`push` returns the task back instead of ever overwriting a live
+//! slot).
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// The victim's deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Claimed this task.
+    Task(usize),
+}
+
+/// The per-worker work-stealing deque.
+pub struct WorkDeque {
+    buf: Box<[AtomicUsize]>,
+    mask: usize,
+    /// Steal end. Only ever advances; claims go through compare-exchange.
+    top: AtomicIsize,
+    /// Owner end. Only the owner writes it.
+    bottom: AtomicIsize,
+}
+
+impl WorkDeque {
+    /// A deque holding at most `capacity` tasks (rounded up to a power of
+    /// two).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(1).next_power_of_two();
+        WorkDeque {
+            buf: (0..cap).map(|_| AtomicUsize::new(0)).collect(),
+            mask: cap - 1,
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+        }
+    }
+
+    /// Number of tasks currently in the deque (racy under concurrency;
+    /// exact when quiescent).
+    pub fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Acquire);
+        let t = self.top.load(Ordering::Acquire);
+        (b - t).max(0) as usize
+    }
+
+    /// Whether the deque is (observed) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner-side push. Fails (returning the task) when the ring is full,
+    /// rather than overwriting a slot a concurrent thief may be reading.
+    pub fn push(&self, task: usize) -> Result<(), usize> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= self.buf.len() as isize {
+            return Err(task);
+        }
+        self.buf[(b as usize) & self.mask].store(task, Ordering::Relaxed);
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-side pop (LIFO). On the last element it races thieves via
+    /// compare-exchange on `top`.
+    pub fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // Publish the decremented bottom before reading top, so a thief
+        // that still sees the old bottom loses the CAS below.
+        self.bottom.store(b, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        if t > b {
+            // Already empty; restore.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let task = self.buf[(b as usize) & self.mask].load(Ordering::Relaxed);
+        if t == b {
+            // Last element: whoever moves `top` first owns it.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then_some(task);
+        }
+        Some(task)
+    }
+
+    /// Thief-side steal (FIFO).
+    pub fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let task = self.buf[(t as usize) & self.mask].load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Task(task)
+        } else {
+            Steal::Retry
+        }
+    }
+}
+
+/// The global injector: tasks not pre-assigned to any worker (overflow
+/// from a full deque, late arrivals). A plain mutex-guarded FIFO — it is
+/// off the hot path, touched only when a worker's own deque runs dry.
+#[derive(Default)]
+pub struct Injector {
+    queue: Mutex<std::collections::VecDeque<usize>>,
+}
+
+impl Injector {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Injector::default()
+    }
+
+    /// Enqueue a task for whichever worker gets there first.
+    pub fn push(&self, task: usize) {
+        self.queue.lock().unwrap().push_back(task);
+    }
+
+    /// Dequeue in FIFO order.
+    pub fn pop(&self) -> Option<usize> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let d = WorkDeque::with_capacity(8);
+        for t in [10, 20, 30] {
+            d.push(t).unwrap();
+        }
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.steal(), Steal::Task(10));
+        assert_eq!(d.pop(), Some(30));
+        assert_eq!(d.pop(), Some(20));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn push_refuses_overflow() {
+        let d = WorkDeque::with_capacity(2);
+        d.push(1).unwrap();
+        d.push(2).unwrap();
+        assert_eq!(d.push(3), Err(3));
+        // Draining one slot frees capacity again.
+        assert_eq!(d.steal(), Steal::Task(1));
+        d.push(3).unwrap();
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push(7);
+        inj.push(8);
+        assert_eq!(inj.pop(), Some(7));
+        assert_eq!(inj.pop(), Some(8));
+        assert_eq!(inj.pop(), None);
+    }
+}

@@ -1,0 +1,467 @@
+//! Morsel-driven parallel GRACE join drivers.
+//!
+//! Both phases parallelize without touching the single-threaded kernels:
+//!
+//! * **Partition**: the input is split into page-range morsels
+//!   ([`page_morsels`]); each worker runs
+//!   the ordinary partition loop over its morsels into *private* output
+//!   buffers, and the per-worker partition outputs are concatenated (a
+//!   page move, not a copy) at the phase barrier. Tuple placement depends
+//!   only on the hash, so the concatenation reproduces a sequential
+//!   partitioning's per-partition tuple multisets.
+//! * **Build + probe**: partition pairs are scheduled largest-first
+//!   ([`lpt_assign`] over pair bytes — the
+//!   skew data the partition phase just produced); each worker joins its
+//!   pairs with the unmodified sequential kernel into a private
+//!   [`CountSink`], merged at the end (XOR checksum and match count are
+//!   order-independent). An oversized (skewed) pair recursively
+//!   re-partitions inside its task via
+//!   [`grace_join_pair_rec`].
+//!
+//! **Native** ([`parallel_join_native`]) runs real threads with work
+//! stealing. **Simulated** ([`parallel_join_sim`]) runs no threads at
+//! all: tasks are statically LPT-assigned to `threads` virtual lanes and
+//! each lane executes sequentially on its own fresh
+//! [`SimEngine`], so repeated runs are
+//! deterministic. The merged simulated cost of a phase is the **critical
+//! path** — the slowest lane's breakdown — while event counters (cache
+//! hits, misses, prefetches) are *summed* over lanes, so region
+//! conservation checks keep holding on merged reports.
+
+use phj::grace::{grace_join_pair_rec, grace_join_with_sink, GraceConfig};
+use phj::partition::partition_page_range_rec;
+use phj::plan;
+use phj::sink::{CountSink, JoinSink};
+use phj_memsim::{NativeModel, SimEngine, Snapshot};
+use phj_obs::{Recorder, RegionsSection};
+use phj_storage::{Relation, RelationBuilder};
+
+use crate::pool::{self, WorkerStats};
+use crate::schedule::{lpt_assign, page_morsels};
+
+/// Morsels per worker per relation: enough over-decomposition that
+/// stealing can rebalance, small enough that per-morsel overhead stays
+/// negligible.
+const MORSELS_PER_WORKER: usize = 4;
+
+/// One virtual lane's share of a simulated parallel run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Lane (virtual worker) index.
+    pub lane: usize,
+    /// Tasks the lane executed.
+    pub tasks: u64,
+    /// Simulated cycles the lane consumed across all phases.
+    pub cycles: u64,
+}
+
+/// Result of [`parallel_join_native`].
+pub struct NativeJoinOutcome {
+    /// Merged match count + order-independent checksum.
+    pub sink: CountSink,
+    /// First-pass partition fan-out.
+    pub partitions: usize,
+    /// Merged span recorder (present when observability was requested).
+    pub recorder: Option<Recorder>,
+    /// Per-worker counters for the partition phase.
+    pub partition_stats: Vec<WorkerStats>,
+    /// Per-worker counters for the build+probe phase.
+    pub join_stats: Vec<WorkerStats>,
+}
+
+/// Result of [`parallel_join_sim`].
+pub struct SimJoinOutcome {
+    /// Merged match count + order-independent checksum.
+    pub sink: CountSink,
+    /// First-pass partition fan-out.
+    pub partitions: usize,
+    /// Merged run totals: critical-path breakdown, summed event counts.
+    pub totals: Snapshot,
+    /// Merged span recorder (present when observability was requested).
+    pub recorder: Option<Recorder>,
+    /// Merged per-region attribution (present when profiling was on).
+    pub regions: Option<RegionsSection>,
+    /// Per-lane share of the simulated work.
+    pub lanes: Vec<LaneStats>,
+}
+
+/// First-pass fan-out: what the memory budget needs, but at least two
+/// pairs per worker so the join phase has something to schedule.
+fn fanout(cfg: &GraceConfig, build: &Relation, threads: usize) -> usize {
+    let needed = plan::num_partitions(build.size_bytes(), cfg.mem_budget);
+    let target = needed.max(2 * threads).max(2);
+    plan::coprime_partitions(target.min(cfg.max_active_partitions), 1)
+}
+
+/// The partition-phase task list: page-range morsels over both inputs.
+/// `true` marks build-side morsels. Weights are page counts.
+fn partition_tasks(
+    build: &Relation,
+    probe: &Relation,
+    threads: usize,
+) -> (Vec<(bool, std::ops::Range<usize>)>, Vec<u64>) {
+    let mut tasks: Vec<(bool, std::ops::Range<usize>)> = Vec::new();
+    for r in page_morsels(build.num_pages(), threads, MORSELS_PER_WORKER) {
+        tasks.push((true, r));
+    }
+    for r in page_morsels(probe.num_pages(), threads, MORSELS_PER_WORKER) {
+        tasks.push((false, r));
+    }
+    let weights = tasks.iter().map(|(_, r)| r.len() as u64).collect();
+    (tasks, weights)
+}
+
+/// Concatenate per-morsel partition outputs (in task order) into one
+/// relation per partition and side. Pages move; nothing is copied.
+fn concat_parts(
+    build: &Relation,
+    probe: &Relation,
+    p: usize,
+    tasks: &[(bool, std::ops::Range<usize>)],
+    outputs: Vec<Vec<Relation>>,
+) -> (Vec<Relation>, Vec<Relation>) {
+    let empty = |rel: &Relation| -> Vec<Relation> {
+        (0..p).map(|_| RelationBuilder::new(rel.schema().clone()).finish()).collect()
+    };
+    let mut bp = empty(build);
+    let mut pp = empty(probe);
+    for ((is_build, _), out) in tasks.iter().zip(outputs) {
+        let dst = if *is_build { &mut bp } else { &mut pp };
+        for (j, part) in out.into_iter().enumerate() {
+            dst[j].absorb(part);
+        }
+    }
+    (bp, pp)
+}
+
+/// In debug builds, replay the join sequentially and require the exact
+/// same match count and checksum — the parallel drivers' correctness
+/// invariant, enforced on every debug-build run.
+fn debug_check_against_sequential(cfg: &GraceConfig, build: &Relation, probe: &Relation, got: &CountSink) {
+    if cfg!(debug_assertions) {
+        let mut seq = CountSink::new();
+        grace_join_with_sink(&mut NativeModel, cfg, build, probe, &mut seq);
+        debug_assert_eq!(
+            (seq.matches(), seq.checksum()),
+            (got.matches(), got.checksum()),
+            "parallel join diverged from sequential"
+        );
+    }
+}
+
+/// Parallel GRACE join on real threads (native model, real prefetches).
+///
+/// `want_obs` turns on span recording: each worker records into its own
+/// [`Recorder`] sharing the main recorder's wall-clock origin, and the
+/// worker span trees are grafted under the phase spans (tagged
+/// `worker=N`) at each barrier, so the merged report shows per-worker
+/// lanes without losing any span.
+pub fn parallel_join_native(
+    cfg: &GraceConfig,
+    build: &Relation,
+    probe: &Relation,
+    threads: usize,
+    want_obs: bool,
+) -> NativeJoinOutcome {
+    let threads = threads.max(1);
+    let p = fanout(cfg, build, threads);
+    let mut rec = want_obs.then(Recorder::new);
+    let origin = rec.as_ref().map(|r| r.origin());
+    let root = rec.as_mut().map(|r| {
+        let id = r.begin("run", Snapshot::default());
+        r.meta("threads", threads);
+        id
+    });
+
+    // Phase 1: partition both relations from page-range morsels into
+    // per-worker private buffers.
+    let (tasks, weights) = partition_tasks(build, probe, threads);
+    let pass = rec.as_mut().map(|r| {
+        let id = r.begin("partition_pass", Snapshot::default());
+        r.meta("fanout", p);
+        r.meta("moduli", 1);
+        r.meta("threads", threads);
+        id
+    });
+    let states: Vec<(NativeModel, Option<Recorder>)> = (0..threads)
+        .map(|_| (NativeModel, origin.map(Recorder::with_origin)))
+        .collect();
+    let scheme = cfg.partition_scheme;
+    let (outputs, states, partition_stats) =
+        pool::execute(states, &tasks, &weights, |st, _i, (is_build, range)| {
+            let rel = if *is_build { build } else { probe };
+            partition_page_range_rec(&mut st.0, scheme, rel, range.clone(), p, false, st.1.as_mut())
+        });
+    if let Some(r) = rec.as_mut() {
+        for (w, (_, wrec)) in states.into_iter().enumerate() {
+            if let Some(wr) = wrec {
+                r.graft(w, Snapshot::default(), wr.finish());
+            }
+        }
+    }
+    if let (Some(r), Some(id)) = (rec.as_mut(), pass) {
+        r.end(id, Snapshot::default());
+    }
+    let (bp, pp) = concat_parts(build, probe, p, &tasks, outputs);
+
+    // Phase 2: join pairs, heaviest first, into per-worker sinks.
+    let pairs: Vec<(Relation, Relation, usize)> =
+        bp.into_iter().zip(pp).enumerate().map(|(i, (b, q))| (b, q, i)).collect();
+    let weights: Vec<u64> =
+        pairs.iter().map(|(b, q, _)| (b.size_bytes() + q.size_bytes()).max(1) as u64).collect();
+    let pass = rec.as_mut().map(|r| {
+        let id = r.begin("join_pass", Snapshot::default());
+        r.meta("pairs", pairs.len());
+        r.meta("threads", threads);
+        id
+    });
+    let states: Vec<(NativeModel, CountSink, Option<Recorder>)> = (0..threads)
+        .map(|_| (NativeModel, CountSink::new(), origin.map(Recorder::with_origin)))
+        .collect();
+    let (_, states, join_stats) =
+        pool::execute(states, &pairs, &weights, |st, _i, (b, q, idx)| {
+            grace_join_pair_rec(&mut st.0, cfg, b, q, &mut st.1, p, *idx, st.2.as_mut());
+        });
+    let mut sink = CountSink::new();
+    for (w, (_, s, wrec)) in states.into_iter().enumerate() {
+        sink.merge(s);
+        if let Some(r) = rec.as_mut() {
+            if let Some(wr) = wrec {
+                r.graft(w, Snapshot::default(), wr.finish());
+            }
+        }
+    }
+    if let (Some(r), Some(id)) = (rec.as_mut(), pass) {
+        r.end(id, Snapshot::default());
+    }
+    if let (Some(r), Some(id)) = (rec.as_mut(), root) {
+        r.end(id, Snapshot::default());
+    }
+    debug_check_against_sequential(cfg, build, probe, &sink);
+    NativeJoinOutcome { sink, partitions: p, recorder: rec, partition_stats, join_stats }
+}
+
+/// One simulated phase: statically LPT-assign tasks to lanes, run each
+/// lane sequentially on a fresh engine, merge lane recorders/regions,
+/// and return the phase delta (critical-path breakdown, summed stats).
+/// `rec` must have the phase span open — lane spans graft under it at
+/// `cursor`, the merged timeline's phase start.
+#[allow(clippy::too_many_arguments)]
+fn run_sim_phase<T, R, F>(
+    threads: usize,
+    tasks: &[T],
+    weights: &[u64],
+    want_regions: bool,
+    regions: &mut Option<RegionsSection>,
+    lanes_out: &mut [LaneStats],
+    rec: &mut Option<Recorder>,
+    cursor: Snapshot,
+    mut f: F,
+) -> (Vec<R>, Snapshot)
+where
+    F: FnMut(&mut SimEngine, Option<&mut Recorder>, usize, &T) -> R,
+{
+    let assignment = lpt_assign(weights, threads);
+    let mut slots: Vec<Option<R>> = (0..tasks.len()).map(|_| None).collect();
+    let mut phase = Snapshot::default();
+    for (w, list) in assignment.iter().enumerate() {
+        let mut engine = SimEngine::paper();
+        if want_regions {
+            engine.enable_region_profiling();
+        }
+        let mut lane_rec = rec.as_ref().map(|_| Recorder::new());
+        for &i in list {
+            slots[i] = Some(f(&mut engine, lane_rec.as_mut(), i, &tasks[i]));
+        }
+        let snap = engine.snapshot();
+        lanes_out[w].tasks += list.len() as u64;
+        lanes_out[w].cycles += snap.breakdown.total();
+        phase.stats = phase.stats + snap.stats;
+        if snap.breakdown.total() > phase.breakdown.total() {
+            phase.breakdown = snap.breakdown;
+        }
+        if let (Some(reg), Some(prof)) = (regions.as_mut(), engine.region_profile()) {
+            reg.merge(&RegionsSection::from_profiler(prof));
+        }
+        if let (Some(r), Some(lr)) = (rec.as_mut(), lane_rec) {
+            r.graft(w, cursor, lr.finish());
+        }
+    }
+    let results = slots.into_iter().map(|r| r.expect("task assigned")).collect();
+    (results, phase)
+}
+
+/// Parallel GRACE join under the cycle simulator, with `threads`
+/// deterministic virtual lanes (no OS threads — byte-identical
+/// breakdowns across repeated runs).
+pub fn parallel_join_sim(
+    cfg: &GraceConfig,
+    build: &Relation,
+    probe: &Relation,
+    threads: usize,
+    want_obs: bool,
+    want_regions: bool,
+) -> SimJoinOutcome {
+    let threads = threads.max(1);
+    let p = fanout(cfg, build, threads);
+    let mut rec = want_obs.then(Recorder::new);
+    let root = rec.as_mut().map(|r| {
+        let id = r.begin("run", Snapshot::default());
+        r.meta("threads", threads);
+        id
+    });
+    let mut cursor = Snapshot::default();
+    let mut regions = want_regions.then(RegionsSection::default);
+    let mut lanes: Vec<LaneStats> =
+        (0..threads).map(|lane| LaneStats { lane, ..Default::default() }).collect();
+
+    // Phase 1: partition.
+    let (tasks, weights) = partition_tasks(build, probe, threads);
+    let pass = rec.as_mut().map(|r| {
+        let id = r.begin("partition_pass", cursor);
+        r.meta("fanout", p);
+        r.meta("moduli", 1);
+        r.meta("threads", threads);
+        id
+    });
+    let (outputs, phase) = run_sim_phase(
+        threads,
+        &tasks,
+        &weights,
+        want_regions,
+        &mut regions,
+        &mut lanes,
+        &mut rec,
+        cursor,
+        |engine, lane_rec, _i, (is_build, range)| {
+            let rel = if *is_build { build } else { probe };
+            partition_page_range_rec(
+                engine,
+                cfg.partition_scheme,
+                rel,
+                range.clone(),
+                p,
+                false,
+                lane_rec,
+            )
+        },
+    );
+    cursor = cursor + phase;
+    if let (Some(r), Some(id)) = (rec.as_mut(), pass) {
+        r.end(id, cursor);
+    }
+    let (bp, pp) = concat_parts(build, probe, p, &tasks, outputs);
+
+    // Phase 2: join pairs.
+    let pairs: Vec<(Relation, Relation, usize)> =
+        bp.into_iter().zip(pp).enumerate().map(|(i, (b, q))| (b, q, i)).collect();
+    let weights: Vec<u64> =
+        pairs.iter().map(|(b, q, _)| (b.size_bytes() + q.size_bytes()).max(1) as u64).collect();
+    let pass = rec.as_mut().map(|r| {
+        let id = r.begin("join_pass", cursor);
+        r.meta("pairs", pairs.len());
+        r.meta("threads", threads);
+        id
+    });
+    let (task_sinks, phase) = run_sim_phase(
+        threads,
+        &pairs,
+        &weights,
+        want_regions,
+        &mut regions,
+        &mut lanes,
+        &mut rec,
+        cursor,
+        |engine, lane_rec, _i, (b, q, idx)| {
+            let mut s = CountSink::new();
+            grace_join_pair_rec(engine, cfg, b, q, &mut s, p, *idx, lane_rec);
+            s
+        },
+    );
+    cursor = cursor + phase;
+    if let (Some(r), Some(id)) = (rec.as_mut(), pass) {
+        r.end(id, cursor);
+    }
+    let mut sink = CountSink::new();
+    for s in task_sinks {
+        sink.merge(s);
+    }
+    if let (Some(r), Some(id)) = (rec.as_mut(), root) {
+        r.end(id, cursor);
+    }
+    debug_check_against_sequential(cfg, build, probe, &sink);
+    SimJoinOutcome { sink, partitions: p, totals: cursor, recorder: rec, regions, lanes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phj_storage::{RelationBuilder, Schema};
+
+    fn rel(keys: impl Iterator<Item = u32>, size: usize) -> Relation {
+        let mut b = RelationBuilder::new(Schema::key_payload(size));
+        let mut t = vec![0u8; size];
+        for k in keys {
+            t[..4].copy_from_slice(&k.to_le_bytes());
+            b.push(&t);
+        }
+        b.finish()
+    }
+
+    fn small_cfg() -> GraceConfig {
+        GraceConfig { mem_budget: 16 * 1024, ..Default::default() }
+    }
+
+    #[test]
+    fn native_matches_sequential_across_thread_counts() {
+        let build = rel(0..1500, 40);
+        let probe = rel((500..2500).map(|k| k % 2000), 40);
+        let cfg = small_cfg();
+        let mut seq = CountSink::new();
+        grace_join_with_sink(&mut NativeModel, &cfg, &build, &probe, &mut seq);
+        for threads in [1, 2, 3, 4] {
+            let out = parallel_join_native(&cfg, &build, &probe, threads, false);
+            assert_eq!(out.sink, seq, "threads={threads}");
+            assert!(out.partitions >= 2);
+        }
+    }
+
+    #[test]
+    fn sim_lanes_match_sequential_and_report_validates() {
+        let build = rel(0..800, 40);
+        let probe = rel(0..800, 40);
+        let cfg = small_cfg();
+        let mut seq = CountSink::new();
+        grace_join_with_sink(&mut NativeModel, &cfg, &build, &probe, &mut seq);
+        let out = parallel_join_sim(&cfg, &build, &probe, 3, true, false);
+        assert_eq!(out.sink, seq);
+        // Critical path ≤ sum of lane cycles; every lane did something.
+        let lane_sum: u64 = out.lanes.iter().map(|l| l.cycles).sum();
+        assert!(out.totals.breakdown.total() <= lane_sum);
+        assert!(out.totals.breakdown.total() > 0);
+        let mut report = phj_obs::RunReport::from_recorder(
+            "join",
+            out.recorder.unwrap(),
+            out.totals,
+            1,
+        );
+        report.simulated = true;
+        report.validate().expect("merged parallel report validates");
+        // Worker-tagged spans exist under both phases.
+        assert!(report
+            .spans
+            .iter()
+            .any(|s| s.meta.iter().any(|(k, v)| k == "worker" && v == "2")));
+    }
+
+    #[test]
+    fn empty_inputs_join_to_nothing() {
+        let build = rel(0..0, 40);
+        let probe = rel(0..0, 40);
+        let cfg = small_cfg();
+        let out = parallel_join_native(&cfg, &build, &probe, 2, false);
+        assert_eq!(out.sink.matches(), 0);
+        let out = parallel_join_sim(&cfg, &build, &probe, 2, false, false);
+        assert_eq!(out.sink.matches(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # phj-exec — morsel-driven parallel join executor
+//!
+//! Intra-query parallelism for the prefetching hash join, in the
+//! morsel-driven style: inputs are split into page-range **morsels**,
+//! a fixed pool of workers pulls work from per-worker Chase–Lev
+//! work-stealing deques (plus a global injector), and partition pairs
+//! are scheduled **largest-first** (LPT) using the partition sizes the
+//! partition phase just produced — the executor's skew defense.
+//!
+//! The single-threaded kernels in `phj` are reused unchanged; this
+//! crate only decides *who runs what when* and how the results (and the
+//! observability record) merge back together:
+//!
+//! * native runs use real `std::thread::scope` threads, real stealing,
+//!   and per-worker wall-clock counters;
+//! * simulated runs (`--sim`) spawn **no threads**: tasks are statically
+//!   LPT-assigned to virtual lanes, each lane executes sequentially on
+//!   its own fresh cycle engine, and the merged cost of a phase is its
+//!   **critical path** (the slowest lane) while event counters sum —
+//!   so `--threads N` yields a deterministic simulated breakdown;
+//! * per-worker span recorders are grafted into one merged
+//!   [`Recorder`](phj_obs::Recorder) tree (tagged `worker=N`) at each
+//!   phase barrier, losslessly: every span a worker recorded appears in
+//!   the merged report, and per-lane cycle sums stay within their
+//!   parent phase span.
+//!
+//! Everything is std-only: the deque, injector, and pool are hand-rolled
+//! in safe Rust (see [`deque`]).
+
+pub mod agg;
+pub mod deque;
+pub mod join;
+pub mod pool;
+pub mod schedule;
+
+pub use agg::{agg_checksum, parallel_agg_native, parallel_agg_sim, NativeAggOutcome, SimAggOutcome};
+pub use deque::{Injector, Steal, WorkDeque};
+pub use join::{
+    parallel_join_native, parallel_join_sim, LaneStats, NativeJoinOutcome, SimJoinOutcome,
+};
+pub use pool::{execute, WorkerStats};
+pub use schedule::{lpt_assign, page_morsels};

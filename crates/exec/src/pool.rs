@@ -1,0 +1,229 @@
+//! The scoped worker pool: seed per-worker deques LPT-greedy, run one
+//! OS thread per worker, rebalance by stealing.
+//!
+//! [`execute`] is a single fork-join region: it consumes one state value
+//! per worker (the worker's private memory model, sink, recorder…),
+//! runs every task exactly once, and hands the states back along with
+//! the per-task results and per-worker counters. There is no long-lived
+//! pool object — the join drivers call `execute` once per phase, which
+//! keeps the barrier between phases explicit and the borrows simple
+//! (`std::thread::scope` lets workers share the task slice by
+//! reference).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::deque::{Injector, Steal, WorkDeque};
+use crate::schedule::lpt_assign;
+
+/// Per-worker execution counters for one [`execute`] region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index.
+    pub worker: usize,
+    /// Tasks this worker ran.
+    pub tasks: u64,
+    /// Tasks it obtained by stealing from another worker's deque.
+    pub steals: u64,
+    /// Wall time spent inside task bodies, in nanoseconds.
+    pub busy_ns: u64,
+    /// Wall time spent looking for work, in nanoseconds.
+    pub idle_ns: u64,
+}
+
+/// Run every task exactly once across `states.len()` workers.
+///
+/// Tasks are pre-assigned to workers by [`lpt_assign`] over `weights`
+/// (heaviest first to the least-loaded worker); a worker that drains its
+/// own deque pulls from the injector, then steals FIFO from the other
+/// workers, so a bad estimate degrades into rebalancing rather than
+/// idling. `f` is called as `f(&mut state, task_index, &tasks[task_index])`.
+///
+/// Returns the per-task results (indexed like `tasks`), the worker
+/// states (in worker order, for merging), and the per-worker counters.
+///
+/// With a single worker the tasks run inline on the caller's thread in
+/// the same LPT order — no threads are spawned, so a `threads == 1`
+/// driver stays deterministic to the instruction.
+pub fn execute<W, T, R, F>(
+    states: Vec<W>,
+    tasks: &[T],
+    weights: &[u64],
+    f: F,
+) -> (Vec<R>, Vec<W>, Vec<WorkerStats>)
+where
+    W: Send,
+    T: Sync,
+    R: Send,
+    F: Fn(&mut W, usize, &T) -> R + Sync,
+{
+    assert_eq!(tasks.len(), weights.len(), "one weight per task");
+    assert!(!states.is_empty(), "need at least one worker");
+    let n = states.len();
+    let assignment = lpt_assign(weights, n);
+
+    if n == 1 {
+        let mut states = states;
+        let mut stats = WorkerStats::default();
+        let t0 = Instant::now();
+        let mut slots: Vec<Option<R>> = (0..tasks.len()).map(|_| None).collect();
+        for &i in &assignment[0] {
+            slots[i] = Some(f(&mut states[0], i, &tasks[i]));
+            stats.tasks += 1;
+        }
+        stats.busy_ns = t0.elapsed().as_nanos() as u64;
+        let results = slots.into_iter().map(|r| r.expect("task ran")).collect();
+        return (results, states, vec![stats]);
+    }
+
+    // Seed each worker's deque in reverse (ascending weight), so the
+    // owner's LIFO pop yields its largest task first while thieves'
+    // FIFO steals take its smallest.
+    let deques: Vec<WorkDeque> = assignment
+        .iter()
+        .map(|list| {
+            let d = WorkDeque::with_capacity(tasks.len());
+            for &i in list.iter().rev() {
+                d.push(i).expect("deque sized for the whole task list");
+            }
+            d
+        })
+        .collect();
+    let injector = Injector::new();
+    let claimed = AtomicUsize::new(0);
+    let total = tasks.len();
+
+    // (worker index, state, task-indexed results, counters).
+    type WorkerOut<W, R> = (usize, W, Vec<(usize, R)>, WorkerStats);
+    let mut out: Vec<WorkerOut<W, R>> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(n);
+        for (w, mut state) in states.into_iter().enumerate() {
+            let deques = &deques;
+            let injector = &injector;
+            let claimed = &claimed;
+            let f = &f;
+            handles.push(s.spawn(move || {
+                let start = Instant::now();
+                let mut stats = WorkerStats { worker: w, ..Default::default() };
+                let mut results: Vec<(usize, R)> = Vec::new();
+                let mut busy_ns = 0u64;
+                loop {
+                    let next = deques[w]
+                        .pop()
+                        .or_else(|| injector.pop())
+                        .or_else(|| steal_round(w, deques, &mut stats));
+                    match next {
+                        Some(i) => {
+                            claimed.fetch_add(1, Ordering::SeqCst);
+                            let t0 = Instant::now();
+                            let r = f(&mut state, i, &tasks[i]);
+                            busy_ns += t0.elapsed().as_nanos() as u64;
+                            stats.tasks += 1;
+                            results.push((i, r));
+                        }
+                        // Tasks never spawn tasks, so once every task has
+                        // been claimed no new work can appear.
+                        None if claimed.load(Ordering::SeqCst) >= total => break,
+                        None => std::thread::yield_now(),
+                    }
+                }
+                stats.busy_ns = busy_ns;
+                stats.idle_ns = (start.elapsed().as_nanos() as u64).saturating_sub(busy_ns);
+                (w, state, results, stats)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    out.sort_by_key(|(w, ..)| *w);
+    let mut slots: Vec<Option<R>> = (0..total).map(|_| None).collect();
+    let mut states_back = Vec::with_capacity(n);
+    let mut all_stats = Vec::with_capacity(n);
+    for (_, state, results, stats) in out {
+        for (i, r) in results {
+            debug_assert!(slots[i].is_none(), "task {i} ran twice");
+            slots[i] = Some(r);
+        }
+        states_back.push(state);
+        all_stats.push(stats);
+    }
+    let results = slots.into_iter().map(|r| r.expect("task unclaimed")).collect();
+    (results, states_back, all_stats)
+}
+
+/// One full round of steal attempts over the other workers' deques.
+fn steal_round(me: usize, deques: &[WorkDeque], stats: &mut WorkerStats) -> Option<usize> {
+    let n = deques.len();
+    for off in 1..n {
+        let victim = (me + off) % n;
+        loop {
+            match deques[victim].steal() {
+                Steal::Task(i) => {
+                    stats.steals += 1;
+                    return Some(i);
+                }
+                Steal::Retry => std::hint::spin_loop(),
+                Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_task_runs_once_and_results_line_up() {
+        for threads in [1usize, 2, 3, 8] {
+            let tasks: Vec<u64> = (0..100).collect();
+            let weights: Vec<u64> = tasks.iter().map(|t| t % 13 + 1).collect();
+            let ran = AtomicU64::new(0);
+            let states: Vec<u64> = vec![0; threads];
+            let (results, states, stats) = execute(states, &tasks, &weights, |acc, i, t| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                *acc += t;
+                i as u64 * 2
+            });
+            assert_eq!(ran.load(Ordering::SeqCst), 100);
+            assert_eq!(results, (0..100).map(|i| i * 2).collect::<Vec<u64>>());
+            // Per-worker accumulators sum to the whole input.
+            assert_eq!(states.iter().sum::<u64>(), tasks.iter().sum::<u64>());
+            assert_eq!(stats.iter().map(|s| s.tasks).sum::<u64>(), 100);
+            assert_eq!(stats.len(), threads);
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_inline_in_lpt_order() {
+        let tasks = [1u64, 2, 3];
+        let weights = [5u64, 50, 20];
+        let (results, states, _) =
+            execute(vec![Vec::new()], &tasks, &weights, |log: &mut Vec<usize>, i, _| {
+                log.push(i);
+                i
+            });
+        // Results come back task-indexed regardless of execution order...
+        assert_eq!(results, vec![0, 1, 2]);
+        // ...which was heaviest-first.
+        assert_eq!(states[0], vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn uneven_tasks_still_all_complete() {
+        // Tasks that sleep differently force real stealing.
+        let tasks: Vec<u64> = (0..32).map(|i| if i == 0 { 20 } else { 1 }).collect();
+        let weights = vec![1u64; 32]; // deliberately wrong estimates
+        let (results, _, stats) = execute(vec![(); 4], &tasks, &weights, |_, i, ms| {
+            std::thread::sleep(std::time::Duration::from_millis(*ms));
+            i
+        });
+        assert_eq!(results, (0..32).collect::<Vec<_>>());
+        assert_eq!(stats.iter().map(|s| s.tasks).sum::<u64>(), 32);
+    }
+}

@@ -258,6 +258,26 @@ impl RegionStats {
     pub fn l1_misses(&self) -> u64 {
         self.l1_inflight_hits + self.l2_hits + self.mem_misses
     }
+
+    /// Fold another region's counters into this one (merging per-worker
+    /// profiles; every counter is a conserved event count, so the merge is
+    /// exact).
+    pub fn merge(&mut self, other: &RegionStats) {
+        self.l1_hits += other.l1_hits;
+        self.l1_inflight_hits += other.l1_inflight_hits;
+        self.l2_hits += other.l2_hits;
+        self.mem_misses += other.mem_misses;
+        self.tlb_demand_walks += other.tlb_demand_walks;
+        self.stall_cycles += other.stall_cycles;
+        self.prefetches += other.prefetches;
+        self.pf_dropped += other.pf_dropped;
+        self.tlb_prefetch_walks += other.tlb_prefetch_walks;
+        self.pf_hidden += other.pf_hidden;
+        self.pf_partial += other.pf_partial;
+        self.pf_late += other.pf_late;
+        self.pf_polluting += other.pf_polluting;
+        self.pf_hidden_cycles += other.pf_hidden_cycles;
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -1,7 +1,7 @@
 //! Execution-time breakdowns and cache statistics.
 
 use std::fmt;
-use std::ops::Sub;
+use std::ops::{Add, Sub};
 
 /// User-time breakdown in cycles, matching the stacked bars of the paper's
 /// Figures 1, 11, and 15: busy time, data-cache stalls, D-TLB stalls, and
@@ -46,6 +46,19 @@ impl Sub for Breakdown {
             dcache_stall: self.dcache_stall.saturating_sub(rhs.dcache_stall),
             dtlb_stall: self.dtlb_stall.saturating_sub(rhs.dtlb_stall),
             other_stall: self.other_stall.saturating_sub(rhs.other_stall),
+        }
+    }
+}
+
+impl Add for Breakdown {
+    type Output = Breakdown;
+    /// Componentwise sum: merging per-worker breakdowns into run totals.
+    fn add(self, rhs: Breakdown) -> Breakdown {
+        Breakdown {
+            busy: self.busy + rhs.busy,
+            dcache_stall: self.dcache_stall + rhs.dcache_stall,
+            dtlb_stall: self.dtlb_stall + rhs.dtlb_stall,
+            other_stall: self.other_stall + rhs.other_stall,
         }
     }
 }
@@ -161,6 +174,34 @@ impl Sub for CacheStats {
     }
 }
 
+impl Add for CacheStats {
+    type Output = CacheStats;
+    /// Componentwise sum: merging per-worker counters into run totals
+    /// (cache events are conserved across workers, so totals stay exact).
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            visits: self.visits + rhs.visits,
+            visit_lines: self.visit_lines + rhs.visit_lines,
+            l1_hits: self.l1_hits + rhs.l1_hits,
+            l1_inflight_hits: self.l1_inflight_hits + rhs.l1_inflight_hits,
+            l2_hits: self.l2_hits + rhs.l2_hits,
+            mem_misses: self.mem_misses + rhs.mem_misses,
+            l1_conflict_misses: self.l1_conflict_misses + rhs.l1_conflict_misses,
+            prefetches: self.prefetches + rhs.prefetches,
+            pf_dropped: self.pf_dropped + rhs.pf_dropped,
+            pf_from_l2: self.pf_from_l2 + rhs.pf_from_l2,
+            pf_from_mem: self.pf_from_mem + rhs.pf_from_mem,
+            pf_evicted_unused: self.pf_evicted_unused + rhs.pf_evicted_unused,
+            pf_hidden_cycles: self.pf_hidden_cycles + rhs.pf_hidden_cycles,
+            tlb_demand_walks: self.tlb_demand_walks + rhs.tlb_demand_walks,
+            tlb_prefetch_walks: self.tlb_prefetch_walks + rhs.tlb_prefetch_walks,
+            hw_prefetches: self.hw_prefetches + rhs.hw_prefetches,
+            writebacks: self.writebacks + rhs.writebacks,
+            flushes: self.flushes + rhs.flushes,
+        }
+    }
+}
+
 /// A paired snapshot of [`Breakdown`] and [`CacheStats`] — the unit the
 /// observability layer records at span boundaries
 /// ([`crate::MemoryModel::snapshot`]).
@@ -178,6 +219,16 @@ impl Sub for Snapshot {
         Snapshot {
             breakdown: self.breakdown - rhs.breakdown,
             stats: self.stats - rhs.stats,
+        }
+    }
+}
+
+impl Add for Snapshot {
+    type Output = Snapshot;
+    fn add(self, rhs: Snapshot) -> Snapshot {
+        Snapshot {
+            breakdown: self.breakdown + rhs.breakdown,
+            stats: self.stats + rhs.stats,
         }
     }
 }
@@ -248,6 +299,23 @@ mod tests {
         assert_eq!(d.breakdown.busy, 6);
         assert_eq!(d.stats.prefetches, 3);
         assert_eq!(d.stats.pf_hidden_cycles, 200);
+    }
+
+    #[test]
+    fn add_is_componentwise_and_inverts_sub() {
+        let a = Snapshot {
+            breakdown: Breakdown { busy: 10, dcache_stall: 5, dtlb_stall: 1, other_stall: 2 },
+            stats: CacheStats { visits: 7, l2_hits: 3, pf_hidden_cycles: 40, ..Default::default() },
+        };
+        let b = Snapshot {
+            breakdown: Breakdown { busy: 4, dcache_stall: 1, dtlb_stall: 0, other_stall: 1 },
+            stats: CacheStats { visits: 2, l2_hits: 1, pf_hidden_cycles: 10, ..Default::default() },
+        };
+        let s = a + b;
+        assert_eq!(s.breakdown.total(), a.breakdown.total() + b.breakdown.total());
+        assert_eq!(s.stats.visits, 9);
+        assert_eq!(s.stats.pf_hidden_cycles, 50);
+        assert_eq!(s - b, a, "add then sub round-trips");
     }
 
     #[test]

@@ -69,6 +69,30 @@ impl RegionsSection {
             skew: Vec::new(),
         }
     }
+
+    /// Fold another section (e.g. one worker lane's) into this one.
+    /// Counters add and histograms merge region-by-region, so the region
+    /// conservation invariant checked by
+    /// [`RunReport::validate`] holds for the merged section exactly when
+    /// the run totals are likewise summed across lanes. Skew rows are
+    /// concatenated.
+    pub fn merge(&mut self, other: &RegionsSection) {
+        if self.regions.is_empty() {
+            self.regions = other.regions.clone();
+        } else {
+            assert_eq!(
+                self.regions.len(),
+                other.regions.len(),
+                "merge requires identical region layouts"
+            );
+            for (a, b) in self.regions.iter_mut().zip(&other.regions) {
+                assert_eq!(a.name, b.name, "merge requires matching region order");
+                a.stats.merge(&b.stats);
+                a.hist.merge(&b.hist);
+            }
+        }
+        self.skew.extend(other.skew.iter().copied());
+    }
 }
 
 /// A complete, serializable description of one pipeline run.
@@ -279,7 +303,11 @@ impl RunReport {
     ///
     /// * at least one span, exactly one root (depth 0, no parent);
     /// * parents precede children and depths are parent + 1;
-    /// * children's cycle totals sum to at most their parent's;
+    /// * children's cycle totals sum to at most their parent's, per
+    ///   worker lane — children carrying a `worker` meta are parallel
+    ///   siblings, so each lane must fit within the parent but lanes do
+    ///   not sum with each other (untagged children share one lane,
+    ///   preserving the sequential rule);
     /// * the root span's cycle total equals the report's total (the root
     ///   wraps the whole run).
     pub fn validate(&self) -> Result<(), String> {
@@ -292,7 +320,8 @@ impl RunReport {
         if roots.len() != 1 {
             return Err(format!("expected exactly one root span, found {}", roots.len()));
         }
-        let mut child_cycles = vec![0u64; self.spans.len()];
+        let mut lane_cycles: std::collections::BTreeMap<(usize, Option<&str>), u64> =
+            std::collections::BTreeMap::new();
         for (i, s) in self.spans.iter().enumerate() {
             match s.parent {
                 None => {
@@ -308,17 +337,23 @@ impl RunReport {
                         return Err(format!("span '{}' depth {} under parent depth {}",
                             s.name, s.depth, self.spans[p].depth));
                     }
-                    child_cycles[p] += s.delta.breakdown.total();
+                    let lane = s
+                        .meta
+                        .iter()
+                        .find(|(k, _)| k == "worker")
+                        .map(|(_, v)| v.as_str());
+                    *lane_cycles.entry((p, lane)).or_insert(0) += s.delta.breakdown.total();
                 }
             }
         }
-        for (i, s) in self.spans.iter().enumerate() {
-            if child_cycles[i] > s.delta.breakdown.total() {
+        for (&(p, lane), &cycles) in &lane_cycles {
+            if cycles > self.spans[p].delta.breakdown.total() {
                 return Err(format!(
-                    "children of span '{}' account {} cycles > parent's {}",
-                    s.name,
-                    child_cycles[i],
-                    s.delta.breakdown.total()
+                    "children of span '{}'{} account {} cycles > parent's {}",
+                    self.spans[p].name,
+                    lane.map(|w| format!(" (worker {w})")).unwrap_or_default(),
+                    cycles,
+                    self.spans[p].delta.breakdown.total()
                 ));
             }
         }
@@ -861,6 +896,76 @@ mod tests {
         let mut r = profiled_report();
         r.regions.as_mut().unwrap().regions[0].hist.record(4);
         assert!(r.validate().unwrap_err().contains("histogram"));
+    }
+
+    #[test]
+    fn validate_groups_children_by_worker_lane() {
+        // A parallel phase whose per-worker children each take nearly the
+        // whole phase (critical path): lanes must not be summed together.
+        let phase = Snapshot {
+            breakdown: Breakdown { busy: 100, ..Default::default() },
+            ..Default::default()
+        };
+        let lane = |busy| Snapshot {
+            breakdown: Breakdown { busy, ..Default::default() },
+            ..Default::default()
+        };
+        let mut rec = Recorder::new();
+        let root = rec.begin("run", Snapshot::default());
+        rec.end(root, phase);
+        let mut report = RunReport::from_recorder("join", rec, phase, 1_000);
+        report.simulated = true;
+        for (w, busy) in [(0u64, 100u64), (1, 90)] {
+            let mut s = SpanRecord::reconstruct(
+                "pair".into(),
+                Some(0),
+                1,
+                0,
+                0,
+                lane(busy),
+            );
+            s.meta.push(("worker".into(), w.to_string()));
+            report.spans.push(s);
+        }
+        // 100 + 90 > 100, but each lane individually fits.
+        report.validate().expect("parallel lanes validate independently");
+        // An over-budget single lane still fails.
+        report.spans[1].delta.breakdown.busy = 101;
+        let err = report.validate().unwrap_err();
+        assert!(err.contains("worker 0"), "{err}");
+        // Untagged children still share one lane and sum.
+        report.spans[1].delta.breakdown.busy = 60;
+        for s in &mut report.spans[1..] {
+            s.meta.clear();
+        }
+        assert!(report.validate().unwrap_err().contains("children"));
+    }
+
+    #[test]
+    fn regions_section_merge_sums_counters_and_hists() {
+        let a_sec = profiled_report().regions.unwrap();
+        let mut merged = RegionsSection::default();
+        merged.merge(&a_sec);
+        merged.merge(&a_sec);
+        assert_eq!(merged.regions.len(), a_sec.regions.len());
+        for (m, a) in merged.regions.iter().zip(&a_sec.regions) {
+            assert_eq!(m.stats.l1_hits, 2 * a.stats.l1_hits);
+            assert_eq!(m.stats.mem_misses, 2 * a.stats.mem_misses);
+            assert_eq!(m.hist.count(), 2 * a.hist.count());
+        }
+        assert_eq!(merged.skew.len(), 2 * a_sec.skew.len());
+
+        // Doubling the totals alongside keeps region conservation intact.
+        let mut r = profiled_report();
+        let totals = r.totals;
+        r.totals = totals + totals;
+        r.spans[0].delta = r.totals;
+        if let Some(h) = &mut r.spans[0].latency {
+            let copy = *h;
+            h.merge(&copy);
+        }
+        r.regions = Some(merged);
+        r.validate().expect("merged section conserves against summed totals");
     }
 
     #[test]

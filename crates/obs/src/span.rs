@@ -111,7 +111,20 @@ impl Default for Recorder {
 impl Recorder {
     /// A fresh recorder; wall-clock zero is now.
     pub fn new() -> Self {
-        Recorder { origin: Instant::now(), spans: Vec::new(), stack: Vec::new() }
+        Self::with_origin(Instant::now())
+    }
+
+    /// A fresh recorder whose wall-clock zero is `origin`. Per-worker
+    /// recorders in a parallel run share the driving recorder's origin
+    /// ([`Self::origin`]) so their `start_ns` values live on one time
+    /// axis and the merged trace shows genuine overlap.
+    pub fn with_origin(origin: Instant) -> Self {
+        Recorder { origin, spans: Vec::new(), stack: Vec::new() }
+    }
+
+    /// This recorder's wall-clock zero.
+    pub fn origin(&self) -> Instant {
+        self.origin
     }
 
     /// Open a span named `name`, nested inside the currently open span
@@ -179,6 +192,43 @@ impl Recorder {
     pub fn meta(&mut self, key: &str, value: impl std::fmt::Display) {
         if let Some(&id) = self.stack.last() {
             self.spans[id].meta.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Graft another recorder's (finished) spans under the currently open
+    /// span — the merge step of a parallel run: each worker records into
+    /// its own recorder, and the driver grafts the worker spans under the
+    /// phase span it holds open.
+    ///
+    /// Span ids and parents are re-based; grafted roots become children
+    /// of the innermost open span and are tagged with a `"worker"` meta
+    /// key, so the report validator can group sibling cycle sums per
+    /// worker lane and the trace export can lay each worker on its own
+    /// track. `enter_offset` is added to every grafted span's entry
+    /// snapshot, shifting a worker-local cycle axis (a fresh per-worker
+    /// sim model starts at zero) to the run's axis at the phase start.
+    ///
+    /// The merge is lossless: grafted spans keep their names, deltas,
+    /// meta, latency histograms, and wall-clock intervals unchanged.
+    ///
+    /// # Panics
+    /// Panics if no span is open or any grafted span is still open.
+    pub fn graft(&mut self, worker: usize, enter_offset: Snapshot, spans: Vec<SpanRecord>) {
+        let top = *self.stack.last().expect("graft requires an open span");
+        let base = self.spans.len();
+        let depth_base = self.stack.len();
+        for mut s in spans {
+            assert!(s.closed, "graft of an open span");
+            if s.parent.is_none() {
+                s.meta.push(("worker".to_string(), worker.to_string()));
+            }
+            s.parent = match s.parent {
+                Some(p) => Some(base + p),
+                None => Some(top),
+            };
+            s.depth += depth_base;
+            s.enter = s.enter + enter_offset;
+            self.spans.push(s);
         }
     }
 
@@ -314,6 +364,52 @@ mod tests {
         assert_eq!(spans[0].meta[0], ("tuples".to_string(), "42".to_string()));
         // NativeModel snapshots are zero, so the delta is zero.
         assert_eq!(spans[0].delta, Snapshot::default());
+    }
+
+    #[test]
+    fn graft_rebases_ids_depths_and_offsets() {
+        // Worker recorder: two top-level spans, one nested child.
+        let mut w = Recorder::new();
+        let a = w.begin("pair", snap(0, 0));
+        let b = w.begin("build", snap(1, 0));
+        w.end(b, snap(5, 2));
+        w.end(a, snap(9, 3));
+        let c = w.begin("pair", snap(9, 3));
+        w.end(c, snap(12, 4));
+        let worker_spans = w.finish();
+
+        let mut main = Recorder::new();
+        let run = main.begin("run", snap(0, 0));
+        let phase = main.begin("join_pass", snap(100, 7));
+        main.graft(3, snap(100, 7), worker_spans);
+        main.end(phase, snap(112, 11));
+        main.end(run, snap(112, 11));
+        let spans = main.finish();
+        // Layout: 0 run, 1 join_pass, 2 pair, 3 build, 4 pair.
+        assert_eq!(spans[2].parent, Some(1));
+        assert_eq!(spans[3].parent, Some(2), "nested child follows its root");
+        assert_eq!(spans[4].parent, Some(1));
+        assert_eq!(spans[2].depth, 2);
+        assert_eq!(spans[3].depth, 3);
+        // Grafted roots are worker-tagged; nested children are not.
+        let worker_of = |s: &SpanRecord| {
+            s.meta.iter().find(|(k, _)| k == "worker").map(|(_, v)| v.clone())
+        };
+        assert_eq!(worker_of(&spans[2]).as_deref(), Some("3"));
+        assert_eq!(worker_of(&spans[3]), None);
+        assert_eq!(worker_of(&spans[4]).as_deref(), Some("3"));
+        // Entry snapshots shift to the run axis; deltas are untouched.
+        assert_eq!(spans[2].enter.breakdown.busy, 100);
+        assert_eq!(spans[4].enter.breakdown.busy, 109);
+        assert_eq!(spans[2].delta.breakdown.busy, 9);
+        assert_eq!(spans[3].delta.stats.prefetches, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an open span")]
+    fn graft_without_open_span_panics() {
+        let mut r = Recorder::new();
+        r.graft(0, Snapshot::default(), Vec::new());
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! `chrome://tracing` / Perfetto export.
 //!
 //! Emits the Trace Event Format's JSON object form: a `traceEvents`
-//! array of `"ph": "X"` (complete) events, one per recorded span, on a
-//! single process/thread track. Load the file at <https://ui.perfetto.dev>
+//! array of `"ph": "X"` (complete) events, one per recorded span. Spans
+//! from a sequential run share one thread track; spans grafted from a
+//! parallel worker (tagged with a `worker` meta, see
+//! [`Recorder::graft`](crate::Recorder::graft)) — and their whole
+//! subtrees — draw on a per-worker track instead, so parallel phases
+//! render as stacked lanes. Load the file at <https://ui.perfetto.dev>
 //! or `chrome://tracing` to see the phase hierarchy on a timeline.
 //!
 //! Timebase: the trace format counts microseconds. Simulated runs map
@@ -27,9 +31,46 @@ pub fn trace_json(report: &RunReport) -> Json {
             Json::obj(vec![("name", Json::Str(format!("phj {}", report.command)))]),
         ),
     ]));
+    // Each span's thread track: a span carrying a `worker` meta (and its
+    // whole subtree, via parent inheritance) lands on that worker's lane
+    // (tid 2 + worker); everything else stays on the main track (tid 1).
+    let mut tids = vec![1u64; report.spans.len()];
+    let mut workers: Vec<u64> = Vec::new();
+    for (i, s) in report.spans.iter().enumerate() {
+        let own = s
+            .meta
+            .iter()
+            .find(|(k, _)| k == "worker")
+            .and_then(|(_, v)| v.parse::<u64>().ok());
+        tids[i] = match own {
+            Some(w) => {
+                if !workers.contains(&w) {
+                    workers.push(w);
+                }
+                2 + w
+            }
+            None => s.parent.map_or(1, |p| tids[p]),
+        };
+    }
+    workers.sort_unstable();
+    let thread_name = |tid: u64, name: String| {
+        Json::obj(vec![
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::U64(1)),
+            ("tid", Json::U64(tid)),
+            ("name", Json::Str("thread_name".into())),
+            ("args", Json::obj(vec![("name", Json::Str(name))])),
+        ])
+    };
+    if !workers.is_empty() {
+        events.push(thread_name(1, "main".into()));
+        for &w in &workers {
+            events.push(thread_name(2 + w, format!("worker {w}")));
+        }
+    }
     // Simulated spans are placed by cycle counts (enter/exit snapshots);
     // native spans by wall clock.
-    for s in &report.spans {
+    for (i, s) in report.spans.iter().enumerate() {
         let (ts, dur) = if report.simulated {
             (
                 Json::U64(s.enter.breakdown.total()),
@@ -55,7 +96,7 @@ pub fn trace_json(report: &RunReport) -> Json {
         events.push(Json::obj(vec![
             ("ph", Json::Str("X".into())),
             ("pid", Json::U64(1)),
-            ("tid", Json::U64(1)),
+            ("tid", Json::U64(tids[i])),
             ("name", Json::Str(s.name.clone())),
             ("cat", Json::Str(if report.simulated { "sim" } else { "native" }.into())),
             ("ts", ts),
@@ -201,6 +242,55 @@ mod tests {
         assert_eq!(args.get("hash_cells").and_then(Json::as_u64), Some(7));
         // Zero-valued regions are left off the track entirely.
         assert!(args.get("other").is_none());
+    }
+
+    #[test]
+    fn worker_spans_get_their_own_thread_tracks() {
+        let mut r = sim_report();
+        // Tag "build" as worker 2's root; "probe" (its sibling) stays on
+        // the main track. A child of "build" must inherit the lane.
+        r.spans[1].meta.push(("worker".into(), "2".into()));
+        let mut child = r.spans[2].clone();
+        child.parent = Some(1);
+        child.depth = 2;
+        r.spans.push(child);
+        let doc = trace_json(&r);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let tid_of = |name: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+                .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                .unwrap()
+                .get("tid")
+                .and_then(Json::as_u64)
+                .unwrap()
+        };
+        assert_eq!(tid_of("run"), 1);
+        assert_eq!(tid_of("build"), 4); // 2 + worker 2
+        assert_eq!(tid_of("probe"), 1);
+        // The appended child (a second "probe" record) inherits tid 4 —
+        // check it directly by position: metadata events precede spans.
+        let span_events: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(span_events.last().unwrap().get("tid").and_then(Json::as_u64), Some(4));
+        // Thread-name metadata names both lanes.
+        let names: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(Json::as_str) == Some("thread_name")
+            })
+            .map(|e| {
+                (
+                    e.get("tid").and_then(Json::as_u64).unwrap(),
+                    e.get("args").unwrap().get("name").and_then(Json::as_str).unwrap().to_string(),
+                )
+            })
+            .collect();
+        assert!(names.contains(&(1, "main".to_string())));
+        assert!(names.contains(&(4, "worker 2".to_string())));
     }
 
     #[test]

@@ -145,6 +145,25 @@ impl Relation {
         self.pages.push(page);
     }
 
+    /// Move every page of `other` onto the end of this relation.
+    ///
+    /// Used by the parallel partition phase to concatenate per-worker
+    /// partition buffers at the barrier: pages are *moved*, not cloned, so
+    /// absorbing is O(pages) pointer work and the tuples keep their buffer
+    /// addresses (any registered memory-model regions stay valid).
+    ///
+    /// # Panics
+    /// Panics if the schemas differ.
+    pub fn absorb(&mut self, other: Relation) {
+        assert_eq!(
+            self.schema, other.schema,
+            "absorb requires identical schemas"
+        );
+        self.tuples += other.tuples;
+        self.bytes += other.bytes;
+        self.pages.extend(other.pages);
+    }
+
     /// Tuple bytes behind a reference.
     #[inline]
     pub fn tuple(&self, r: TupleRef) -> &[u8] {

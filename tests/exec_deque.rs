@@ -1,0 +1,171 @@
+//! Work-stealing deque correctness:
+//!
+//! * a property test checks push/pop/steal against a reference
+//!   double-ended queue under arbitrary (randomized) single-stealer
+//!   interleavings — pop must be LIFO, steal FIFO, and a full ring must
+//!   refuse pushes rather than overwrite;
+//! * seeded two-thread race tests hammer the owner-pop vs. thief-steal
+//!   window (including the last-element CAS race) and require every task
+//!   to be claimed exactly once, across many jittered schedules.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use phj_exec::deque::{Steal, WorkDeque};
+
+const CAP: usize = 16; // power of two: with_capacity keeps it exact
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Owner ops (push/pop) interleaved with stealer ops (steal) in an
+    // arbitrary order behave exactly like a bounded VecDeque: push at
+    // the back, pop from the back, steal from the front.
+    #[test]
+    fn deque_matches_reference_model(ops in vec(0u8..3, 0..300)) {
+        let d = WorkDeque::with_capacity(CAP);
+        let mut model: VecDeque<usize> = VecDeque::new();
+        let mut next = 0usize;
+        for op in ops {
+            match op {
+                0 => {
+                    let res = d.push(next);
+                    if model.len() < CAP {
+                        prop_assert_eq!(res, Ok(()));
+                        model.push_back(next);
+                    } else {
+                        prop_assert_eq!(res, Err(next));
+                    }
+                    next += 1;
+                }
+                1 => prop_assert_eq!(d.pop(), model.pop_back()),
+                _ => {
+                    let got = match d.steal() {
+                        Steal::Task(t) => Some(t),
+                        Steal::Empty => None,
+                        // No concurrent claimant exists in this test.
+                        Steal::Retry => panic!("spurious Retry without a stealer race"),
+                    };
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+            prop_assert_eq!(d.len(), model.len());
+            prop_assert_eq!(d.is_empty(), model.is_empty());
+        }
+    }
+}
+
+/// Owner pops while a thief steals, under several jittered schedules:
+/// the union of their claims must be every task exactly once, however
+/// the last-element race resolves.
+#[test]
+fn two_thread_steal_race_claims_each_task_once() {
+    for seed in 0..24u64 {
+        let n = 256usize;
+        let d = WorkDeque::with_capacity(n);
+        for i in 0..n {
+            d.push(i).unwrap();
+        }
+        let (stolen, popped) = std::thread::scope(|s| {
+            let d = &d;
+            let thief = s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut got = Vec::new();
+                loop {
+                    match d.steal() {
+                        Steal::Task(t) => {
+                            got.push(t);
+                            for _ in 0..(rng.next_u64() % 8) {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => break,
+                    }
+                }
+                got
+            });
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD_EF01);
+            let mut got = Vec::new();
+            while let Some(t) = d.pop() {
+                got.push(t);
+                for _ in 0..(rng.next_u64() % 4) {
+                    std::hint::spin_loop();
+                }
+            }
+            (thief.join().unwrap(), got)
+        });
+        let mut all = stolen.clone();
+        all.extend(&popped);
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..n).collect::<Vec<_>>(),
+            "seed {seed}: stolen {} + popped {}",
+            stolen.len(),
+            popped.len()
+        );
+    }
+}
+
+/// The owner may keep pushing while a thief steals (the Chase–Lev
+/// guarantee the pool relies on for deques seeded below capacity).
+#[test]
+fn owner_push_during_steals_stays_exactly_once() {
+    for seed in 0..12u64 {
+        let total = 300usize;
+        let d = WorkDeque::with_capacity(512);
+        for i in 0..100 {
+            d.push(i).unwrap();
+        }
+        let done = AtomicBool::new(false);
+        let (stolen, popped) = std::thread::scope(|s| {
+            let (d, done) = (&d, &done);
+            let thief = s.spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match d.steal() {
+                        Steal::Task(t) => got.push(t),
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                got
+            });
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut got = Vec::new();
+            // Push the rest in bursts, popping a little in between.
+            let mut next = 100usize;
+            while next < total {
+                let burst = (rng.next_u64() % 40 + 1) as usize;
+                for _ in 0..burst.min(total - next) {
+                    d.push(next).unwrap();
+                    next += 1;
+                }
+                for _ in 0..(rng.next_u64() % 10) {
+                    if let Some(t) = d.pop() {
+                        got.push(t);
+                    }
+                }
+            }
+            while let Some(t) = d.pop() {
+                got.push(t);
+            }
+            done.store(true, Ordering::SeqCst);
+            (thief.join().unwrap(), got)
+        });
+        let mut all = stolen;
+        all.extend(&popped);
+        all.sort_unstable();
+        assert_eq!(all, (0..total).collect::<Vec<_>>(), "seed {seed}");
+    }
+}
