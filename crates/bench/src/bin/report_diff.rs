@@ -51,6 +51,45 @@ fn describe(label: &str, r: &RunReport) {
             r.totals.breakdown.dtlb_stall,
         );
     }
+    if let Some(f) = &r.faults {
+        println!(
+            "  faults: injected={} read_retries={} write_retries={} slow_stall_us={} degradation_events={}",
+            f.faults_injected,
+            f.read_retries,
+            f.write_retries,
+            f.slow_stall_us,
+            f.degradation.len()
+        );
+    }
+}
+
+/// How the two reports' fault sections relate, as a printable note.
+/// Retry/stall counters are resilience diagnostics, not costs — they are
+/// surfaced but never turn the verdict. `None` when neither run carries
+/// a section.
+fn fault_note(old: &RunReport, new: &RunReport) -> Option<String> {
+    match (&old.faults, &new.faults) {
+        (None, None) => None,
+        (Some(o), Some(n)) => Some(format!(
+            "  faults: injected {} -> {}, retries {} -> {}, degradation events {} -> {}",
+            o.faults_injected,
+            n.faults_injected,
+            o.read_retries + o.write_retries,
+            n.read_retries + n.write_retries,
+            o.degradation.len(),
+            n.degradation.len()
+        )),
+        (None, Some(n)) => Some(format!(
+            "note: only the new run carries a fault section (injected={}, retries={}, degradation events={}); informational, not a regression",
+            n.faults_injected,
+            n.read_retries + n.write_retries,
+            n.degradation.len()
+        )),
+        (Some(o), None) => Some(format!(
+            "note: only the old run carries a fault section (injected={}); the new run injected no faults",
+            o.faults_injected
+        )),
+    }
 }
 
 /// The headline cost of a run: simulated cycles when available, wall-clock
@@ -164,6 +203,9 @@ fn compare(old: &RunReport, new: &RunReport, tolerance_pct: f64) -> ExitCode {
     };
     println!("delta: {delta_pct:+.2}% total {unit} (tolerance {tolerance_pct:.2}%)");
     print_span_diff(&span_diff(old, new));
+    if let Some(note) = fault_note(old, new) {
+        println!("{note}");
+    }
     if old.simulated && new.simulated {
         println!(
             "  coverage {:.3} -> {:.3}, pollution {:.3} -> {:.3}",
@@ -335,5 +377,59 @@ mod tests {
         let old = report(0, 10_000);
         let new = report(0, 12_000);
         assert!(matches!(verdict(&old, &new, 5.0).unwrap(), Verdict::Regression { delta_pct } if (delta_pct - 20.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn fault_sections_are_noted_but_never_turn_the_verdict() {
+        use phj_obs::FaultsSection;
+        let plain = report(1_000, 0);
+        let mut faulty = report(1_000, 0);
+        faulty.faults = Some(FaultsSection {
+            faults_injected: 12,
+            read_retries: 8,
+            write_retries: 1,
+            slow_stall_us: 300,
+            degradation: Vec::new(),
+        });
+        // No sections: nothing to say.
+        assert_eq!(fault_note(&plain, &plain), None);
+        // Asymmetric sections get an informational note, either way round.
+        let note = fault_note(&plain, &faulty).expect("new-only note");
+        assert!(note.contains("only the new run"), "{note}");
+        assert!(note.contains("injected=12"), "{note}");
+        let note = fault_note(&faulty, &plain).expect("old-only note");
+        assert!(note.contains("only the old run"), "{note}");
+        // Symmetric sections diff the counters.
+        let note = fault_note(&faulty, &faulty).expect("both note");
+        assert!(note.contains("12 -> 12"), "{note}");
+        assert!(note.contains("retries 9 -> 9"), "{note}");
+        // And none of this sways the cost verdict.
+        assert!(matches!(verdict(&plain, &faulty, 0.0).unwrap(), Verdict::Ok { .. }));
+    }
+
+    #[test]
+    fn faulty_reports_load_like_any_other() {
+        use phj_obs::{DegradationRow, FaultsSection};
+        let mut r = report_with_spans(&[("run", 1_000)]);
+        r.faults = Some(FaultsSection {
+            faults_injected: 2,
+            read_retries: 1,
+            write_retries: 0,
+            slow_stall_us: 0,
+            degradation: vec![DegradationRow {
+                partition: "0".into(),
+                depth: 0,
+                bytes: 65_536,
+                budget: 32_768,
+                action: "repartition".into(),
+                detail: 2,
+            }],
+        });
+        // Guard the --check path: render → parse → validate still holds
+        // for a report carrying the fault section.
+        let text = r.render();
+        let back = RunReport::parse(&text).expect("parse");
+        assert_eq!(back.faults, r.faults);
+        back.validate().expect("report with faults validates");
     }
 }

@@ -76,12 +76,17 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            // Runtime failures (I/O faults, corruption, overflow) get the
+            // rendered error chain only; usage is for argument mistakes.
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
@@ -99,7 +104,8 @@ USAGE:
   phj agg    [--rows N] [--keys K] [--scheme S] [--g G] [--d D] [--sim]
              [--threads N] [--profile-regions] [--heatmap]
              [--json PATH] [--trace-out PATH]
-  phj disk   [--build-mb N] [--mem-mb N] [--stripes S] [--dir PATH]
+  phj disk   [--build-mb N] [--mem-mb N] [--mem-budget BYTES] [--stripes S]
+             [--dir PATH] [--fault-plan SPEC] [--max-depth D] [--json PATH]
   phj tune   [--build-mb N] [--tuple-size B] [--profile-regions] [--heatmap]
              [--json PATH] [--trace-out PATH]
   phj params [--tuple-size B]
@@ -664,11 +670,40 @@ fn agg_parallel(
     Ok(())
 }
 
+/// Render a disk error with its full cause chain, one `caused by` line
+/// per link — the CLI's nonzero-exit diagnostic for I/O and corruption.
+fn render_chain(e: &phj_disk::PhjError) -> String {
+    use std::error::Error;
+    let mut s = e.to_string();
+    let mut src = e.source();
+    while let Some(c) = src {
+        s.push_str("\n  caused by: ");
+        s.push_str(&c.to_string());
+        src = c.source();
+    }
+    s
+}
+
 fn cmd_disk(args: &Args) -> Result<(), String> {
-    args.allow(&["build-mb", "mem-mb", "stripes", "dir"])?;
+    args.allow(&[
+        "build-mb", "mem-mb", "mem-budget", "stripes", "dir", "fault-plan", "max-depth",
+        "json", "trace-out",
+    ])?;
     let build_mb = args.get_usize("build-mb", 16)?;
     let mem_mb = args.get_usize("mem-mb", build_mb.div_ceil(4).max(1))?;
+    // --mem-budget takes the budget in bytes (wins over --mem-mb), so
+    // degradation can be forced below one megabyte.
+    let mem_budget = match args.get_usize("mem-budget", 0)? {
+        0 => mem_mb << 20,
+        bytes => bytes,
+    };
     let stripes = args.get_usize("stripes", 6)?.max(1);
+    let max_depth = args.get_usize("max-depth", 2)? as u32;
+    let fault = match args.get_str("fault-plan", "").as_str() {
+        "" => phj_disk::FaultPlan::disabled(),
+        spec => phj_disk::FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?,
+    };
+    let retry = phj_disk::RetryPolicy::default();
     let dir = match args.get_str("dir", "").as_str() {
         "" => std::env::temp_dir().join(format!("phj-cli-disk-{}", std::process::id())),
         d => std::path::PathBuf::from(d),
@@ -683,21 +718,34 @@ fn cmd_disk(args: &Args) -> Result<(), String> {
     };
     let gen = spec.generate();
     println!(
-        "on-disk GRACE: {} MB build x {} MB probe across {stripes} stripe files under {}",
+        "on-disk GRACE: {} MB build x {} MB probe across {stripes} stripe files under {}{}",
         build_mb,
         2 * build_mb,
-        dir.display()
+        dir.display(),
+        if fault.is_active() { " (fault plan active)" } else { "" }
     );
-    let fb = phj_disk::FileRelation::create(&dir, "build", &gen.build, stripes, 32)
-        .map_err(|e| e.to_string())?;
-    let fp = phj_disk::FileRelation::create(&dir, "probe", &gen.probe, stripes, 32)
-        .map_err(|e| e.to_string())?;
+    let mut fb = phj_disk::FileRelation::create(&dir, "build", &gen.build, stripes, 32)
+        .map_err(|e| render_chain(&e))?;
+    let mut fp = phj_disk::FileRelation::create(&dir, "probe", &gen.probe, stripes, 32)
+        .map_err(|e| render_chain(&e))?;
+    // Inputs are written clean, then all subsequent I/O runs under the plan.
+    fb.set_faults(fault.clone(), retry);
+    fp.set_faults(fault.clone(), retry);
     let cfg = phj_disk::DiskGraceConfig {
-        mem_budget: mem_mb << 20,
+        mem_budget,
         num_stripes: stripes,
+        fault: fault.clone(),
+        retry,
+        max_repartition_depth: max_depth,
         ..phj_disk::DiskGraceConfig::new(&dir)
     };
-    let report = phj_disk::grace_join_files(&cfg, &fb, &fp).map_err(|e| e.to_string())?;
+    let obs_out = ObsOut::from_args(args);
+    let mut recorder = obs_out.recorder();
+    let root = recorder.as_mut().map(|r| r.begin("run", NativeModel.snapshot()));
+    let t0 = Instant::now();
+    let report = phj_disk::grace_join_files_rec(&cfg, &fb, &fp, recorder.as_mut())
+        .map_err(|e| render_chain(&e))?;
+    let wall_ns = t0.elapsed().as_nanos() as u64;
     if report.matches != gen.expected_matches {
         return Err(format!(
             "wrong match count: {} vs {}",
@@ -713,6 +761,60 @@ fn cmd_disk(args: &Args) -> Result<(), String> {
         report.matches,
         report.output.num_pages()
     );
+    println!("result checksum: {:#018x}", report.checksum);
+    for e in &report.degradation {
+        println!("degraded: {e}");
+    }
+    if fault.is_active() || report.read_retries + report.write_retries > 0 {
+        println!(
+            "faults: injected={} read_retries={} write_retries={} slow_stall_us={}",
+            report.faults_injected, report.read_retries, report.write_retries,
+            report.slow_stall_us
+        );
+    }
+    if let Some(mut rec) = recorder {
+        if let Some(root) = root {
+            rec.end(root, NativeModel.snapshot());
+        }
+        let mut run = RunReport::from_recorder("disk", rec, NativeModel.snapshot(), wall_ns);
+        run.tuples = fb.num_tuples() + fp.num_tuples();
+        run.matches = report.matches;
+        run.config_kv("mem_budget", cfg.mem_budget);
+        run.config_kv("stripes", stripes);
+        run.config_kv("max_depth", max_depth);
+        run.config_kv("checksum", format!("{:#018x}", report.checksum));
+        if fault.is_active() {
+            run.config_kv("fault_seed", fault.seed);
+        }
+        if fault.is_active() || !report.degradation.is_empty() {
+            run.faults = Some(phj_obs::FaultsSection {
+                faults_injected: report.faults_injected,
+                read_retries: report.read_retries,
+                write_retries: report.write_retries,
+                slow_stall_us: report.slow_stall_us,
+                degradation: report
+                    .degradation
+                    .iter()
+                    .map(|e| phj_obs::DegradationRow {
+                        partition: e.partition.clone(),
+                        depth: e.depth as u64,
+                        bytes: e.bytes,
+                        budget: e.budget,
+                        action: match e.kind {
+                            phj_disk::DegradationKind::Repartition { .. } => "repartition",
+                            phj_disk::DegradationKind::NljFallback { .. } => "nlj_fallback",
+                        }
+                        .to_string(),
+                        detail: match e.kind {
+                            phj_disk::DegradationKind::Repartition { fanout, .. } => fanout as u64,
+                            phj_disk::DegradationKind::NljFallback { chunks } => chunks as u64,
+                        },
+                    })
+                    .collect(),
+            });
+        }
+        obs_out.write(&run)?;
+    }
     std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }

@@ -341,7 +341,8 @@ impl OutputBuffers {
     /// commit will write, or `None` when the buffer page is full.
     pub(crate) fn try_reserve(&mut self, p: usize, len: usize) -> Option<(usize, usize)> {
         let pb = &mut self.parts[p];
-        let free = pb.reserved_data as usize - (4 + 8 * pb.reserved_slots as usize);
+        let free = pb.reserved_data as usize
+            - (phj_storage::PAGE_HEADER_BYTES + 8 * pb.reserved_slots as usize);
         if free < len + 8 {
             return None;
         }
@@ -537,7 +538,7 @@ mod tests {
         while out.try_reserve(0, 2000).is_some() {
             n += 1;
         }
-        // 8188 / 2008 = 4 reservations per 8 KB page.
+        // 8184 / 2008 = 4 reservations per 8 KB page.
         assert_eq!(n, 4);
     }
 

@@ -1,6 +1,7 @@
 //! GRACE hash join over file relations — the disk-oriented execution the
-//! paper's real-machine experiments run (§7.2), with real files and real
-//! background I/O threads.
+//! paper's real-machine experiments run (§7.2), with real files, real
+//! background I/O threads, and a graceful-degradation ladder for when the
+//! memory-budget estimate turns out wrong.
 //!
 //! The partition phase streams each input relation through a
 //! [`crate::SequentialReader`] (background read-ahead), routes tuples into
@@ -9,18 +10,45 @@
 //! pages belong to which partition. The join phase loads each partition
 //! pair back into memory and runs any in-memory join scheme; output
 //! pages stream to disk through another background writer.
+//!
+//! **Degradation ladder.** A build partition larger than the memory
+//! budget (skew, or an under-estimated partition count) does not abort
+//! and does not silently thrash:
+//!
+//! 1. *Recursive repartition* — the oversized partition is re-partitioned
+//!    on disk with a different hash seed ([`phj::hash::hash_key_seeded`]),
+//!    up to [`DiskGraceConfig::max_repartition_depth`] levels deep. The
+//!    sub-spill pages keep the original seed-0 stashed hash codes, so the
+//!    join phase's stored-hash optimization stays correct.
+//! 2. *Block nested-loop fallback* — when repartitioning stops helping
+//!    (all tuples share one key) or the depth bound is hit, the partition
+//!    is joined in build chunks of at most the memory budget, streaming
+//!    the probe side past each chunk.
+//! 3. *Typed failure* — with the fallback disabled, the join returns
+//!    [`PhjError::PartitionOverflow`] instead of a wrong answer.
+//!
+//! Every step is recorded as a [`DegradationEvent`] in the report, and
+//! the report carries an order-insensitive result checksum so a degraded
+//! run can be verified against a fault-free one without loading the
+//! output.
 
-use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::time::Instant;
 
-use phj::join::{join_pair, JoinParams, JoinScheme};
-use phj::sink::JoinSink;
+use phj::join::{dispatch_build, dispatch_probe, join_pair, JoinParams, JoinScheme};
+use phj::sink::{CountSink, JoinSink};
+use phj::table::HashTable;
 use phj::{hash, plan};
-use phj_memsim::MemoryModel;
-use phj_storage::{tuple::key_bytes_of, tuple::materialize_join_output, Page, Relation, Schema, PAGE_SIZE};
+use phj_memsim::{MemoryModel, NativeModel};
+use phj_obs::{self as obs, Recorder};
+use phj_storage::{
+    tuple::key_bytes_of, tuple::materialize_join_output, Page, Relation, Schema, PAGE_SIZE,
+};
 
+use crate::error::{PhjError, Result};
+use crate::fault::{FaultPlan, RetryPolicy};
 use crate::stripe::StripeSet;
 use crate::writer::BackgroundWriter;
 use crate::FileRelation;
@@ -42,6 +70,19 @@ pub struct DiskGraceConfig {
     pub join_scheme: JoinScheme,
     /// Working directory for spill and output files.
     pub dir: PathBuf,
+    /// Fault plan injected into every spill/output stripe set (the
+    /// *input* relations carry their own plan; see
+    /// [`FileRelation::set_faults`]). Disabled by default.
+    pub fault: FaultPlan,
+    /// Retry policy for every page read/write.
+    pub retry: RetryPolicy,
+    /// How many levels of recursive reseeded repartitioning to try for
+    /// an oversized build partition before falling back.
+    pub max_repartition_depth: u32,
+    /// Whether to fall back to a streaming block nested-loop join when
+    /// repartitioning cannot shrink a partition under the budget. With
+    /// this off, such a partition is a [`PhjError::PartitionOverflow`].
+    pub nlj_fallback: bool,
 }
 
 impl DiskGraceConfig {
@@ -55,15 +96,71 @@ impl DiskGraceConfig {
             write_window: 256,
             join_scheme: JoinScheme::Group { g: 16 },
             dir: dir.to_path_buf(),
+            fault: FaultPlan::disabled(),
+            retry: RetryPolicy::default(),
+            max_repartition_depth: 2,
+            nlj_fallback: true,
+        }
+    }
+}
+
+/// One degradation step taken for an oversized build partition.
+#[derive(Debug, Clone)]
+pub struct DegradationEvent {
+    /// Hierarchical partition label: `"3"` at the top level, `"3.1"` for
+    /// sub-partition 1 of a depth-1 repartition of partition 3, …
+    pub partition: String,
+    /// Repartition depth at which the step was taken (0 = top level).
+    pub depth: u32,
+    /// Size of the oversized build partition in bytes (whole pages).
+    pub bytes: u64,
+    /// The memory budget it failed to fit.
+    pub budget: u64,
+    /// What the engine did about it.
+    pub kind: DegradationKind,
+}
+
+/// What the degradation ladder did at one step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradationKind {
+    /// Re-partitioned on disk with a fresh hash seed into `fanout`
+    /// sub-partitions.
+    Repartition {
+        /// Number of sub-partitions.
+        fanout: usize,
+        /// Hash seed used for the re-partitioning.
+        seed: u32,
+    },
+    /// Joined via streaming block nested-loop in `chunks` build chunks.
+    NljFallback {
+        /// Number of build chunks (each at most the memory budget).
+        chunks: usize,
+    },
+}
+
+impl std::fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            DegradationKind::Repartition { fanout, seed } => write!(
+                f,
+                "partition {} ({} B > budget {} B): repartitioned x{fanout} with seed {seed} at depth {}",
+                self.partition, self.bytes, self.budget, self.depth
+            ),
+            DegradationKind::NljFallback { chunks } => write!(
+                f,
+                "partition {} ({} B > budget {} B): block nested-loop fallback in {chunks} chunk(s) at depth {}",
+                self.partition, self.bytes, self.budget, self.depth
+            ),
         }
     }
 }
 
 /// Timing and outcome of an on-disk GRACE run.
+#[derive(Debug)]
 pub struct DiskGraceReport {
     /// The join output, on disk.
     pub output: FileRelation,
-    /// Number of partitions.
+    /// Number of top-level partitions.
     pub num_partitions: usize,
     /// Wall-clock seconds for the partition phase.
     pub partition_s: f64,
@@ -74,6 +171,21 @@ pub struct DiskGraceReport {
     pub input_stall_s: f64,
     /// Matches produced.
     pub matches: u64,
+    /// Order-insensitive checksum over the emitted (build, probe) pairs —
+    /// equal joins produce equal checksums regardless of partition
+    /// order, degradation path, or faults survived along the way.
+    pub checksum: u64,
+    /// Degradation steps taken for oversized partitions (empty on a
+    /// well-budgeted run).
+    pub degradation: Vec<DegradationEvent>,
+    /// Read attempts repeated after retryable failures.
+    pub read_retries: u64,
+    /// Write attempts repeated after retryable failures.
+    pub write_retries: u64,
+    /// Faults injected by the run's fault plans (input + spill/output).
+    pub faults_injected: u64,
+    /// Microseconds of injected slow-disk stall.
+    pub slow_stall_us: u64,
 }
 
 /// One relation partitioned into a spill file: which spill pages belong
@@ -84,6 +196,67 @@ struct Spilled {
     part_tuples: Vec<u64>,
 }
 
+/// Routes tuples into per-partition buffer pages and spills sealed full
+/// pages through a background writer — shared by the top-level partition
+/// phase and recursive repartitioning.
+struct SpillBuilder {
+    stripes: StripeSet,
+    writer: BackgroundWriter,
+    bufs: Vec<Page>,
+    part_pages: Vec<Vec<u64>>,
+    part_tuples: Vec<u64>,
+    next_page: u64,
+}
+
+impl SpillBuilder {
+    fn new(cfg: &DiskGraceConfig, name: &str, p: usize) -> Result<SpillBuilder> {
+        let stripes = StripeSet::create(&cfg.dir, name, cfg.num_stripes, cfg.stripe_pages)
+            .map_err(|e| PhjError::io(cfg.dir.join(name), e))?
+            .with_faults(cfg.fault.clone(), cfg.retry);
+        let writer = BackgroundWriter::start(stripes.clone(), cfg.write_window);
+        Ok(SpillBuilder {
+            stripes,
+            writer,
+            bufs: (0..p).map(|_| Page::new()).collect(),
+            part_pages: vec![Vec::new(); p],
+            part_tuples: vec![0; p],
+            next_page: 0,
+        })
+    }
+
+    /// Append `tuple` to partition `part`, stashing `hash` in its slot.
+    fn push(&mut self, part: usize, tuple: &[u8], hash: u32) -> Result<()> {
+        if !self.bufs[part].fits(tuple.len()) {
+            self.part_pages[part].push(self.next_page);
+            self.writer.write(self.next_page, self.bufs[part].sealed_image())?;
+            self.next_page += 1;
+            self.bufs[part].reset();
+        }
+        self.bufs[part]
+            .insert(tuple, hash)
+            .ok_or(PhjError::TupleTooLarge { bytes: tuple.len() })?;
+        self.part_tuples[part] += 1;
+        Ok(())
+    }
+
+    /// Flush partial buffer pages and stop the writer.
+    fn finish(mut self) -> Result<Spilled> {
+        for (part, buf) in self.bufs.iter().enumerate() {
+            if buf.nslots() > 0 {
+                self.part_pages[part].push(self.next_page);
+                self.writer.write(self.next_page, buf.sealed_image())?;
+                self.next_page += 1;
+            }
+        }
+        self.writer.finish()?;
+        Ok(Spilled {
+            stripes: self.stripes,
+            part_pages: self.part_pages,
+            part_tuples: self.part_tuples,
+        })
+    }
+}
+
 /// Partition a file relation into `p` partitions within a fresh spill
 /// file. Returns the spill map and the reader's stall time.
 fn partition_to_spill(
@@ -91,56 +264,60 @@ fn partition_to_spill(
     input: &FileRelation,
     name: &str,
     p: usize,
-) -> io::Result<(Spilled, f64)> {
-    let stripes = StripeSet::create(&cfg.dir, name, cfg.num_stripes, cfg.stripe_pages)?;
-    let writer = BackgroundWriter::start(stripes.clone(), cfg.write_window);
-    let mut bufs: Vec<Page> = (0..p).map(|_| Page::new()).collect();
-    let mut part_pages: Vec<Vec<u64>> = vec![Vec::new(); p];
-    let mut part_tuples: Vec<u64> = vec![0; p];
-    let mut next_spill_page = 0u64;
+) -> Result<(Spilled, f64)> {
+    let mut sb = SpillBuilder::new(cfg, name, p)?;
     let schema = input.schema().clone();
     let mut scan = input.scan(cfg.read_ahead);
     while let Some(page) = scan.next_page()? {
         for (_, tuple, _) in page.iter() {
             let h = hash::hash_key(key_bytes_of(&schema, tuple));
-            let part = hash::partition_of(h, p);
-            if !bufs[part].fits(tuple.len()) {
-                part_pages[part].push(next_spill_page);
-                writer.write(next_spill_page, Box::new(*bufs[part].as_bytes()));
-                next_spill_page += 1;
-                bufs[part].reset();
-            }
-            bufs[part].insert(tuple, h).expect("fits after reset");
-            part_tuples[part] += 1;
+            sb.push(hash::partition_of(h, p), tuple, h)?;
         }
     }
-    for (part, buf) in bufs.iter().enumerate() {
-        if buf.nslots() > 0 {
-            part_pages[part].push(next_spill_page);
-            writer.write(next_spill_page, Box::new(*buf.as_bytes()));
-            next_spill_page += 1;
+    Ok((sb.finish()?, scan.stall_seconds()))
+}
+
+/// Re-partition one oversized partition of `parent` into `fanout`
+/// sub-partitions, routing by the `seed`-reseeded key hash. The stashed
+/// hash codes written to the sub-spill pages are the *original* seed-0
+/// codes, so the join phase's `use_stored_hash` bucketing stays valid.
+fn repartition_spill(
+    cfg: &DiskGraceConfig,
+    schema: &Schema,
+    parent: &Spilled,
+    part: usize,
+    name: &str,
+    fanout: usize,
+    seed: u32,
+) -> Result<Spilled> {
+    let mut sb = SpillBuilder::new(cfg, name, fanout)?;
+    for &pid in &parent.part_pages[part] {
+        let page = parent.stripes.read_page_verified(pid)?;
+        for (_, tuple, stash) in page.iter() {
+            let route = hash::hash_key_seeded(key_bytes_of(schema, tuple), seed);
+            sb.push(hash::partition_of(route, fanout), tuple, stash)?;
         }
     }
-    writer.finish()?;
-    Ok((Spilled { stripes, part_pages, part_tuples }, scan.stall_seconds()))
+    sb.finish()
 }
 
 /// Load one partition's pages from the spill file into memory, with a
-/// single background prefetch worker streaming the page list.
-fn load_partition(spill: &Spilled, part: usize, schema: &Schema, window: usize) -> io::Result<Relation> {
+/// single background prefetch worker streaming the page list. Pages
+/// arrive checksum-verified.
+fn load_partition(spill: &Spilled, part: usize, schema: &Schema, window: usize) -> Result<Relation> {
     let pages = &spill.part_pages[part];
     let mut rel = Relation::new(schema.clone());
     if pages.is_empty() {
         return Ok(rel);
     }
-    type Msg = io::Result<Box<[u8; PAGE_SIZE]>>;
+    type Msg = Result<Page>;
     let (tx, rx): (SyncSender<Msg>, Receiver<Msg>) =
         std::sync::mpsc::sync_channel(window.max(1));
     let stripes = spill.stripes.clone();
     let list = pages.clone();
     let worker = std::thread::spawn(move || {
         for pid in list {
-            let msg = stripes.read_page(pid);
+            let msg = stripes.read_page_verified(pid);
             let failed = msg.is_err();
             if tx.send(msg).is_err() || failed {
                 return;
@@ -149,10 +326,14 @@ fn load_partition(spill: &Spilled, part: usize, schema: &Schema, window: usize) 
     });
     let mut result = Ok(());
     for _ in 0..pages.len() {
-        match rx.recv().expect("prefetch worker vanished") {
-            Ok(image) => rel.push_page(Page::from_bytes(image)),
-            Err(e) => {
+        match rx.recv() {
+            Ok(Ok(page)) => rel.push_page(page),
+            Ok(Err(e)) => {
                 result = Err(e);
+                break;
+            }
+            Err(_) => {
+                result = Err(PhjError::WorkerLost { what: "partition prefetch" });
                 break;
             }
         }
@@ -162,7 +343,10 @@ fn load_partition(spill: &Spilled, part: usize, schema: &Schema, window: usize) 
     result.map(|()| rel)
 }
 
-/// Streams join output pages to disk as they fill.
+/// Streams join output pages to disk as they fill, keeping an
+/// order-insensitive checksum of the emitted pairs. Errors inside the
+/// sink (the `JoinSink` trait is infallible) stick and surface after the
+/// partition pair completes.
 struct DiskSink {
     build_schema: Schema,
     probe_schema: Schema,
@@ -170,26 +354,212 @@ struct DiskSink {
     page: Page,
     next_page: u64,
     buf: Vec<u8>,
-    matches: u64,
     tuples: u64,
+    count: CountSink,
+    error: Option<PhjError>,
 }
 
 impl JoinSink for DiskSink {
-    fn emit<M: MemoryModel>(&mut self, _mem: &mut M, build: &[u8], probe: &[u8]) {
+    fn emit<M: MemoryModel>(&mut self, mem: &mut M, build: &[u8], probe: &[u8]) {
+        if self.error.is_some() {
+            return;
+        }
+        self.count.emit(mem, build, probe);
         materialize_join_output(&self.build_schema, &self.probe_schema, build, probe, &mut self.buf);
         if !self.page.fits(self.buf.len()) {
-            self.writer.write(self.next_page, Box::new(*self.page.as_bytes()));
+            if self.page.nslots() == 0 {
+                self.error = Some(PhjError::TupleTooLarge { bytes: self.buf.len() });
+                return;
+            }
+            if let Err(e) = self.writer.write(self.next_page, self.page.sealed_image()) {
+                self.error = Some(e);
+                return;
+            }
             self.next_page += 1;
             self.page.reset();
         }
-        self.page.insert(&self.buf, 0).expect("output tuple fits a page");
-        self.matches += 1;
+        if self.page.insert(&self.buf, 0).is_none() {
+            self.error = Some(PhjError::TupleTooLarge { bytes: self.buf.len() });
+            return;
+        }
         self.tuples += 1;
     }
 
     fn matches(&self) -> u64 {
-        self.matches
+        self.count.matches()
     }
+}
+
+/// Mutable state threaded through the recursive join phase.
+struct Degrade {
+    events: Vec<DegradationEvent>,
+    /// Fresh names for recursive spill sets.
+    spill_counter: u64,
+}
+
+/// Join one (build, probe) partition pair, degrading as needed. `label`
+/// is the hierarchical partition name for diagnostics; `top_p` is the
+/// top-level partition count (kept as the bucket-coprimality modulus).
+#[allow(clippy::too_many_arguments)]
+fn join_partition_pair(
+    cfg: &DiskGraceConfig,
+    params: &JoinParams,
+    native: &mut NativeModel,
+    build_schema: &Schema,
+    probe_schema: &Schema,
+    bspill: &Spilled,
+    pspill: &Spilled,
+    part: usize,
+    label: String,
+    depth: u32,
+    top_p: usize,
+    sink: &mut DiskSink,
+    deg: &mut Degrade,
+    rec: &mut Option<&mut Recorder>,
+) -> Result<()> {
+    let bpages = bspill.part_pages[part].len();
+    let bytes = (bpages * PAGE_SIZE) as u64;
+    if bytes <= cfg.mem_budget as u64 {
+        let b = load_partition(bspill, part, build_schema, cfg.read_ahead)?;
+        let pr = load_partition(pspill, part, probe_schema, cfg.read_ahead)?;
+        debug_assert_eq!(b.num_tuples() as u64, bspill.part_tuples[part]);
+        debug_assert_eq!(pr.num_tuples() as u64, pspill.part_tuples[part]);
+        join_pair(native, params, &b, &pr, top_p, sink);
+        return Ok(());
+    }
+
+    // Oversized build partition: walk the degradation ladder.
+    if depth < cfg.max_repartition_depth {
+        let fanout = plan::num_partitions(bytes as usize, cfg.mem_budget).max(2);
+        let seed = depth + 1;
+        deg.spill_counter += 1;
+        let tag = deg.spill_counter;
+        let sub_b = repartition_spill(
+            cfg, build_schema, bspill, part, &format!("rp{tag}_b"), fanout, seed,
+        )?;
+        let max_sub = sub_b.part_pages.iter().map(Vec::len).max().unwrap_or(0);
+        if max_sub < bpages {
+            deg.events.push(DegradationEvent {
+                partition: label.clone(),
+                depth,
+                bytes,
+                budget: cfg.mem_budget as u64,
+                kind: DegradationKind::Repartition { fanout, seed },
+            });
+            let span = obs::span_begin(rec, native, "repartition");
+            obs::span_meta(rec, "partition", &label);
+            obs::span_meta(rec, "fanout", fanout);
+            let sub_p = repartition_spill(
+                cfg, probe_schema, pspill, part, &format!("rp{tag}_p"), fanout, seed,
+            )?;
+            let mut res = Ok(());
+            for sp in 0..fanout {
+                res = join_partition_pair(
+                    cfg,
+                    params,
+                    native,
+                    build_schema,
+                    probe_schema,
+                    &sub_b,
+                    &sub_p,
+                    sp,
+                    format!("{label}.{sp}"),
+                    depth + 1,
+                    top_p,
+                    sink,
+                    deg,
+                    rec,
+                );
+                if res.is_err() {
+                    break;
+                }
+            }
+            obs::span_end(rec, native, span);
+            cleanup_spill(&sub_b);
+            cleanup_spill(&sub_p);
+            return res;
+        }
+        // Repartitioning did not reduce the partition (one dominant key):
+        // drop the useless sub-spill and fall through to the next rung.
+        cleanup_spill(&sub_b);
+    }
+
+    if cfg.nlj_fallback {
+        let span = obs::span_begin(rec, native, "nlj_fallback");
+        obs::span_meta(rec, "partition", &label);
+        let chunks =
+            block_nlj(cfg, params, native, build_schema, probe_schema, bspill, pspill, part, top_p, sink)?;
+        obs::span_end(rec, native, span);
+        deg.events.push(DegradationEvent {
+            partition: label,
+            depth,
+            bytes,
+            budget: cfg.mem_budget as u64,
+            kind: DegradationKind::NljFallback { chunks },
+        });
+        return Ok(());
+    }
+
+    Err(PhjError::PartitionOverflow {
+        partition: part,
+        depth,
+        bytes,
+        budget: cfg.mem_budget as u64,
+    })
+}
+
+/// Remove a recursive sub-spill's files once its partitions are joined
+/// (best-effort; the working directory is the caller's to delete anyway).
+fn cleanup_spill(spill: &Spilled) {
+    for path in spill.stripes.paths() {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Streaming block nested-loop join over one oversized partition pair:
+/// the build side is processed in chunks of at most the memory budget;
+/// for each chunk, the probe side streams past in bounded batches. Joins
+/// any build partition in bounded memory at the cost of re-reading the
+/// probe partition once per chunk. Returns the number of build chunks.
+#[allow(clippy::too_many_arguments)]
+fn block_nlj(
+    cfg: &DiskGraceConfig,
+    params: &JoinParams,
+    native: &mut NativeModel,
+    build_schema: &Schema,
+    probe_schema: &Schema,
+    bspill: &Spilled,
+    pspill: &Spilled,
+    part: usize,
+    top_p: usize,
+    sink: &mut DiskSink,
+) -> Result<usize> {
+    let chunk_pages = (cfg.mem_budget / PAGE_SIZE).max(1);
+    let bpages = &bspill.part_pages[part];
+    let ppages = &pspill.part_pages[part];
+    let mut chunks = 0usize;
+    for bchunk in bpages.chunks(chunk_pages) {
+        let mut brel = Relation::new(build_schema.clone());
+        for &pid in bchunk {
+            brel.push_page(bspill.stripes.read_page_verified(pid)?);
+        }
+        chunks += 1;
+        if brel.num_tuples() == 0 {
+            continue;
+        }
+        let buckets = plan::hash_table_buckets(brel.num_tuples(), top_p);
+        let mut table = HashTable::new(buckets, brel.num_tuples());
+        dispatch_build(native, params, &mut table, &brel);
+        table.assert_quiescent();
+        for pbatch in ppages.chunks(chunk_pages) {
+            let mut prel = Relation::new(probe_schema.clone());
+            for &pid in pbatch {
+                prel.push_page(pspill.stripes.read_page_verified(pid)?);
+            }
+            dispatch_probe(native, params, &table, &brel, &prel, sink);
+        }
+    }
+    Ok(chunks)
 }
 
 /// Run the GRACE hash join over two file relations, writing the output
@@ -198,16 +568,34 @@ pub fn grace_join_files(
     cfg: &DiskGraceConfig,
     build: &FileRelation,
     probe: &FileRelation,
-) -> io::Result<DiskGraceReport> {
+) -> Result<DiskGraceReport> {
+    grace_join_files_rec(cfg, build, probe, None)
+}
+
+/// [`grace_join_files`] with an optional span recorder: the partition
+/// and join phases get top-level spans, and every degradation step
+/// (repartition, nested-loop fallback) gets its own nested span.
+pub fn grace_join_files_rec(
+    cfg: &DiskGraceConfig,
+    build: &FileRelation,
+    probe: &FileRelation,
+    mut rec: Option<&mut Recorder>,
+) -> Result<DiskGraceReport> {
     let p = plan::num_partitions(build.size_bytes() as usize, cfg.mem_budget).max(1);
+    let mut native = NativeModel;
 
     let t0 = Instant::now();
+    let span = obs::span_begin(&mut rec, &native, "partition");
+    obs::span_meta(&mut rec, "partitions", p);
     let (build_spill, bstall) = partition_to_spill(cfg, build, "build_spill", p)?;
     let (probe_spill, pstall) = partition_to_spill(cfg, probe, "probe_spill", p)?;
+    obs::span_end(&mut rec, &native, span);
     let partition_s = t0.elapsed().as_secs_f64();
 
     let out_schema = Schema::join_output(build.schema(), probe.schema());
-    let out_stripes = StripeSet::create(&cfg.dir, "out", cfg.num_stripes, cfg.stripe_pages)?;
+    let out_stripes = StripeSet::create(&cfg.dir, "out", cfg.num_stripes, cfg.stripe_pages)
+        .map_err(|e| PhjError::io(cfg.dir.join("out"), e))?
+        .with_faults(cfg.fault.clone(), cfg.retry);
     let mut sink = DiskSink {
         build_schema: build.schema().clone(),
         probe_schema: probe.schema().clone(),
@@ -215,29 +603,47 @@ pub fn grace_join_files(
         page: Page::new(),
         next_page: 0,
         buf: Vec::new(),
-        matches: 0,
         tuples: 0,
+        count: CountSink::new(),
+        error: None,
     };
     let t1 = Instant::now();
+    let span = obs::span_begin(&mut rec, &native, "join");
     let params = JoinParams { scheme: cfg.join_scheme, use_stored_hash: true };
-    let mut native = phj_memsim::NativeModel;
+    let mut deg = Degrade { events: Vec::new(), spill_counter: 0 };
     for part in 0..p {
-        let b = load_partition(&build_spill, part, build.schema(), cfg.read_ahead)?;
-        let pr = load_partition(&probe_spill, part, probe.schema(), cfg.read_ahead)?;
-        debug_assert_eq!(b.num_tuples() as u64, build_spill.part_tuples[part]);
-        debug_assert_eq!(pr.num_tuples() as u64, probe_spill.part_tuples[part]);
-        join_pair(&mut native, &params, &b, &pr, p, &mut sink);
+        join_partition_pair(
+            cfg,
+            &params,
+            &mut native,
+            build.schema(),
+            probe.schema(),
+            &build_spill,
+            &probe_spill,
+            part,
+            part.to_string(),
+            0,
+            p,
+            &mut sink,
+            &mut deg,
+            &mut rec,
+        )?;
+        if let Some(e) = sink.error.take() {
+            return Err(e);
+        }
     }
+    obs::span_end(&mut rec, &native, span);
     // Flush the output tail and stop the writer.
     if sink.page.nslots() > 0 {
-        sink.writer.write(sink.next_page, Box::new(*sink.page.as_bytes()));
+        sink.writer.write(sink.next_page, sink.page.sealed_image())?;
         sink.next_page += 1;
     }
-    let (matches, tuples, out_pages, writer) =
-        (sink.matches, sink.tuples, sink.next_page, sink.writer);
+    let (matches, tuples, out_pages, count, writer) =
+        (sink.matches(), sink.tuples, sink.next_page, sink.count, sink.writer);
     writer.finish()?;
     let join_s = t1.elapsed().as_secs_f64();
 
+    let stats = cfg.fault.stats();
     Ok(DiskGraceReport {
         output: FileRelation::from_parts(out_schema, out_stripes, out_pages, tuples),
         num_partitions: p,
@@ -245,6 +651,12 @@ pub fn grace_join_files(
         join_s,
         input_stall_s: bstall + pstall,
         matches,
+        checksum: count.checksum(),
+        degradation: deg.events,
+        read_retries: stats.read_retries.load(Ordering::Relaxed),
+        write_retries: stats.write_retries.load(Ordering::Relaxed),
+        faults_injected: stats.total_injected(),
+        slow_stall_us: stats.slow_stall_us.load(Ordering::Relaxed),
     })
 }
 
@@ -284,7 +696,9 @@ mod tests {
         assert!(report.num_partitions > 1);
         assert_eq!(report.matches, gen.expected_matches);
         assert_eq!(report.output.num_tuples(), gen.expected_matches);
-        // The in-memory engine agrees.
+        assert!(report.degradation.is_empty(), "{:?}", report.degradation);
+        // The in-memory engine agrees — on the count and on the
+        // order-insensitive pair checksum.
         let mut sink = CountSink::new();
         grace_join_with_sink(
             &mut NativeModel,
@@ -294,6 +708,7 @@ mod tests {
             &mut sink,
         );
         assert_eq!(sink.matches(), report.matches);
+        assert_eq!(sink.checksum(), report.checksum);
         // Output pages parse back and have the joined arity.
         let out = report.output.load().unwrap();
         assert_eq!(out.num_tuples() as u64, report.matches);
@@ -320,6 +735,7 @@ mod tests {
         let report = grace_join_files(&cfg, &fb, &fp).unwrap();
         assert_eq!(report.num_partitions, 1);
         assert_eq!(report.matches, 500);
+        assert!(report.degradation.is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -29,22 +29,29 @@
 //!   any of the in-memory schemes.
 
 pub mod catalog;
+pub mod error;
+pub mod fault;
 pub mod grace;
 pub mod reader;
 pub mod stripe;
 pub mod writer;
 
-use std::io;
 use std::path::{Path, PathBuf};
 
 use phj_storage::{Relation, Schema, PAGE_SIZE};
 
-pub use grace::{grace_join_files, DiskGraceConfig, DiskGraceReport};
+pub use error::{PhjError, Result};
+pub use fault::{Fault, FaultPlan, IoOp, IoStats, RetryPolicy};
+pub use grace::{
+    grace_join_files, grace_join_files_rec, DegradationEvent, DegradationKind, DiskGraceConfig,
+    DiskGraceReport,
+};
 pub use reader::SequentialReader;
 pub use stripe::StripeSet;
 pub use writer::BackgroundWriter;
 
 /// A relation stored on disk as striped page files.
+#[derive(Debug)]
 pub struct FileRelation {
     schema: Schema,
     stripes: StripeSet,
@@ -54,18 +61,20 @@ pub struct FileRelation {
 
 impl FileRelation {
     /// Write an in-memory relation out as a striped file relation under
-    /// `dir` (one file per stripe, named `<name>.N`).
+    /// `dir` (one file per stripe, named `<name>.N`). Pages are sealed
+    /// (header checksum stamped) on their way out.
     pub fn create(
         dir: &Path,
         name: &str,
         rel: &Relation,
         num_stripes: usize,
         stripe_pages: u64,
-    ) -> io::Result<FileRelation> {
-        let stripes = StripeSet::create(dir, name, num_stripes, stripe_pages)?;
+    ) -> Result<FileRelation> {
+        let stripes = StripeSet::create(dir, name, num_stripes, stripe_pages)
+            .map_err(|e| PhjError::io(dir.join(name), e))?;
         let writer = BackgroundWriter::start(stripes.clone(), 64);
         for (i, page) in rel.pages().iter().enumerate() {
-            writer.write(i as u64, Box::new(*page.as_bytes()));
+            writer.write(i as u64, page.sealed_image())?;
         }
         writer.finish()?;
         Ok(FileRelation {
@@ -76,6 +85,12 @@ impl FileRelation {
         })
     }
 
+    /// Attach a fault plan and retry policy to all subsequent I/O on this
+    /// relation (scans, loads, and any clone of its stripe set).
+    pub fn set_faults(&mut self, fault: FaultPlan, retry: RetryPolicy) {
+        self.stripes = self.stripes.clone().with_faults(fault, retry);
+    }
+
     /// Open a scan over the relation with `read_ahead` pages of
     /// background prefetching.
     pub fn scan(&self, read_ahead: usize) -> SequentialReader {
@@ -83,8 +98,8 @@ impl FileRelation {
     }
 
     /// Read the entire relation back into memory (join-phase load of a
-    /// memory-sized build partition).
-    pub fn load(&self) -> io::Result<Relation> {
+    /// memory-sized build partition). Every page is checksum-verified.
+    pub fn load(&self) -> Result<Relation> {
         let mut rel = Relation::new(self.schema.clone());
         let mut scan = self.scan(64);
         while let Some(page) = scan.next_page()? {

@@ -13,16 +13,16 @@
 //! order interleaves stripe units). Time spent blocked on a queue is the
 //! main thread's I/O stall, as plotted in Fig 9.
 
-use std::io;
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use phj_storage::{Page, PAGE_SIZE};
+use phj_storage::Page;
 
+use crate::error::{PhjError, Result};
 use crate::stripe::StripeSet;
 
-type PageMsg = io::Result<(u64, Box<[u8; PAGE_SIZE]>)>;
+type PageMsg = Result<(u64, Page)>;
 
 /// A streaming scan with background prefetching.
 pub struct SequentialReader {
@@ -55,7 +55,11 @@ impl SequentialReader {
 
     /// The next page in global order, or `None` at end of scan. Blocks
     /// (accounted as stall time) if the workers haven't fetched it yet.
-    pub fn next_page(&mut self) -> io::Result<Option<Page>> {
+    ///
+    /// Pages arrive already verified against their header checksum; a
+    /// torn or corrupted page surfaces here as a typed [`PhjError`]
+    /// naming the stripe file and page.
+    pub fn next_page(&mut self) -> Result<Option<Page>> {
         if self.next_page >= self.end_page {
             return Ok(None);
         }
@@ -63,12 +67,12 @@ impl SequentialReader {
         let t0 = Instant::now();
         let msg = self.rx[stripe]
             .recv()
-            .expect("reader worker vanished without sending");
+            .map_err(|_| PhjError::WorkerLost { what: "read-ahead" })?;
         self.stall += t0.elapsed().as_secs_f64();
-        let (page_id, image) = msg?;
+        let (page_id, page) = msg?;
         debug_assert_eq!(page_id, self.next_page, "stripe stream out of order");
         self.next_page += 1;
-        Ok(Some(Page::from_bytes(image)))
+        Ok(Some(page))
     }
 
     /// Seconds the main thread spent blocked waiting for pages.
@@ -91,16 +95,17 @@ impl Drop for SequentialReader {
 }
 
 /// One stripe's worker: read this stripe's pages of `[start, end)` in
-/// order, pushing into the bounded channel.
+/// order through the verified path (fault injection, retries, checksum),
+/// pushing into the bounded channel.
 fn worker(stripes: StripeSet, stripe: usize, start: u64, end: u64, tx: SyncSender<PageMsg>) {
     for page in start..end {
         if stripes.stripe_of(page) != stripe {
             continue;
         }
-        let msg = stripes.read_page(page).map(|img| (page, img));
+        let msg = stripes.read_page_verified(page).map(|pg| (page, pg));
         let failed = msg.is_err();
         if tx.send(msg).is_err() || failed {
-            return; // reader dropped, or I/O error delivered
+            return; // reader dropped, or error delivered
         }
     }
 }
@@ -120,7 +125,7 @@ mod tests {
         for p in 0..n {
             let mut page = Page::new();
             page.insert(&(p as u32).to_le_bytes(), p as u32).unwrap();
-            s.write_page(p, page.as_bytes()).unwrap();
+            s.write_page(p, &page.sealed_image()).unwrap();
         }
     }
 
@@ -160,6 +165,51 @@ mod tests {
             got.push(p.hash_code(0));
         }
         assert_eq!(got, (6..14).map(|x| x as u32).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_survives_transient_faults() {
+        use crate::fault::{FaultPlan, RetryPolicy};
+        let dir = temp_dir("faulty");
+        let plan = FaultPlan::seeded(21).transient(3_000).short_reads(2_000);
+        let s = StripeSet::create(&dir, "t", 3, 2).unwrap();
+        write_pages(&s, 30);
+        let s = s.with_faults(plan.clone(), RetryPolicy { max_attempts: 4, backoff_micros: 1 });
+        let mut r = SequentialReader::start(s, 0, 30, 8);
+        for p in 0..30u64 {
+            assert_eq!(r.next_page().unwrap().unwrap().hash_code(0), p as u32);
+        }
+        assert!(plan.stats().read_retries.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_page_surfaces_as_typed_error() {
+        let dir = temp_dir("corrupt");
+        let s = StripeSet::create(&dir, "t", 2, 1).unwrap();
+        write_pages(&s, 10);
+        // Flip one byte in the data area of page 4's on-disk image.
+        let mut img = s.read_page(4).unwrap();
+        img[phj_storage::PAGE_SIZE - 3] ^= 0x10;
+        s.write_page(4, &img).unwrap();
+        let mut r = SequentialReader::start(s, 0, 10, 4);
+        let mut err = None;
+        for _ in 0..10 {
+            match r.next_page() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = err.expect("corruption must surface");
+        match err {
+            crate::error::PhjError::ChecksumMismatch { page, .. } => assert_eq!(page, 4),
+            other => panic!("expected checksum mismatch, got {other}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

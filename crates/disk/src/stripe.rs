@@ -9,18 +9,36 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 
-use phj_storage::PAGE_SIZE;
+use phj_storage::{Page, PAGE_SIZE};
+
+use crate::error::{PhjError, Result};
+use crate::fault::{Fault, FaultPlan, IoOp, RetryPolicy};
 
 /// A striped set of page files. Cloneable handle; the underlying files
 /// are shared (each protected by its own lock so per-file worker threads
 /// don't contend with each other).
-#[derive(Clone)]
+///
+/// Two access levels:
+///
+/// * [`read_page`](StripeSet::read_page) / [`write_page`]
+///   (StripeSet::write_page) — raw images, no checksum, no faults (tests
+///   and tools that inspect images directly);
+/// * [`read_page_verified`](StripeSet::read_page_verified) /
+///   [`write_image_checked`](StripeSet::write_image_checked) — what the
+///   engine uses: fault injection, bounded retry-with-backoff, and
+///   checksum verification, returning typed [`PhjError`]s.
+#[derive(Clone, Debug)]
 pub struct StripeSet {
     files: Arc<Vec<Mutex<File>>>,
     paths: Arc<Vec<PathBuf>>,
+    /// Per-file fault-decision tags (hash of the file name).
+    tags: Arc<Vec<u64>>,
     stripe_pages: u64,
+    fault: FaultPlan,
+    retry: RetryPolicy,
 }
 
 impl StripeSet {
@@ -48,11 +66,7 @@ impl StripeSet {
             files.push(Mutex::new(f));
             paths.push(path);
         }
-        Ok(StripeSet {
-            files: Arc::new(files),
-            paths: Arc::new(paths),
-            stripe_pages,
-        })
+        Ok(Self::from_files(files, paths, stripe_pages))
     }
 
     /// Open an existing stripe set (files must have been created by
@@ -72,11 +86,38 @@ impl StripeSet {
             files.push(Mutex::new(f));
             paths.push(path);
         }
-        Ok(StripeSet {
+        Ok(Self::from_files(files, paths, stripe_pages))
+    }
+
+    fn from_files(files: Vec<Mutex<File>>, paths: Vec<PathBuf>, stripe_pages: u64) -> StripeSet {
+        let tags = paths.iter().map(|p| FaultPlan::tag(p)).collect();
+        StripeSet {
             files: Arc::new(files),
             paths: Arc::new(paths),
+            tags: Arc::new(tags),
             stripe_pages,
-        })
+            fault: FaultPlan::disabled(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Attach a fault plan and retry policy. Applies to this handle and
+    /// every clone taken *afterwards* (readers/writers clone the handle
+    /// they are started with).
+    pub fn with_faults(mut self, fault: FaultPlan, retry: RetryPolicy) -> StripeSet {
+        self.fault = fault;
+        self.retry = retry;
+        self
+    }
+
+    /// The fault plan this handle injects from.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
+    }
+
+    /// The retry policy checked operations use.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// Stripe unit in pages.
@@ -104,24 +145,133 @@ impl StripeSet {
         (round * self.stripe_pages + within) * PAGE_SIZE as u64
     }
 
-    /// Write a page image at its striped location.
+    /// Write a raw page image at its striped location (no checksum, no
+    /// fault injection, no retry).
     pub fn write_page(&self, page: u64, image: &[u8; PAGE_SIZE]) -> io::Result<()> {
-        let s = self.stripe_of(page);
-        let mut f = self.files[s].lock().expect("stripe lock poisoned");
+        self.raw_write(self.stripe_of(page), page, image)
+    }
+
+    /// Read a raw page image from its striped location (no verification,
+    /// no fault injection, no retry).
+    pub fn read_page(&self, page: u64) -> io::Result<Box<[u8; PAGE_SIZE]>> {
+        self.raw_read(self.stripe_of(page), page)
+    }
+
+    fn raw_write(&self, s: usize, page: u64, image: &[u8; PAGE_SIZE]) -> io::Result<()> {
+        // A poisoned lock means another I/O thread panicked mid-hold; the
+        // file offset it left behind is irrelevant (seeks are absolute),
+        // so recover the guard rather than propagating the panic.
+        let mut f = self.files[s].lock().unwrap_or_else(|p| p.into_inner());
         f.seek(SeekFrom::Start(self.offset_of(page)))?;
         f.write_all(image)
     }
 
-    /// Read a page image from its striped location.
-    pub fn read_page(&self, page: u64) -> io::Result<Box<[u8; PAGE_SIZE]>> {
-        let s = self.stripe_of(page);
+    fn raw_read(&self, s: usize, page: u64) -> io::Result<Box<[u8; PAGE_SIZE]>> {
         let mut image = vec![0u8; PAGE_SIZE].into_boxed_slice();
         {
-            let mut f = self.files[s].lock().expect("stripe lock poisoned");
+            let mut f = self.files[s].lock().unwrap_or_else(|p| p.into_inner());
             f.seek(SeekFrom::Start(self.offset_of(page)))?;
             f.read_exact(&mut image)?;
         }
         Ok(image.try_into().expect("exact size"))
+    }
+
+    /// Read a page through the fault plan with bounded retries, then
+    /// verify its header checksum. This is the engine's read path: every
+    /// page that crossed the disk boundary comes back either verified or
+    /// as a typed error naming file and page.
+    pub fn read_page_verified(&self, page: u64) -> Result<Page> {
+        let s = self.stripe_of(page);
+        let tag = self.tags[s];
+        let mut attempt = 0u32;
+        loop {
+            let res = match self.fault.decide(IoOp::Read, tag, page, attempt) {
+                Some(Fault::Transient) => {
+                    Err(io::Error::new(io::ErrorKind::Interrupted, "injected transient error"))
+                }
+                Some(Fault::ShortRead) => {
+                    Err(io::Error::new(io::ErrorKind::UnexpectedEof, "injected short read"))
+                }
+                Some(Fault::Permanent) => Err(io::Error::other("injected permanent error")),
+                Some(Fault::Slow) => {
+                    std::thread::sleep(std::time::Duration::from_micros(self.fault.slow_micros));
+                    self.raw_read(s, page)
+                }
+                Some(Fault::TornWrite) | None => self.raw_read(s, page),
+            };
+            match res {
+                Ok(image) => {
+                    return Page::try_from_image(image)
+                        .map_err(|e| PhjError::from_page_error(self.paths[s].clone(), page, e));
+                }
+                Err(e) if attempt + 1 < self.retry.max_attempts && RetryPolicy::is_retryable(&e) => {
+                    self.fault.stats().read_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.retry.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => {
+                    return Err(PhjError::Io {
+                        path: self.paths[s].clone(),
+                        page: Some(page),
+                        attempts: attempt + 1,
+                        source: e,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Write an already-sealed page image through the fault plan with
+    /// bounded retries. A torn-write fault corrupts the image before it
+    /// reaches the file — the write still "succeeds"; detection belongs
+    /// to the reader's checksum verification.
+    pub fn write_image_checked(&self, page: u64, mut image: Box<[u8; PAGE_SIZE]>) -> Result<()> {
+        let s = self.stripe_of(page);
+        let tag = self.tags[s];
+        let mut attempt = 0u32;
+        loop {
+            let res = match self.fault.decide(IoOp::Write, tag, page, attempt) {
+                Some(Fault::Transient) => {
+                    Err(io::Error::new(io::ErrorKind::Interrupted, "injected transient error"))
+                }
+                Some(Fault::Permanent) => Err(io::Error::other("injected permanent error")),
+                Some(Fault::Slow) => {
+                    std::thread::sleep(std::time::Duration::from_micros(self.fault.slow_micros));
+                    self.raw_write(s, page, &image)
+                }
+                Some(Fault::TornWrite) => {
+                    self.fault.corrupt_image(tag, page, &mut image);
+                    self.raw_write(s, page, &image)
+                }
+                Some(Fault::ShortRead) | None => self.raw_write(s, page, &image),
+            };
+            match res {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt + 1 < self.retry.max_attempts && RetryPolicy::is_retryable(&e) => {
+                    self.fault.stats().write_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.retry.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => {
+                    return Err(PhjError::Io {
+                        path: self.paths[s].clone(),
+                        page: Some(page),
+                        attempts: attempt + 1,
+                        source: e,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Seal a page and write its image through the checked path.
+    pub fn write_page_sealed(&self, page: u64, p: &Page) -> Result<()> {
+        self.write_image_checked(page, p.sealed_image())
+    }
+
+    /// Path of the stripe file holding `page` (diagnostics).
+    pub fn path_of(&self, page: u64) -> &Path {
+        &self.paths[self.stripe_of(page)]
     }
 
     /// Paths of the stripe files.
@@ -187,6 +337,85 @@ mod tests {
         let img = Box::new([7u8; PAGE_SIZE]);
         a.write_page(5, &img).unwrap();
         assert_eq!(b.read_page(5).unwrap()[100], 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn sample_page(marker: u32) -> Page {
+        let mut p = Page::new();
+        p.insert(&marker.to_le_bytes(), marker).unwrap();
+        p
+    }
+
+    #[test]
+    fn checked_roundtrip_verifies() {
+        let dir = temp_dir("checked");
+        let s = StripeSet::create(&dir, "t", 2, 2).unwrap();
+        for p in 0..8u64 {
+            s.write_page_sealed(p, &sample_page(p as u32)).unwrap();
+        }
+        for p in 0..8u64 {
+            let page = s.read_page_verified(p).unwrap();
+            assert_eq!(page.hash_code(0), p as u32);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unsealed_write_fails_verification() {
+        let dir = temp_dir("unsealed");
+        let s = StripeSet::create(&dir, "t", 1, 1).unwrap();
+        s.write_page(0, sample_page(1).as_bytes()).unwrap();
+        let err = s.read_page_verified(0).unwrap_err();
+        assert!(matches!(err, PhjError::ChecksumMismatch { page: 0, .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_success() {
+        let dir = temp_dir("transient");
+        let plan = crate::fault::FaultPlan::seeded(11).transient(4_000).short_reads(2_000);
+        let s = StripeSet::create(&dir, "t", 2, 2)
+            .unwrap()
+            .with_faults(plan.clone(), RetryPolicy { max_attempts: 4, backoff_micros: 1 });
+        for p in 0..50u64 {
+            s.write_page_sealed(p, &sample_page(p as u32)).unwrap();
+        }
+        for p in 0..50u64 {
+            assert_eq!(s.read_page_verified(p).unwrap().hash_code(0), p as u32);
+        }
+        // With these rates 50 writes + 50 reads must have hit some faults,
+        // and every one of them was absorbed by retries.
+        assert!(plan.stats().total_injected() > 0);
+        assert!(plan.stats().total_retries() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_write_is_caught_by_the_reader() {
+        let dir = temp_dir("torn");
+        let plan = crate::fault::FaultPlan::seeded(7).torn_writes(10_000); // every write tears
+        let s = StripeSet::create(&dir, "t", 1, 1)
+            .unwrap()
+            .with_faults(plan.clone(), RetryPolicy::default());
+        s.write_page_sealed(0, &sample_page(9)).unwrap(); // "succeeds"
+        let err = s.read_page_verified(0).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+        assert_eq!(plan.stats().injected_torn.load(Ordering::Relaxed), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn permanent_fault_exhausts_retries() {
+        let dir = temp_dir("permanent");
+        let plan = crate::fault::FaultPlan::seeded(3).permanent(10_000);
+        let retry = RetryPolicy { max_attempts: 3, backoff_micros: 1 };
+        let s = StripeSet::create(&dir, "t", 1, 1).unwrap().with_faults(plan, retry);
+        let err = s.write_image_checked(0, sample_page(1).sealed_image()).unwrap_err();
+        match err {
+            // Permanent errors are not retryable, so one attempt suffices.
+            PhjError::Io { page: Some(0), attempts, .. } => assert_eq!(attempts, 1),
+            other => panic!("expected Io error, got {other}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -36,6 +36,11 @@ pub struct IoConfig {
     pub readahead_pages: u64,
     /// Main-thread clock rate in MHz (550 for the paper's machine).
     pub cpu_mhz: f64,
+    /// One degraded disk: `(index, slowdown factor)`. The analytic
+    /// counterpart of `phj-disk`'s slow-disk fault injection — every page
+    /// serviced by that disk takes `factor` times as long, so the model
+    /// predicts how far one sick spindle drags the whole array.
+    pub slow_disk: Option<(usize, f64)>,
 }
 
 impl Default for IoConfig {
@@ -47,6 +52,7 @@ impl Default for IoConfig {
             page_bytes: 8 * 1024,
             readahead_pages: 256,
             cpu_mhz: 550.0,
+            slow_disk: None,
         }
     }
 }
@@ -59,6 +65,13 @@ impl IoConfig {
 
     fn page_service_s(&self) -> f64 {
         self.page_bytes as f64 / (self.disk_mb_per_s * 1e6)
+    }
+
+    fn page_service_s_on(&self, disk: usize) -> f64 {
+        match self.slow_disk {
+            Some((d, factor)) if d == disk => self.page_service_s() * factor,
+            _ => self.page_service_s(),
+        }
     }
 
     fn pages_per_stripe(&self) -> u64 {
@@ -108,7 +121,7 @@ pub struct PhaseResult {
 /// ```
 pub fn simulate_phase(cfg: &IoConfig, spec: &PhaseSpec) -> PhaseResult {
     assert!(cfg.disks > 0, "need at least one disk");
-    let svc = cfg.page_service_s();
+    let svc: Vec<f64> = (0..cfg.disks).map(|d| cfg.page_service_s_on(d)).collect();
     let pps = cfg.pages_per_stripe();
     let read_pages = spec.read_bytes / cfg.page_bytes;
     let write_pages = spec.write_bytes / cfg.page_bytes;
@@ -140,9 +153,9 @@ pub fn simulate_phase(cfg: &IoConfig, spec: &PhaseSpec) -> PhaseResult {
     let service =
         |disk_free: &mut [f64], disk_busy: &mut [f64], d: usize, issue: f64| -> f64 {
             let start = disk_free[d].max(issue);
-            disk_free[d] = start + svc;
-            disk_busy[d] += svc;
-            start + svc
+            disk_free[d] = start + svc[d];
+            disk_busy[d] += svc[d];
+            start + svc[d]
         };
 
     for page in 0..read_pages {
@@ -286,6 +299,19 @@ mod tests {
         );
         assert!(r.elapsed_s >= GB as f64 / (2.0 * 68e6) * 0.99);
         assert!(r.cpu_s > 0.0);
+    }
+
+    #[test]
+    fn one_degraded_disk_drags_the_array() {
+        let healthy = simulate_phase(&IoConfig::paper(6), &spec());
+        let sick_cfg = IoConfig { slow_disk: Some((0, 4.0)), ..IoConfig::paper(6) };
+        let sick = simulate_phase(&sick_cfg, &spec());
+        // Pages are striped evenly, so a 4x-slow disk 0 bounds the run:
+        // its I/O time alone is ~4/6 of the healthy array's total volume.
+        assert!(sick.elapsed_s > healthy.elapsed_s * 1.5, "{} vs {}", sick.elapsed_s, healthy.elapsed_s);
+        assert!(sick.worker_io_s > healthy.worker_io_s * 3.5);
+        // The degradation is bounded too: never worse than 4x overall.
+        assert!(sick.elapsed_s < healthy.elapsed_s * 4.5);
     }
 
     #[test]

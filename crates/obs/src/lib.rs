@@ -35,6 +35,9 @@ pub mod span;
 pub mod trace;
 
 pub use json::Json;
-pub use report::{RegionReport, RegionsSection, RunReport, SkewRow, SCHEMA_VERSION};
+pub use report::{
+    DegradationRow, FaultsSection, RegionReport, RegionsSection, RunReport, SkewRow,
+    SCHEMA_VERSION,
+};
 pub use span::{span_begin, span_end, span_meta, Recorder, SpanId, SpanRecord};
 pub use trace::{trace_json, trace_text};

@@ -95,6 +95,45 @@ impl RegionsSection {
     }
 }
 
+/// One degradation-ladder step in a report's `faults` section: what the
+/// disk engine did about a build partition that outgrew the memory
+/// budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationRow {
+    /// Hierarchical partition label (`"3"`, `"3.1"`, …).
+    pub partition: String,
+    /// Repartition depth at which the step was taken.
+    pub depth: u64,
+    /// Size of the oversized partition in bytes.
+    pub bytes: u64,
+    /// The memory budget it failed to fit.
+    pub budget: u64,
+    /// The step taken: `"repartition"` or `"nlj_fallback"`.
+    pub action: String,
+    /// Action parameter: repartition fanout, or nested-loop chunk count.
+    pub detail: u64,
+}
+
+/// The optional fault-and-resilience section of a [`RunReport`]:
+/// injected-fault and retry counters from a fault-injecting disk run,
+/// plus any degradation-ladder events. Present only when the run
+/// attached a fault plan or degraded; like `regions`, the JSON key is
+/// omitted entirely when absent so undisturbed reports stay
+/// byte-identical to older ones.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultsSection {
+    /// Total faults injected across all fault kinds.
+    pub faults_injected: u64,
+    /// Read attempts repeated after retryable failures.
+    pub read_retries: u64,
+    /// Write attempts repeated after retryable failures.
+    pub write_retries: u64,
+    /// Microseconds of injected slow-disk stall.
+    pub slow_stall_us: u64,
+    /// Degradation steps taken for oversized partitions.
+    pub degradation: Vec<DegradationRow>,
+}
+
 /// A complete, serializable description of one pipeline run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -121,6 +160,10 @@ pub struct RunReport {
     /// regions; the JSON key is omitted entirely when absent, keeping
     /// unprofiled reports byte-identical to pre-attribution ones).
     pub regions: Option<RegionsSection>,
+    /// Fault-injection and degradation counters (`None` unless the run
+    /// injected faults, retried I/O, or degraded; omitted from the JSON
+    /// when absent, same convention as `regions`).
+    pub faults: Option<FaultsSection>,
 }
 
 impl RunReport {
@@ -143,6 +186,7 @@ impl RunReport {
             matches: 0,
             spans: recorder.finish(),
             regions: None,
+            faults: None,
         }
     }
 
@@ -257,6 +301,11 @@ impl RunReport {
                 members.push(("regions".into(), regions_json(sec)));
             }
         }
+        if let Some(sec) = &self.faults {
+            if let Json::Obj(members) = &mut doc {
+                members.push(("faults".into(), faults_json(sec)));
+            }
+        }
         doc
     }
 
@@ -294,6 +343,10 @@ impl RunReport {
             spans,
             regions: match doc.get("regions") {
                 Some(sec) => Some(parse_regions(sec)?),
+                None => None,
+            },
+            faults: match doc.get("faults") {
+                Some(sec) => Some(parse_faults(sec)?),
                 None => None,
             },
         })
@@ -521,6 +574,30 @@ fn regions_json(sec: &RegionsSection) -> Json {
     ])
 }
 
+fn degradation_json(row: &DegradationRow) -> Json {
+    Json::obj(vec![
+        ("partition", Json::Str(row.partition.clone())),
+        ("depth", Json::U64(row.depth)),
+        ("bytes", Json::U64(row.bytes)),
+        ("budget", Json::U64(row.budget)),
+        ("action", Json::Str(row.action.clone())),
+        ("detail", Json::U64(row.detail)),
+    ])
+}
+
+fn faults_json(sec: &FaultsSection) -> Json {
+    Json::obj(vec![
+        ("faults_injected", Json::U64(sec.faults_injected)),
+        ("read_retries", Json::U64(sec.read_retries)),
+        ("write_retries", Json::U64(sec.write_retries)),
+        ("slow_stall_us", Json::U64(sec.slow_stall_us)),
+        (
+            "degradation",
+            Json::Arr(sec.degradation.iter().map(degradation_json).collect()),
+        ),
+    ])
+}
+
 fn parse_hist(doc: &Json) -> Result<LatencyHistogram, String> {
     let arr = doc
         .get("buckets")
@@ -585,6 +662,33 @@ fn parse_regions(doc: &Json) -> Result<RegionsSection, String> {
             .ok_or("regions section missing skew array")?
             .iter()
             .map(parse_skew)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+fn parse_degradation(doc: &Json) -> Result<DegradationRow, String> {
+    Ok(DegradationRow {
+        partition: field_str(doc, "partition")?,
+        depth: field_u64(doc, "depth")?,
+        bytes: field_u64(doc, "bytes")?,
+        budget: field_u64(doc, "budget")?,
+        action: field_str(doc, "action")?,
+        detail: field_u64(doc, "detail")?,
+    })
+}
+
+fn parse_faults(doc: &Json) -> Result<FaultsSection, String> {
+    Ok(FaultsSection {
+        faults_injected: field_u64(doc, "faults_injected")?,
+        read_retries: field_u64(doc, "read_retries")?,
+        write_retries: field_u64(doc, "write_retries")?,
+        slow_stall_us: field_u64(doc, "slow_stall_us")?,
+        degradation: doc
+            .get("degradation")
+            .and_then(Json::as_arr)
+            .ok_or("faults section missing degradation array")?
+            .iter()
+            .map(parse_degradation)
             .collect::<Result<Vec<_>, _>>()?,
     })
 }
@@ -882,6 +986,59 @@ mod tests {
         let text = report_with_spans().render();
         assert!(!text.contains("regions"));
         assert!(!text.contains("latency"));
+        assert!(!text.contains("faults"));
+    }
+
+    fn fault_section() -> FaultsSection {
+        FaultsSection {
+            faults_injected: 17,
+            read_retries: 9,
+            write_retries: 3,
+            slow_stall_us: 420,
+            degradation: vec![
+                DegradationRow {
+                    partition: "3".into(),
+                    depth: 0,
+                    bytes: 180_224,
+                    budget: 32_768,
+                    action: "repartition".into(),
+                    detail: 6,
+                },
+                DegradationRow {
+                    partition: "3.1".into(),
+                    depth: 1,
+                    bytes: 172_032,
+                    budget: 32_768,
+                    action: "nlj_fallback".into(),
+                    detail: 6,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn faults_section_round_trips() {
+        let mut r = report_with_spans();
+        r.faults = Some(fault_section());
+        r.validate().expect("faults section does not affect validity");
+        let text = r.render();
+        assert!(text.contains("\"faults\""));
+        assert!(text.contains("\"nlj_fallback\""));
+        let back = RunReport::parse(&text).expect("parse");
+        assert_eq!(back.faults, r.faults);
+    }
+
+    #[test]
+    fn empty_faults_section_still_renders_when_attached() {
+        // A fault-plan run where nothing fired still records that the
+        // plan was attached (all-zero section), distinguishable from a
+        // run with no plan at all (key absent).
+        let mut r = report_with_spans();
+        r.faults = Some(FaultsSection::default());
+        let text = r.render();
+        assert!(text.contains("\"faults\""));
+        let back = RunReport::parse(&text).expect("parse");
+        assert_eq!(back.faults, Some(FaultsSection::default()));
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod relation;
 pub mod schema;
 pub mod tuple;
 
-pub use page::{Page, SlotId, PAGE_SIZE};
+pub use page::{Page, PageError, SlotId, PAGE_HEADER_BYTES, PAGE_SIZE};
 pub use relation::{Relation, RelationBuilder, TupleRef};
 pub use schema::{AttrType, Attribute, Schema};
 pub use tuple::{TupleAssembler, TupleView};

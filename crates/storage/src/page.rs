@@ -9,7 +9,12 @@
 //! +--------+--------+------------------ ... -------------------+
 //! ```
 //!
-//! * header: `nslots: u16`, `data_start: u16` (4 bytes);
+//! * header: `nslots: u16`, `data_start: u16`, `checksum: u32` (8 bytes).
+//!   The checksum word covers every other byte of the page and is written
+//!   only when a page image is **sealed** for disk ([`Page::sealed_image`]);
+//!   in-memory pages carry a stale/zero checksum. Readers verify it with
+//!   [`Page::try_from_image`], so a torn or bit-flipped on-disk page is
+//!   detected instead of silently joining garbage;
 //! * slot `i` (8 bytes, growing upward): `offset: u16`, `len: u16`,
 //!   `hash: u32` — the 4-byte **stashed hash code**. For base relations it
 //!   is unused; for intermediate partitions the partition phase writes the
@@ -21,8 +26,56 @@
 /// Page size in bytes (Table 2 of the paper).
 pub const PAGE_SIZE: usize = 8192;
 
-const HDR: usize = 4;
+/// Header bytes at the front of every page (`nslots`, `data_start`,
+/// `checksum`).
+pub const PAGE_HEADER_BYTES: usize = 8;
+
+const HDR: usize = PAGE_HEADER_BYTES;
 const SLOT: usize = 8;
+/// Byte range of the header checksum word (skipped when checksumming).
+const CKSUM_RANGE: std::ops::Range<usize> = 4..8;
+
+/// Why a disk page image failed verification.
+///
+/// Carries no file/page location — the I/O layer that read the image adds
+/// that context when it wraps the error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageError {
+    /// The header is structurally impossible (slot area and data area
+    /// overlap, or `data_start` past the page end) — a torn write, a hole
+    /// in the file, or a foreign page.
+    Torn {
+        /// Slot count found in the header.
+        nslots: u16,
+        /// Data-start offset found in the header.
+        data_start: u16,
+    },
+    /// Header structure is plausible but the checksum word does not match
+    /// the page contents — corruption inside the slot or data area.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u32,
+        /// Checksum recomputed from the image.
+        computed: u32,
+    },
+}
+
+impl std::fmt::Display for PageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageError::Torn { nslots, data_start } => write!(
+                f,
+                "torn page image: {nslots} slots, data_start {data_start}"
+            ),
+            PageError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "page checksum mismatch: header {stored:#010x}, contents {computed:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PageError {}
 
 /// Index of a tuple slot within one page.
 pub type SlotId = u16;
@@ -44,6 +97,16 @@ pub struct Page {
 impl Clone for Page {
     fn clone(&self) -> Self {
         Page { buf: self.buf.clone() }
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("nslots", &self.nslots())
+            .field("data_start", &self.data_start())
+            .field("checksum", &self.checksum())
+            .finish_non_exhaustive()
     }
 }
 
@@ -177,6 +240,65 @@ impl Page {
         &self.buf
     }
 
+    /// FNV-1a over the page image, skipping the checksum word itself.
+    fn compute_checksum(buf: &[u8; PAGE_SIZE]) -> u32 {
+        let mut h: u32 = 0x811C_9DC5;
+        for &b in buf[..CKSUM_RANGE.start].iter().chain(&buf[CKSUM_RANGE.end..]) {
+            h = (h ^ b as u32).wrapping_mul(0x0100_0193);
+        }
+        h
+    }
+
+    /// Checksum word currently stored in the header. Only meaningful after
+    /// [`seal`](Page::seal) — in-memory pages carry a stale or zero word.
+    #[inline]
+    pub fn checksum(&self) -> u32 {
+        u32::from_le_bytes(self.buf[CKSUM_RANGE].try_into().unwrap())
+    }
+
+    /// Stamp the header checksum word from the current page contents.
+    /// Any later mutation invalidates it; prefer [`sealed_image`]
+    /// (Page::sealed_image) at the point a page leaves for disk.
+    pub fn seal(&mut self) {
+        let c = Self::compute_checksum(&self.buf);
+        self.buf[CKSUM_RANGE].copy_from_slice(&c.to_le_bytes());
+    }
+
+    /// A copy of the page image with a freshly computed checksum — the form
+    /// every page takes on its way to disk. Copying here (rather than
+    /// sealing in place) means a buffer that keeps being reused in memory
+    /// never carries a checksum that has silently gone stale.
+    pub fn sealed_image(&self) -> Box<[u8; PAGE_SIZE]> {
+        let mut img = Box::new(*self.as_bytes());
+        let c = Self::compute_checksum(&img);
+        img[CKSUM_RANGE].copy_from_slice(&c.to_le_bytes());
+        img
+    }
+
+    /// Verify and reconstruct a page from a sealed disk image.
+    ///
+    /// Structural validation first (a torn write or file hole rarely leaves
+    /// a plausible header), then the checksum word. Use this on every page
+    /// that crossed a disk boundary; [`from_bytes`](Page::from_bytes) stays
+    /// available for trusted in-memory images.
+    pub fn try_from_image(buf: Box<[u8; PAGE_SIZE]>) -> Result<Page, PageError> {
+        let page = Page { buf };
+        let nslots = page.nslots();
+        let ds = page.data_start();
+        if (ds as usize) > PAGE_SIZE
+            || (ds as usize) < HDR
+            || HDR + SLOT * nslots as usize > ds as usize
+        {
+            return Err(PageError::Torn { nslots, data_start: ds });
+        }
+        let stored = page.checksum();
+        let computed = Self::compute_checksum(&page.buf);
+        if stored != computed {
+            return Err(PageError::ChecksumMismatch { stored, computed });
+        }
+        Ok(page)
+    }
+
     /// Reconstruct a page from a disk image.
     ///
     /// # Panics
@@ -242,7 +364,7 @@ mod tests {
         while p.insert(&tuple, n).is_some() {
             n += 1;
         }
-        // 8188 / 108 = 75 tuples of 100 B (+8 B slot) fit in an 8 KB page.
+        // 8184 / 108 = 75 tuples of 100 B (+8 B slot) fit in an 8 KB page.
         assert_eq!(n as usize, (PAGE_SIZE - HDR) / (100 + SLOT));
         assert_eq!(p.nslots() as u32, n);
         assert!(p.free_space() < 100 + SLOT);
@@ -336,5 +458,82 @@ mod io_tests {
         buf[0..2].copy_from_slice(&2000u16.to_le_bytes()); // 2000 slots
         buf[2..4].copy_from_slice(&8u16.to_le_bytes()); // data_start 8
         let _ = Page::from_bytes(buf);
+    }
+
+    #[test]
+    fn sealed_image_roundtrips() {
+        let mut p = Page::new();
+        for i in 0..30u32 {
+            p.insert(&i.to_le_bytes(), i).unwrap();
+        }
+        let q = Page::try_from_image(p.sealed_image()).expect("sealed image verifies");
+        assert_eq!(q.nslots(), 30);
+        for (s, t, h) in q.iter() {
+            assert_eq!(t, (s as u32).to_le_bytes());
+            assert_eq!(h, s as u32);
+        }
+        // sealed_image leaves the source page itself untouched.
+        assert_eq!(p.checksum(), 0);
+    }
+
+    #[test]
+    fn seal_in_place_matches_sealed_image() {
+        let mut p = Page::new();
+        p.insert(b"abc", 7).unwrap();
+        let img = p.sealed_image();
+        p.seal();
+        assert_eq!(&img[..], &p.as_bytes()[..]);
+        assert_ne!(p.checksum(), 0);
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let mut p = Page::new();
+        p.insert(&[0xAB; 64], 1).unwrap();
+        let mut img = p.sealed_image();
+        img[PAGE_SIZE - 17] ^= 0x04; // one bit in the data area
+        match Page::try_from_image(img) {
+            Err(PageError::ChecksumMismatch { stored, computed }) => {
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsealed_image_is_rejected() {
+        let mut p = Page::new();
+        p.insert(b"x", 0).unwrap();
+        // Raw (never sealed) image: structurally fine, checksum word zero.
+        let err = Page::try_from_image(Box::new(*p.as_bytes())).unwrap_err();
+        assert!(matches!(err, PageError::ChecksumMismatch { stored: 0, .. }));
+    }
+
+    #[test]
+    fn zeroed_image_is_torn() {
+        // A hole in a sparse file reads back as zeroes: data_start 0 is
+        // structurally impossible (it would sit inside the header).
+        let err = Page::try_from_image(Box::new([0u8; PAGE_SIZE])).unwrap_err();
+        assert_eq!(err, PageError::Torn { nslots: 0, data_start: 0 });
+        assert!(err.to_string().contains("torn page"));
+    }
+
+    #[test]
+    fn garbage_header_is_torn() {
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        buf[0..2].copy_from_slice(&2000u16.to_le_bytes());
+        buf[2..4].copy_from_slice(&8u16.to_le_bytes());
+        assert!(matches!(
+            Page::try_from_image(buf),
+            Err(PageError::Torn { nslots: 2000, data_start: 8 })
+        ));
+    }
+
+    #[test]
+    fn empty_sealed_page_verifies() {
+        let p = Page::new();
+        let q = Page::try_from_image(p.sealed_image()).unwrap();
+        assert_eq!(q.nslots(), 0);
+        assert_eq!(q.free_space(), PAGE_SIZE - HDR);
     }
 }

@@ -30,8 +30,8 @@ use phj_storage::{Relation, RelationBuilder, Schema, PAGE_SIZE};
 
 /// Slot overhead per tuple in a slotted page.
 const SLOT_BYTES: usize = 8;
-/// Page header bytes.
-const PAGE_HDR: usize = 4;
+/// Page header bytes (nslots, data_start, checksum).
+const PAGE_HDR: usize = phj_storage::PAGE_HEADER_BYTES;
 
 /// Bijective mixing of a 32-bit index into a pseudo-random distinct key.
 /// Every step is invertible, so distinct indices give distinct keys —
@@ -249,7 +249,7 @@ mod tests {
         // 100 B tuples: 75 per 8 KB page.
         assert_eq!(tuples_for(PAGE_SIZE, 100), 75);
         assert_eq!(tuples_for(10 * PAGE_SIZE, 100), 750);
-        // 20 B tuples: 8188/28 = 292 per page.
+        // 20 B tuples: 8184/28 = 292 per page.
         assert_eq!(tuples_for(PAGE_SIZE, 20), 292);
     }
 
