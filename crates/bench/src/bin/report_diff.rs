@@ -17,17 +17,66 @@
 //! ones are listed in a warning rather than treated as an error.
 //!
 //! Exit codes: 0 = ok, 1 = regression beyond tolerance, 2 = usage /
-//! unreadable / invalid report.
+//! unreadable / invalid report. Exit 2 failures print one line on
+//! stderr, `error: <kind>: <detail>`, where `<kind>` is a stable
+//! category (`unreadable file`, `truncated JSON`, `malformed JSON`,
+//! `invalid report`) CI scripts can match on — a truncated artifact
+//! upload and a genuine regression must never look alike.
 
 use phj_obs::RunReport;
+use std::fmt;
 use std::process::ExitCode;
 
 const DEFAULT_TOLERANCE_PCT: f64 = 5.0;
 
-fn load(path: &str) -> Result<RunReport, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let report = RunReport::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    report.validate().map_err(|e| format!("{path}: invalid report: {e}"))?;
+/// Why a report failed to load. Every variant exits 2; the category
+/// keeps "your input is broken" distinct from "your join got slower"
+/// (exit 1) in CI logs.
+#[derive(Debug, PartialEq, Eq)]
+enum LoadError {
+    /// The file could not be read at all (missing, permissions, ...).
+    Unreadable(String),
+    /// JSON syntax failed at end of input: the document was cut short.
+    TruncatedJson(String),
+    /// JSON syntax failed mid-document.
+    MalformedJson(String),
+    /// Syntactically valid JSON that is not a well-formed run report.
+    InvalidReport(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Unreadable(d) => write!(f, "unreadable file: {d}"),
+            LoadError::TruncatedJson(d) => write!(f, "truncated JSON: {d}"),
+            LoadError::MalformedJson(d) => write!(f, "malformed JSON: {d}"),
+            LoadError::InvalidReport(d) => write!(f, "invalid report: {d}"),
+        }
+    }
+}
+
+/// Classify a JSON syntax error: failure at (or past) the last
+/// non-whitespace byte means the document simply stopped early.
+fn classify_syntax(path: &str, text: &str, e: &phj_obs::json::ParseError) -> LoadError {
+    let detail = format!("{path}: {e}");
+    if e.offset >= text.trim_end().len() {
+        LoadError::TruncatedJson(detail)
+    } else {
+        LoadError::MalformedJson(detail)
+    }
+}
+
+fn load(path: &str) -> Result<RunReport, LoadError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| LoadError::Unreadable(format!("{path}: {e}")))?;
+    if let Err(e) = phj_obs::json::parse(&text) {
+        return Err(classify_syntax(path, &text, &e));
+    }
+    let report =
+        RunReport::parse(&text).map_err(|e| LoadError::InvalidReport(format!("{path}: {e}")))?;
+    report
+        .validate()
+        .map_err(|e| LoadError::InvalidReport(format!("{path}: {e}")))?;
     Ok(report)
 }
 
@@ -293,6 +342,41 @@ mod tests {
         r.simulated = cycles > 0;
         r.wall_ns = wall_ns;
         r
+    }
+
+    #[test]
+    fn syntax_errors_classify_truncated_vs_malformed() {
+        // Failure at end of input: the document was cut short.
+        let text = "{\"schema_version\": 1, \"command\": ";
+        let e = phj_obs::json::parse(text).unwrap_err();
+        let c = classify_syntax("r.json", text, &e);
+        assert!(matches!(c, LoadError::TruncatedJson(_)), "got {c:?}");
+        // Trailing whitespace after the cut must not mask truncation.
+        let text = "{\"schema_version\": 1,\n";
+        let e = phj_obs::json::parse(text).unwrap_err();
+        assert!(matches!(classify_syntax("r.json", text, &e), LoadError::TruncatedJson(_)));
+        // Failure mid-document: the bytes are wrong, not missing.
+        let text = "{\"schema_version\": 1,, \"command\": \"join\"}";
+        let e = phj_obs::json::parse(text).unwrap_err();
+        let c = classify_syntax("r.json", text, &e);
+        assert!(matches!(c, LoadError::MalformedJson(_)), "got {c:?}");
+    }
+
+    #[test]
+    fn load_errors_render_as_single_lines() {
+        for e in [
+            LoadError::Unreadable("a.json: no such file".into()),
+            LoadError::TruncatedJson("a.json: JSON parse error at byte 9: eof".into()),
+            LoadError::MalformedJson("a.json: JSON parse error at byte 3: bad".into()),
+            LoadError::InvalidReport("a.json: missing spans array".into()),
+        ] {
+            let line = format!("error: {e}");
+            assert_eq!(line.lines().count(), 1, "multi-line: {line:?}");
+        }
+        assert_eq!(
+            LoadError::TruncatedJson("x".into()).to_string(),
+            "truncated JSON: x"
+        );
     }
 
     #[test]

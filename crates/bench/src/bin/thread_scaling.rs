@@ -10,9 +10,19 @@
 //! * **native** — real threads with work stealing, wall-clock elapsed
 //!   (meaningful only on a multi-core host).
 //!
+//! The simulated sweep additionally runs a third time with the live
+//! telemetry sampler scraping every 10 ms, and the sim table carries a
+//! sampler-overhead column (`cycles on / cycles off - 1`) — the
+//! measured price of leaving `--sample-interval 10` on in production.
+//! The sampler-off pass runs *before* `phj_metrics::install()`: the
+//! registry is process-global and irreversible, so ordering is what
+//! keeps the off-measurement honest.
+//!
 //! Emits `scaling_join_sim` / `scaling_join_native` tables plus a
 //! per-worker `scaling_join_workers` table recording each lane/worker's
 //! busy and idle share — the raw data behind the efficiency column.
+
+use std::time::Duration;
 
 use phj::grace::GraceConfig;
 use phj::sink::JoinSink;
@@ -20,6 +30,8 @@ use phj_bench::report::{mcycles, scaled, Table};
 use phj_workload::JoinSpec;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Scrape interval for the sampler-overhead column.
+const SAMPLER_INTERVAL_MS: u64 = 10;
 
 fn ratio(base: f64, now: f64) -> f64 {
     if now > 0.0 {
@@ -29,6 +41,14 @@ fn ratio(base: f64, now: f64) -> f64 {
     }
 }
 
+/// Signed percent delta of `on` relative to `off`.
+fn overhead_pct(off: u64, on: u64) -> String {
+    if off == 0 {
+        return "n/a".into();
+    }
+    format!("{:+.2}%", (on as f64 - off as f64) / off as f64 * 100.0)
+}
+
 fn main() {
     let gen = JoinSpec::pivot(scaled(8 << 20)).generate();
     let cfg = GraceConfig {
@@ -36,9 +56,49 @@ fn main() {
         ..Default::default()
     };
 
+    // Pass 1: sampler OFF. Must complete before install() below — the
+    // metrics registry is process-global and cannot be uninstalled, so
+    // the clean baseline has to be measured first.
+    let off: Vec<_> = THREADS
+        .iter()
+        .map(|&n| {
+            let out = phj_exec::parallel_join_sim(&cfg, &gen.build, &gen.probe, n, false, false);
+            assert_eq!(out.sink.matches(), gen.expected_matches);
+            out
+        })
+        .collect();
+
+    // Pass 2: identical joins with the telemetry sampler scraping the
+    // now-installed registry every SAMPLER_INTERVAL_MS.
+    let registry = phj_metrics::install().clone();
+    let sampler = phj_metrics::Sampler::start(
+        registry,
+        Duration::from_millis(SAMPLER_INTERVAL_MS),
+        4096,
+        None,
+    );
+    let on: Vec<u64> = THREADS
+        .iter()
+        .map(|&n| {
+            let out = phj_exec::parallel_join_sim(&cfg, &gen.build, &gen.probe, n, false, false);
+            assert_eq!(out.sink.matches(), gen.expected_matches);
+            out.totals.breakdown.total()
+        })
+        .collect();
+    let ring = sampler.stop();
+    assert!(!ring.series().is_empty(), "sampler saw no metrics during the on-pass");
+
+    let sampled_col = format!("Mcycles_sampler_{SAMPLER_INTERVAL_MS}ms");
     let mut sim = Table::new(
         "Thread scaling — simulated critical path (deterministic lanes)",
-        &["threads", "Mcycles", "speedup", "efficiency"],
+        &[
+            "threads",
+            "Mcycles",
+            "speedup",
+            "efficiency",
+            sampled_col.as_str(),
+            "sampler_overhead",
+        ],
     );
     let mut native = Table::new(
         "Thread scaling — native wall clock (work-stealing pool)",
@@ -49,24 +109,19 @@ fn main() {
         &["mode", "threads", "worker", "tasks", "busy", "idle"],
     );
 
-    let mut sim_base = 0.0;
-    let mut native_base = 0.0;
-    for (i, &n) in THREADS.iter().enumerate() {
-        let out = phj_exec::parallel_join_sim(&cfg, &gen.build, &gen.probe, n, false, false);
-        assert_eq!(out.sink.matches(), gen.expected_matches);
-        let cp = out.totals.breakdown.total() as f64;
-        if i == 0 {
-            sim_base = cp;
-        }
-        let s = ratio(sim_base, cp);
+    let sim_base = off[0].totals.breakdown.total() as f64;
+    for ((&n, out), &on_cycles) in THREADS.iter().zip(&off).zip(&on) {
+        let cp_cycles = out.totals.breakdown.total();
+        let s = ratio(sim_base, cp_cycles as f64);
         sim.row(&[
             &n,
-            &mcycles(out.totals.breakdown.total()),
+            &mcycles(cp_cycles),
             &format!("{s:.2}x"),
             &format!("{:.0}%", 100.0 * s / n as f64),
+            &mcycles(on_cycles),
+            &overhead_pct(cp_cycles, on_cycles),
         ]);
         // A lane's idle share is the gap between it and the critical path.
-        let cp_cycles = out.totals.breakdown.total();
         for lane in &out.lanes {
             workers.row(&[
                 &"sim",
@@ -77,7 +132,10 @@ fn main() {
                 &format!("{} Mcyc", mcycles(cp_cycles.saturating_sub(lane.cycles))),
             ]);
         }
+    }
 
+    let mut native_base = 0.0;
+    for (i, &n) in THREADS.iter().enumerate() {
         let t0 = std::time::Instant::now();
         let out = phj_exec::parallel_join_native(&cfg, &gen.build, &gen.probe, n, false);
         let ms = t0.elapsed().as_secs_f64() * 1e3;

@@ -34,7 +34,14 @@
 //! `regions` section — per-region counters, latency histograms, and the
 //! per-partition skew profile — to the JSON report and counter tracks to
 //! the trace. `--heatmap` implies it and prints the region × latency
-//! heatmap, miss-hotspot table, and skew bars to stdout.
+//! heatmap, miss-hotspot table, and skew bars to stdout (`--width` sets
+//! the rendered width of heatmaps, skew bars, and sparklines).
+//!
+//! `--metrics-addr`, `--sample-interval`, and `--dashboard` enable live
+//! telemetry: a lock-free registry every engine crate publishes into, a
+//! background sampler feeding a time-series ring, an optional Prometheus
+//! `/metrics` endpoint, and a `timeseries` section (with Perfetto counter
+//! tracks) in the run report. See `crates/cli/src/telemetry.rs`.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -51,6 +58,7 @@ use phj_obs::{trace_text, Recorder, RunReport};
 use phj_workload::{single_relation, tuples_for, JoinSpec};
 
 mod args;
+mod telemetry;
 use args::Args;
 
 fn main() -> ExitCode {
@@ -66,6 +74,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Telemetry starts before the command so the sampler and /metrics
+    // endpoint observe the whole run; with none of its flags present
+    // this is a no-op and nothing is installed.
+    if let Err(e) = telemetry::init(&args) {
+        eprintln!("error: {e}\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
     let result = match cmd.as_str() {
         "join" => cmd_join(&args),
         "agg" => cmd_agg(&args),
@@ -81,6 +96,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    telemetry::finish();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -99,17 +115,24 @@ USAGE:
   phj join   [--build-mb N] [--tuple-size B] [--matches M] [--pct P]
              [--scheme baseline|simple|group|swp] [--g G] [--d D]
              [--mem-mb N] [--sim] [--hybrid] [--threads N]
-             [--profile-regions] [--heatmap]
-             [--json PATH] [--trace-out PATH]
+             [--profile-regions] [--heatmap] [--width W]
+             [--json PATH] [--trace-out PATH] [TELEMETRY]
   phj agg    [--rows N] [--keys K] [--scheme S] [--g G] [--d D] [--sim]
-             [--threads N] [--profile-regions] [--heatmap]
-             [--json PATH] [--trace-out PATH]
+             [--threads N] [--profile-regions] [--heatmap] [--width W]
+             [--json PATH] [--trace-out PATH] [TELEMETRY]
   phj disk   [--build-mb N] [--mem-mb N] [--mem-budget BYTES] [--stripes S]
              [--dir PATH] [--fault-plan SPEC] [--max-depth D] [--json PATH]
+             [TELEMETRY]
   phj tune   [--build-mb N] [--tuple-size B] [--profile-regions] [--heatmap]
-             [--json PATH] [--trace-out PATH]
+             [--width W] [--json PATH] [--trace-out PATH] [TELEMETRY]
   phj params [--tuple-size B]
-  phj help";
+  phj help
+
+TELEMETRY (any of these turns live metrics on; none = zero overhead):
+  --metrics-addr HOST:PORT   serve Prometheus text at GET /metrics
+                             (port 0 = ephemeral; resolved address printed)
+  --sample-interval MS       background sampling period (default 50)
+  --dashboard                live sparkline view + end-of-run summary";
 
 /// Where (if anywhere) the observability artifacts of a run go.
 struct ObsOut {
@@ -142,7 +165,10 @@ impl ObsOut {
     }
 
     /// Validate and write the report (and its trace) where requested.
-    fn write(&self, report: &RunReport) -> Result<(), String> {
+    /// Every report passes through here, so this is also where the
+    /// sampled telemetry (if any) joins the report.
+    fn write(&self, report: &mut RunReport) -> Result<(), String> {
+        telemetry::attach(report);
         report.validate().map_err(|e| format!("internal: invalid run report: {e}"))?;
         if let Some(path) = &self.json {
             std::fs::write(path, report.render()).map_err(|e| format!("{path}: {e}"))?;
@@ -162,17 +188,23 @@ fn wants_regions(args: &Args) -> bool {
     args.flag("profile-regions") || args.flag("heatmap")
 }
 
+/// Heatmap/skew-bar width from `--width` (shared with the sparkline
+/// renderer, which applies its own default).
+fn heat_width(args: &Args) -> Result<usize, String> {
+    args.get_usize("width", phj_obs::heatmap::DEFAULT_WIDTH)
+}
+
 /// Attach the engine's region profile (when enabled) to `report` —
 /// per-region counters and histograms plus the skew profile derived from
 /// the recorded `pair` spans — then print the heatmap if requested.
-fn attach_regions(report: &mut RunReport, engine: &SimEngine, heatmap: bool) {
+fn attach_regions(report: &mut RunReport, engine: &SimEngine, heatmap: bool, width: usize) {
     if let Some(p) = engine.region_profile() {
         let mut sec = phj_obs::RegionsSection::from_profiler(p);
         sec.skew = phj::profile::skew_profile(&report.spans);
         report.regions = Some(sec);
     }
     if heatmap {
-        if let Some(text) = phj_obs::heatmap::render(report) {
+        if let Some(text) = phj_obs::heatmap::render_width(report, width) {
             print!("{text}");
         }
     }
@@ -194,6 +226,7 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     args.allow(&[
         "build-mb", "tuple-size", "matches", "pct", "scheme", "g", "d", "mem-mb", "sim",
         "hybrid", "threads", "profile-regions", "heatmap", "json", "trace-out",
+        "metrics-addr", "sample-interval", "dashboard", "width",
     ])?;
     let build_mb = args.get_usize("build-mb", 16)?;
     let tuple_size = args.get_usize("tuple-size", 100)?;
@@ -294,8 +327,8 @@ fn cmd_join(args: &Args) -> Result<(), String> {
                 100.0 * report.prefetch_coverage(),
                 100.0 * report.pollution_rate()
             );
-            attach_regions(&mut report, &engine, args.flag("heatmap"));
-            obs_out.write(&report)?;
+            attach_regions(&mut report, &engine, args.flag("heatmap"), heat_width(args)?);
+            obs_out.write(&mut report)?;
         }
     } else {
         if wants_regions(args) {
@@ -326,7 +359,7 @@ fn cmd_join(args: &Args) -> Result<(), String> {
             report.tuples = (gen.build.num_tuples() + gen.probe.num_tuples()) as u64;
             report.matches = sink.matches();
             fingerprint(&mut report);
-            obs_out.write(&report)?;
+            obs_out.write(&mut report)?;
         }
     }
     if gen.expected_matches > 0 {
@@ -412,11 +445,11 @@ fn join_parallel(
                 report.regions = Some(sec);
             }
             if args.flag("heatmap") {
-                if let Some(text) = phj_obs::heatmap::render(&report) {
+                if let Some(text) = phj_obs::heatmap::render_width(&report, heat_width(args)?) {
                     print!("{text}");
                 }
             }
-            obs_out.write(&report)?;
+            obs_out.write(&mut report)?;
         }
     } else {
         if want_regions {
@@ -455,7 +488,7 @@ fn join_parallel(
                 RunReport::from_recorder("join", rec, phj_memsim::Snapshot::default(), wall.as_nanos() as u64);
             report.matches = out.sink.matches();
             fingerprint(&mut report);
-            obs_out.write(&report)?;
+            obs_out.write(&mut report)?;
         }
     }
     if gen.expected_matches > 0 {
@@ -468,7 +501,7 @@ fn cmd_agg(args: &Args) -> Result<(), String> {
     use phj::aggregate::{aggregate, AggScheme};
     args.allow(&[
         "rows", "keys", "scheme", "g", "d", "sim", "threads", "profile-regions", "heatmap",
-        "json", "trace-out",
+        "json", "trace-out", "metrics-addr", "sample-interval", "dashboard", "width",
     ])?;
     let rows = args.get_usize("rows", 1_000_000)?;
     let keys = args.get_usize("keys", 100_000)?.max(1);
@@ -542,8 +575,8 @@ fn cmd_agg(args: &Args) -> Result<(), String> {
             report.simulated = true;
             fingerprint(&mut report, table.num_groups() as u64);
             ObsOut::config_mem(&mut report, &MemConfig::paper());
-            attach_regions(&mut report, &engine, args.flag("heatmap"));
-            obs_out.write(&report)?;
+            attach_regions(&mut report, &engine, args.flag("heatmap"), heat_width(args)?);
+            obs_out.write(&mut report)?;
         }
     } else {
         if wants_regions(args) {
@@ -564,7 +597,7 @@ fn cmd_agg(args: &Args) -> Result<(), String> {
             let mut report =
                 RunReport::from_recorder("agg", rec, native.snapshot(), wall.as_nanos() as u64);
             fingerprint(&mut report, table.num_groups() as u64);
-            obs_out.write(&report)?;
+            obs_out.write(&mut report)?;
         }
     }
     Ok(())
@@ -626,11 +659,11 @@ fn agg_parallel(
                 report.regions = Some(sec);
             }
             if args.flag("heatmap") {
-                if let Some(text) = phj_obs::heatmap::render(&report) {
+                if let Some(text) = phj_obs::heatmap::render_width(&report, heat_width(args)?) {
                     print!("{text}");
                 }
             }
-            obs_out.write(&report)?;
+            obs_out.write(&mut report)?;
         }
     } else {
         if want_regions {
@@ -664,7 +697,7 @@ fn agg_parallel(
                 wall.as_nanos() as u64,
             );
             fingerprint(&mut report, out.table.num_groups() as u64);
-            obs_out.write(&report)?;
+            obs_out.write(&mut report)?;
         }
     }
     Ok(())
@@ -687,7 +720,7 @@ fn render_chain(e: &phj_disk::PhjError) -> String {
 fn cmd_disk(args: &Args) -> Result<(), String> {
     args.allow(&[
         "build-mb", "mem-mb", "mem-budget", "stripes", "dir", "fault-plan", "max-depth",
-        "json", "trace-out",
+        "json", "trace-out", "metrics-addr", "sample-interval", "dashboard", "width",
     ])?;
     let build_mb = args.get_usize("build-mb", 16)?;
     let mem_mb = args.get_usize("mem-mb", build_mb.div_ceil(4).max(1))?;
@@ -813,14 +846,17 @@ fn cmd_disk(args: &Args) -> Result<(), String> {
                     .collect(),
             });
         }
-        obs_out.write(&run)?;
+        obs_out.write(&mut run)?;
     }
     std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }
 
 fn cmd_tune(args: &Args) -> Result<(), String> {
-    args.allow(&["build-mb", "tuple-size", "profile-regions", "heatmap", "json", "trace-out"])?;
+    args.allow(&[
+        "build-mb", "tuple-size", "profile-regions", "heatmap", "json", "trace-out",
+        "metrics-addr", "sample-interval", "dashboard", "width",
+    ])?;
     let build_mb = args.get_usize("build-mb", 8)?;
     let tuple_size = args.get_usize("tuple-size", 20)?;
     if wants_regions(args) {
@@ -893,7 +929,7 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         report.config_kv("pct_match", spec.pct_match);
         report.config_kv("seed", spec.seed);
         report.tuples = (gen.build.num_tuples() + gen.probe.num_tuples()) as u64;
-        obs_out.write(&report)?;
+        obs_out.write(&mut report)?;
     }
     Ok(())
 }

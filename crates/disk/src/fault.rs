@@ -96,6 +96,9 @@ impl IoStats {
             Fault::Permanent => &self.injected_permanent,
         };
         c.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = crate::telemetry::disk_metrics() {
+            m.faults_injected.inc();
+        }
     }
 }
 
@@ -263,6 +266,9 @@ impl FaultPlan {
             self.stats.bump(fault);
             if fault == Fault::Slow {
                 self.stats.slow_stall_us.fetch_add(self.slow_micros, Ordering::Relaxed);
+                if let Some(m) = crate::telemetry::disk_metrics() {
+                    m.stall_ns.add(self.slow_micros * 1_000);
+                }
             }
         }
         Some(fault)

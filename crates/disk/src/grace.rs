@@ -446,6 +446,9 @@ fn join_partition_pair(
                 budget: cfg.mem_budget as u64,
                 kind: DegradationKind::Repartition { fanout, seed },
             });
+            if let Some(m) = crate::telemetry::disk_metrics() {
+                m.degradation_depth.set_max(depth as u64 + 1);
+            }
             let span = obs::span_begin(rec, native, "repartition");
             obs::span_meta(rec, "partition", &label);
             obs::span_meta(rec, "fanout", fanout);
@@ -497,6 +500,9 @@ fn join_partition_pair(
             budget: cfg.mem_budget as u64,
             kind: DegradationKind::NljFallback { chunks },
         });
+        if let Some(m) = crate::telemetry::disk_metrics() {
+            m.degradation_depth.set_max(depth as u64 + 1);
+        }
         return Ok(());
     }
 

@@ -34,6 +34,7 @@ pub mod fault;
 pub mod grace;
 pub mod reader;
 pub mod stripe;
+mod telemetry;
 pub mod writer;
 
 use std::path::{Path, PathBuf};

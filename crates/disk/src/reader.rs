@@ -68,7 +68,11 @@ impl SequentialReader {
         let msg = self.rx[stripe]
             .recv()
             .map_err(|_| PhjError::WorkerLost { what: "read-ahead" })?;
-        self.stall += t0.elapsed().as_secs_f64();
+        let waited = t0.elapsed();
+        self.stall += waited.as_secs_f64();
+        if let Some(m) = crate::telemetry::disk_metrics() {
+            m.stall_ns.add(waited.as_nanos() as u64);
+        }
         let (page_id, page) = msg?;
         debug_assert_eq!(page_id, self.next_page, "stripe stream out of order");
         self.next_page += 1;

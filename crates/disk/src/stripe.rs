@@ -163,7 +163,11 @@ impl StripeSet {
         // so recover the guard rather than propagating the panic.
         let mut f = self.files[s].lock().unwrap_or_else(|p| p.into_inner());
         f.seek(SeekFrom::Start(self.offset_of(page)))?;
-        f.write_all(image)
+        f.write_all(image)?;
+        if let Some(m) = crate::telemetry::disk_metrics() {
+            m.bytes_written.add(PAGE_SIZE as u64);
+        }
+        Ok(())
     }
 
     fn raw_read(&self, s: usize, page: u64) -> io::Result<Box<[u8; PAGE_SIZE]>> {
@@ -172,6 +176,9 @@ impl StripeSet {
             let mut f = self.files[s].lock().unwrap_or_else(|p| p.into_inner());
             f.seek(SeekFrom::Start(self.offset_of(page)))?;
             f.read_exact(&mut image)?;
+        }
+        if let Some(m) = crate::telemetry::disk_metrics() {
+            m.bytes_read.add(PAGE_SIZE as u64);
         }
         Ok(image.try_into().expect("exact size"))
     }
@@ -206,6 +213,9 @@ impl StripeSet {
                 }
                 Err(e) if attempt + 1 < self.retry.max_attempts && RetryPolicy::is_retryable(&e) => {
                     self.fault.stats().read_retries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = crate::telemetry::disk_metrics() {
+                        m.read_retries.inc();
+                    }
                     std::thread::sleep(self.retry.backoff(attempt));
                     attempt += 1;
                 }
@@ -249,6 +259,9 @@ impl StripeSet {
                 Ok(()) => return Ok(()),
                 Err(e) if attempt + 1 < self.retry.max_attempts && RetryPolicy::is_retryable(&e) => {
                     self.fault.stats().write_retries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = crate::telemetry::disk_metrics() {
+                        m.write_retries.inc();
+                    }
                     std::thread::sleep(self.retry.backoff(attempt));
                     attempt += 1;
                 }

@@ -34,6 +34,7 @@ pub mod deque;
 pub mod join;
 pub mod pool;
 pub mod schedule;
+mod telemetry;
 
 pub use agg::{agg_checksum, parallel_agg_native, parallel_agg_sim, NativeAggOutcome, SimAggOutcome};
 pub use deque::{Injector, Steal, WorkDeque};

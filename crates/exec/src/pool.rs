@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use crate::deque::{Injector, Steal, WorkDeque};
 use crate::schedule::lpt_assign;
+use crate::telemetry::exec_metrics;
 
 /// Per-worker execution counters for one [`execute`] region.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -62,16 +63,27 @@ where
     let n = states.len();
     let assignment = lpt_assign(weights, n);
 
+    if let Some(m) = exec_metrics() {
+        m.workers.set(n as u64);
+        m.queue_depth.set(tasks.len() as u64);
+    }
+
     if n == 1 {
         let mut states = states;
         let mut stats = WorkerStats::default();
         let t0 = Instant::now();
         let mut slots: Vec<Option<R>> = (0..tasks.len()).map(|_| None).collect();
         for &i in &assignment[0] {
+            let task_t0 = Instant::now();
             slots[i] = Some(f(&mut states[0], i, &tasks[i]));
             stats.tasks += 1;
+            if let Some(m) = exec_metrics() {
+                m.task_ns.record(task_t0.elapsed().as_nanos() as u64);
+                m.queue_depth.set((tasks.len() - stats.tasks as usize) as u64);
+            }
         }
         stats.busy_ns = t0.elapsed().as_nanos() as u64;
+        publish_worker(&stats);
         let results = slots.into_iter().map(|r| r.expect("task ran")).collect();
         return (results, states, vec![stats]);
     }
@@ -114,11 +126,18 @@ where
                         .or_else(|| steal_round(w, deques, &mut stats));
                     match next {
                         Some(i) => {
-                            claimed.fetch_add(1, Ordering::SeqCst);
+                            let done = claimed.fetch_add(1, Ordering::SeqCst) + 1;
+                            if let Some(m) = exec_metrics() {
+                                m.queue_depth.set((total - done.min(total)) as u64);
+                            }
                             let t0 = Instant::now();
                             let r = f(&mut state, i, &tasks[i]);
-                            busy_ns += t0.elapsed().as_nanos() as u64;
+                            let dt = t0.elapsed().as_nanos() as u64;
+                            busy_ns += dt;
                             stats.tasks += 1;
+                            if let Some(m) = exec_metrics() {
+                                m.task_ns.record(dt);
+                            }
                             results.push((i, r));
                         }
                         // Tasks never spawn tasks, so once every task has
@@ -129,6 +148,7 @@ where
                 }
                 stats.busy_ns = busy_ns;
                 stats.idle_ns = (start.elapsed().as_nanos() as u64).saturating_sub(busy_ns);
+                publish_worker(&stats);
                 (w, state, results, stats)
             }));
         }
@@ -152,6 +172,17 @@ where
     }
     let results = slots.into_iter().map(|r| r.expect("task unclaimed")).collect();
     (results, states_back, all_stats)
+}
+
+/// Publish one worker's finished region counters into the live
+/// registry (no-op when telemetry is off).
+fn publish_worker(stats: &WorkerStats) {
+    if let Some(m) = exec_metrics() {
+        m.tasks.add(stats.tasks);
+        m.steals.add(stats.steals);
+        m.busy_ns.add(stats.busy_ns);
+        m.idle_ns.add(stats.idle_ns);
+    }
 }
 
 /// One full round of steal attempts over the other workers' deques.

@@ -1,0 +1,45 @@
+//! Live-telemetry handles for the executor.
+//!
+//! All instrumentation is gated on the process-global registry: when
+//! telemetry was never installed (`phj_metrics::global()` is `None`),
+//! [`exec_metrics`] is a single atomic load returning `None` and the
+//! pool publishes nothing. Handles are registered once and cached, but
+//! the global is re-checked on every call so a registry installed after
+//! the first `execute` still picks up metrics from then on.
+
+use std::sync::{Arc, OnceLock};
+
+use phj_metrics::{Counter, Gauge, Histogram};
+
+/// Registered handles for the exec metric family.
+pub(crate) struct ExecMetrics {
+    /// `phj_exec_tasks_total` — tasks run across all execute regions.
+    pub tasks: Arc<Counter>,
+    /// `phj_exec_steals_total` — tasks obtained by stealing.
+    pub steals: Arc<Counter>,
+    /// `phj_exec_busy_ns_total` — wall ns inside task bodies.
+    pub busy_ns: Arc<Counter>,
+    /// `phj_exec_idle_ns_total` — wall ns hunting for work.
+    pub idle_ns: Arc<Counter>,
+    /// `phj_exec_queue_depth` — unclaimed tasks in the current region.
+    pub queue_depth: Arc<Gauge>,
+    /// `phj_exec_workers` — workers in the current execute region.
+    pub workers: Arc<Gauge>,
+    /// `phj_exec_task_ns` — per-task wall-time distribution.
+    pub task_ns: Arc<Histogram>,
+}
+
+/// The exec handles, or `None` when telemetry is off.
+pub(crate) fn exec_metrics() -> Option<&'static ExecMetrics> {
+    static CACHE: OnceLock<ExecMetrics> = OnceLock::new();
+    let reg = phj_metrics::global()?;
+    Some(CACHE.get_or_init(|| ExecMetrics {
+        tasks: reg.counter("phj_exec_tasks_total", "Tasks run by the worker pool"),
+        steals: reg.counter("phj_exec_steals_total", "Tasks obtained by work stealing"),
+        busy_ns: reg.counter("phj_exec_busy_ns_total", "Worker wall time inside task bodies (ns)"),
+        idle_ns: reg.counter("phj_exec_idle_ns_total", "Worker wall time hunting for work (ns)"),
+        queue_depth: reg.gauge("phj_exec_queue_depth", "Unclaimed tasks in the active execute region"),
+        workers: reg.gauge("phj_exec_workers", "Workers in the active execute region"),
+        task_ns: reg.histogram("phj_exec_task_ns", "Per-task wall time (ns, log2 buckets)"),
+    }))
+}

@@ -33,6 +33,10 @@ enum FillSource {
     Memory,
 }
 
+/// References between telemetry publications. The visit path only pays a
+/// local decrement per call; registry traffic happens once per batch.
+const TELE_BATCH: u32 = 8192;
+
 /// The memory-hierarchy timing simulator.
 ///
 /// ```
@@ -74,6 +78,10 @@ pub struct SimEngine {
     /// Region-attribution profiler; `None` (the default) keeps the hot
     /// paths at a single branch per line event. Never affects timing.
     profiler: Option<Box<RegionProfiler>>,
+    /// References remaining until the next telemetry publication.
+    tele_countdown: u32,
+    /// Stats as of the last publication (deltas go to the registry).
+    tele_last: CacheStats,
 }
 
 impl SimEngine {
@@ -106,6 +114,8 @@ impl SimEngine {
             next_flush,
             stats: CacheStats::default(),
             profiler: None,
+            tele_countdown: TELE_BATCH,
+            tele_last: CacheStats::default(),
             cfg,
         }
     }
@@ -248,6 +258,7 @@ impl SimEngine {
             self.dcache += wait_until - self.now;
             self.now = wait_until;
         }
+        self.tele_tick();
     }
 
     /// Issue a prefetch covering `len` bytes at `addr` (non-blocking).
@@ -263,6 +274,7 @@ impl SimEngine {
             self.now += self.cfg.prefetch_issue;
             self.prefetch_line(line);
         }
+        self.tele_tick();
     }
 
     /// Access one line; returns the cycle its data is ready (None = ready
@@ -507,6 +519,32 @@ impl SimEngine {
     }
 
     #[inline]
+    fn tele_tick(&mut self) {
+        self.tele_countdown -= 1;
+        if self.tele_countdown == 0 {
+            self.tele_publish();
+        }
+    }
+
+    /// Push the counter deltas since the last publication to the live
+    /// registry. Host-side only — simulated time is untouched, and with
+    /// telemetry off this resolves to a single atomic load.
+    #[cold]
+    fn tele_publish(&mut self) {
+        self.tele_countdown = TELE_BATCH;
+        if let Some(m) = crate::telemetry::memsim_metrics() {
+            let d = self.stats - self.tele_last;
+            m.accesses.add(d.visits);
+            m.l1_misses.add(d.l1_misses());
+            m.l2_misses.add(d.mem_misses);
+            m.tlb_misses.add(d.tlb_demand_walks);
+            m.prefetches.add(d.prefetches);
+            m.pf_hidden_cycles.add(d.pf_hidden_cycles);
+            self.tele_last = self.stats;
+        }
+    }
+
+    #[inline]
     fn maybe_flush(&mut self) {
         while self.now >= self.next_flush {
             self.l1.flush();
@@ -518,6 +556,14 @@ impl SimEngine {
             self.stats.flushes += 1;
             self.next_flush += self.cfg.flush_period.expect("flush period set");
         }
+    }
+}
+
+impl Drop for SimEngine {
+    /// Flush the tail of the telemetry batch so short-lived engines (and
+    /// the final partial batch of long runs) still reach the registry.
+    fn drop(&mut self) {
+        self.tele_publish();
     }
 }
 
@@ -992,6 +1038,47 @@ mod region_tests {
         assert_eq!(p.stats(RegionKind::Other).demand_lines(), 1);
         let _ = NUM_REGION_KINDS; // re-exported constant stays in sync
         assert_eq!(RegionKind::ALL.len(), NUM_REGION_KINDS);
+    }
+}
+
+#[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+
+    /// With the global registry installed, engine counters reach the
+    /// scrape in batches and the drop-flush delivers the partial tail.
+    /// Other tests in this binary may publish too (the registry is
+    /// process-wide), so assertions are monotone lower bounds.
+    #[test]
+    fn batched_deltas_reach_the_registry() {
+        let reg = phj_metrics::install();
+        let scraped = |name: &str| {
+            reg.scrape()
+                .into_iter()
+                .find(|f| f.name == name)
+                .map_or(0, |f| f.value)
+        };
+        let before = scraped("phj_memsim_accesses_total");
+        let mut e = SimEngine::paper();
+        // One full batch triggers an in-flight publication...
+        for i in 0..TELE_BATCH as usize {
+            e.visit(0x40_0000 + (i % 256) * 64, 4);
+        }
+        assert!(
+            scraped("phj_memsim_accesses_total") >= before + TELE_BATCH as u64,
+            "full batch published without dropping the engine"
+        );
+        // ...and the partial tail arrives on drop.
+        e.prefetch(0x80_0000, 4);
+        for i in 0..10usize {
+            e.visit(0x80_0000 + i * 64, 4);
+        }
+        let pf_before = scraped("phj_memsim_prefetches_total");
+        drop(e);
+        assert!(scraped("phj_memsim_accesses_total") >= before + TELE_BATCH as u64 + 10);
+        assert!(scraped("phj_memsim_prefetches_total") >= pf_before.max(1));
+        assert!(scraped("phj_memsim_l2_misses_total") >= 1, "cold misses counted");
+        assert!(scraped("phj_memsim_tlb_misses_total") >= 1, "demand walks counted");
     }
 }
 

@@ -41,6 +41,7 @@ pub mod lru;
 pub mod model;
 pub mod region;
 pub mod stats;
+mod telemetry;
 pub mod tlb;
 
 pub use config::MemConfig;

@@ -1,0 +1,125 @@
+//! Prometheus text exposition (format version 0.0.4) of a scrape.
+//!
+//! Each [`Family`] becomes a `# HELP` line, a `# TYPE` line, and one or
+//! more sample lines. Counters and gauges emit a single sample;
+//! histograms emit cumulative `_bucket{le="..."}` lines (ending in
+//! `le="+Inf"`), a `_sum`, and a `_count`, per the exposition spec.
+//! Family names come from the registry's sorted name map, so the output
+//! is deterministic and free of duplicate names by construction.
+
+use crate::registry::{bucket_bound, Family, MetricKind, HIST_BUCKETS};
+
+/// Escape a HELP string per the exposition format: backslash and
+/// newline only (HELP values are not quoted).
+fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render families as Prometheus text exposition, version 0.0.4.
+pub fn encode(families: &[Family]) -> String {
+    let mut out = String::new();
+    for f in families {
+        out.push_str(&format!("# HELP {} {}\n", f.name, escape_help(&f.help)));
+        out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind.as_str()));
+        match f.kind {
+            MetricKind::Counter | MetricKind::Gauge => {
+                out.push_str(&format!("{} {}\n", f.name, f.value));
+            }
+            MetricKind::Histogram => {
+                let mut cumulative = 0u64;
+                for (i, &b) in f.buckets.iter().enumerate() {
+                    cumulative += b;
+                    // The last bucket is unbounded; spell it +Inf and
+                    // skip the redundant finite bound.
+                    if i + 1 == HIST_BUCKETS {
+                        break;
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{{le=\"{}\"}} {}\n",
+                        f.name,
+                        bucket_bound(i),
+                        cumulative
+                    ));
+                }
+                cumulative = f.buckets.iter().sum();
+                out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", f.name, cumulative));
+                out.push_str(&format!("{}_sum {}\n", f.name, f.sum));
+                out.push_str(&format!("{}_count {}\n", f.name, f.value));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn counter_and_gauge_lines() {
+        let reg = Registry::new();
+        reg.counter("phj_tasks_total", "Tasks run").add(3);
+        reg.gauge("phj_queue_depth", "Queue depth").set(5);
+        let text = encode(&reg.scrape());
+        assert!(text.contains("# HELP phj_tasks_total Tasks run\n"));
+        assert!(text.contains("# TYPE phj_tasks_total counter\n"));
+        assert!(text.contains("\nphj_tasks_total 3\n") || text.starts_with("phj_tasks_total 3\n") || text.contains("phj_tasks_total 3\n"));
+        assert!(text.contains("# TYPE phj_queue_depth gauge\n"));
+        assert!(text.contains("phj_queue_depth 5\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_in_inf() {
+        let reg = Registry::new();
+        let h = reg.histogram("phj_lat", "Latency");
+        h.record(1); // bucket le=1
+        h.record(2); // bucket le=3
+        h.record(100); // bucket le=127
+        let text = encode(&reg.scrape());
+        assert!(text.contains("# TYPE phj_lat histogram\n"));
+        assert!(text.contains("phj_lat_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("phj_lat_bucket{le=\"3\"} 2\n"));
+        assert!(text.contains("phj_lat_bucket{le=\"127\"} 3\n"));
+        assert!(text.contains("phj_lat_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("phj_lat_sum 103\n"));
+        assert!(text.contains("phj_lat_count 3\n"));
+        // Cumulative counts never decrease down the bucket list.
+        let mut prev = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("phj_lat_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= prev, "non-cumulative bucket line: {line}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn help_escaping() {
+        let reg = Registry::new();
+        reg.counter("weird_total", "line\nbreak and back\\slash");
+        let text = encode(&reg.scrape());
+        assert!(text.contains("# HELP weird_total line\\nbreak and back\\\\slash\n"));
+    }
+
+    #[test]
+    fn no_duplicate_family_names() {
+        let reg = Registry::new();
+        reg.counter("a_total", "a");
+        reg.gauge("b", "b");
+        reg.counter("a_total", "a"); // idempotent re-registration
+        let text = encode(&reg.scrape());
+        let type_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE")).collect();
+        let mut names: Vec<&str> = type_lines.iter().map(|l| l.split(' ').nth(2).unwrap()).collect();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+}

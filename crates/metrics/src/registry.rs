@@ -1,0 +1,389 @@
+//! The lock-free metric registry.
+//!
+//! Registration (rare) takes a mutex; the handles it returns are plain
+//! `Arc`s whose increment paths touch only atomics. Counters and
+//! histograms are sharded: each thread picks a shard once (round-robin at
+//! first use) and all its increments land there with relaxed ordering, so
+//! two workers bumping the same counter never bounce a cache line between
+//! cores. A scrape folds the shards together — monotonic counters merged
+//! on read, exactly the per-worker-atomics model the registry promises.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shards per sharded metric. Power of two; thread shard indices wrap.
+const SHARDS: usize = 16;
+
+/// Log2 histogram buckets: bucket 0 holds value 0, bucket `i` (1-based)
+/// holds values in `(2^(i-2), 2^(i-1)]`… practically: `bucket_of(v)` is
+/// `0` for 0 and `1 + floor(log2(v))` clamped to the last bucket.
+pub const HIST_BUCKETS: usize = 33;
+
+/// One cache-line-padded atomic cell, so shards never share a line.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's shard index, assigned round-robin at first use.
+    static SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+fn my_shard() -> usize {
+    SHARD.with(|s| *s)
+}
+
+/// A monotonic counter (sharded; merged on scrape).
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// Add `n` to this thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[my_shard()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Merged value across shards.
+    pub fn value(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A last-writer-wins gauge (writers are rare — queue depth, ladder
+/// depth, worker count — so a single atomic suffices).
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Set the gauge to `max(current, v)` (high-water marks).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// One shard of a histogram: per-bucket counts plus the running sum.
+#[repr(align(64))]
+struct HistShard {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for HistShard {
+    fn default() -> Self {
+        HistShard { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum: AtomicU64::new(0) }
+    }
+}
+
+/// A log2 histogram (sharded; merged on scrape).
+#[derive(Default)]
+pub struct Histogram {
+    shards: [HistShard; SHARDS],
+}
+
+/// Bucket index for a recorded value.
+pub(crate) fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+pub(crate) fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        i if i >= HIST_BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// Record one observation on this thread's shard.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let s = &self.shards[my_shard()];
+        s.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        s.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Merged per-bucket counts.
+    pub fn buckets(&self) -> [u64; HIST_BUCKETS] {
+        let mut out = [0u64; HIST_BUCKETS];
+        for s in &self.shards {
+            for (o, b) in out.iter_mut().zip(&s.buckets) {
+                *o += b.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Merged observation count.
+    pub fn count(&self) -> u64 {
+        self.buckets().iter().sum()
+    }
+
+    /// Merged observation sum.
+    pub fn sum(&self) -> u64 {
+        self.shards.iter().map(|s| s.sum.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// What kind of metric a family is (drives the exposition type line).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Instantaneous gauge.
+    Gauge,
+    /// Log2 histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Prometheus type keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// One scraped metric family: a consistent-enough point-in-time read of
+/// a metric (shards are merged with relaxed loads; a scrape concurrent
+/// with increments may split an update between two samples, which is the
+/// standard monotonic-counter contract).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Family {
+    /// Family name (unique within the registry, exposition-safe).
+    pub name: String,
+    /// One-line help text.
+    pub help: String,
+    /// Family type.
+    pub kind: MetricKind,
+    /// Counter/gauge value; for histograms, the observation count.
+    pub value: u64,
+    /// Histogram per-bucket counts (empty for counters/gauges).
+    pub buckets: Vec<u64>,
+    /// Histogram observation sum (0 for counters/gauges).
+    pub sum: u64,
+}
+
+/// The metric registry. See the module docs for the concurrency model.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, (String, Metric)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register (or fetch) a counter. Panics if `name` is already a
+    /// different kind — duplicate names with conflicting types would
+    /// corrupt the exposition.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Metric::Counter(Arc::new(Counter::default()))))
+        {
+            (_, Metric::Counter(c)) => c.clone(),
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// Register (or fetch) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Metric::Gauge(Arc::new(Gauge::default()))))
+        {
+            (_, Metric::Gauge(g)) => g.clone(),
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// Register (or fetch) a log2 histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| (help.to_string(), Metric::Histogram(Arc::new(Histogram::default()))))
+        {
+            (_, Metric::Histogram(h)) => h.clone(),
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// Scrape every family, merged across shards, sorted by name.
+    pub fn scrape(&self) -> Vec<Family> {
+        let m = self.metrics.lock().unwrap();
+        m.iter()
+            .map(|(name, (help, metric))| match metric {
+                Metric::Counter(c) => Family {
+                    name: name.clone(),
+                    help: help.clone(),
+                    kind: MetricKind::Counter,
+                    value: c.value(),
+                    buckets: Vec::new(),
+                    sum: 0,
+                },
+                Metric::Gauge(g) => Family {
+                    name: name.clone(),
+                    help: help.clone(),
+                    kind: MetricKind::Gauge,
+                    value: g.value(),
+                    buckets: Vec::new(),
+                    sum: 0,
+                },
+                Metric::Histogram(h) => {
+                    let buckets = h.buckets();
+                    Family {
+                        name: name.clone(),
+                        help: help.clone(),
+                        kind: MetricKind::Histogram,
+                        value: buckets.iter().sum(),
+                        buckets: buckets.to_vec(),
+                        sum: h.sum(),
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_across_threads() {
+        let reg = Registry::new();
+        let c = reg.counter("phj_test_ops_total", "ops");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 8_000);
+        // Re-registering the same name returns the same counter.
+        let again = reg.counter("phj_test_ops_total", "ops");
+        again.add(5);
+        assert_eq!(c.value(), 8_005);
+    }
+
+    #[test]
+    fn gauges_last_write_and_high_water() {
+        let g = Gauge::default();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.value(), 3);
+        g.set_max(10);
+        g.set_max(4);
+        assert_eq!(g.value(), 10);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(HIST_BUCKETS - 1), u64::MAX);
+        // Every value falls in the bucket whose bound is >= it.
+        for v in [0u64, 1, 2, 5, 100, 1 << 20, u64::MAX] {
+            assert!(bucket_bound(bucket_of(v)) >= v, "{v}");
+        }
+
+        let h = Histogram::default();
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        h.record(1 << 40);
+        let b = h.buckets();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[2], 2);
+        // 1<<40 overflows the finite buckets and clamps to the last one.
+        assert_eq!(b[HIST_BUCKETS - 1], 1);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), (1 << 40) + 6);
+    }
+
+    #[test]
+    fn scrape_sorts_and_types_families() {
+        let reg = Registry::new();
+        reg.counter("z_total", "z").add(2);
+        reg.gauge("a_depth", "a").set(9);
+        reg.histogram("m_hist", "m").record(5);
+        let fams = reg.scrape();
+        let names: Vec<&str> = fams.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a_depth", "m_hist", "z_total"]);
+        assert_eq!(fams[0].kind, MetricKind::Gauge);
+        assert_eq!(fams[0].value, 9);
+        assert_eq!(fams[1].kind, MetricKind::Histogram);
+        assert_eq!(fams[1].value, 1);
+        assert_eq!(fams[1].sum, 5);
+        assert_eq!(fams[2].kind, MetricKind::Counter);
+        assert_eq!(fams[2].value, 2);
+        // No duplicate names, ever: the map enforces it.
+        let mut sorted = names.clone();
+        sorted.dedup();
+        assert_eq!(sorted, names);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_panics() {
+        let reg = Registry::new();
+        reg.counter("phj_conflict", "c");
+        reg.gauge("phj_conflict", "g");
+    }
+}

@@ -1,0 +1,175 @@
+//! Fixed-capacity time-series ring: the sampler's landing zone.
+//!
+//! Each sample is one scrape of the registry reduced to scalars (counter
+//! and gauge values; histogram observation counts), stamped with
+//! nanoseconds since the ring was created. Capacity is fixed up front;
+//! once full, the oldest sample is overwritten — a long run keeps the
+//! most recent window rather than growing without bound.
+//!
+//! The ring is read at human frequency (dashboard refreshes, the final
+//! report) and written at sampler frequency, so interior mutability is a
+//! plain mutex — the lock is never on a join hot path.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::registry::Family;
+
+/// One scrape snapshot: a timestamp plus one scalar per tracked series
+/// (in the ring's `names` order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// Nanoseconds since the ring was created.
+    pub t_ns: u64,
+    /// One value per series name.
+    pub values: Vec<u64>,
+}
+
+/// Per-series reduction of the ring: min/max/last plus the raw points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeriesSummary {
+    /// Series (metric family) name.
+    pub name: String,
+    /// Smallest sampled value.
+    pub min: u64,
+    /// Largest sampled value.
+    pub max: u64,
+    /// Most recent sampled value.
+    pub last: u64,
+    /// `(t_ns, value)` points, oldest first.
+    pub points: Vec<(u64, u64)>,
+}
+
+struct Inner {
+    names: Vec<String>,
+    samples: VecDeque<Sample>,
+}
+
+/// The fixed-capacity ring. See the module docs.
+pub struct TimeSeriesRing {
+    cap: usize,
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl TimeSeriesRing {
+    /// A ring holding at most `cap` samples (`cap` ≥ 1 enforced).
+    pub fn new(cap: usize) -> TimeSeriesRing {
+        TimeSeriesRing {
+            cap: cap.max(1),
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner { names: Vec::new(), samples: VecDeque::new() }),
+        }
+    }
+
+    /// Sample capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Fold one scrape into the ring. The first push fixes the series
+    /// name set; later scrapes may carry *more* families (registration
+    /// is dynamic) — new names are appended and their earlier samples
+    /// read as zero, while vanished names (impossible today: metrics are
+    /// never unregistered) would read as zero going forward.
+    pub fn push(&self, families: &[Family]) {
+        let t_ns = self.epoch.elapsed().as_nanos() as u64;
+        let mut inner = self.inner.lock().unwrap();
+        for f in families {
+            if !inner.names.iter().any(|n| n == &f.name) {
+                inner.names.push(f.name.clone());
+            }
+        }
+        let values = inner
+            .names
+            .iter()
+            .map(|n| families.iter().find(|f| &f.name == n).map_or(0, |f| f.value))
+            .collect();
+        if inner.samples.len() == self.cap {
+            inner.samples.pop_front();
+        }
+        inner.samples.push_back(Sample { t_ns, values });
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().samples.len()
+    }
+
+    /// Whether the ring holds no samples yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reduce the ring to per-series summaries (ring order; empty when
+    /// no samples were ever pushed). Earlier samples taken before a
+    /// late-registered series appeared contribute zeros, mirroring the
+    /// counter's actual value at those instants.
+    pub fn series(&self) -> Vec<SeriesSummary> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let points: Vec<(u64, u64)> = inner
+                    .samples
+                    .iter()
+                    .map(|s| (s.t_ns, s.values.get(i).copied().unwrap_or(0)))
+                    .collect();
+                let min = points.iter().map(|&(_, v)| v).min().unwrap_or(0);
+                let max = points.iter().map(|&(_, v)| v).max().unwrap_or(0);
+                let last = points.last().map_or(0, |&(_, v)| v);
+                SeriesSummary { name: name.clone(), min, max, last, points }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn ring_overwrites_oldest_at_capacity() {
+        let reg = Registry::new();
+        let c = reg.counter("c_total", "c");
+        let ring = TimeSeriesRing::new(3);
+        for i in 1..=5u64 {
+            c.add(i);
+            ring.push(&reg.scrape());
+        }
+        assert_eq!(ring.len(), 3);
+        let s = ring.series();
+        assert_eq!(s.len(), 1);
+        // Counter values were 1, 3, 6, 10, 15; the ring keeps the last 3.
+        assert_eq!(s[0].points.iter().map(|&(_, v)| v).collect::<Vec<_>>(), [6, 10, 15]);
+        assert_eq!((s[0].min, s[0].max, s[0].last), (6, 15, 15));
+        // Timestamps are monotonic.
+        assert!(s[0].points.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn late_registered_series_backfills_zero() {
+        let reg = Registry::new();
+        reg.counter("a_total", "a").add(1);
+        let ring = TimeSeriesRing::new(8);
+        ring.push(&reg.scrape());
+        reg.counter("b_total", "b").add(9);
+        ring.push(&reg.scrape());
+        let s = ring.series();
+        assert_eq!(s.len(), 2);
+        let b = s.iter().find(|x| x.name == "b_total").unwrap();
+        assert_eq!(b.points.iter().map(|&(_, v)| v).collect::<Vec<_>>(), [0, 9]);
+        assert_eq!((b.min, b.max, b.last), (0, 9, 9));
+    }
+
+    #[test]
+    fn empty_ring_yields_no_series() {
+        let ring = TimeSeriesRing::new(4);
+        assert!(ring.is_empty());
+        assert!(ring.series().is_empty());
+    }
+}

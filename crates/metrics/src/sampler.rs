@@ -1,0 +1,147 @@
+//! Background sampler: scrapes the registry into a ring on an interval.
+//!
+//! The sampler owns its thread. It takes one sample immediately on
+//! start (so even a run shorter than the interval yields a point), one
+//! per interval while running, and one final sample on [`Sampler::stop`]
+//! (so the ring's `last` always reflects the end-of-run totals). An
+//! optional observer is invoked after every push — the CLI's
+//! `--dashboard` live view hangs off it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Registry;
+use crate::ring::TimeSeriesRing;
+
+/// Handle to the background sampling thread. Dropping the handle stops
+/// the thread (equivalent to [`Sampler::stop`]).
+pub struct Sampler {
+    registry: Arc<Registry>,
+    ring: Arc<TimeSeriesRing>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Start sampling `registry` into a fresh ring of `cap` samples,
+    /// every `interval`. `observer` (if any) runs on the sampler thread
+    /// after each push.
+    pub fn start(
+        registry: Arc<Registry>,
+        interval: Duration,
+        cap: usize,
+        observer: Option<Box<dyn Fn(&TimeSeriesRing) + Send>>,
+    ) -> Sampler {
+        let ring = Arc::new(TimeSeriesRing::new(cap));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let registry = Arc::clone(&registry);
+            let ring = Arc::clone(&ring);
+            let stop = Arc::clone(&stop);
+            // Sleep in short slices so stop() returns promptly even with
+            // a long interval.
+            let slice = interval.min(Duration::from_millis(20)).max(Duration::from_micros(100));
+            std::thread::Builder::new()
+                .name("phj-sampler".into())
+                .spawn(move || {
+                    let mut elapsed = interval; // force an immediate first sample
+                    loop {
+                        if elapsed >= interval {
+                            elapsed = Duration::ZERO;
+                            ring.push(&registry.scrape());
+                            if let Some(obs) = &observer {
+                                obs(&ring);
+                            }
+                        }
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::sleep(slice);
+                        elapsed += slice;
+                    }
+                })
+                .expect("spawn sampler thread")
+        };
+        Sampler { registry, ring, stop, handle: Some(handle) }
+    }
+
+    /// The ring this sampler writes into.
+    pub fn ring(&self) -> &Arc<TimeSeriesRing> {
+        &self.ring
+    }
+
+    /// Stop the thread, take one final sample, and return the ring.
+    pub fn stop(mut self) -> Arc<TimeSeriesRing> {
+        self.shutdown();
+        Arc::clone(&self.ring)
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+            // Final sample after the thread is gone: captures counts
+            // bumped between the last tick and stop().
+            self.ring.push(&self.registry.scrape());
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_takes_initial_and_final_samples() {
+        let reg = Arc::new(Registry::new());
+        let c = reg.counter("work_total", "work");
+        // Interval far longer than the test: only the initial + final
+        // samples can appear.
+        let s = Sampler::start(Arc::clone(&reg), Duration::from_secs(60), 16, None);
+        // The initial sample lands quickly.
+        for _ in 0..200 {
+            if !s.ring().is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!s.ring().is_empty(), "initial sample never taken");
+        c.add(7);
+        let ring = s.stop();
+        let series = ring.series();
+        let w = series.iter().find(|x| x.name == "work_total").unwrap();
+        assert_eq!(w.last, 7, "final sample must see post-tick increments");
+        assert!(ring.len() >= 2);
+    }
+
+    #[test]
+    fn observer_runs_per_sample() {
+        use std::sync::atomic::AtomicUsize;
+        let reg = Arc::new(Registry::new());
+        reg.counter("x_total", "x");
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let s = Sampler::start(
+            Arc::clone(&reg),
+            Duration::from_millis(5),
+            64,
+            Some(Box::new(move |_ring| {
+                h.fetch_add(1, Ordering::Relaxed);
+            })),
+        );
+        std::thread::sleep(Duration::from_millis(40));
+        let ring = s.stop();
+        let observed = hits.load(Ordering::Relaxed);
+        assert!(observed >= 2, "observer ran {observed} times");
+        // stop() pushes one final sample without the observer.
+        assert!(ring.len() >= observed);
+    }
+}

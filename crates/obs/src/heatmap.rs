@@ -11,26 +11,42 @@ use phj_memsim::LATENCY_BUCKETS;
 /// Shade ramp for heatmap cells, lightest to darkest.
 const SHADES: &[u8] = b" .:-=+*#%@";
 
+/// Default width budget (in characters) for the variable-width parts of
+/// the renderers: heatmap columns and skew bars.
+pub const DEFAULT_WIDTH: usize = 30;
+
 /// Render the attribution section of `report` as ASCII: heatmap +
 /// hotspots + skew. `None` when the report has no `regions` section
 /// (the run did not profile).
 pub fn render(report: &RunReport) -> Option<String> {
-    report.regions.as_ref().map(render_section)
+    render_width(report, DEFAULT_WIDTH)
 }
 
-/// Render a [`RegionsSection`] directly.
+/// [`render`] with an explicit width budget (the CLI's `--width`).
+pub fn render_width(report: &RunReport, width: usize) -> Option<String> {
+    report.regions.as_ref().map(|sec| render_section_width(sec, width))
+}
+
+/// Render a [`RegionsSection`] directly at the default width.
 pub fn render_section(sec: &RegionsSection) -> String {
+    render_section_width(sec, DEFAULT_WIDTH)
+}
+
+/// Render a [`RegionsSection`] with an explicit width budget.
+pub fn render_section_width(sec: &RegionsSection, width: usize) -> String {
+    let width = width.max(6);
     let mut out = String::new();
-    heatmap(sec, &mut out);
+    heatmap(sec, width, &mut out);
     hotspots(sec, &mut out);
-    skew(&sec.skew, &mut out);
+    skew(&sec.skew, width, &mut out);
     out
 }
 
 /// The region × log2-latency grid. Rows are regions with at least one
-/// demand line; columns cover the occupied bucket range; cell shade is
-/// log-scaled against the densest cell.
-fn heatmap(sec: &RegionsSection, out: &mut String) {
+/// demand line; columns cover the occupied bucket range, clamped to the
+/// width budget (keeping the high-latency tail, which is where the
+/// diagnosis lives); cell shade is log-scaled against the densest cell.
+fn heatmap(sec: &RegionsSection, width: usize, out: &mut String) {
     let rows: Vec<_> = sec.regions.iter().filter(|r| r.stats.demand_lines() > 0).collect();
     if rows.is_empty() {
         out.push_str("memory-access attribution: no demand accesses recorded\n");
@@ -51,6 +67,21 @@ fn heatmap(sec: &RegionsSection, out: &mut String) {
     }
     let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(0).max(6);
     out.push_str("exposed latency per demand line (columns: log2 cycle buckets)\n");
+    if max_cell == 0 {
+        // Regions exist but every histogram is empty: there is no bucket
+        // range to grid (lo > hi), so render the no-samples marker per
+        // region instead of underflowing the width arithmetic.
+        for r in &rows {
+            out.push_str(&format!("{:>name_w$} | -\n", r.name));
+        }
+        out.push('\n');
+        return;
+    }
+    // Clamp the column count to the width budget (6 chars per column).
+    let max_cols = (width / 6).max(1);
+    if hi - lo + 1 > max_cols {
+        lo = hi + 1 - max_cols;
+    }
     out.push_str(&format!("{:>name_w$} |", "cycles"));
     for i in lo..=hi {
         out.push_str(&format!("{:>6}", bucket_label(i)));
@@ -59,9 +90,15 @@ fn heatmap(sec: &RegionsSection, out: &mut String) {
     out.push_str(&format!("{:-<w$}\n", "", w = name_w + 2 + 6 * (hi - lo + 1)));
     for r in &rows {
         out.push_str(&format!("{:>name_w$} |", r.name));
-        for i in lo..=hi {
-            let c = r.hist.buckets[i];
-            out.push_str(&format!("{:>5}{}", "", shade(c, max_cell) as char));
+        if r.hist.count() == 0 {
+            // Demand lines but no latency samples for this region alone:
+            // mark it rather than printing an all-blank row.
+            out.push_str(" -");
+        } else {
+            for i in lo..=hi {
+                let c = r.hist.buckets[i];
+                out.push_str(&format!("{:>5}{}", "", shade(c, max_cell) as char));
+            }
         }
         out.push('\n');
     }
@@ -100,8 +137,9 @@ fn hotspots(sec: &RegionsSection, out: &mut String) {
 }
 
 /// Per-partition skew bars: probes and misses per pair, normalized to the
-/// heaviest pair.
-fn skew(rows: &[SkewRow], out: &mut String) {
+/// heaviest pair and scaled to the width budget. A pair that recorded no
+/// cycles at all gets the no-samples marker instead of a bar.
+fn skew(rows: &[SkewRow], width: usize, out: &mut String) {
     if rows.is_empty() {
         return;
     }
@@ -112,15 +150,15 @@ fn skew(rows: &[SkewRow], out: &mut String) {
         "pair", "build", "probe", "mem_misses", "cycles"
     ));
     for r in rows {
-        let bar_len = ((r.cycles as f64 / max_cycles as f64) * 30.0).round() as usize;
+        let bar = if r.cycles == 0 {
+            "-".to_string()
+        } else {
+            let bar_len = ((r.cycles as f64 / max_cycles as f64) * width as f64).round() as usize;
+            "#".repeat(bar_len.clamp(1, width))
+        };
         out.push_str(&format!(
             "{:>5} {:>12} {:>12} {:>12} {:>12}  {}\n",
-            r.index,
-            r.build_tuples,
-            r.probe_tuples,
-            r.mem_misses,
-            r.cycles,
-            "#".repeat(bar_len.max(1)),
+            r.index, r.build_tuples, r.probe_tuples, r.mem_misses, r.cycles, bar,
         ));
     }
 }
@@ -256,6 +294,70 @@ mod tests {
         let top = shade(1000, 1000);
         assert_eq!(top, *SHADES.last().unwrap());
         assert!(SHADES.iter().position(|&s| s == mid) < SHADES.iter().position(|&s| s == top));
+    }
+
+    /// A section whose regions have demand lines but empty latency
+    /// histograms — the shape that used to underflow the grid-width
+    /// arithmetic and panic.
+    fn zero_sample_section() -> RegionsSection {
+        RegionsSection {
+            regions: vec![RegionReport {
+                name: "hash_cells".into(),
+                stats: RegionStats { l1_hits: 10, ..Default::default() },
+                hist: LatencyHistogram::default(),
+            }],
+            skew: vec![SkewRow { index: 0, cycles: 0, ..Default::default() }],
+        }
+    }
+
+    #[test]
+    fn zero_sample_regions_render_dash_instead_of_panicking() {
+        let text = render_section(&zero_sample_section());
+        assert!(text.contains("hash_cells | -"), "{text}");
+        // The zero-cycle skew row gets the marker too, not a phantom bar.
+        let skew_line = text.lines().find(|l| l.trim_start().starts_with("0 ")).unwrap();
+        assert!(skew_line.trim_end().ends_with('-'), "{skew_line}");
+        assert!(!skew_line.contains('#'), "{skew_line}");
+        assert!(!text.contains("NaN"));
+    }
+
+    #[test]
+    fn mixed_empty_and_populated_regions_mark_the_empty_row() {
+        let mut sec = section();
+        // Give the empty "other" region demand lines so it joins the grid
+        // with an empty histogram.
+        sec.regions[2].stats.l1_hits = 5;
+        let text = render_section(&sec);
+        let grid = text.split("miss hotspots").next().unwrap();
+        let other = grid.lines().find(|l| l.contains("other")).unwrap();
+        assert!(other.trim_end().ends_with("| -"), "{other}");
+    }
+
+    #[test]
+    fn width_clamps_heatmap_columns_and_skew_bars() {
+        let mut sec = section();
+        // Spread samples across many buckets so clamping has work to do.
+        for shift in 0..12 {
+            sec.regions[0].hist.record(1u64 << shift);
+        }
+        for width in [20usize, 200] {
+            let text = render_section_width(&sec, width);
+            let header = text
+                .lines()
+                .find(|l| l.contains("cycles |"))
+                .expect("grid header");
+            let cols = header.split('|').nth(1).unwrap().split_whitespace().count();
+            assert!(cols <= (width / 6).max(1), "width {width}: {cols} cols\n{header}");
+            let bars = text
+                .lines()
+                .filter(|l| l.contains('#'))
+                .map(|l| l.chars().filter(|&c| c == '#').count())
+                .max()
+                .unwrap();
+            assert!(bars <= width, "width {width}: longest bar {bars}");
+            // The heaviest pair still gets the full bar at any width.
+            assert_eq!(bars, width, "width {width}");
+        }
     }
 
     #[test]

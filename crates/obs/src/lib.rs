@@ -32,12 +32,14 @@ pub mod heatmap;
 pub mod json;
 pub mod report;
 pub mod span;
+pub mod spark;
 pub mod trace;
 
 pub use json::Json;
 pub use report::{
     DegradationRow, FaultsSection, RegionReport, RegionsSection, RunReport, SkewRow,
-    SCHEMA_VERSION,
+    TimeseriesRow, TimeseriesSection, SCHEMA_VERSION,
 };
+pub use spark::{render_timeseries, sparkline};
 pub use span::{span_begin, span_end, span_meta, Recorder, SpanId, SpanRecord};
 pub use trace::{trace_json, trace_text};

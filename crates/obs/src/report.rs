@@ -134,6 +134,38 @@ pub struct FaultsSection {
     pub degradation: Vec<DegradationRow>,
 }
 
+/// One sampled metric series in a report's `timeseries` section.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TimeseriesRow {
+    /// Metric family name (`phj_exec_tasks_total`, …).
+    pub name: String,
+    /// Smallest sampled value.
+    pub min: u64,
+    /// Largest sampled value.
+    pub max: u64,
+    /// Final sampled value.
+    pub last: u64,
+    /// `(t_ns, value)` samples, oldest first (`t_ns` relative to the
+    /// sampler's start).
+    pub points: Vec<(u64, u64)>,
+}
+
+/// The optional live-telemetry section of a [`RunReport`]: the sampler
+/// ring's contents at end of run, one row per metric family. Present
+/// only when the run enabled telemetry sampling (`--sample-interval` /
+/// `--metrics-addr` / `--dashboard`); like `regions` and `faults`, the
+/// JSON key is omitted entirely when absent so untelemetered reports
+/// stay byte-identical to older ones.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TimeseriesSection {
+    /// Sampling interval in milliseconds.
+    pub interval_ms: u64,
+    /// Ring capacity in samples (rows hold at most this many points).
+    pub capacity: u64,
+    /// Per-metric series, in scrape (name) order.
+    pub series: Vec<TimeseriesRow>,
+}
+
 /// A complete, serializable description of one pipeline run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -164,6 +196,10 @@ pub struct RunReport {
     /// injected faults, retried I/O, or degraded; omitted from the JSON
     /// when absent, same convention as `regions`).
     pub faults: Option<FaultsSection>,
+    /// Sampled live-telemetry series (`None` unless the run enabled the
+    /// sampler; omitted from the JSON when absent, same convention as
+    /// `regions` and `faults`).
+    pub timeseries: Option<TimeseriesSection>,
 }
 
 impl RunReport {
@@ -187,6 +223,7 @@ impl RunReport {
             spans: recorder.finish(),
             regions: None,
             faults: None,
+            timeseries: None,
         }
     }
 
@@ -306,6 +343,11 @@ impl RunReport {
                 members.push(("faults".into(), faults_json(sec)));
             }
         }
+        if let Some(sec) = &self.timeseries {
+            if let Json::Obj(members) = &mut doc {
+                members.push(("timeseries".into(), timeseries_json(sec)));
+            }
+        }
         doc
     }
 
@@ -347,6 +389,10 @@ impl RunReport {
             },
             faults: match doc.get("faults") {
                 Some(sec) => Some(parse_faults(sec)?),
+                None => None,
+            },
+            timeseries: match doc.get("timeseries") {
+                Some(sec) => Some(parse_timeseries(sec)?),
                 None => None,
             },
         })
@@ -422,6 +468,9 @@ impl RunReport {
         if let Some(sec) = &self.regions {
             self.validate_regions(sec)?;
         }
+        if let Some(sec) = &self.timeseries {
+            validate_timeseries(sec)?;
+        }
         Ok(())
     }
 
@@ -465,6 +514,39 @@ impl RunReport {
         }
         Ok(())
     }
+}
+
+/// Internal consistency of a `timeseries` section: each row's
+/// min/max/last must be exactly the reduction of its points, point
+/// counts must fit the ring capacity, and timestamps must be
+/// non-decreasing (the sampler ring appends in time order).
+fn validate_timeseries(sec: &TimeseriesSection) -> Result<(), String> {
+    for row in &sec.series {
+        if row.points.is_empty() {
+            return Err(format!("timeseries row '{}' has no points", row.name));
+        }
+        if sec.capacity > 0 && row.points.len() as u64 > sec.capacity {
+            return Err(format!(
+                "timeseries row '{}' holds {} points over ring capacity {}",
+                row.name,
+                row.points.len(),
+                sec.capacity
+            ));
+        }
+        let min = row.points.iter().map(|&(_, v)| v).min().unwrap_or(0);
+        let max = row.points.iter().map(|&(_, v)| v).max().unwrap_or(0);
+        let last = row.points.last().map_or(0, |&(_, v)| v);
+        if (row.min, row.max, row.last) != (min, max, last) {
+            return Err(format!(
+                "timeseries row '{}' summary ({}, {}, {}) disagrees with its points ({min}, {max}, {last})",
+                row.name, row.min, row.max, row.last
+            ));
+        }
+        if row.points.windows(2).any(|w| w[0].0 > w[1].0) {
+            return Err(format!("timeseries row '{}' timestamps go backwards", row.name));
+        }
+    }
+    Ok(())
 }
 
 /// Coverage for one snapshot delta (see
@@ -596,6 +678,68 @@ fn faults_json(sec: &FaultsSection) -> Json {
             Json::Arr(sec.degradation.iter().map(degradation_json).collect()),
         ),
     ])
+}
+
+fn timeseries_row_json(row: &TimeseriesRow) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(row.name.clone())),
+        ("min", Json::U64(row.min)),
+        ("max", Json::U64(row.max)),
+        ("last", Json::U64(row.last)),
+        (
+            "points",
+            Json::Arr(
+                row.points
+                    .iter()
+                    .map(|&(t, v)| Json::Arr(vec![Json::U64(t), Json::U64(v)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn timeseries_json(sec: &TimeseriesSection) -> Json {
+    Json::obj(vec![
+        ("interval_ms", Json::U64(sec.interval_ms)),
+        ("capacity", Json::U64(sec.capacity)),
+        ("series", Json::Arr(sec.series.iter().map(timeseries_row_json).collect())),
+    ])
+}
+
+fn parse_timeseries_row(doc: &Json) -> Result<TimeseriesRow, String> {
+    Ok(TimeseriesRow {
+        name: field_str(doc, "name")?,
+        min: field_u64(doc, "min")?,
+        max: field_u64(doc, "max")?,
+        last: field_u64(doc, "last")?,
+        points: doc
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or("timeseries row missing points array")?
+            .iter()
+            .map(|p| match p.as_arr() {
+                Some([t, v]) => Ok((
+                    t.as_u64().ok_or("non-integer point timestamp")?,
+                    v.as_u64().ok_or("non-integer point value")?,
+                )),
+                _ => Err("timeseries point is not a [t, v] pair".to_string()),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+fn parse_timeseries(doc: &Json) -> Result<TimeseriesSection, String> {
+    Ok(TimeseriesSection {
+        interval_ms: field_u64(doc, "interval_ms")?,
+        capacity: field_u64(doc, "capacity")?,
+        series: doc
+            .get("series")
+            .and_then(Json::as_arr)
+            .ok_or("timeseries section missing series array")?
+            .iter()
+            .map(parse_timeseries_row)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
 }
 
 fn parse_hist(doc: &Json) -> Result<LatencyHistogram, String> {
@@ -1123,6 +1267,78 @@ mod tests {
         }
         r.regions = Some(merged);
         r.validate().expect("merged section conserves against summed totals");
+    }
+
+    fn timeseries_section() -> TimeseriesSection {
+        TimeseriesSection {
+            interval_ms: 10,
+            capacity: 64,
+            series: vec![
+                TimeseriesRow {
+                    name: "phj_exec_tasks_total".into(),
+                    min: 0,
+                    max: 12,
+                    last: 12,
+                    points: vec![(0, 0), (10_000_000, 5), (20_000_000, 12)],
+                },
+                TimeseriesRow {
+                    name: "phj_exec_workers".into(),
+                    min: 4,
+                    max: 4,
+                    last: 4,
+                    points: vec![(0, 4), (10_000_000, 4), (20_000_000, 4)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn timeseries_section_round_trips_and_validates() {
+        let mut r = report_with_spans();
+        r.timeseries = Some(timeseries_section());
+        r.validate().expect("consistent timeseries validates");
+        let text = r.render();
+        assert!(text.contains("\"timeseries\""));
+        assert!(text.contains("\"interval_ms\""));
+        let back = RunReport::parse(&text).expect("parse");
+        assert_eq!(back.timeseries, r.timeseries);
+        back.validate().expect("round-tripped timeseries still validates");
+    }
+
+    #[test]
+    fn untelemetered_reports_never_mention_timeseries() {
+        assert!(!report_with_spans().render().contains("timeseries"));
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_timeseries() {
+        // Summary out of step with the points.
+        let mut r = report_with_spans();
+        let mut sec = timeseries_section();
+        sec.series[0].max = 99;
+        r.timeseries = Some(sec);
+        assert!(r.validate().unwrap_err().contains("disagrees"));
+
+        // A row with no points at all.
+        let mut sec = timeseries_section();
+        sec.series[0].points.clear();
+        sec.series[0].min = 0;
+        sec.series[0].max = 0;
+        sec.series[0].last = 0;
+        r.timeseries = Some(sec);
+        assert!(r.validate().unwrap_err().contains("no points"));
+
+        // More points than the ring could hold.
+        let mut sec = timeseries_section();
+        sec.capacity = 2;
+        r.timeseries = Some(sec);
+        assert!(r.validate().unwrap_err().contains("capacity"));
+
+        // Timestamps running backwards.
+        let mut sec = timeseries_section();
+        sec.series[0].points[1].0 = 30_000_000;
+        r.timeseries = Some(sec);
+        assert!(r.validate().unwrap_err().contains("backwards"));
     }
 
     #[test]

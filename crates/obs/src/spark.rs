@@ -1,0 +1,161 @@
+//! ASCII sparklines for sampled telemetry series.
+//!
+//! A sparkline compresses one metric's ring samples into a single line
+//! of shade glyphs, so the CLI can show the *shape* of a run — ramp-up,
+//! plateaus, stalls — without a plotting stack. The same renderer backs
+//! the end-of-run `timeseries` summary and the live `--dashboard` view.
+
+use crate::report::{TimeseriesRow, TimeseriesSection};
+
+/// Default sparkline width in characters.
+pub const DEFAULT_WIDTH: usize = 60;
+
+/// Glyph ramp, lowest to highest (ASCII-only, same spirit as the
+/// heatmap's shade ramp).
+const RAMP: &[u8] = b"_.:-=+*#%@";
+
+/// Render `values` as a one-line sparkline at most `width` characters
+/// wide. An empty series renders a single `-` (the "no samples" marker
+/// shared with the heatmap); longer series are downsampled by taking the
+/// max of each chunk, so short spikes stay visible. Values are
+/// normalized to the series' own min..max; a constant series renders at
+/// the bottom of the ramp.
+pub fn sparkline(values: &[u64], width: usize) -> String {
+    let width = width.max(1);
+    if values.is_empty() {
+        return "-".to_string();
+    }
+    // Downsample to at most `width` points: chunk and keep the max.
+    let chunks = values.len().div_ceil(width);
+    let points: Vec<u64> = values
+        .chunks(chunks)
+        .map(|c| c.iter().copied().max().unwrap_or(0))
+        .collect();
+    let lo = points.iter().copied().min().unwrap_or(0);
+    let hi = points.iter().copied().max().unwrap_or(0);
+    let span = hi - lo;
+    points
+        .iter()
+        .map(|&v| {
+            let idx = if span == 0 {
+                0
+            } else {
+                (((v - lo) as f64 / span as f64) * (RAMP.len() - 1) as f64).round() as usize
+            };
+            RAMP[idx.min(RAMP.len() - 1)] as char
+        })
+        .collect()
+}
+
+/// Render a report's `timeseries` section as a terminal block: one row
+/// per metric with sparkline, min, max, and last. `width` bounds the
+/// sparkline column.
+pub fn render_timeseries(sec: &TimeseriesSection, width: usize) -> String {
+    let name_w = sec.series.iter().map(|r| r.name.len()).max().unwrap_or(6).max(6);
+    let mut out = format!(
+        "telemetry timeseries ({} series, {}ms interval, ring capacity {})\n",
+        sec.series.len(),
+        sec.interval_ms,
+        sec.capacity
+    );
+    for row in &sec.series {
+        out.push_str(&render_row(row, name_w, width));
+    }
+    out
+}
+
+fn render_row(row: &TimeseriesRow, name_w: usize, width: usize) -> String {
+    let values: Vec<u64> = row.points.iter().map(|&(_, v)| v).collect();
+    format!(
+        "{:>name_w$} |{:<width$}| min {} max {} last {}\n",
+        row.name,
+        sparkline(&values, width),
+        row.min,
+        row.max,
+        row.last,
+        width = width.max(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, values: &[u64]) -> TimeseriesRow {
+        TimeseriesRow {
+            name: name.into(),
+            min: values.iter().copied().min().unwrap_or(0),
+            max: values.iter().copied().max().unwrap_or(0),
+            last: values.last().copied().unwrap_or(0),
+            points: values.iter().enumerate().map(|(i, &v)| (i as u64, v)).collect(),
+        }
+    }
+
+    #[test]
+    fn empty_series_renders_dash_not_nan() {
+        assert_eq!(sparkline(&[], 40), "-");
+        assert_eq!(sparkline(&[], 1), "-");
+        let text = render_timeseries(
+            &TimeseriesSection {
+                interval_ms: 10,
+                capacity: 64,
+                series: vec![row("phj_empty_total", &[])],
+            },
+            40,
+        );
+        assert!(text.contains("|-"), "{text}");
+        assert!(!text.contains("NaN"));
+    }
+
+    #[test]
+    fn constant_and_zero_series_do_not_divide_by_zero() {
+        // All-zero and all-equal series exercise the span == 0 path.
+        assert_eq!(sparkline(&[0, 0, 0], 10), "___");
+        assert_eq!(sparkline(&[7, 7, 7, 7], 10), "____");
+    }
+
+    #[test]
+    fn ramp_tracks_magnitude() {
+        let s = sparkline(&[0, 5, 10], 10);
+        assert_eq!(s.len(), 3);
+        let ranks: Vec<usize> =
+            s.bytes().map(|b| RAMP.iter().position(|&r| r == b).unwrap()).collect();
+        assert!(ranks[0] < ranks[1] && ranks[1] < ranks[2], "{s}");
+        assert_eq!(s.as_bytes()[0], RAMP[0]);
+        assert_eq!(s.as_bytes()[2], *RAMP.last().unwrap());
+    }
+
+    #[test]
+    fn clamps_to_width_20_and_200() {
+        let long: Vec<u64> = (0..1000).collect();
+        for width in [20usize, 200] {
+            let s = sparkline(&long, width);
+            assert!(s.len() <= width, "width {width} got {}", s.len());
+            // Downsampling keeps the spike: the last chunk holds the max.
+            assert_eq!(s.as_bytes()[s.len() - 1], *RAMP.last().unwrap());
+        }
+        // Series shorter than the width are not stretched.
+        assert_eq!(sparkline(&[1, 2, 3], 200).len(), 3);
+    }
+
+    #[test]
+    fn summary_block_lists_every_series() {
+        let sec = TimeseriesSection {
+            interval_ms: 10,
+            capacity: 128,
+            series: vec![row("phj_a_total", &[1, 4, 9]), row("phj_b_depth", &[3, 3])],
+        };
+        for width in [20usize, 200] {
+            let text = render_timeseries(&sec, width);
+            assert!(text.contains("phj_a_total"));
+            assert!(text.contains("phj_b_depth"));
+            assert!(text.contains("min 1 max 9 last 9"));
+            assert!(text.contains("min 3 max 3 last 3"));
+            // Sparkline column respects the width bound.
+            for line in text.lines().skip(1) {
+                let inner = line.split('|').nth(1).unwrap();
+                assert!(inner.len() <= width.max(1) || inner.trim().len() <= width);
+            }
+        }
+    }
+}

@@ -26,6 +26,7 @@
 pub mod page;
 pub mod relation;
 pub mod schema;
+mod telemetry;
 pub mod tuple;
 
 pub use page::{Page, PageError, SlotId, PAGE_HEADER_BYTES, PAGE_SIZE};

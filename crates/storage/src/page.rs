@@ -262,6 +262,9 @@ impl Page {
     pub fn seal(&mut self) {
         let c = Self::compute_checksum(&self.buf);
         self.buf[CKSUM_RANGE].copy_from_slice(&c.to_le_bytes());
+        if let Some(m) = crate::telemetry::storage_metrics() {
+            m.pages_sealed.inc();
+        }
     }
 
     /// A copy of the page image with a freshly computed checksum — the form
@@ -272,6 +275,9 @@ impl Page {
         let mut img = Box::new(*self.as_bytes());
         let c = Self::compute_checksum(&img);
         img[CKSUM_RANGE].copy_from_slice(&c.to_le_bytes());
+        if let Some(m) = crate::telemetry::storage_metrics() {
+            m.pages_sealed.inc();
+        }
         img
     }
 
@@ -289,12 +295,21 @@ impl Page {
             || (ds as usize) < HDR
             || HDR + SLOT * nslots as usize > ds as usize
         {
+            if let Some(m) = crate::telemetry::storage_metrics() {
+                m.checksum_failures.inc();
+            }
             return Err(PageError::Torn { nslots, data_start: ds });
         }
         let stored = page.checksum();
         let computed = Self::compute_checksum(&page.buf);
         if stored != computed {
+            if let Some(m) = crate::telemetry::storage_metrics() {
+                m.checksum_failures.inc();
+            }
             return Err(PageError::ChecksumMismatch { stored, computed });
+        }
+        if let Some(m) = crate::telemetry::storage_metrics() {
+            m.pages_verified.inc();
         }
         Ok(page)
     }

@@ -1,0 +1,39 @@
+//! Live-telemetry handles for the storage layer.
+//!
+//! Sealing and verification happen once per page crossing a disk
+//! boundary (not per tuple), so these counters update directly at the
+//! event site — no batching needed. All updates sit behind the usual
+//! `phj_metrics::global()` null check: with telemetry off, each site is
+//! one atomic load.
+
+use std::sync::{Arc, OnceLock};
+
+use phj_metrics::Counter;
+
+/// Registered handles for the storage metric family.
+pub(crate) struct StorageMetrics {
+    /// `phj_storage_pages_sealed_total` — page images checksummed for disk.
+    pub pages_sealed: Arc<Counter>,
+    /// `phj_storage_pages_verified_total` — disk images that passed
+    /// verification.
+    pub pages_verified: Arc<Counter>,
+    /// `phj_storage_checksum_failures_total` — disk images rejected (torn
+    /// header or checksum mismatch).
+    pub checksum_failures: Arc<Counter>,
+}
+
+/// The storage handles, or `None` when telemetry is off.
+pub(crate) fn storage_metrics() -> Option<&'static StorageMetrics> {
+    static CACHE: OnceLock<StorageMetrics> = OnceLock::new();
+    let reg = phj_metrics::global()?;
+    Some(CACHE.get_or_init(|| StorageMetrics {
+        pages_sealed: reg
+            .counter("phj_storage_pages_sealed_total", "Page images sealed for disk"),
+        pages_verified: reg
+            .counter("phj_storage_pages_verified_total", "Disk page images verified OK"),
+        checksum_failures: reg.counter(
+            "phj_storage_checksum_failures_total",
+            "Disk page images rejected (torn or checksum mismatch)",
+        ),
+    }))
+}
