@@ -1,0 +1,88 @@
+//! Golden-output tests for `phj explain`: each committed fixture report
+//! under `tests/fixtures/` must (a) still validate, (b) classify to the
+//! bottleneck its filename names, and (c) render byte-for-byte the text
+//! committed next to it. Regenerate after a deliberate engine change with
+//! `cargo run -p phj-analyze --example gen_fixtures`.
+
+use phj::cost::CostModel;
+use phj_analyze::{analyze, render};
+use phj_obs::RunReport;
+use std::path::PathBuf;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn load(name: &str) -> RunReport {
+    let path = fixtures_dir().join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let r = RunReport::parse(&text).expect("fixture parses");
+    r.validate().expect("fixture validates");
+    r
+}
+
+/// `(fixture name, expected primary bottleneck)`.
+const CASES: [(&str, &str); 8] = [
+    ("minimal", "compute_bound"),
+    ("compute_bound", "compute_bound"),
+    ("latency_bound", "latency_bound"),
+    ("tlb_bound", "tlb_bound"),
+    ("bandwidth_bound", "bandwidth_bound"),
+    ("skew_bound", "skew_bound"),
+    ("fault_stalled", "fault_stalled"),
+    ("degraded", "degraded"),
+];
+
+#[test]
+fn every_fixture_classifies_and_renders_exactly_as_committed() {
+    for (name, expected) in CASES {
+        let report = load(name);
+        let sec = analyze(&report, &CostModel::default());
+        assert_eq!(sec.primary, expected, "fixture {name}");
+        // Exactly one rule may be the primary, and it must have fired.
+        let fired: Vec<_> = sec.rules.iter().filter(|r| r.class == sec.primary).collect();
+        assert_eq!(fired.len(), 1, "fixture {name}");
+        assert!(fired[0].fired, "fixture {name}");
+
+        let golden_path = fixtures_dir().join(format!("{name}.txt"));
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("{}: {e}", golden_path.display()));
+        let got = render(&report, &sec);
+        assert_eq!(
+            got, golden,
+            "fixture {name} render drifted; if intentional, regenerate with \
+             `cargo run -p phj-analyze --example gen_fixtures`"
+        );
+    }
+}
+
+#[test]
+fn fixture_analyses_survive_attachment_and_round_trip() {
+    for (name, _) in CASES {
+        let mut report = load(name);
+        let sec = analyze(&report, &CostModel::default());
+        report.analysis = Some(sec.clone());
+        report.validate().expect("attached analysis validates");
+        let back = RunReport::parse(&report.render()).expect("round trip parses");
+        assert_eq!(back.analysis, Some(sec), "fixture {name}");
+    }
+}
+
+#[test]
+fn no_stray_fixture_files() {
+    // Every .json in the directory is covered by CASES (so a new fixture
+    // cannot land without a golden expectation).
+    let mut found: Vec<String> = std::fs::read_dir(fixtures_dir())
+        .expect("fixtures dir exists")
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension()? == "json")
+                .then(|| p.file_stem().unwrap().to_string_lossy().into_owned())
+        })
+        .collect();
+    found.sort();
+    let mut expected: Vec<String> = CASES.iter().map(|(n, _)| n.to_string()).collect();
+    expected.sort();
+    assert_eq!(found, expected);
+}

@@ -1,0 +1,91 @@
+//! End-to-end exit-code contract of `report_diff --history`: the flat
+//! fixture archive exits 0, the monotone-slowdown archive exits 3 (the
+//! trend code, distinct from 1 = pairwise regression and 2 = bad input),
+//! and `--history-append` grows an archive the trend mode then reads.
+//! CI leans on these codes — see the history-trend job.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn report_diff(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_report_diff"))
+        .args(args)
+        .output()
+        .expect("spawn report_diff")
+}
+
+#[test]
+fn flat_history_exits_zero() {
+    let out = report_diff(&["--history", "3", fixture("history_flat.jsonl").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ok"), "{text}");
+}
+
+#[test]
+fn monotone_regression_exits_three() {
+    let out =
+        report_diff(&["--history", "3", fixture("history_regressing.jsonl").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("TREND REGRESSION"), "{text}");
+    assert!(text.contains("cycles"), "{text}");
+}
+
+#[test]
+fn short_or_mixed_windows_stay_healthy() {
+    // A window larger than the archive has no verdict: exit 0, not 3.
+    let out = report_diff(&["--history", "5", fixture("history_regressing.jsonl").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("not enough comparable records"));
+}
+
+#[test]
+fn bad_inputs_exit_two() {
+    assert_eq!(report_diff(&["--history", "1", "whatever.jsonl"]).status.code(), Some(2));
+    assert_eq!(report_diff(&["--history", "abc", "whatever.jsonl"]).status.code(), Some(2));
+    assert_eq!(
+        report_diff(&["--history", "3", "/nonexistent/archive.jsonl"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(report_diff(&["--history-append", "x.jsonl"]).status.code(), Some(2));
+}
+
+#[test]
+fn append_then_trend_round_trips() {
+    // Build a valid run report via the obs model, append it three times
+    // (identical runs: flat trajectory), and confirm the trend mode reads
+    // what the append mode wrote.
+    let dir = std::env::temp_dir().join(format!("phj-history-trend-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let report_path = dir.join("run.json");
+    let archive = dir.join("ci.jsonl");
+
+    let mut rec = phj_obs::Recorder::new();
+    let mut snap = phj_memsim::Snapshot::default();
+    let root = rec.begin("run", snap);
+    snap.breakdown.busy = 1_000;
+    rec.end(root, snap);
+    let mut report = phj_obs::RunReport::from_recorder("join", rec, snap, 50_000);
+    report.simulated = true;
+    report.config_kv("scheme", "group(G=16)");
+    std::fs::write(&report_path, report.render()).unwrap();
+
+    for _ in 0..3 {
+        let out = report_diff(&[
+            "--history-append",
+            archive.to_str().unwrap(),
+            report_path.to_str().unwrap(),
+            "ci_smoke",
+        ]);
+        assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    }
+    let out = report_diff(&["--history", "3", archive.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("slug=ci_smoke"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -20,7 +20,7 @@ impl Args {
             };
             match name {
                 // Boolean flags take no value.
-                "sim" | "hybrid" | "profile-regions" | "heatmap" | "dashboard" => {
+                "sim" | "hybrid" | "profile-regions" | "heatmap" | "dashboard" | "explain" => {
                     flags.push(name.to_string())
                 }
                 _ => {

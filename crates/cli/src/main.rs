@@ -51,8 +51,9 @@ use phj::hybrid::{hybrid_join_rec, HybridConfig};
 use phj::join::JoinScheme;
 use phj::model::{min_group_size, min_prefetch_distance};
 use phj::partition::PartitionScheme;
+use phj::cost::CostModel;
 use phj::sink::{CountSink, JoinSink};
-use phj::{cost, plan};
+use phj::plan;
 use phj_memsim::{MemConfig, MemoryModel, NativeModel, SimEngine};
 use phj_obs::{trace_text, Recorder, RunReport};
 use phj_workload::{single_relation, tuples_for, JoinSpec};
@@ -67,7 +68,14 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let args = match Args::parse(argv) {
+    // `explain` takes a positional report path ahead of its flags — the
+    // only positional in the CLI, peeled off before flag parsing.
+    let mut rest: Vec<String> = argv.collect();
+    let mut explain_path = None;
+    if cmd == "explain" && rest.first().is_some_and(|a| !a.starts_with("--")) {
+        explain_path = Some(rest.remove(0));
+    }
+    let args = match Args::parse(rest.into_iter()) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -87,6 +95,10 @@ fn main() -> ExitCode {
         "disk" => cmd_disk(&args),
         "tune" => cmd_tune(&args),
         "params" => cmd_params(&args),
+        "explain" => match &explain_path {
+            Some(path) => cmd_explain(path, &args),
+            None => Err("explain needs a report path: phj explain <report.json>".to_string()),
+        },
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -116,17 +128,30 @@ USAGE:
              [--scheme baseline|simple|group|swp] [--g G] [--d D]
              [--mem-mb N] [--sim] [--hybrid] [--threads N]
              [--profile-regions] [--heatmap] [--width W]
-             [--json PATH] [--trace-out PATH] [TELEMETRY]
+             [--json PATH] [--trace-out PATH] [DIAGNOSIS] [TELEMETRY]
   phj agg    [--rows N] [--keys K] [--scheme S] [--g G] [--d D] [--sim]
              [--threads N] [--profile-regions] [--heatmap] [--width W]
-             [--json PATH] [--trace-out PATH] [TELEMETRY]
+             [--json PATH] [--trace-out PATH] [DIAGNOSIS] [TELEMETRY]
   phj disk   [--build-mb N] [--mem-mb N] [--mem-budget BYTES] [--stripes S]
              [--dir PATH] [--fault-plan SPEC] [--max-depth D] [--json PATH]
-             [TELEMETRY]
+             [DIAGNOSIS] [TELEMETRY]
   phj tune   [--build-mb N] [--tuple-size B] [--profile-regions] [--heatmap]
-             [--width W] [--json PATH] [--trace-out PATH] [TELEMETRY]
-  phj params [--tuple-size B]
+             [--width W] [--json PATH] [--trace-out PATH] [DIAGNOSIS]
+             [TELEMETRY]
+  phj explain REPORT.json [--cost-model k=v,...] [--json PATH]
+             model-vs-measured diagnosis of a saved run report
+  phj params [--tuple-size B] [--cost-model k=v,...]
   phj help
+
+DIAGNOSIS:
+  --explain                  after the run, print the model-vs-measured
+                             diagnosis, attach the `analysis` section to
+                             the report, and archive a perf-trajectory
+                             record under bench_out/history/
+  --cost-model k=v,...       override calibrated stage costs (keys:
+                             hash_fn, mod, hash_reuse, header_check,
+                             cell_check, cell_write, key_compare,
+                             tuple_fetch, copy_base, copy_bpc)
 
 TELEMETRY (any of these turns live metrics on; none = zero overhead):
   --metrics-addr HOST:PORT   serve Prometheus text at GET /metrics
@@ -138,21 +163,33 @@ TELEMETRY (any of these turns live metrics on; none = zero overhead):
 struct ObsOut {
     json: Option<String>,
     trace: Option<String>,
+    /// `--explain`: run the model-vs-measured diagnosis after the run,
+    /// print it, attach the `analysis` section, and archive a history
+    /// record.
+    explain: bool,
+    /// The calibration the diagnosis assumes (`--cost-model` overrides).
+    cost: CostModel,
 }
 
 impl ObsOut {
-    fn from_args(args: &Args) -> ObsOut {
+    fn from_args(args: &Args) -> Result<ObsOut, String> {
         let path = |name: &str| match args.get_str(name, "") {
             s if s.is_empty() => None,
             s => Some(s),
         };
-        ObsOut { json: path("json"), trace: path("trace-out") }
+        Ok(ObsOut {
+            json: path("json"),
+            trace: path("trace-out"),
+            explain: args.flag("explain"),
+            cost: cost_model_of(args)?,
+        })
     }
 
     /// A recorder, but only when some output wants it — otherwise the
-    /// pipeline runs recorder-free.
+    /// pipeline runs recorder-free. `--explain` counts: the diagnosis
+    /// needs a report even when nothing is written to disk.
     fn recorder(&self) -> Option<Recorder> {
-        (self.json.is_some() || self.trace.is_some()).then(Recorder::new)
+        (self.json.is_some() || self.trace.is_some() || self.explain).then(Recorder::new)
     }
 
     /// Fingerprint the memory-system configuration into the report.
@@ -166,9 +203,19 @@ impl ObsOut {
 
     /// Validate and write the report (and its trace) where requested.
     /// Every report passes through here, so this is also where the
-    /// sampled telemetry (if any) joins the report.
+    /// sampled telemetry (if any) joins the report and where `--explain`
+    /// runs the diagnosis over the finished run.
     fn write(&self, report: &mut RunReport) -> Result<(), String> {
         telemetry::attach(report);
+        if self.explain {
+            let sec = phj_analyze::analyze(report, &self.cost);
+            print!("{}", phj_analyze::render(report, &sec));
+            report.analysis = Some(sec);
+            match append_history(report) {
+                Ok(path) => println!("history: {}", path.display()),
+                Err(e) => eprintln!("warning: could not append history: {e}"),
+            }
+        }
         report.validate().map_err(|e| format!("internal: invalid run report: {e}"))?;
         if let Some(path) = &self.json {
             std::fs::write(path, report.render()).map_err(|e| format!("{path}: {e}"))?;
@@ -180,6 +227,56 @@ impl ObsOut {
         }
         Ok(())
     }
+}
+
+/// Parse `--cost-model k=v,...` overrides over the calibrated defaults.
+fn cost_model_of(args: &Args) -> Result<CostModel, String> {
+    CostModel::parse_overrides(&args.get_str("cost-model", ""))
+        .map_err(|e| format!("--cost-model: {e}"))
+}
+
+/// Root of the perf-trajectory archive: `$PHJ_BENCH_OUT/history` (same
+/// environment override the bench harness honors), `bench_out/history`
+/// otherwise.
+fn history_dir() -> std::path::PathBuf {
+    std::env::var("PHJ_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("bench_out"))
+        .join("history")
+}
+
+/// Append this run to `history/<command>.jsonl`, returning the path.
+fn append_history(report: &RunReport) -> Result<std::path::PathBuf, String> {
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let rec = phj_analyze::HistoryRecord::from_report(&report.command, report, unix_s);
+    let path = history_dir().join(format!("{}.jsonl", report.command));
+    phj_analyze::history::append(&path, &rec).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// `phj explain <report.json>`: load, diagnose, and print. `--json PATH`
+/// writes the report back out with the `analysis` section attached.
+fn cmd_explain(path: &str, args: &Args) -> Result<(), String> {
+    args.allow(&["cost-model", "json"])?;
+    let cost = cost_model_of(args)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut report = RunReport::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    report.validate().map_err(|e| format!("{path}: invalid report: {e}"))?;
+    let sec = phj_analyze::analyze(&report, &cost);
+    print!("{}", phj_analyze::render(&report, &sec));
+    report.analysis = Some(sec);
+    report
+        .validate()
+        .map_err(|e| format!("internal: analysis section failed validation: {e}"))?;
+    let out = args.get_str("json", "");
+    if !out.is_empty() {
+        std::fs::write(&out, report.render()).map_err(|e| format!("{out}: {e}"))?;
+        println!("annotated report: {out}");
+    }
+    Ok(())
 }
 
 /// Whether either attribution flag is set (`--heatmap` implies
@@ -226,7 +323,7 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     args.allow(&[
         "build-mb", "tuple-size", "matches", "pct", "scheme", "g", "d", "mem-mb", "sim",
         "hybrid", "threads", "profile-regions", "heatmap", "json", "trace-out",
-        "metrics-addr", "sample-interval", "dashboard", "width",
+        "metrics-addr", "sample-interval", "dashboard", "width", "explain", "cost-model",
     ])?;
     let build_mb = args.get_usize("build-mb", 16)?;
     let tuple_size = args.get_usize("tuple-size", 100)?;
@@ -249,7 +346,7 @@ fn cmd_join(args: &Args) -> Result<(), String> {
         if args.flag("hybrid") { ", hybrid" } else { "" }
     );
     let gen = spec.generate();
-    let obs_out = ObsOut::from_args(args);
+    let obs_out = ObsOut::from_args(args)?;
     let mut recorder = obs_out.recorder();
     // Attribution needs the span tree (for the skew profile), so the
     // flags force a recorder even without --json/--trace-out.
@@ -399,7 +496,8 @@ fn join_parallel(
     };
     let matches;
     if args.flag("sim") {
-        let want_obs = obs_out.json.is_some() || obs_out.trace.is_some() || want_regions;
+        let want_obs =
+            obs_out.json.is_some() || obs_out.trace.is_some() || obs_out.explain || want_regions;
         let t0 = Instant::now();
         let out =
             phj_exec::parallel_join_sim(cfg, &gen.build, &gen.probe, threads, want_obs, want_regions);
@@ -455,7 +553,7 @@ fn join_parallel(
         if want_regions {
             println!("note: --profile-regions/--heatmap attribute simulated accesses; add --sim");
         }
-        let want_obs = obs_out.json.is_some() || obs_out.trace.is_some();
+        let want_obs = obs_out.json.is_some() || obs_out.trace.is_some() || obs_out.explain;
         let t0 = Instant::now();
         let out = phj_exec::parallel_join_native(cfg, &gen.build, &gen.probe, threads, want_obs);
         let wall = t0.elapsed();
@@ -502,6 +600,7 @@ fn cmd_agg(args: &Args) -> Result<(), String> {
     args.allow(&[
         "rows", "keys", "scheme", "g", "d", "sim", "threads", "profile-regions", "heatmap",
         "json", "trace-out", "metrics-addr", "sample-interval", "dashboard", "width",
+        "explain", "cost-model",
     ])?;
     let rows = args.get_usize("rows", 1_000_000)?;
     let keys = args.get_usize("keys", 100_000)?.max(1);
@@ -528,7 +627,7 @@ fn cmd_agg(args: &Args) -> Result<(), String> {
     let buckets = plan::hash_table_buckets(keys, 1);
     let extract = |t: &[u8]| t[4] as i64;
     println!("aggregating {rows} rows into {keys} groups ({scheme:?})");
-    let obs_out = ObsOut::from_args(args);
+    let obs_out = ObsOut::from_args(args)?;
     if !args.get_str("threads", "").is_empty() {
         let threads = args.get_usize("threads", 1)?.max(1);
         return agg_parallel(args, &obs_out, scheme, &input, buckets, extract, rows, keys, threads);
@@ -627,7 +726,8 @@ fn agg_parallel(
         report.matches = groups;
     };
     if args.flag("sim") {
-        let want_obs = obs_out.json.is_some() || obs_out.trace.is_some() || want_regions;
+        let want_obs =
+            obs_out.json.is_some() || obs_out.trace.is_some() || obs_out.explain || want_regions;
         let t0 = Instant::now();
         let out =
             phj_exec::parallel_agg_sim(scheme, input, buckets, extract, threads, want_obs, want_regions);
@@ -669,7 +769,7 @@ fn agg_parallel(
         if want_regions {
             println!("note: --profile-regions/--heatmap attribute simulated accesses; add --sim");
         }
-        let want_obs = obs_out.json.is_some() || obs_out.trace.is_some();
+        let want_obs = obs_out.json.is_some() || obs_out.trace.is_some() || obs_out.explain;
         let t0 = Instant::now();
         let out = phj_exec::parallel_agg_native(scheme, input, buckets, extract, threads, want_obs);
         let wall = t0.elapsed();
@@ -721,6 +821,7 @@ fn cmd_disk(args: &Args) -> Result<(), String> {
     args.allow(&[
         "build-mb", "mem-mb", "mem-budget", "stripes", "dir", "fault-plan", "max-depth",
         "json", "trace-out", "metrics-addr", "sample-interval", "dashboard", "width",
+        "explain", "cost-model",
     ])?;
     let build_mb = args.get_usize("build-mb", 16)?;
     let mem_mb = args.get_usize("mem-mb", build_mb.div_ceil(4).max(1))?;
@@ -772,7 +873,7 @@ fn cmd_disk(args: &Args) -> Result<(), String> {
         max_repartition_depth: max_depth,
         ..phj_disk::DiskGraceConfig::new(&dir)
     };
-    let obs_out = ObsOut::from_args(args);
+    let obs_out = ObsOut::from_args(args)?;
     let mut recorder = obs_out.recorder();
     let root = recorder.as_mut().map(|r| r.begin("run", NativeModel.snapshot()));
     let t0 = Instant::now();
@@ -855,7 +956,7 @@ fn cmd_disk(args: &Args) -> Result<(), String> {
 fn cmd_tune(args: &Args) -> Result<(), String> {
     args.allow(&[
         "build-mb", "tuple-size", "profile-regions", "heatmap", "json", "trace-out",
-        "metrics-addr", "sample-interval", "dashboard", "width",
+        "metrics-addr", "sample-interval", "dashboard", "width", "explain", "cost-model",
     ])?;
     let build_mb = args.get_usize("build-mb", 8)?;
     let tuple_size = args.get_usize("tuple-size", 20)?;
@@ -870,7 +971,7 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         seed: 0x70E,
     };
     let gen = spec.generate();
-    let obs_out = ObsOut::from_args(args);
+    let obs_out = ObsOut::from_args(args)?;
     let mut recorder = obs_out.recorder();
     let root = recorder.as_mut().map(|r| r.begin("run", NativeModel.snapshot()));
     let t0 = Instant::now();
@@ -935,12 +1036,23 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_params(args: &Args) -> Result<(), String> {
-    args.allow(&["tuple-size"])?;
+    args.allow(&["tuple-size", "cost-model"])?;
     let tuple_size = args.get_usize("tuple-size", 100)?;
     let cfg = MemConfig::paper();
-    let probe_costs = cost::probe_stage_costs(true, 2 * tuple_size);
-    let build_costs = cost::build_stage_costs(true);
-    let part_costs = cost::partition_stage_costs(tuple_size);
+    let model = cost_model_of(args)?;
+    let probe_costs = model.probe_stage_costs(true, 2 * tuple_size);
+    let build_costs = model.build_stage_costs(true);
+    let part_costs = model.partition_stage_costs(tuple_size);
+    if model != CostModel::default() {
+        let overrides: Vec<String> = model
+            .entries()
+            .into_iter()
+            .zip(CostModel::default().entries())
+            .filter(|(a, b)| a.1 != b.1)
+            .map(|(a, _)| format!("{}={}", a.0, a.1))
+            .collect();
+        println!("cost model overrides: {}", overrides.join(", "));
+    }
     println!("Table-2 memory system: T={} T_next={} cycles", cfg.t_full, cfg.t_next);
     println!(
         "probe:     Theorem 1 G >= {:<4} Theorem 2 D >= {}",

@@ -94,24 +94,177 @@ pub const fn code0_cost(reuse_stored_hash: bool) -> u64 {
 /// predictions: hash+bucket, header check, cell scan, key compare + output
 /// materialization of `out_len` bytes.
 pub fn probe_stage_costs(reuse_stored_hash: bool, out_len: usize) -> [u64; 4] {
-    [
-        code0_cost(reuse_stored_hash),
-        HEADER_CHECK,
-        CELL_CHECK,
-        KEY_COMPARE + copy_cost(out_len),
-    ]
+    CostModel::default().probe_stage_costs(reuse_stored_hash, out_len)
 }
 
 /// The build loop's stage costs `[C_0, C_1, C_2]`: hash+bucket, header
 /// examination, cell write.
 pub fn build_stage_costs(reuse_stored_hash: bool) -> [u64; 3] {
-    [code0_cost(reuse_stored_hash), HEADER_CHECK, CELL_WRITE]
+    CostModel::default().build_stage_costs(reuse_stored_hash)
 }
 
 /// The partition loop's stage costs `[C_0, C_1]`: hash+partition number,
 /// tuple copy into the output buffer.
 pub fn partition_stage_costs(tuple_len: usize) -> [u64; 2] {
-    [HASH_FN + MOD + TUPLE_FETCH, copy_cost(tuple_len)]
+    CostModel::default().partition_stage_costs(tuple_len)
+}
+
+/// The calibration constants as one overridable value set.
+///
+/// The module-level constants are the calibrated defaults; the analyzer
+/// (`phj-analyze`) and the CLI's `--cost-model k=v,...` flag need to
+/// perturb them — e.g. to sanity-check that Theorem-1/2 residuals move
+/// when the assumed stage costs are wrong — without recompiling. All
+/// stage-cost vectors are derivable from this struct; the free functions
+/// above evaluate it at its defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// [`HASH_FN`].
+    pub hash_fn: u64,
+    /// [`MOD`].
+    pub mod_op: u64,
+    /// [`HASH_REUSE`].
+    pub hash_reuse: u64,
+    /// [`HEADER_CHECK`].
+    pub header_check: u64,
+    /// [`CELL_CHECK`].
+    pub cell_check: u64,
+    /// [`CELL_WRITE`].
+    pub cell_write: u64,
+    /// [`KEY_COMPARE`].
+    pub key_compare: u64,
+    /// [`TUPLE_FETCH`].
+    pub tuple_fetch: u64,
+    /// Fixed part of [`copy_cost`].
+    pub copy_base: u64,
+    /// Sustained copy bandwidth in bytes per cycle (the `/2` of
+    /// [`copy_cost`]); must stay nonzero.
+    pub copy_bytes_per_cycle: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            hash_fn: HASH_FN,
+            mod_op: MOD,
+            hash_reuse: HASH_REUSE,
+            header_check: HEADER_CHECK,
+            cell_check: CELL_CHECK,
+            cell_write: CELL_WRITE,
+            key_compare: KEY_COMPARE,
+            tuple_fetch: TUPLE_FETCH,
+            copy_base: 15,
+            copy_bytes_per_cycle: 2,
+        }
+    }
+}
+
+impl CostModel {
+    /// The overridable keys, in `entries` order.
+    pub const KEYS: [&'static str; 10] = [
+        "hash_fn",
+        "mod",
+        "hash_reuse",
+        "header_check",
+        "cell_check",
+        "cell_write",
+        "key_compare",
+        "tuple_fetch",
+        "copy_base",
+        "copy_bpc",
+    ];
+
+    /// The model as `(key, value)` pairs, for config fingerprints and the
+    /// analyzer's provenance lines.
+    pub fn entries(&self) -> [(&'static str, u64); 10] {
+        [
+            ("hash_fn", self.hash_fn),
+            ("mod", self.mod_op),
+            ("hash_reuse", self.hash_reuse),
+            ("header_check", self.header_check),
+            ("cell_check", self.cell_check),
+            ("cell_write", self.cell_write),
+            ("key_compare", self.key_compare),
+            ("tuple_fetch", self.tuple_fetch),
+            ("copy_base", self.copy_base),
+            ("copy_bpc", self.copy_bytes_per_cycle),
+        ]
+    }
+
+    /// Parse a `key=value,key=value` override spec on top of the
+    /// defaults. Unknown keys, non-numeric values, and a zero copy
+    /// bandwidth are rejected with the offending token in the message.
+    pub fn parse_overrides(spec: &str) -> Result<CostModel, String> {
+        let mut m = CostModel::default();
+        for tok in spec.split(',').filter(|t| !t.is_empty()) {
+            let (key, value) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got `{tok}`"))?;
+            let v: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("`{key}` expects an integer cycle count, got `{value}`"))?;
+            match key.trim() {
+                "hash_fn" => m.hash_fn = v,
+                "mod" => m.mod_op = v,
+                "hash_reuse" => m.hash_reuse = v,
+                "header_check" => m.header_check = v,
+                "cell_check" => m.cell_check = v,
+                "cell_write" => m.cell_write = v,
+                "key_compare" => m.key_compare = v,
+                "tuple_fetch" => m.tuple_fetch = v,
+                "copy_base" => m.copy_base = v,
+                "copy_bpc" => m.copy_bytes_per_cycle = v,
+                other => {
+                    return Err(format!(
+                        "unknown cost-model key `{other}` (known: {})",
+                        Self::KEYS.join(", ")
+                    ))
+                }
+            }
+        }
+        if m.copy_bytes_per_cycle == 0 {
+            return Err("copy_bpc must be at least 1 byte/cycle".to_string());
+        }
+        Ok(m)
+    }
+
+    /// [`copy_cost`] under this model.
+    pub fn copy_cost(&self, len: usize) -> u64 {
+        self.copy_base + (len as u64) / self.copy_bytes_per_cycle
+    }
+
+    /// [`code0_cost`] under this model.
+    pub fn code0_cost(&self, reuse_stored_hash: bool) -> u64 {
+        if reuse_stored_hash {
+            self.hash_reuse + self.mod_op + self.tuple_fetch
+        } else {
+            self.hash_fn + self.mod_op + self.tuple_fetch
+        }
+    }
+
+    /// [`probe_stage_costs`] under this model.
+    pub fn probe_stage_costs(&self, reuse_stored_hash: bool, out_len: usize) -> [u64; 4] {
+        [
+            self.code0_cost(reuse_stored_hash),
+            self.header_check,
+            self.cell_check,
+            self.key_compare + self.copy_cost(out_len),
+        ]
+    }
+
+    /// [`build_stage_costs`] under this model.
+    pub fn build_stage_costs(&self, reuse_stored_hash: bool) -> [u64; 3] {
+        [self.code0_cost(reuse_stored_hash), self.header_check, self.cell_write]
+    }
+
+    /// [`partition_stage_costs`] under this model.
+    pub fn partition_stage_costs(&self, tuple_len: usize) -> [u64; 2] {
+        [
+            self.hash_fn + self.mod_op + self.tuple_fetch,
+            self.copy_cost(tuple_len),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +293,33 @@ mod tests {
         assert_eq!(b[0], code0_cost(false));
         let q = partition_stage_costs(100);
         assert_eq!(q[1], copy_cost(100));
+    }
+
+    #[test]
+    fn default_model_matches_constants() {
+        let m = CostModel::default();
+        assert_eq!(m.probe_stage_costs(true, 200), probe_stage_costs(true, 200));
+        assert_eq!(m.build_stage_costs(false), build_stage_costs(false));
+        assert_eq!(m.partition_stage_costs(100), partition_stage_costs(100));
+        assert_eq!(m.copy_cost(100), copy_cost(100));
+        assert_eq!(m.code0_cost(true), code0_cost(true));
+        // Every key appears exactly once in both listings.
+        assert_eq!(m.entries().map(|(k, _)| k), CostModel::KEYS);
+    }
+
+    #[test]
+    fn overrides_parse_and_perturb() {
+        let m = CostModel::parse_overrides("header_check=20, cell_check=20").unwrap();
+        assert_eq!(m.header_check, 20);
+        assert_eq!(m.cell_check, 20);
+        assert_eq!(m.hash_fn, HASH_FN); // untouched keys keep defaults
+        assert_eq!(m.probe_stage_costs(true, 200)[1], 20);
+        // Empty spec is the default model.
+        assert_eq!(CostModel::parse_overrides("").unwrap(), CostModel::default());
+        // Bad specs name the offending token.
+        assert!(CostModel::parse_overrides("nope=3").unwrap_err().contains("nope"));
+        assert!(CostModel::parse_overrides("hash_fn").unwrap_err().contains("key=value"));
+        assert!(CostModel::parse_overrides("hash_fn=abc").unwrap_err().contains("abc"));
+        assert!(CostModel::parse_overrides("copy_bpc=0").unwrap_err().contains("copy_bpc"));
     }
 }

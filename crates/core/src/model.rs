@@ -78,6 +78,65 @@ pub fn swp_state_slots(k: usize, d: usize) -> usize {
     (k * d + 1).next_power_of_two()
 }
 
+/// The per-iteration latency-hiding capacity of the software pipeline —
+/// Theorem 2's denominator,
+/// `max{C_0 + C_k, T_next} + Σ_{i=1}^{k-1} max{C_i, T_next}`.
+///
+/// # Panics
+/// Panics if `costs.len() < 2` or `t_next == 0`.
+pub fn swp_per_iteration(t_next: u64, costs: &[u64]) -> u64 {
+    assert!(costs.len() >= 2, "need C_0 and at least one C_i");
+    assert!(t_next > 0, "T_next must be positive");
+    let k = costs.len() - 1;
+    let mut per_iter = (costs[0] + costs[k]).max(t_next);
+    for &c in &costs[1..k] {
+        per_iter += c.max(t_next);
+    }
+    per_iter
+}
+
+/// First-order prediction of the fraction of miss latency a *group*
+/// prefetching loop hides at group size `g`: per Theorem 1, stage `i`'s
+/// miss overlaps `(G-1)·C_0` (for `i = 0`) or `(G-1)·max{C_i, T_next}`
+/// cycles of other elements' work, so each stage hides
+/// `min(1, (G-1)·coeff_i / T)` of its own `T`, and the loop hides the
+/// unweighted mean across stages (each stage suffers about one miss per
+/// element). Exactly 1.0 whenever `g ≥` [`min_group_size`]'s prediction.
+///
+/// # Panics
+/// Panics if `costs.len() < 2` or `t_next == 0`.
+pub fn group_hidden_fraction(g: u64, t: u64, t_next: u64, costs: &[u64]) -> f64 {
+    assert!(costs.len() >= 2, "need C_0 and at least one C_i");
+    assert!(t_next > 0, "T_next must be positive");
+    if t == 0 {
+        return 1.0;
+    }
+    let overlap = g.saturating_sub(1);
+    let mut sum = 0.0;
+    for (i, &c) in costs.iter().enumerate() {
+        let coeff = if i == 0 { c } else { c.max(t_next) };
+        sum += ((overlap * coeff) as f64 / t as f64).min(1.0);
+    }
+    sum / costs.len() as f64
+}
+
+/// First-order prediction of the fraction of miss latency a
+/// *software-pipelined* loop hides at prefetch distance `d`: Theorem 2
+/// gives `D·per_iter` cycles of overlap per miss
+/// ([`swp_per_iteration`]), so the hidden fraction is
+/// `min(1, D·per_iter / T)` — exactly 1.0 whenever `d ≥`
+/// [`min_prefetch_distance`]'s prediction.
+///
+/// # Panics
+/// Panics if `costs.len() < 2` or `t_next == 0`.
+pub fn swp_hidden_fraction(d: u64, t: u64, t_next: u64, costs: &[u64]) -> f64 {
+    if t == 0 {
+        return 1.0;
+    }
+    let per_iter = swp_per_iteration(t_next, costs);
+    ((d * per_iter) as f64 / t as f64).min(1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +197,30 @@ mod tests {
         let d = min_prefetch_distance(150, 10, &[2, 2, 2, 2]);
         // per_iter = max(2+2,10) + max(2,10) + max(2,10) = 30 → D = 5.
         assert_eq!(d, 5);
+    }
+
+    #[test]
+    fn hidden_fractions_saturate_at_theorem_predictions() {
+        let costs = cost::probe_stage_costs(true, 200);
+        let g_min = min_group_size(150, 10, &costs).g;
+        let d_min = min_prefetch_distance(150, 10, &costs);
+        // At (or past) the theorem-predicted parameter, everything hides.
+        assert_eq!(group_hidden_fraction(g_min, 150, 10, &costs), 1.0);
+        assert_eq!(group_hidden_fraction(g_min + 8, 150, 10, &costs), 1.0);
+        assert_eq!(swp_hidden_fraction(d_min, 150, 10, &costs), 1.0);
+        // Below it, coverage is partial and monotone in the parameter.
+        let f2 = group_hidden_fraction(2, 150, 10, &costs);
+        let f8 = group_hidden_fraction(8, 150, 10, &costs);
+        assert!(0.0 < f2 && f2 < f8 && f8 < 1.0, "{f2} {f8}");
+        // G = 1 means no other elements to overlap with: only stages whose
+        // own cost covers T could hide, and none do here.
+        assert_eq!(group_hidden_fraction(1, 150, 10, &costs), 0.0);
+        // Thin-stage SWP: per_iter = 30 (see theorem2_thin_stages_need_distance).
+        assert_eq!(swp_per_iteration(10, &[2, 2, 2, 2]), 30);
+        assert!((swp_hidden_fraction(1, 150, 10, &[2, 2, 2, 2]) - 0.2).abs() < 1e-12);
+        // Zero-latency memory: trivially all hidden.
+        assert_eq!(group_hidden_fraction(4, 0, 10, &costs), 1.0);
+        assert_eq!(swp_hidden_fraction(1, 0, 10, &costs), 1.0);
     }
 
     #[test]

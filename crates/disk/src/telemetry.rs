@@ -9,7 +9,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use phj_metrics::{Counter, Gauge};
+use phj_metrics::{names, Counter, Gauge};
 
 /// Registered handles for the disk metric family.
 pub(crate) struct DiskMetrics {
@@ -37,16 +37,16 @@ pub(crate) fn disk_metrics() -> Option<&'static DiskMetrics> {
     let reg = phj_metrics::global()?;
     Some(CACHE.get_or_init(|| DiskMetrics {
         faults_injected: reg
-            .counter("phj_disk_faults_injected_total", "Disk faults injected (all kinds)"),
+            .counter(names::DISK_FAULTS, "Disk faults injected (all kinds)"),
         read_retries: reg
-            .counter("phj_disk_read_retries_total", "Page read attempts repeated after retryable failures"),
+            .counter(names::DISK_READ_RETRIES, "Page read attempts repeated after retryable failures"),
         write_retries: reg
-            .counter("phj_disk_write_retries_total", "Page write attempts repeated after retryable failures"),
+            .counter(names::DISK_WRITE_RETRIES, "Page write attempts repeated after retryable failures"),
         stall_ns: reg
-            .counter("phj_disk_stall_ns_total", "Main-thread ns blocked on read-ahead or injected slow disks"),
-        bytes_read: reg.counter("phj_disk_bytes_read_total", "Bytes read from stripe files"),
-        bytes_written: reg.counter("phj_disk_bytes_written_total", "Bytes written to stripe files"),
+            .counter(names::DISK_STALL_NS, "Main-thread ns blocked on read-ahead or injected slow disks"),
+        bytes_read: reg.counter(names::DISK_BYTES_READ, "Bytes read from stripe files"),
+        bytes_written: reg.counter(names::DISK_BYTES_WRITTEN, "Bytes written to stripe files"),
         degradation_depth: reg
-            .gauge("phj_disk_degradation_depth", "Deepest degradation-ladder step taken (high-water)"),
+            .gauge(names::DISK_DEGRADATION_DEPTH, "Deepest degradation-ladder step taken (high-water)"),
     }))
 }

@@ -9,7 +9,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use phj_metrics::{Counter, Gauge, Histogram};
+use phj_metrics::{names, Counter, Gauge, Histogram};
 
 /// Registered handles for the exec metric family.
 pub(crate) struct ExecMetrics {
@@ -34,12 +34,12 @@ pub(crate) fn exec_metrics() -> Option<&'static ExecMetrics> {
     static CACHE: OnceLock<ExecMetrics> = OnceLock::new();
     let reg = phj_metrics::global()?;
     Some(CACHE.get_or_init(|| ExecMetrics {
-        tasks: reg.counter("phj_exec_tasks_total", "Tasks run by the worker pool"),
-        steals: reg.counter("phj_exec_steals_total", "Tasks obtained by work stealing"),
-        busy_ns: reg.counter("phj_exec_busy_ns_total", "Worker wall time inside task bodies (ns)"),
-        idle_ns: reg.counter("phj_exec_idle_ns_total", "Worker wall time hunting for work (ns)"),
-        queue_depth: reg.gauge("phj_exec_queue_depth", "Unclaimed tasks in the active execute region"),
-        workers: reg.gauge("phj_exec_workers", "Workers in the active execute region"),
-        task_ns: reg.histogram("phj_exec_task_ns", "Per-task wall time (ns, log2 buckets)"),
+        tasks: reg.counter(names::EXEC_TASKS, "Tasks run by the worker pool"),
+        steals: reg.counter(names::EXEC_STEALS, "Tasks obtained by work stealing"),
+        busy_ns: reg.counter(names::EXEC_BUSY_NS, "Worker wall time inside task bodies (ns)"),
+        idle_ns: reg.counter(names::EXEC_IDLE_NS, "Worker wall time hunting for work (ns)"),
+        queue_depth: reg.gauge(names::EXEC_QUEUE_DEPTH, "Unclaimed tasks in the active execute region"),
+        workers: reg.gauge(names::EXEC_WORKERS, "Workers in the active execute region"),
+        task_ns: reg.histogram(names::EXEC_TASK_NS, "Per-task wall time (ns, log2 buckets)"),
     }))
 }

@@ -10,7 +10,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use phj_metrics::Counter;
+use phj_metrics::{names, Counter};
 
 /// Registered handles for the memsim metric family.
 pub(crate) struct MemsimMetrics {
@@ -34,12 +34,12 @@ pub(crate) fn memsim_metrics() -> Option<&'static MemsimMetrics> {
     static CACHE: OnceLock<MemsimMetrics> = OnceLock::new();
     let reg = phj_metrics::global()?;
     Some(CACHE.get_or_init(|| MemsimMetrics {
-        accesses: reg.counter("phj_memsim_accesses_total", "Simulated demand accesses"),
-        l1_misses: reg.counter("phj_memsim_l1_misses_total", "Demand lines missing L1"),
-        l2_misses: reg.counter("phj_memsim_l2_misses_total", "Demand lines missing L2 (memory fills)"),
-        tlb_misses: reg.counter("phj_memsim_tlb_misses_total", "Demand TLB page walks"),
-        prefetches: reg.counter("phj_memsim_prefetches_total", "Software prefetches issued"),
+        accesses: reg.counter(names::MEMSIM_ACCESSES, "Simulated demand accesses"),
+        l1_misses: reg.counter(names::MEMSIM_L1_MISSES, "Demand lines missing L1"),
+        l2_misses: reg.counter(names::MEMSIM_L2_MISSES, "Demand lines missing L2 (memory fills)"),
+        tlb_misses: reg.counter(names::MEMSIM_TLB_MISSES, "Demand TLB page walks"),
+        prefetches: reg.counter(names::MEMSIM_PREFETCHES, "Software prefetches issued"),
         pf_hidden_cycles: reg
-            .counter("phj_memsim_pf_hidden_cycles_total", "Miss cycles hidden by prefetching"),
+            .counter(names::MEMSIM_PF_HIDDEN_CYCLES, "Miss cycles hidden by prefetching"),
     }))
 }

@@ -34,6 +34,7 @@
 //! workspace (storage, memsim, disk, exec, cli, bench) can depend on it
 //! without cycles.
 
+pub mod names;
 pub mod prom;
 pub mod registry;
 pub mod ring;

@@ -1,0 +1,59 @@
+//! Well-known metric family names.
+//!
+//! Every instrumentation point in the workspace and every consumer of a
+//! scrape — the `/metrics` endpoint, the report `timeseries` section,
+//! and the `phj-analyze` diagnosis engine mining that section for
+//! evidence — must agree on these strings. Centralizing them here makes
+//! the scrape-to-analysis plumbing a compile-time contract instead of a
+//! grep: an analyzer rule that reads [`EXEC_STEALS`] cannot drift from
+//! the counter the worker pool increments.
+
+/// `phj_exec_tasks_total` — tasks run by the worker pool.
+pub const EXEC_TASKS: &str = "phj_exec_tasks_total";
+/// `phj_exec_steals_total` — tasks obtained by work stealing.
+pub const EXEC_STEALS: &str = "phj_exec_steals_total";
+/// `phj_exec_busy_ns_total` — worker wall time inside task bodies (ns).
+pub const EXEC_BUSY_NS: &str = "phj_exec_busy_ns_total";
+/// `phj_exec_idle_ns_total` — worker wall time hunting for work (ns).
+pub const EXEC_IDLE_NS: &str = "phj_exec_idle_ns_total";
+/// `phj_exec_queue_depth` — unclaimed tasks in the active execute region.
+pub const EXEC_QUEUE_DEPTH: &str = "phj_exec_queue_depth";
+/// `phj_exec_workers` — workers in the active execute region.
+pub const EXEC_WORKERS: &str = "phj_exec_workers";
+/// `phj_exec_task_ns` — per-task wall-time distribution (log2 buckets).
+pub const EXEC_TASK_NS: &str = "phj_exec_task_ns";
+
+/// `phj_disk_faults_injected_total` — injected disk faults, all kinds.
+pub const DISK_FAULTS: &str = "phj_disk_faults_injected_total";
+/// `phj_disk_read_retries_total` — repeated page read attempts.
+pub const DISK_READ_RETRIES: &str = "phj_disk_read_retries_total";
+/// `phj_disk_write_retries_total` — repeated page write attempts.
+pub const DISK_WRITE_RETRIES: &str = "phj_disk_write_retries_total";
+/// `phj_disk_stall_ns_total` — main-thread ns blocked on disk.
+pub const DISK_STALL_NS: &str = "phj_disk_stall_ns_total";
+/// `phj_disk_bytes_read_total` — bytes read from stripe files.
+pub const DISK_BYTES_READ: &str = "phj_disk_bytes_read_total";
+/// `phj_disk_bytes_written_total` — bytes written to stripe files.
+pub const DISK_BYTES_WRITTEN: &str = "phj_disk_bytes_written_total";
+/// `phj_disk_degradation_depth` — deepest degradation-ladder step.
+pub const DISK_DEGRADATION_DEPTH: &str = "phj_disk_degradation_depth";
+
+/// `phj_memsim_accesses_total` — simulated demand accesses.
+pub const MEMSIM_ACCESSES: &str = "phj_memsim_accesses_total";
+/// `phj_memsim_l1_misses_total` — demand lines missing L1.
+pub const MEMSIM_L1_MISSES: &str = "phj_memsim_l1_misses_total";
+/// `phj_memsim_l2_misses_total` — demand lines missing L2.
+pub const MEMSIM_L2_MISSES: &str = "phj_memsim_l2_misses_total";
+/// `phj_memsim_tlb_misses_total` — demand TLB page walks.
+pub const MEMSIM_TLB_MISSES: &str = "phj_memsim_tlb_misses_total";
+/// `phj_memsim_prefetches_total` — software prefetches issued.
+pub const MEMSIM_PREFETCHES: &str = "phj_memsim_prefetches_total";
+/// `phj_memsim_pf_hidden_cycles_total` — miss cycles hidden by prefetching.
+pub const MEMSIM_PF_HIDDEN_CYCLES: &str = "phj_memsim_pf_hidden_cycles_total";
+
+/// `phj_storage_pages_sealed_total` — page images sealed for disk.
+pub const STORAGE_PAGES_SEALED: &str = "phj_storage_pages_sealed_total";
+/// `phj_storage_pages_verified_total` — disk page images verified OK.
+pub const STORAGE_PAGES_VERIFIED: &str = "phj_storage_pages_verified_total";
+/// `phj_storage_checksum_failures_total` — disk images rejected.
+pub const STORAGE_CHECKSUM_FAILURES: &str = "phj_storage_checksum_failures_total";

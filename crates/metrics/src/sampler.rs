@@ -24,6 +24,9 @@ pub struct Sampler {
     handle: Option<JoinHandle<()>>,
 }
 
+/// Callback run on the sampler thread after each ring push.
+pub type SampleObserver = Box<dyn Fn(&TimeSeriesRing) + Send>;
+
 impl Sampler {
     /// Start sampling `registry` into a fresh ring of `cap` samples,
     /// every `interval`. `observer` (if any) runs on the sampler thread
@@ -32,7 +35,7 @@ impl Sampler {
         registry: Arc<Registry>,
         interval: Duration,
         cap: usize,
-        observer: Option<Box<dyn Fn(&TimeSeriesRing) + Send>>,
+        observer: Option<SampleObserver>,
     ) -> Sampler {
         let ring = Arc::new(TimeSeriesRing::new(cap));
         let stop = Arc::new(AtomicBool::new(false));

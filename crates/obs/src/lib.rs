@@ -37,8 +37,9 @@ pub mod trace;
 
 pub use json::Json;
 pub use report::{
-    DegradationRow, FaultsSection, RegionReport, RegionsSection, RunReport, SkewRow,
-    TimeseriesRow, TimeseriesSection, SCHEMA_VERSION,
+    AnalysisSection, DegradationRow, FaultsSection, PhasePrediction, RegionReport,
+    RegionsSection, ResidualRow, RuleOutcome, RunReport, SkewRow, TimeseriesRow,
+    TimeseriesSection, BOTTLENECK_CLASSES, SCHEMA_VERSION,
 };
 pub use spark::{render_timeseries, sparkline};
 pub use span::{span_begin, span_end, span_meta, Recorder, SpanId, SpanRecord};

@@ -166,6 +166,167 @@ pub struct TimeseriesSection {
     pub series: Vec<TimeseriesRow>,
 }
 
+/// Bottleneck classes the diagnosis rule engine can assign. Exactly one
+/// becomes a report's primary bottleneck; `compute_bound` is the healthy
+/// default when no pathology fires.
+pub const BOTTLENECK_CLASSES: [&str; 7] = [
+    "degraded",
+    "fault_stalled",
+    "skew_bound",
+    "tlb_bound",
+    "bandwidth_bound",
+    "latency_bound",
+    "compute_bound",
+];
+
+/// One phase's Theorem-1/2 prediction in a report's `analysis` section:
+/// the stage-cost vector the prediction was computed from, the minimal
+/// group size and prefetch distance that fully hide misses, and the
+/// coverage the configured scheme should reach under the first-order
+/// hiding model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasePrediction {
+    /// Phase name (`"probe"`, `"build"`, `"partition"`).
+    pub phase: String,
+    /// Stage costs `[C_0, ..., C_k]` (cycles) used for the prediction.
+    pub stage_costs: Vec<u64>,
+    /// Theorem 1's minimal fully-hiding group size.
+    pub g_min: u64,
+    /// Whether group prefetching can hide the first miss (`C_0 > 0`).
+    pub first_miss_hidden: bool,
+    /// Theorem 2's minimal fully-hiding prefetch distance.
+    pub d_min: u64,
+    /// Predicted hidden-latency fraction for the run's configured scheme
+    /// and parameter (1.0 at or past the theorem prediction).
+    pub predicted_coverage: f64,
+}
+
+/// One predicted-vs-measured row in a report's `analysis` section.
+/// `residual` is always `measured - predicted`, so a negative residual
+/// on a coverage metric reads "prefetching hid less than the model
+/// promised".
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualRow {
+    /// Metric name (`"prefetch_coverage"`, `"pf_hidden_cycles"`,
+    /// `"miss_share.hash_cells"`, …).
+    pub metric: String,
+    /// Model-predicted value.
+    pub predicted: f64,
+    /// Measured value from the report.
+    pub measured: f64,
+    /// `measured - predicted`.
+    pub residual: f64,
+}
+
+/// One rule's outcome in the bottleneck classifier: whether it fired and
+/// the evidence lines (human-readable, one observation each) behind the
+/// decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleOutcome {
+    /// Class this rule argues for (a [`BOTTLENECK_CLASSES`] entry).
+    pub class: String,
+    /// Whether the rule's conditions held on this report.
+    pub fired: bool,
+    /// The observations that made (or would have made) the call.
+    pub evidence: Vec<String>,
+}
+
+/// The optional model-vs-measured diagnosis section of a [`RunReport`],
+/// produced by `phj-analyze`: Theorem-1/2 predictions recomputed from
+/// the config fingerprint, predicted-vs-measured residuals, and a
+/// rule-engine bottleneck classification. Like `regions`/`faults`/
+/// `timeseries`, the JSON key is omitted entirely when absent.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AnalysisSection {
+    /// Full miss latency `T` the predictions assumed (cycles).
+    pub t_full: u64,
+    /// Pipelined additional-miss latency `T_next` assumed (cycles).
+    pub t_next: u64,
+    /// The scheme string the predictions were evaluated for.
+    pub scheme: String,
+    /// The calibration constants used (after any `--cost-model`
+    /// overrides), for provenance.
+    pub cost_model: Vec<(String, u64)>,
+    /// Per-phase theorem predictions (empty for native runs, where the
+    /// simulator's cost model does not apply).
+    pub predictions: Vec<PhasePrediction>,
+    /// Predicted-vs-measured rows.
+    pub residuals: Vec<ResidualRow>,
+    /// The one primary bottleneck class assigned to the run.
+    pub primary: String,
+    /// Evidence lines behind the primary classification.
+    pub evidence: Vec<String>,
+    /// Every rule's outcome, in evaluation (priority) order.
+    pub rules: Vec<RuleOutcome>,
+}
+
+/// Internal consistency of an `analysis` section: the primary class must
+/// be a known class whose rule exists and fired with evidence, every
+/// float must be finite (no NaN/Inf ever reaches the JSON), residuals
+/// must actually be `measured - predicted`, and predictions must be
+/// structurally meaningful (`k ≥ 1` stages, `G ≥ 1`, `D ≥ 1`, coverage
+/// in `[0, 1]`).
+fn validate_analysis(sec: &AnalysisSection) -> Result<(), String> {
+    if !BOTTLENECK_CLASSES.contains(&sec.primary.as_str()) {
+        return Err(format!("analysis primary '{}' is not a known class", sec.primary));
+    }
+    if sec.evidence.is_empty() {
+        return Err(format!("analysis primary '{}' carries no evidence", sec.primary));
+    }
+    let rule = sec
+        .rules
+        .iter()
+        .find(|r| r.class == sec.primary)
+        .ok_or_else(|| format!("analysis primary '{}' has no rule outcome", sec.primary))?;
+    if !rule.fired {
+        return Err(format!("analysis primary '{}' rule did not fire", sec.primary));
+    }
+    for r in &sec.rules {
+        if !BOTTLENECK_CLASSES.contains(&r.class.as_str()) {
+            return Err(format!("analysis rule class '{}' is unknown", r.class));
+        }
+        if r.fired && r.evidence.is_empty() {
+            return Err(format!("analysis rule '{}' fired without evidence", r.class));
+        }
+    }
+    if sec.rules.iter().filter(|r| r.class == sec.primary).count() > 1 {
+        return Err(format!("analysis rule '{}' appears more than once", sec.primary));
+    }
+    if !sec.predictions.is_empty() && sec.t_next == 0 {
+        return Err("analysis predictions require t_next > 0".into());
+    }
+    for p in &sec.predictions {
+        if p.stage_costs.len() < 2 {
+            return Err(format!("phase '{}' has fewer than 2 stage costs", p.phase));
+        }
+        if p.g_min < 1 || p.d_min < 1 {
+            return Err(format!("phase '{}' predicts G or D below 1", p.phase));
+        }
+        if !p.predicted_coverage.is_finite()
+            || !(0.0..=1.0).contains(&p.predicted_coverage)
+        {
+            return Err(format!(
+                "phase '{}' predicted coverage {} outside [0, 1]",
+                p.phase, p.predicted_coverage
+            ));
+        }
+    }
+    for r in &sec.residuals {
+        if !(r.predicted.is_finite() && r.measured.is_finite() && r.residual.is_finite()) {
+            return Err(format!("residual '{}' contains a non-finite value", r.metric));
+        }
+        let expect = r.measured - r.predicted;
+        let scale = 1.0f64.max(r.measured.abs()).max(r.predicted.abs());
+        if (r.residual - expect).abs() > 1e-9 * scale {
+            return Err(format!(
+                "residual '{}' is {} but measured - predicted is {}",
+                r.metric, r.residual, expect
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// A complete, serializable description of one pipeline run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -200,6 +361,10 @@ pub struct RunReport {
     /// sampler; omitted from the JSON when absent, same convention as
     /// `regions` and `faults`).
     pub timeseries: Option<TimeseriesSection>,
+    /// Model-vs-measured diagnosis (`None` unless an analyzer attached
+    /// one; omitted from the JSON when absent, same convention as the
+    /// other optional sections).
+    pub analysis: Option<AnalysisSection>,
 }
 
 impl RunReport {
@@ -224,6 +389,7 @@ impl RunReport {
             regions: None,
             faults: None,
             timeseries: None,
+            analysis: None,
         }
     }
 
@@ -348,6 +514,11 @@ impl RunReport {
                 members.push(("timeseries".into(), timeseries_json(sec)));
             }
         }
+        if let Some(sec) = &self.analysis {
+            if let Json::Obj(members) = &mut doc {
+                members.push(("analysis".into(), analysis_json(sec)));
+            }
+        }
         doc
     }
 
@@ -393,6 +564,10 @@ impl RunReport {
             },
             timeseries: match doc.get("timeseries") {
                 Some(sec) => Some(parse_timeseries(sec)?),
+                None => None,
+            },
+            analysis: match doc.get("analysis") {
+                Some(sec) => Some(parse_analysis(sec)?),
                 None => None,
             },
         })
@@ -470,6 +645,9 @@ impl RunReport {
         }
         if let Some(sec) = &self.timeseries {
             validate_timeseries(sec)?;
+        }
+        if let Some(sec) = &self.analysis {
+            validate_analysis(sec)?;
         }
         Ok(())
     }
@@ -833,6 +1011,141 @@ fn parse_faults(doc: &Json) -> Result<FaultsSection, String> {
             .ok_or("faults section missing degradation array")?
             .iter()
             .map(parse_degradation)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+fn prediction_json(p: &PhasePrediction) -> Json {
+    Json::obj(vec![
+        ("phase", Json::Str(p.phase.clone())),
+        ("stage_costs", Json::Arr(p.stage_costs.iter().map(|&c| Json::U64(c)).collect())),
+        ("g_min", Json::U64(p.g_min)),
+        ("first_miss_hidden", Json::Bool(p.first_miss_hidden)),
+        ("d_min", Json::U64(p.d_min)),
+        ("predicted_coverage", Json::F64(p.predicted_coverage)),
+    ])
+}
+
+fn residual_json(r: &ResidualRow) -> Json {
+    Json::obj(vec![
+        ("metric", Json::Str(r.metric.clone())),
+        ("predicted", Json::F64(r.predicted)),
+        ("measured", Json::F64(r.measured)),
+        ("residual", Json::F64(r.residual)),
+    ])
+}
+
+fn rule_json(r: &RuleOutcome) -> Json {
+    Json::obj(vec![
+        ("class", Json::Str(r.class.clone())),
+        ("fired", Json::Bool(r.fired)),
+        ("evidence", Json::Arr(r.evidence.iter().map(|e| Json::Str(e.clone())).collect())),
+    ])
+}
+
+fn analysis_json(sec: &AnalysisSection) -> Json {
+    Json::obj(vec![
+        ("t_full", Json::U64(sec.t_full)),
+        ("t_next", Json::U64(sec.t_next)),
+        ("scheme", Json::Str(sec.scheme.clone())),
+        (
+            "cost_model",
+            Json::Obj(sec.cost_model.iter().map(|(k, v)| (k.clone(), Json::U64(*v))).collect()),
+        ),
+        ("predictions", Json::Arr(sec.predictions.iter().map(prediction_json).collect())),
+        ("residuals", Json::Arr(sec.residuals.iter().map(residual_json).collect())),
+        ("primary", Json::Str(sec.primary.clone())),
+        ("evidence", Json::Arr(sec.evidence.iter().map(|e| Json::Str(e.clone())).collect())),
+        ("rules", Json::Arr(sec.rules.iter().map(rule_json).collect())),
+    ])
+}
+
+fn field_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key).and_then(Json::as_f64).ok_or_else(|| format!("missing f64 field '{key}'"))
+}
+
+fn str_arr(doc: &Json, key: &str) -> Result<Vec<String>, String> {
+    doc.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array field '{key}'"))?
+        .iter()
+        .map(|e| e.as_str().map(str::to_string).ok_or_else(|| format!("'{key}' holds a non-string")))
+        .collect()
+}
+
+fn parse_prediction(doc: &Json) -> Result<PhasePrediction, String> {
+    Ok(PhasePrediction {
+        phase: field_str(doc, "phase")?,
+        stage_costs: doc
+            .get("stage_costs")
+            .and_then(Json::as_arr)
+            .ok_or("prediction missing stage_costs array")?
+            .iter()
+            .map(|c| c.as_u64().ok_or("non-integer stage cost".to_string()))
+            .collect::<Result<Vec<_>, _>>()?,
+        g_min: field_u64(doc, "g_min")?,
+        first_miss_hidden: matches!(doc.get("first_miss_hidden"), Some(Json::Bool(true))),
+        d_min: field_u64(doc, "d_min")?,
+        predicted_coverage: field_f64(doc, "predicted_coverage")?,
+    })
+}
+
+fn parse_residual(doc: &Json) -> Result<ResidualRow, String> {
+    Ok(ResidualRow {
+        metric: field_str(doc, "metric")?,
+        predicted: field_f64(doc, "predicted")?,
+        measured: field_f64(doc, "measured")?,
+        residual: field_f64(doc, "residual")?,
+    })
+}
+
+fn parse_rule(doc: &Json) -> Result<RuleOutcome, String> {
+    Ok(RuleOutcome {
+        class: field_str(doc, "class")?,
+        fired: matches!(doc.get("fired"), Some(Json::Bool(true))),
+        evidence: str_arr(doc, "evidence")?,
+    })
+}
+
+fn parse_analysis(doc: &Json) -> Result<AnalysisSection, String> {
+    let cost_model = match doc.get("cost_model") {
+        Some(Json::Obj(members)) => members
+            .iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("cost_model entry '{k}' is not a u64"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("analysis section missing cost_model object".into()),
+    };
+    Ok(AnalysisSection {
+        t_full: field_u64(doc, "t_full")?,
+        t_next: field_u64(doc, "t_next")?,
+        scheme: field_str(doc, "scheme")?,
+        cost_model,
+        predictions: doc
+            .get("predictions")
+            .and_then(Json::as_arr)
+            .ok_or("analysis section missing predictions array")?
+            .iter()
+            .map(parse_prediction)
+            .collect::<Result<Vec<_>, _>>()?,
+        residuals: doc
+            .get("residuals")
+            .and_then(Json::as_arr)
+            .ok_or("analysis section missing residuals array")?
+            .iter()
+            .map(parse_residual)
+            .collect::<Result<Vec<_>, _>>()?,
+        primary: field_str(doc, "primary")?,
+        evidence: str_arr(doc, "evidence")?,
+        rules: doc
+            .get("rules")
+            .and_then(Json::as_arr)
+            .ok_or("analysis section missing rules array")?
+            .iter()
+            .map(parse_rule)
             .collect::<Result<Vec<_>, _>>()?,
     })
 }
@@ -1339,6 +1652,105 @@ mod tests {
         sec.series[0].points[1].0 = 30_000_000;
         r.timeseries = Some(sec);
         assert!(r.validate().unwrap_err().contains("backwards"));
+    }
+
+    fn analysis_section() -> AnalysisSection {
+        AnalysisSection {
+            t_full: 150,
+            t_next: 10,
+            scheme: "group(G=16)".into(),
+            cost_model: vec![("hash_fn".into(), 30), ("mod".into(), 68)],
+            predictions: vec![PhasePrediction {
+                phase: "probe".into(),
+                stage_costs: vec![114, 8, 23, 115],
+                g_min: 16,
+                first_miss_hidden: true,
+                d_min: 1,
+                predicted_coverage: 1.0,
+            }],
+            residuals: vec![ResidualRow {
+                metric: "prefetch_coverage".into(),
+                predicted: 1.0,
+                measured: 0.95,
+                residual: -0.05000000000000004,
+            }],
+            primary: "latency_bound".into(),
+            evidence: vec!["dcache stalls dominate".into()],
+            rules: vec![
+                RuleOutcome { class: "degraded".into(), fired: false, evidence: vec![] },
+                RuleOutcome {
+                    class: "latency_bound".into(),
+                    fired: true,
+                    evidence: vec!["dcache stalls dominate".into()],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn analysis_section_round_trips_and_validates() {
+        let mut r = report_with_spans();
+        r.analysis = Some(analysis_section());
+        r.validate().expect("consistent analysis validates");
+        let text = r.render();
+        assert!(text.contains("\"analysis\""));
+        assert!(text.contains("\"g_min\""));
+        let back = RunReport::parse(&text).expect("parse");
+        assert_eq!(back.analysis, r.analysis);
+        back.validate().expect("round-tripped analysis still validates");
+    }
+
+    #[test]
+    fn unanalyzed_reports_never_mention_analysis() {
+        assert!(!report_with_spans().render().contains("analysis"));
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_analysis() {
+        let mut r = report_with_spans();
+
+        // Unknown primary class.
+        let mut sec = analysis_section();
+        sec.primary = "vibes_bound".into();
+        r.analysis = Some(sec);
+        assert!(r.validate().unwrap_err().contains("not a known class"));
+
+        // Primary whose rule never fired.
+        let mut sec = analysis_section();
+        sec.rules[1].fired = false;
+        r.analysis = Some(sec);
+        assert!(r.validate().unwrap_err().contains("did not fire"));
+
+        // Fired rule with no evidence.
+        let mut sec = analysis_section();
+        sec.rules[1].evidence.clear();
+        sec.evidence.clear();
+        r.analysis = Some(sec);
+        assert!(r.validate().unwrap_err().contains("evidence"));
+
+        // Residual that is not measured - predicted.
+        let mut sec = analysis_section();
+        sec.residuals[0].residual = 0.5;
+        r.analysis = Some(sec);
+        assert!(r.validate().unwrap_err().contains("measured - predicted"));
+
+        // Non-finite residual.
+        let mut sec = analysis_section();
+        sec.residuals[0].measured = f64::NAN;
+        r.analysis = Some(sec);
+        assert!(r.validate().unwrap_err().contains("non-finite"));
+
+        // Coverage outside [0, 1].
+        let mut sec = analysis_section();
+        sec.predictions[0].predicted_coverage = 1.5;
+        r.analysis = Some(sec);
+        assert!(r.validate().unwrap_err().contains("outside"));
+
+        // Predictions with t_next = 0.
+        let mut sec = analysis_section();
+        sec.t_next = 0;
+        r.analysis = Some(sec);
+        assert!(r.validate().unwrap_err().contains("t_next"));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use phj_metrics::Counter;
+use phj_metrics::{names, Counter};
 
 /// Registered handles for the storage metric family.
 pub(crate) struct StorageMetrics {
@@ -28,11 +28,11 @@ pub(crate) fn storage_metrics() -> Option<&'static StorageMetrics> {
     let reg = phj_metrics::global()?;
     Some(CACHE.get_or_init(|| StorageMetrics {
         pages_sealed: reg
-            .counter("phj_storage_pages_sealed_total", "Page images sealed for disk"),
+            .counter(names::STORAGE_PAGES_SEALED, "Page images sealed for disk"),
         pages_verified: reg
-            .counter("phj_storage_pages_verified_total", "Disk page images verified OK"),
+            .counter(names::STORAGE_PAGES_VERIFIED, "Disk page images verified OK"),
         checksum_failures: reg.counter(
-            "phj_storage_checksum_failures_total",
+            names::STORAGE_CHECKSUM_FAILURES,
             "Disk page images rejected (torn or checksum mismatch)",
         ),
     }))
