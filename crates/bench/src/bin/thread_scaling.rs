@@ -18,6 +18,14 @@
 //! registry is process-global and irreversible, so ordering is what
 //! keeps the off-measurement honest.
 //!
+//! The native sweep then reruns with the flight recorder at `phase` and
+//! `full` granularity (`scaling_join_flightrec`): the recorder, like the
+//! metrics registry, installs irreversibly, so the recorder-off
+//! wall-clock baseline is measured first and the overhead columns are
+//! the measured price of `--flightrec phase` (the default) and
+//! `--flightrec full`. Each flightrec row is archived to the bench_out
+//! perf-trajectory history.
+//!
 //! Emits `scaling_join_sim` / `scaling_join_native` tables plus a
 //! per-worker `scaling_join_workers` table recording each lane/worker's
 //! busy and idle share — the raw data behind the efficiency column.
@@ -26,7 +34,7 @@ use std::time::Duration;
 
 use phj::grace::GraceConfig;
 use phj::sink::JoinSink;
-use phj_bench::report::{mcycles, scaled, Table};
+use phj_bench::report::{history_append, mcycles, scaled, Table};
 use phj_workload::JoinSpec;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -135,10 +143,12 @@ fn main() {
     }
 
     let mut native_base = 0.0;
+    let mut native_ms = Vec::with_capacity(THREADS.len());
     for (i, &n) in THREADS.iter().enumerate() {
         let t0 = std::time::Instant::now();
         let out = phj_exec::parallel_join_native(&cfg, &gen.build, &gen.probe, n, false);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
+        native_ms.push(ms);
         assert_eq!(out.sink.matches(), gen.expected_matches);
         if i == 0 {
             native_base = ms;
@@ -164,7 +174,61 @@ fn main() {
         }
     }
 
+    // Passes 4 and 5: flight recorder at phase, then full, granularity.
+    // install() is irreversible (process-global, like the metrics
+    // registry), so the recorder-off native baseline above had to run
+    // first; set_mode() flips phase -> full in the same process.
+    phj_flightrec::install(phj_flightrec::Mode::Phase);
+    let native_pass = |n: usize| {
+        let t0 = std::time::Instant::now();
+        let out = phj_exec::parallel_join_native(&cfg, &gen.build, &gen.probe, n, false);
+        assert_eq!(out.sink.matches(), gen.expected_matches);
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    let phase_ms: Vec<f64> = THREADS.iter().map(|&n| native_pass(n)).collect();
+    let rec = phj_flightrec::global().expect("recorder installed above");
+    rec.set_mode(phj_flightrec::Mode::Full);
+    let full_ms: Vec<f64> = THREADS.iter().map(|&n| native_pass(n)).collect();
+    assert!(rec.total_written() > 0, "flightrec passes recorded no events");
+
+    let mut flight = Table::new(
+        "Thread scaling — flight-recorder overhead (native wall clock)",
+        &["threads", "ms_off", "ms_phase", "phase_overhead", "ms_full", "full_overhead"],
+    );
+    for (i, &n) in THREADS.iter().enumerate() {
+        let pct = |on: f64| {
+            if native_ms[i] > 0.0 {
+                format!("{:+.2}%", (on - native_ms[i]) / native_ms[i] * 100.0)
+            } else {
+                "n/a".into()
+            }
+        };
+        flight.row(&[
+            &n,
+            &format!("{:.1}", native_ms[i]),
+            &format!("{:.1}", phase_ms[i]),
+            &pct(phase_ms[i]),
+            &format!("{:.1}", full_ms[i]),
+            &pct(full_ms[i]),
+        ]);
+        for (mode, ms) in [("off", native_ms[i]), ("phase", phase_ms[i]), ("full", full_ms[i])] {
+            history_append(
+                "thread_scaling_flightrec",
+                &[
+                    ("threads".to_string(), n.to_string()),
+                    ("flightrec".to_string(), mode.to_string()),
+                ],
+                0,
+                (ms * 1e6) as u64,
+                (gen.build.num_tuples() + gen.probe.num_tuples()) as u64,
+                0.0,
+                0.0,
+            );
+        }
+    }
+
     sim.emit("scaling_join_sim");
     native.emit("scaling_join_native");
     workers.emit("scaling_join_workers");
+    flight.emit("scaling_join_flightrec");
 }

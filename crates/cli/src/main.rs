@@ -59,6 +59,7 @@ use phj_obs::{trace_text, Recorder, RunReport};
 use phj_workload::{single_relation, tuples_for, JoinSpec};
 
 mod args;
+mod log;
 mod telemetry;
 use args::Args;
 
@@ -68,12 +69,15 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    // `explain` takes a positional report path ahead of its flags — the
-    // only positional in the CLI, peeled off before flag parsing.
+    // `explain` and `blackbox` take a positional path ahead of their
+    // flags — the only positionals in the CLI, peeled off before flag
+    // parsing.
     let mut rest: Vec<String> = argv.collect();
-    let mut explain_path = None;
-    if cmd == "explain" && rest.first().is_some_and(|a| !a.starts_with("--")) {
-        explain_path = Some(rest.remove(0));
+    let mut positional = None;
+    if matches!(cmd.as_str(), "explain" | "blackbox")
+        && rest.first().is_some_and(|a| !a.starts_with("--"))
+    {
+        positional = Some(rest.remove(0));
     }
     let args = match Args::parse(rest.into_iter()) {
         Ok(a) => a,
@@ -82,6 +86,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    match log::parse(&args.get_str("log-format", "text")) {
+        Ok(f) => log::init(f),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // The flight recorder is always on (phase granularity) unless
+    // `--flightrec off`; a crash, typed failure, or SIGTERM then dumps
+    // the journal as a postmortem (`--postmortem PATH`).
+    match phj_flightrec::Mode::parse(&args.get_str("flightrec", "phase")) {
+        Ok(Some(mode)) => {
+            phj_flightrec::install(mode);
+            phj_flightrec::install_crash_hooks();
+            phj_flightrec::set_postmortem_path(args.get_str("postmortem", "postmortem.json"));
+            phj_flightrec::set_context_provider(Box::new(postmortem_context));
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: --flightrec: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
     // Telemetry starts before the command so the sampler and /metrics
     // endpoint observe the whole run; with none of its flags present
     // this is a no-op and nothing is installed.
@@ -95,9 +122,15 @@ fn main() -> ExitCode {
         "disk" => cmd_disk(&args),
         "tune" => cmd_tune(&args),
         "params" => cmd_params(&args),
-        "explain" => match &explain_path {
+        "explain" => match &positional {
             Some(path) => cmd_explain(path, &args),
             None => Err("explain needs a report path: phj explain <report.json>".to_string()),
+        },
+        "blackbox" => match &positional {
+            Some(path) => cmd_blackbox(path, &args),
+            None => {
+                Err("blackbox needs a dump path: phj blackbox <postmortem.json>".to_string())
+            }
         },
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -115,9 +148,34 @@ fn main() -> ExitCode {
             // Runtime failures (I/O faults, corruption, overflow) get the
             // rendered error chain only; usage is for argument mistakes.
             eprintln!("error: {e}");
+            // A typed failure after real work is a crash as far as the
+            // flight recorder is concerned: dump the black box. Argument
+            // mistakes never recorded an event, so they skip this.
+            if phj_flightrec::global().is_some_and(|r| r.total_written() > 0) {
+                match phj_flightrec::dump(phj_flightrec::Cause::TypedError, &e) {
+                    Ok(Some(path)) => eprintln!("postmortem: {}", path.display()),
+                    Ok(None) => {}
+                    Err(io) => eprintln!("warning: postmortem dump failed: {io}"),
+                }
+            }
             ExitCode::FAILURE
         }
     }
+}
+
+/// Extra context attached to postmortem dumps: the live metrics registry
+/// (when telemetry is on) flattened to one JSON object. Values must be
+/// pre-rendered JSON — the flight recorder never learns the schema.
+fn postmortem_context() -> Vec<(String, String)> {
+    let Some(reg) = phj_metrics::global() else { return Vec::new() };
+    let mut obj = Vec::new();
+    for f in reg.scrape() {
+        obj.push((f.name.clone(), phj_obs::json::Json::U64(f.value)));
+    }
+    if obj.is_empty() {
+        return Vec::new();
+    }
+    vec![("metrics".to_string(), phj_obs::json::Json::Obj(obj).render())]
 }
 
 const USAGE: &str = "\
@@ -140,6 +198,8 @@ USAGE:
              [TELEMETRY]
   phj explain REPORT.json [--cost-model k=v,...] [--json PATH]
              model-vs-measured diagnosis of a saved run report
+  phj blackbox DUMP.json [--width W] [--tail N] [--trace-out PATH]
+             render a crash postmortem as per-thread timeline lanes
   phj params [--tuple-size B] [--cost-model k=v,...]
   phj help
 
@@ -154,10 +214,20 @@ DIAGNOSIS:
                              tuple_fetch, copy_base, copy_bpc)
 
 TELEMETRY (any of these turns live metrics on; none = zero overhead):
-  --metrics-addr HOST:PORT   serve Prometheus text at GET /metrics
-                             (port 0 = ephemeral; resolved address printed)
+  --metrics-addr HOST:PORT   serve Prometheus text at GET /metrics and
+                             GET /healthz (port 0 = ephemeral; resolved
+                             address printed)
   --sample-interval MS       background sampling period (default 50)
-  --dashboard                live sparkline view + end-of-run summary";
+  --dashboard                live sparkline view + end-of-run summary
+
+GLOBAL (accepted by every command):
+  --flightrec off|phase|full always-on event journal granularity
+                             (default phase; full adds per-task, steal-
+                             miss, spill, and batch marks)
+  --postmortem PATH          where crashes, typed failures, and SIGTERM
+                             dump the journal (default postmortem.json)
+  --log-format text|json     runtime warning format (degradation steps,
+                             fault summaries) on stderr";
 
 /// Where (if anywhere) the observability artifacts of a run go.
 struct ObsOut {
@@ -207,13 +277,18 @@ impl ObsOut {
     /// runs the diagnosis over the finished run.
     fn write(&self, report: &mut RunReport) -> Result<(), String> {
         telemetry::attach(report);
+        attach_flightrec(report);
         if self.explain {
             let sec = phj_analyze::analyze(report, &self.cost);
             print!("{}", phj_analyze::render(report, &sec));
             report.analysis = Some(sec);
             match append_history(report) {
                 Ok(path) => println!("history: {}", path.display()),
-                Err(e) => eprintln!("warning: could not append history: {e}"),
+                Err(e) => log::warn(
+                    "history",
+                    &format!("warning: could not append history: {e}"),
+                    &[("error", e.clone())],
+                ),
             }
         }
         report.validate().map_err(|e| format!("internal: invalid run report: {e}"))?;
@@ -227,6 +302,46 @@ impl ObsOut {
         }
         Ok(())
     }
+}
+
+/// Attach the flight-recorder summary (event counts, ring accounting)
+/// to a run report. The section carries no timestamps, so deterministic
+/// runs summarize byte-identically; with `--flightrec off` nothing is
+/// installed and the report is unchanged.
+fn attach_flightrec(report: &mut RunReport) {
+    let Some(rec) = phj_flightrec::global() else { return };
+    let s = rec.summary();
+    report.flightrec = Some(phj_obs::FlightrecSection {
+        mode: s.mode.name().to_string(),
+        capacity: s.capacity as u64,
+        threads: s.threads.len() as u64,
+        written: s.written(),
+        dropped: s.dropped(),
+        counts: phj_flightrec::EventKind::ALL
+            .iter()
+            .filter(|k| s.counts[**k as usize] > 0)
+            .map(|k| (k.name().to_string(), s.counts[*k as usize]))
+            .collect(),
+    });
+}
+
+/// `phj blackbox <postmortem.json>`: validate a crash dump and render
+/// its merged timeline as per-thread ASCII lanes (`--width`, `--tail`);
+/// `--trace-out PATH` additionally exports it as a Perfetto trace.
+fn cmd_blackbox(path: &str, args: &Args) -> Result<(), String> {
+    args.allow(&["width", "tail", "trace-out", "log-format", "flightrec", "postmortem"])?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let pm = phj_obs::Postmortem::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    pm.validate().map_err(|e| format!("{path}: invalid postmortem: {e}"))?;
+    let width = args.get_usize("width", 100)?;
+    let tail = args.get_usize("tail", 20)?;
+    print!("{}", pm.render(width, tail));
+    let out = args.get_str("trace-out", "");
+    if !out.is_empty() {
+        std::fs::write(&out, pm.to_trace().render()).map_err(|e| format!("{out}: {e}"))?;
+        println!("trace (load in chrome://tracing or ui.perfetto.dev): {out}");
+    }
+    Ok(())
 }
 
 /// Parse `--cost-model k=v,...` overrides over the calibrated defaults.
@@ -260,7 +375,7 @@ fn append_history(report: &RunReport) -> Result<std::path::PathBuf, String> {
 /// `phj explain <report.json>`: load, diagnose, and print. `--json PATH`
 /// writes the report back out with the `analysis` section attached.
 fn cmd_explain(path: &str, args: &Args) -> Result<(), String> {
-    args.allow(&["cost-model", "json"])?;
+    args.allow(&["cost-model", "json", "flightrec", "postmortem", "log-format"])?;
     let cost = cost_model_of(args)?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut report = RunReport::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -324,6 +439,7 @@ fn cmd_join(args: &Args) -> Result<(), String> {
         "build-mb", "tuple-size", "matches", "pct", "scheme", "g", "d", "mem-mb", "sim",
         "hybrid", "threads", "profile-regions", "heatmap", "json", "trace-out",
         "metrics-addr", "sample-interval", "dashboard", "width", "explain", "cost-model",
+        "flightrec", "postmortem", "log-format",
     ])?;
     let build_mb = args.get_usize("build-mb", 16)?;
     let tuple_size = args.get_usize("tuple-size", 100)?;
@@ -600,7 +716,7 @@ fn cmd_agg(args: &Args) -> Result<(), String> {
     args.allow(&[
         "rows", "keys", "scheme", "g", "d", "sim", "threads", "profile-regions", "heatmap",
         "json", "trace-out", "metrics-addr", "sample-interval", "dashboard", "width",
-        "explain", "cost-model",
+        "explain", "cost-model", "flightrec", "postmortem", "log-format",
     ])?;
     let rows = args.get_usize("rows", 1_000_000)?;
     let keys = args.get_usize("keys", 100_000)?.max(1);
@@ -821,7 +937,7 @@ fn cmd_disk(args: &Args) -> Result<(), String> {
     args.allow(&[
         "build-mb", "mem-mb", "mem-budget", "stripes", "dir", "fault-plan", "max-depth",
         "json", "trace-out", "metrics-addr", "sample-interval", "dashboard", "width",
-        "explain", "cost-model",
+        "explain", "cost-model", "flightrec", "postmortem", "log-format",
     ])?;
     let build_mb = args.get_usize("build-mb", 16)?;
     let mem_mb = args.get_usize("mem-mb", build_mb.div_ceil(4).max(1))?;
@@ -897,13 +1013,37 @@ fn cmd_disk(args: &Args) -> Result<(), String> {
     );
     println!("result checksum: {:#018x}", report.checksum);
     for e in &report.degradation {
-        println!("degraded: {e}");
+        let (action, detail) = match e.kind {
+            phj_disk::DegradationKind::Repartition { fanout, .. } => ("repartition", fanout as u64),
+            phj_disk::DegradationKind::NljFallback { chunks } => ("nlj_fallback", chunks as u64),
+        };
+        log::warn(
+            "degradation",
+            &format!("degraded: {e}"),
+            &[
+                ("partition", e.partition.clone()),
+                ("depth", e.depth.to_string()),
+                ("bytes", e.bytes.to_string()),
+                ("budget", e.budget.to_string()),
+                ("action", action.to_string()),
+                ("detail", detail.to_string()),
+            ],
+        );
     }
     if fault.is_active() || report.read_retries + report.write_retries > 0 {
-        println!(
-            "faults: injected={} read_retries={} write_retries={} slow_stall_us={}",
-            report.faults_injected, report.read_retries, report.write_retries,
-            report.slow_stall_us
+        log::warn(
+            "faults",
+            &format!(
+                "faults: injected={} read_retries={} write_retries={} slow_stall_us={}",
+                report.faults_injected, report.read_retries, report.write_retries,
+                report.slow_stall_us
+            ),
+            &[
+                ("injected", report.faults_injected.to_string()),
+                ("read_retries", report.read_retries.to_string()),
+                ("write_retries", report.write_retries.to_string()),
+                ("slow_stall_us", report.slow_stall_us.to_string()),
+            ],
         );
     }
     if let Some(mut rec) = recorder {
@@ -957,6 +1097,7 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     args.allow(&[
         "build-mb", "tuple-size", "profile-regions", "heatmap", "json", "trace-out",
         "metrics-addr", "sample-interval", "dashboard", "width", "explain", "cost-model",
+        "flightrec", "postmortem", "log-format",
     ])?;
     let build_mb = args.get_usize("build-mb", 8)?;
     let tuple_size = args.get_usize("tuple-size", 20)?;
@@ -1036,7 +1177,7 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_params(args: &Args) -> Result<(), String> {
-    args.allow(&["tuple-size", "cost-model"])?;
+    args.allow(&["tuple-size", "cost-model", "flightrec", "postmortem", "log-format"])?;
     let tuple_size = args.get_usize("tuple-size", 100)?;
     let cfg = MemConfig::paper();
     let model = cost_model_of(args)?;

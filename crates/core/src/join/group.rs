@@ -95,6 +95,7 @@ pub struct GroupProbe<'a> {
     slots: Vec<ProbeSlot>,
     scan: Scan<'a>,
     exhausted: bool,
+    batches: u64,
 }
 
 impl<'a> GroupProbe<'a> {
@@ -116,6 +117,7 @@ impl<'a> GroupProbe<'a> {
             slots: (0..g).map(|_| ProbeSlot::empty()).collect(),
             scan: Scan::new(probe_rel, true),
             exhausted: false,
+            batches: 0,
         }
     }
 
@@ -200,6 +202,10 @@ impl<'a> GroupProbe<'a> {
                 }
             }
         }
+        // Host-side batch mark (flight recorder full mode only; never a
+        // simulated-cycle cost).
+        phj_flightrec::event_full(phj_flightrec::EventKind::Batch, 2, self.batches, g as u64);
+        self.batches += 1;
         if n < g {
             self.exhausted = true;
         }
@@ -242,6 +248,7 @@ pub fn build<M: MemoryModel>(
         .collect();
     let mut delayed: Vec<usize> = Vec::new();
     let mut scan = Scan::new(build, true);
+    let mut batches = 0u64;
     loop {
         // Stage 0: hash, bucket, prefetch headers.
         let mut n = 0usize;
@@ -310,6 +317,8 @@ pub fn build<M: MemoryModel>(
             insert_one(mem, table, slots[i].cell);
             slots[i].state = BuildState::Done;
         }
+        phj_flightrec::event_full(phj_flightrec::EventKind::Batch, 1, batches, g as u64);
+        batches += 1;
         if n < g {
             break;
         }

@@ -40,6 +40,7 @@ pub(crate) fn run<M: MemoryModel>(
         .collect();
     let mut delayed: Vec<usize> = Vec::new();
     let mut scan = Scan::range(input, true, pages);
+    let mut batch = 0u64;
     loop {
         // Stage 0: hash, partition number, reserve + prefetch the output
         // location.
@@ -85,6 +86,10 @@ pub(crate) fn run<M: MemoryModel>(
             let t = input.page(s.pi).tuple(s.slot);
             out.append_direct(mem, s.p, t, s.hash);
         }
+        // Host-side batch mark (flight recorder full mode only; never a
+        // simulated-cycle cost).
+        phj_flightrec::event_full(phj_flightrec::EventKind::Batch, 0, batch, g as u64);
+        batch += 1;
         if n < g {
             break;
         }

@@ -264,6 +264,10 @@ impl FaultPlan {
         // a retry is the same fault, not a new injection.
         if attempt == 0 {
             self.stats.bump(fault);
+            // Flight-recorder code follows the Fault discriminant order
+            // (transient=0 … permanent=4), mirrored by the postmortem
+            // renderer's fault-name table.
+            phj_flightrec::event(phj_flightrec::EventKind::Fault, fault as u16, page, tag);
             if fault == Fault::Slow {
                 self.stats.slow_stall_us.fetch_add(self.slow_micros, Ordering::Relaxed);
                 if let Some(m) = crate::telemetry::disk_metrics() {

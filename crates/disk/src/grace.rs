@@ -231,6 +231,14 @@ impl SpillBuilder {
             self.writer.write(self.next_page, self.bufs[part].sealed_image())?;
             self.next_page += 1;
             self.bufs[part].reset();
+            // Per-page spill marks are full-mode only: one per sealed page
+            // would dominate the ring at phase granularity.
+            phj_flightrec::event_full(
+                phj_flightrec::EventKind::Spill,
+                part.min(u16::MAX as usize) as u16,
+                self.part_pages[part].len() as u64,
+                self.part_tuples[part],
+            );
         }
         self.bufs[part]
             .insert(tuple, hash)
@@ -249,6 +257,14 @@ impl SpillBuilder {
             }
         }
         self.writer.finish()?;
+        // One flush mark per spill file: a = total pages written, b =
+        // total tuples routed.
+        phj_flightrec::event(
+            phj_flightrec::EventKind::Flush,
+            self.part_pages.len().min(u16::MAX as usize) as u16,
+            self.next_page,
+            self.part_tuples.iter().sum(),
+        );
         Ok(Spilled {
             stripes: self.stripes,
             part_pages: self.part_pages,
@@ -449,6 +465,13 @@ fn join_partition_pair(
             if let Some(m) = crate::telemetry::disk_metrics() {
                 m.degradation_depth.set_max(depth as u64 + 1);
             }
+            // code 0 = recursive repartition step.
+            phj_flightrec::event(
+                phj_flightrec::EventKind::Degrade,
+                0,
+                depth as u64 + 1,
+                fanout as u64,
+            );
             let span = obs::span_begin(rec, native, "repartition");
             obs::span_meta(rec, "partition", &label);
             obs::span_meta(rec, "fanout", fanout);
@@ -503,6 +526,13 @@ fn join_partition_pair(
         if let Some(m) = crate::telemetry::disk_metrics() {
             m.degradation_depth.set_max(depth as u64 + 1);
         }
+        // code 1 = block nested-loop fallback.
+        phj_flightrec::event(
+            phj_flightrec::EventKind::Degrade,
+            1,
+            depth as u64 + 1,
+            chunks as u64,
+        );
         return Ok(());
     }
 
@@ -589,6 +619,9 @@ pub fn grace_join_files_rec(
 ) -> Result<DiskGraceReport> {
     let p = plan::num_partitions(build.size_bytes() as usize, cfg.mem_budget).max(1);
     let mut native = NativeModel;
+    // Journal the memory grant this run operates under (a=0: initial
+    // grant; the ladder never renegotiates, it degrades instead).
+    phj_flightrec::event(phj_flightrec::EventKind::Grant, 0, 0, cfg.mem_budget as u64);
 
     let t0 = Instant::now();
     let span = obs::span_begin(&mut rec, &native, "partition");

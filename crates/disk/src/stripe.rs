@@ -216,6 +216,13 @@ impl StripeSet {
                     if let Some(m) = crate::telemetry::disk_metrics() {
                         m.read_retries.inc();
                     }
+                    // code 0 = read retry; b is the attempt being retried.
+                    phj_flightrec::event(
+                        phj_flightrec::EventKind::Retry,
+                        0,
+                        page,
+                        attempt as u64 + 1,
+                    );
                     std::thread::sleep(self.retry.backoff(attempt));
                     attempt += 1;
                 }
@@ -262,6 +269,13 @@ impl StripeSet {
                     if let Some(m) = crate::telemetry::disk_metrics() {
                         m.write_retries.inc();
                     }
+                    // code 1 = write retry; b is the attempt being retried.
+                    phj_flightrec::event(
+                        phj_flightrec::EventKind::Retry,
+                        1,
+                        page,
+                        attempt as u64 + 1,
+                    );
                     std::thread::sleep(self.retry.backoff(attempt));
                     attempt += 1;
                 }

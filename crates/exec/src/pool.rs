@@ -67,6 +67,14 @@ where
         m.workers.set(n as u64);
         m.queue_depth.set(tasks.len() as u64);
     }
+    // Journal the fork-join region itself on the caller's thread; workers
+    // journal their own task/steal events from their own rings.
+    phj_flightrec::event(
+        phj_flightrec::EventKind::PhaseEnter,
+        phj_flightrec::phase_code("execute"),
+        tasks.len() as u64,
+        n as u64,
+    );
 
     if n == 1 {
         let mut states = states;
@@ -75,6 +83,7 @@ where
         let mut slots: Vec<Option<R>> = (0..tasks.len()).map(|_| None).collect();
         for &i in &assignment[0] {
             let task_t0 = Instant::now();
+            phj_flightrec::event_full(phj_flightrec::EventKind::Task, 0, i as u64, 0);
             slots[i] = Some(f(&mut states[0], i, &tasks[i]));
             stats.tasks += 1;
             if let Some(m) = exec_metrics() {
@@ -84,6 +93,12 @@ where
         }
         stats.busy_ns = t0.elapsed().as_nanos() as u64;
         publish_worker(&stats);
+        phj_flightrec::event(
+            phj_flightrec::EventKind::PhaseExit,
+            phj_flightrec::phase_code("execute"),
+            tasks.len() as u64,
+            1,
+        );
         let results = slots.into_iter().map(|r| r.expect("task ran")).collect();
         return (results, states, vec![stats]);
     }
@@ -131,6 +146,12 @@ where
                                 m.queue_depth.set((total - done.min(total)) as u64);
                             }
                             let t0 = Instant::now();
+                            phj_flightrec::event_full(
+                                phj_flightrec::EventKind::Task,
+                                w as u16,
+                                i as u64,
+                                0,
+                            );
                             let r = f(&mut state, i, &tasks[i]);
                             let dt = t0.elapsed().as_nanos() as u64;
                             busy_ns += dt;
@@ -157,6 +178,13 @@ where
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
     });
+
+    phj_flightrec::event(
+        phj_flightrec::EventKind::PhaseExit,
+        phj_flightrec::phase_code("execute"),
+        total as u64,
+        n as u64,
+    );
 
     out.sort_by_key(|(w, ..)| *w);
     let mut slots: Vec<Option<R>> = (0..total).map(|_| None).collect();
@@ -194,6 +222,12 @@ fn steal_round(me: usize, deques: &[WorkDeque], stats: &mut WorkerStats) -> Opti
             match deques[victim].steal() {
                 Steal::Task(i) => {
                     stats.steals += 1;
+                    phj_flightrec::event(
+                        phj_flightrec::EventKind::Steal,
+                        1,
+                        me as u64,
+                        victim as u64,
+                    );
                     return Some(i);
                 }
                 Steal::Retry => std::hint::spin_loop(),
@@ -201,6 +235,9 @@ fn steal_round(me: usize, deques: &[WorkDeque], stats: &mut WorkerStats) -> Opti
             }
         }
     }
+    // A fully empty round is journaled only in full mode: misses are
+    // frequent during ramp-down and would wash out the ring otherwise.
+    phj_flightrec::event_full(phj_flightrec::EventKind::Steal, 0, me as u64, 0);
     None
 }
 

@@ -554,6 +554,14 @@ impl SimEngine {
                 s.clear();
             }
             self.stats.flushes += 1;
+            // Journal the epoch boundary (host-side; a no-op without a
+            // flight recorder, and never a simulated-cycle cost).
+            phj_flightrec::event(
+                phj_flightrec::EventKind::MemEpoch,
+                0,
+                self.stats.flushes,
+                self.now,
+            );
             self.next_flush += self.cfg.flush_period.expect("flush period set");
         }
     }

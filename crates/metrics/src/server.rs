@@ -3,16 +3,22 @@
 //! One background thread polls a nonblocking `TcpListener`. Each
 //! accepted connection is answered synchronously: read the request head,
 //! scrape the registry, write one HTTP/1.0-style response, close. There
-//! is no keep-alive, no routing beyond `GET /metrics`, and no TLS — this
-//! is a scrape target, not a web server. Bind to port 0 and read
-//! [`MetricsServer::local_addr`] for an ephemeral endpoint (CI does).
+//! is no keep-alive, no routing beyond `GET /metrics` and `GET /healthz`,
+//! and no TLS — this is a scrape target, not a web server. Bind to port 0
+//! and read [`MetricsServer::local_addr`] for an ephemeral endpoint (CI
+//! does).
+//!
+//! The server registers self-metrics on the registry it serves:
+//! `phj_http_scrapes_total` (count of successful `/metrics` responses,
+//! incremented before encoding so the very first scrape reports 1) and
+//! `phj_http_scrape_duration_us` (a histogram of scrape latencies).
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::prom;
 use crate::registry::Registry;
@@ -111,7 +117,19 @@ fn serve_one(mut stream: TcpStream, registry: &Registry) {
     let (status, body) = if method != "GET" {
         ("405 Method Not Allowed", String::from("method not allowed\n"))
     } else if path == "/metrics" || path.starts_with("/metrics?") {
-        ("200 OK", prom::encode(&registry.scrape()))
+        // Count before encoding so the scrape observes itself — the
+        // first response already reports phj_http_scrapes_total 1.
+        registry
+            .counter("phj_http_scrapes_total", "Successful /metrics scrapes served")
+            .inc();
+        let t0 = Instant::now();
+        let text = prom::encode(&registry.scrape());
+        registry
+            .histogram("phj_http_scrape_duration_us", "Scrape encode latency (us)")
+            .record(t0.elapsed().as_micros() as u64);
+        ("200 OK", text)
+    } else if path == "/healthz" {
+        ("200 OK", String::from("ok\n"))
     } else {
         ("404 Not Found", String::from("not found; scrape /metrics\n"))
     };
@@ -156,6 +174,27 @@ mod tests {
         reg.counter("phj_http_test_total", "test").add(1);
         let (_, body) = http_get(addr, "/metrics");
         assert!(body.contains("phj_http_test_total 43\n"));
+        srv.stop();
+    }
+
+    #[test]
+    fn healthz_and_self_metrics() {
+        let reg = Arc::new(Registry::new());
+        let srv = MetricsServer::start("127.0.0.1:0", Arc::clone(&reg)).unwrap();
+        let addr = srv.local_addr();
+
+        let (head, body) = http_get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        // Health checks are not scrapes: the first real scrape observes
+        // itself and reports exactly 1.
+        let (_, body) = http_get(addr, "/metrics");
+        assert!(body.contains("phj_http_scrapes_total 1\n"), "{body}");
+        let (_, body) = http_get(addr, "/metrics");
+        assert!(body.contains("phj_http_scrapes_total 2\n"), "{body}");
+        // The second scrape carries the first one's duration sample.
+        assert!(body.contains("phj_http_scrape_duration_us_count"), "{body}");
         srv.stop();
     }
 

@@ -30,15 +30,17 @@
 
 pub mod heatmap;
 pub mod json;
+pub mod postmortem;
 pub mod report;
 pub mod span;
 pub mod spark;
 pub mod trace;
 
 pub use json::Json;
+pub use postmortem::Postmortem;
 pub use report::{
-    AnalysisSection, DegradationRow, FaultsSection, PhasePrediction, RegionReport,
-    RegionsSection, ResidualRow, RuleOutcome, RunReport, SkewRow, TimeseriesRow,
+    AnalysisSection, DegradationRow, FaultsSection, FlightrecSection, PhasePrediction,
+    RegionReport, RegionsSection, ResidualRow, RuleOutcome, RunReport, SkewRow, TimeseriesRow,
     TimeseriesSection, BOTTLENECK_CLASSES, SCHEMA_VERSION,
 };
 pub use spark::{render_timeseries, sparkline};

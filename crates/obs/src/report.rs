@@ -166,6 +166,63 @@ pub struct TimeseriesSection {
     pub series: Vec<TimeseriesRow>,
 }
 
+/// The optional flight-recorder summary section of a [`RunReport`]:
+/// per-kind event totals and exact ring-wrap drop accounting from the
+/// process flight recorder (`phj-flightrec`). Deliberately carries no
+/// timestamps, so two identical deterministic runs summarize
+/// byte-identically (the `setarch -R` byte-identity gate runs with the
+/// recorder on). Like the other optional sections, the JSON key is
+/// omitted entirely when absent.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlightrecSection {
+    /// Recording granularity (`"phase"` or `"full"`).
+    pub mode: String,
+    /// Per-thread ring capacity in events.
+    pub capacity: u64,
+    /// Threads that recorded at least one event.
+    pub threads: u64,
+    /// Total events written across all rings.
+    pub written: u64,
+    /// Events lost to ring wrap (`written - recovered`).
+    pub dropped: u64,
+    /// Nonzero per-kind totals, in event-kind order.
+    pub counts: Vec<(String, u64)>,
+}
+
+/// Internal consistency of a `flightrec` section: known mode, known
+/// nonzero event kinds, and counts that sum to the write total.
+fn validate_flightrec(sec: &FlightrecSection) -> Result<(), String> {
+    if sec.mode != "phase" && sec.mode != "full" {
+        return Err(format!("flightrec mode '{}' is not phase|full", sec.mode));
+    }
+    if sec.dropped > sec.written {
+        return Err(format!(
+            "flightrec dropped {} exceeds written {}",
+            sec.dropped, sec.written
+        ));
+    }
+    let mut sum = 0u64;
+    for (kind, n) in &sec.counts {
+        if phj_flightrec::EventKind::from_name(kind).is_none() {
+            return Err(format!("flightrec count for unknown event kind '{kind}'"));
+        }
+        if *n == 0 {
+            return Err(format!("flightrec carries a zero count for '{kind}'"));
+        }
+        sum += n;
+    }
+    if sum != sec.written {
+        return Err(format!(
+            "flightrec counts sum to {sum} but written is {}",
+            sec.written
+        ));
+    }
+    if sec.written > 0 && sec.threads == 0 {
+        return Err("flightrec wrote events with zero threads".into());
+    }
+    Ok(())
+}
+
 /// Bottleneck classes the diagnosis rule engine can assign. Exactly one
 /// becomes a report's primary bottleneck; `compute_bound` is the healthy
 /// default when no pathology fires.
@@ -365,6 +422,10 @@ pub struct RunReport {
     /// one; omitted from the JSON when absent, same convention as the
     /// other optional sections).
     pub analysis: Option<AnalysisSection>,
+    /// Flight-recorder summary (`None` unless the run had the process
+    /// flight recorder installed; omitted from the JSON when absent,
+    /// same convention as the other optional sections).
+    pub flightrec: Option<FlightrecSection>,
 }
 
 impl RunReport {
@@ -390,6 +451,7 @@ impl RunReport {
             faults: None,
             timeseries: None,
             analysis: None,
+            flightrec: None,
         }
     }
 
@@ -519,6 +581,11 @@ impl RunReport {
                 members.push(("analysis".into(), analysis_json(sec)));
             }
         }
+        if let Some(sec) = &self.flightrec {
+            if let Json::Obj(members) = &mut doc {
+                members.push(("flightrec".into(), flightrec_json(sec)));
+            }
+        }
         doc
     }
 
@@ -568,6 +635,10 @@ impl RunReport {
             },
             analysis: match doc.get("analysis") {
                 Some(sec) => Some(parse_analysis(sec)?),
+                None => None,
+            },
+            flightrec: match doc.get("flightrec") {
+                Some(sec) => Some(parse_flightrec(sec)?),
                 None => None,
             },
         })
@@ -648,6 +719,9 @@ impl RunReport {
         }
         if let Some(sec) = &self.analysis {
             validate_analysis(sec)?;
+        }
+        if let Some(sec) = &self.flightrec {
+            validate_flightrec(sec)?;
         }
         Ok(())
     }
@@ -1012,6 +1086,42 @@ fn parse_faults(doc: &Json) -> Result<FaultsSection, String> {
             .iter()
             .map(parse_degradation)
             .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+fn flightrec_json(sec: &FlightrecSection) -> Json {
+    Json::obj(vec![
+        ("mode", Json::Str(sec.mode.clone())),
+        ("capacity", Json::U64(sec.capacity)),
+        ("threads", Json::U64(sec.threads)),
+        ("written", Json::U64(sec.written)),
+        ("dropped", Json::U64(sec.dropped)),
+        (
+            "counts",
+            Json::Obj(
+                sec.counts.iter().map(|(k, v)| (k.clone(), Json::U64(*v))).collect(),
+            ),
+        ),
+    ])
+}
+
+fn parse_flightrec(doc: &Json) -> Result<FlightrecSection, String> {
+    let counts = match doc.get("counts") {
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(k, v)| {
+                Ok((k.clone(), v.as_u64().ok_or("non-integer flightrec count")?))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => return Err("flightrec section missing counts object".into()),
+    };
+    Ok(FlightrecSection {
+        mode: field_str(doc, "mode")?,
+        capacity: field_u64(doc, "capacity")?,
+        threads: field_u64(doc, "threads")?,
+        written: field_u64(doc, "written")?,
+        dropped: field_u64(doc, "dropped")?,
+        counts,
     })
 }
 

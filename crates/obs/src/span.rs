@@ -252,20 +252,28 @@ impl Recorder {
 
 /// Open a span on an optional recorder, snapshotting `model`. Returns
 /// `None` (for the matching [`span_end`]) when no recorder is attached.
+///
+/// Independently of the recorder, the phase transition is journaled to
+/// the process flight recorder (`phj_flightrec`) — a no-op until a
+/// binary installs one, and never on the simulated critical path — so
+/// crash postmortems see phase context even from unobserved runs.
 pub fn span_begin<M: MemoryModel>(
     rec: &mut Option<&mut Recorder>,
     model: &M,
     name: &str,
 ) -> Option<SpanId> {
+    phj_flightrec::phase_enter(name);
     rec.as_deref_mut().map(|r| r.begin_profiled(name, model.snapshot(), model.latency_hist()))
 }
 
-/// Close the span opened by the matching [`span_begin`].
+/// Close the span opened by the matching [`span_begin`]. Also journals
+/// the phase exit to the flight recorder (see [`span_begin`]).
 pub fn span_end<M: MemoryModel>(
     rec: &mut Option<&mut Recorder>,
     model: &M,
     id: Option<SpanId>,
 ) {
+    phj_flightrec::phase_exit();
     if let (Some(r), Some(id)) = (rec.as_deref_mut(), id) {
         r.end_profiled(id, model.snapshot(), model.latency_hist());
     }
