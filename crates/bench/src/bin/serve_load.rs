@@ -1,0 +1,245 @@
+//! Open-loop load generator for the `phj serve` query daemon.
+//!
+//! Starts an in-process [`Server`] on an ephemeral port, precomputes the
+//! expected checksum of every request class with the same sequential
+//! kernel the daemon runs (`phj_server::query::run`), then fires a
+//! seeded Poisson-ish arrival process at it: exponential inter-arrival
+//! gaps from a fixed-seed RNG, one client thread per query, nobody
+//! waiting for anybody's response before sending the next (open loop —
+//! the arrival clock, not the service rate, decides when queries land).
+//! The first [`BURST`] arrivals land at t=0 so the run provably reaches
+//! ≥ BURST queries in flight regardless of how fast the host drains.
+//!
+//! Every response is checked against its class's expected checksum —
+//! the daemon under concurrency must be bit-identical to the sequential
+//! CLI path — and the run fails loudly on any mismatch, admission
+//! over-budget, or missed concurrency floor. Emits a `serve_load`
+//! latency table (p50/p95/p99 per class and overall, plus throughput)
+//! as console/CSV/JSON under `bench_out/` and appends the overall row
+//! to the perf-trajectory history, like `thread_scaling` does.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use phj_bench::report::{history_append, scaled, Table};
+use phj_server::proto::{AggRequest, JoinRequest, Request, Response, WireScheme};
+use phj_server::{query, Connection, ServeConfig, Server};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Total queries fired at the daemon.
+const QUERIES: usize = 48;
+/// Arrivals pinned to t=0: the guaranteed concurrency floor.
+const BURST: usize = 8;
+/// Mean inter-arrival gap for the open-loop tail, milliseconds.
+const MEAN_GAP_MS: f64 = 4.0;
+/// Arrival-process seed (also printed, so a run is reproducible).
+const SEED: u64 = 0x5E41_E10AD;
+
+/// One request class in the mix. `weight` slots of the deterministic
+/// round-robin deal; the label names the table row.
+struct Class {
+    label: &'static str,
+    req: Request,
+}
+
+fn classes() -> Vec<Class> {
+    let join = |label, scheme, seed| Class {
+        label,
+        req: Request::Join(JoinRequest {
+            build_tuples: scaled(4_000) as u64,
+            tuple_size: 100,
+            matches_per_build: 2,
+            pct_match: 100,
+            scheme,
+            mem_budget: 1 << 20,
+            seed,
+        }),
+    };
+    let agg = |label, scheme, rows| Class {
+        label,
+        req: Request::Agg(AggRequest {
+            rows: scaled(rows) as u64,
+            keys: 2_000,
+            scheme,
+            mem_budget: 0,
+        }),
+    };
+    vec![
+        join("join/group", WireScheme::Group { g: 16 }, 0x11D0),
+        join("join/swp", WireScheme::Swp { d: 4 }, 0xBEEF),
+        join("join/baseline", WireScheme::Baseline, 0xCAFE),
+        agg("agg/group", WireScheme::Group { g: 16 }, 60_000),
+        agg("agg/swp", WireScheme::Swp { d: 4 }, 40_000),
+    ]
+}
+
+/// Latency percentile (nearest-rank) over a sorted slice.
+fn pctl(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+struct Outcome {
+    class: usize,
+    latency: Duration,
+    checksum: u64,
+}
+
+fn main() {
+    let budget: u64 = (scaled(96 << 20) as u64).max(16 << 20);
+    let srv = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 8,
+        mem_budget: budget,
+        min_grant: 1 << 20,
+        max_queue: QUERIES,
+    })
+    .expect("bind ephemeral port");
+    let addr = srv.local_addr();
+    println!(
+        "serve_load: {QUERIES} queries (first {BURST} at t=0, then mean gap {MEAN_GAP_MS} ms), \
+         seed {SEED:#x}, budget {} MB, daemon {addr}",
+        budget >> 20
+    );
+
+    // Expected checksums from the sequential kernel, before any load.
+    let mix = classes();
+    let expected: Vec<_> = mix
+        .iter()
+        .map(|c| query::run(0, &c.req).expect("reference run").checksum)
+        .collect();
+
+    // Deterministic schedule: class round-robins through the mix,
+    // arrival offsets are a running sum of exponential gaps (zero for
+    // the opening burst).
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut at = Duration::ZERO;
+    let schedule: Vec<(usize, Duration)> = (0..QUERIES)
+        .map(|i| {
+            if i >= BURST {
+                let u: f64 = rng.gen();
+                at += Duration::from_secs_f64(MEAN_GAP_MS / 1e3 * -(1.0 - u).ln());
+            }
+            (i % mix.len(), at)
+        })
+        .collect();
+
+    // Fire: one thread per query, all clocks relative to one t0. The
+    // in-flight counter brackets the request round trip; its high-water
+    // mark is the measured concurrency.
+    let inflight = Arc::new(AtomicU64::new(0));
+    let peak = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let handles: Vec<_> = schedule
+        .into_iter()
+        .map(|(class, when)| {
+            let req = mix[class].req.clone();
+            let inflight = Arc::clone(&inflight);
+            let peak = Arc::clone(&peak);
+            std::thread::spawn(move || -> Outcome {
+                if let Some(wait) = when.checked_sub(t0.elapsed()) {
+                    std::thread::sleep(wait);
+                }
+                let now = inflight.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                let sent = Instant::now();
+                let mut conn = Connection::connect(addr).expect("connect");
+                let resp = conn.request(&req).expect("request");
+                let latency = sent.elapsed();
+                inflight.fetch_sub(1, Ordering::SeqCst);
+                match resp {
+                    Response::Result(r) => Outcome { class, latency, checksum: r.checksum },
+                    other => panic!("class {class}: daemon answered {other:?}"),
+                }
+            })
+        })
+        .collect();
+    let outcomes: Vec<Outcome> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let wall = t0.elapsed();
+
+    // Correctness before numbers: concurrency under load must not have
+    // perturbed a single checksum.
+    let mut mismatches = 0;
+    for o in &outcomes {
+        if o.checksum != expected[o.class] {
+            eprintln!(
+                "CHECKSUM MISMATCH class {}: got {:#018x}, sequential kernel says {:#018x}",
+                mix[o.class].label, o.checksum, expected[o.class]
+            );
+            mismatches += 1;
+        }
+    }
+    assert_eq!(mismatches, 0, "daemon results drifted from the sequential kernel");
+
+    let adm = srv.admission();
+    let grant_peak = adm.peak_outstanding();
+    let (admitted, rejected) = adm.totals();
+    assert!(grant_peak <= budget, "grants exceeded the budget");
+    assert!(grant_peak > 0, "queries ran without grants");
+    assert_eq!(adm.outstanding(), 0, "grants leaked");
+    assert_eq!(admitted, QUERIES as u64);
+    assert_eq!(rejected, 0, "mix is sized to fit; a rejection is a bug");
+    let peak_inflight = peak.load(Ordering::SeqCst);
+    assert!(
+        peak_inflight >= BURST as u64 / 2,
+        "concurrency floor missed: peak in-flight {peak_inflight}"
+    );
+
+    let mut table = Table::new(
+        format!("serve_load: {QUERIES} mixed queries against one daemon, seed {SEED:#x}"),
+        &["class", "queries", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+    );
+    let mut rows = |label: &str, mut lat: Vec<Duration>| {
+        lat.sort();
+        table.row(&[
+            &label,
+            &lat.len(),
+            &ms(pctl(&lat, 50.0)),
+            &ms(pctl(&lat, 95.0)),
+            &ms(pctl(&lat, 99.0)),
+            &ms(*lat.last().unwrap_or(&Duration::ZERO)),
+        ]);
+    };
+    for (i, c) in mix.iter().enumerate() {
+        rows(
+            c.label,
+            outcomes.iter().filter(|o| o.class == i).map(|o| o.latency).collect(),
+        );
+    }
+    rows("overall", outcomes.iter().map(|o| o.latency).collect());
+    table.emit("serve_load");
+
+    let qps = QUERIES as f64 / wall.as_secs_f64();
+    println!(
+        "\nthroughput: {qps:.1} queries/s over {wall:?}; peak in-flight {peak_inflight}, \
+         peak grant {} MB of {} MB budget",
+        grant_peak >> 20,
+        budget >> 20
+    );
+    history_append(
+        "serve_load",
+        &[
+            ("queries".into(), QUERIES.to_string()),
+            ("seed".into(), format!("{SEED:#x}")),
+            ("threads".into(), "8".into()),
+            ("budget".into(), budget.to_string()),
+            ("peak_inflight".into(), peak_inflight.to_string()),
+            ("qps".into(), format!("{qps:.1}")),
+        ],
+        0,
+        wall.as_nanos() as u64,
+        QUERIES as u64,
+        0.0,
+        0.0,
+    );
+    srv.stop();
+}

@@ -60,6 +60,7 @@ use phj_workload::{single_relation, tuples_for, JoinSpec};
 
 mod args;
 mod log;
+mod serve;
 mod telemetry;
 use args::Args;
 
@@ -120,6 +121,8 @@ fn main() -> ExitCode {
         "join" => cmd_join(&args),
         "agg" => cmd_agg(&args),
         "disk" => cmd_disk(&args),
+        "serve" => serve::cmd_serve(&args),
+        "client" => serve::cmd_client(&args),
         "tune" => cmd_tune(&args),
         "params" => cmd_params(&args),
         "explain" => match &positional {
@@ -196,6 +199,15 @@ USAGE:
   phj tune   [--build-mb N] [--tuple-size B] [--profile-regions] [--heatmap]
              [--width W] [--json PATH] [--trace-out PATH] [DIAGNOSIS]
              [TELEMETRY]
+  phj serve  [--addr HOST:PORT] [--threads N] [--mem-mb N | --mem-budget BYTES]
+             [--min-grant-mb N] [--max-queue N] [TELEMETRY]
+             query-service daemon: prints `serving on ADDR` (port 0 =
+             ephemeral), runs queries concurrently under one memory
+             budget, stops cleanly on SIGTERM/SIGINT
+  phj client --addr HOST:PORT [--query join|agg|ping] [--seed S]
+             [--json PATH] [join/agg knobs as above]
+             send one query to a daemon; prints the same result line as
+             the local drivers, so outputs diff textually
   phj explain REPORT.json [--cost-model k=v,...] [--json PATH]
              model-vs-measured diagnosis of a saved run report
   phj blackbox DUMP.json [--width W] [--tail N] [--trace-out PATH]

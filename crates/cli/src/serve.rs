@@ -1,0 +1,202 @@
+//! `phj serve` / `phj client`: the query-service daemon and the
+//! one-shot client that talks to it.
+//!
+//! `serve` binds the address, prints the resolved `serving on ADDR`
+//! line (scraped by scripts and the CI smoke job to learn an ephemeral
+//! port), then parks until SIGTERM/SIGINT. For a daemon those signals
+//! mean *clean shutdown*, not a crash, so this command replaces the
+//! flight recorder's SIGTERM hook (which dumps a postmortem and exits
+//! 143) with one that just sets a stop flag; the accept loop and worker
+//! pool are then torn down in order and the process exits 0.
+//!
+//! `client` mirrors the `phj join` / `phj agg` knobs, sends exactly one
+//! request, and prints the same result line the local drivers print
+//! (`partitions: .., matches: .., checksum: 0x..`), so a daemon's
+//! answer can be diffed textually against the sequential CLI path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use phj_server::proto::{AggRequest, JoinRequest, Request, Response, WireScheme};
+use phj_server::{Connection, ServeConfig, Server};
+use phj_workload::tuples_for;
+
+use crate::args::Args;
+
+/// Set by the SIGTERM/SIGINT handler; polled by the serve loop.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+/// Route SIGTERM and SIGINT to a stop-flag store (async-signal-safe),
+/// overriding the postmortem hook `main` installed earlier.
+#[cfg(unix)]
+fn install_stop_signals() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_stop(_sig: i32) {
+        STOP.store(true, Ordering::Release);
+    }
+    unsafe {
+        signal(SIGTERM, on_stop as extern "C" fn(i32) as usize);
+        signal(SIGINT, on_stop as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_stop_signals() {}
+
+/// `phj serve`: run the daemon until SIGTERM/SIGINT.
+pub fn cmd_serve(args: &Args) -> Result<(), String> {
+    args.allow(&[
+        "addr", "threads", "mem-mb", "mem-budget", "min-grant-mb", "max-queue",
+        "metrics-addr", "sample-interval", "dashboard", "flightrec", "postmortem",
+        "log-format",
+    ])?;
+    // `--mem-budget BYTES` wins over `--mem-mb N` when both are given,
+    // matching `phj disk`.
+    let mem_budget = match args.get_str("mem-budget", "") {
+        s if s.is_empty() => (args.get_usize("mem-mb", 256)? as u64) << 20,
+        s => s.parse::<u64>().map_err(|_| format!("--mem-budget expects bytes, got `{s}`"))?,
+    };
+    let threads = args.get_usize("threads", 4)?.max(1);
+    let cfg = ServeConfig {
+        addr: args.get_str("addr", "127.0.0.1:0"),
+        threads,
+        mem_budget,
+        min_grant: (args.get_usize("min-grant-mb", 1)?.max(1) as u64) << 20,
+        max_queue: args.get_usize("max-queue", 32)?,
+    };
+    let bind = cfg.addr.clone();
+    let srv = Server::start(cfg).map_err(|e| format!("bind {bind}: {e}"))?;
+    println!(
+        "serving on {} ({} workers, budget {} MB)",
+        srv.local_addr(),
+        threads,
+        mem_budget >> 20
+    );
+    install_stop_signals();
+    while !STOP.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let adm = std::sync::Arc::clone(srv.admission());
+    srv.stop();
+    let (admitted, rejected) = adm.totals();
+    println!(
+        "shutdown: {admitted} admitted, {rejected} rejected, peak grant {} MB",
+        adm.peak_outstanding() >> 20
+    );
+    Ok(())
+}
+
+/// `--scheme`/`--g`/`--d` as the wire enum (same names and defaults as
+/// the local `phj join` scheme flags).
+fn wire_scheme_of(args: &Args) -> Result<WireScheme, String> {
+    let g = args.get_usize("g", 16)? as u32;
+    let d = args.get_usize("d", 1)? as u32;
+    match args.get_str("scheme", "group").as_str() {
+        "baseline" => Ok(WireScheme::Baseline),
+        "simple" => Ok(WireScheme::Simple),
+        "group" => Ok(WireScheme::Group { g }),
+        "swp" => Ok(WireScheme::Swp { d }),
+        other => Err(format!("unknown scheme `{other}`")),
+    }
+}
+
+/// `--seed` accepts decimal or `0x`-prefixed hex.
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| format!("--seed expects a number, got `{s}`"))
+}
+
+/// Build the request `phj client` sends from the same flag vocabulary
+/// the local drivers use. `phj join` hardcodes seed 0x11D0, so that is
+/// the default here too — a flagless client join asks the daemon for
+/// byte-for-byte the workload a flagless `phj join` runs locally.
+fn client_request(args: &Args) -> Result<Request, String> {
+    let scheme = wire_scheme_of(args)?;
+    match args.get_str("query", "join").as_str() {
+        "ping" => Ok(Request::Ping),
+        "join" => {
+            let tuple_size = args.get_usize("tuple-size", 100)?;
+            let build_mb = args.get_usize("build-mb", 16)?;
+            let build_tuples = match args.get_str("build-tuples", "") {
+                s if s.is_empty() => tuples_for(build_mb << 20, tuple_size) as u64,
+                s => s
+                    .parse()
+                    .map_err(|_| format!("--build-tuples expects a count, got `{s}`"))?,
+            };
+            let mem_mb = args.get_usize("mem-mb", build_mb.div_ceil(4).max(1))?;
+            Ok(Request::Join(JoinRequest {
+                build_tuples,
+                tuple_size: tuple_size as u32,
+                matches_per_build: args.get_usize("matches", 2)? as u32,
+                pct_match: args.get_usize("pct", 100)?.min(100) as u8,
+                scheme,
+                mem_budget: (mem_mb as u64) << 20,
+                seed: parse_seed(&args.get_str("seed", "0x11D0"))?,
+            }))
+        }
+        "agg" => Ok(Request::Agg(AggRequest {
+            rows: args.get_usize("rows", 1_000_000)? as u64,
+            keys: args.get_usize("keys", 100_000)?.max(1) as u64,
+            scheme,
+            mem_budget: 0,
+        })),
+        other => Err(format!("unknown --query `{other}` (join|agg|ping)")),
+    }
+}
+
+/// `phj client`: send one request, print the daemon's answer.
+pub fn cmd_client(args: &Args) -> Result<(), String> {
+    args.allow(&[
+        "addr", "query", "build-mb", "build-tuples", "tuple-size", "matches", "pct",
+        "scheme", "g", "d", "mem-mb", "seed", "rows", "keys", "json", "flightrec",
+        "postmortem", "log-format",
+    ])?;
+    let addr = args.get_str("addr", "");
+    if addr.is_empty() {
+        return Err("client needs --addr HOST:PORT (the daemon's `serving on` line)".to_string());
+    }
+    let req = client_request(args)?;
+    let mut conn =
+        Connection::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+    let t0 = Instant::now();
+    let resp = conn.request(&req).map_err(|e| format!("{addr}: {e}"))?;
+    let rtt = t0.elapsed();
+    match resp {
+        Response::Pong => {
+            println!("pong from {addr} in {rtt:?}");
+            Ok(())
+        }
+        Response::Result(r) => {
+            // The same result line the local drivers print, so scripts
+            // can diff a daemon run against the sequential CLI path.
+            if r.kind == phj_server::query::KIND_JOIN {
+                println!(
+                    "partitions: {}, matches: {}, checksum: {:#018x}",
+                    r.partitions, r.matches, r.checksum
+                );
+            } else {
+                println!("groups: {}, checksum: {:#018x}", r.matches, r.checksum);
+            }
+            println!(
+                "query {} served in {} us ({rtt:?} round trip)",
+                r.query_id, r.elapsed_us
+            );
+            let out = args.get_str("json", "");
+            if !out.is_empty() {
+                std::fs::write(&out, &r.report_json).map_err(|e| format!("{out}: {e}"))?;
+                println!("run report: {out}");
+            }
+            Ok(())
+        }
+        Response::Error { code, message } => {
+            Err(format!("server rejected the query ({code:?}): {message}"))
+        }
+    }
+}

@@ -83,6 +83,11 @@ pub struct DiskGraceConfig {
     /// repartitioning cannot shrink a partition under the budget. With
     /// this off, such a partition is a [`PhjError::PartitionOverflow`].
     pub nlj_fallback: bool,
+    /// Code stamped on the flight-recorder `Grant` event this run
+    /// journals, so a host multiplexing several joins through one
+    /// journal (the query daemon tags by query id) can tell the grants
+    /// apart. 0 for standalone runs.
+    pub grant_tag: u16,
 }
 
 impl DiskGraceConfig {
@@ -100,6 +105,7 @@ impl DiskGraceConfig {
             retry: RetryPolicy::default(),
             max_repartition_depth: 2,
             nlj_fallback: true,
+            grant_tag: 0,
         }
     }
 }
@@ -621,7 +627,7 @@ pub fn grace_join_files_rec(
     let mut native = NativeModel;
     // Journal the memory grant this run operates under (a=0: initial
     // grant; the ladder never renegotiates, it degrades instead).
-    phj_flightrec::event(phj_flightrec::EventKind::Grant, 0, 0, cfg.mem_budget as u64);
+    phj_flightrec::event(phj_flightrec::EventKind::Grant, cfg.grant_tag, 0, cfg.mem_budget as u64);
 
     let t0 = Instant::now();
     let span = obs::span_begin(&mut rec, &native, "partition");

@@ -41,5 +41,5 @@ pub use deque::{Injector, Steal, WorkDeque};
 pub use join::{
     parallel_join_native, parallel_join_sim, LaneStats, NativeJoinOutcome, SimJoinOutcome,
 };
-pub use pool::{execute, WorkerStats};
+pub use pool::{execute, Pool, WorkerStats};
 pub use schedule::{lpt_assign, page_morsels};

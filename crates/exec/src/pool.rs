@@ -1,16 +1,45 @@
-//! The scoped worker pool: seed per-worker deques LPT-greedy, run one
-//! OS thread per worker, rebalance by stealing.
+//! The worker pool: seed per-worker deques LPT-greedy, run one OS
+//! thread per worker, rebalance by stealing.
 //!
-//! [`execute`] is a single fork-join region: it consumes one state value
-//! per worker (the worker's private memory model, sink, recorder…),
-//! runs every task exactly once, and hands the states back along with
-//! the per-task results and per-worker counters. There is no long-lived
-//! pool object — the join drivers call `execute` once per phase, which
-//! keeps the barrier between phases explicit and the borrows simple
-//! (`std::thread::scope` lets workers share the task slice by
-//! reference).
+//! Two entry points share one scheduling core:
+//!
+//! * [`execute`] — the original one-shot fork-join region. It consumes
+//!   one state value per worker (the worker's private memory model,
+//!   sink, recorder…), runs every task exactly once, and hands the
+//!   states back along with the per-task results and per-worker
+//!   counters. Threads live only for the duration of the call, which
+//!   keeps the barrier between join phases explicit and is all the CLI
+//!   drivers need.
+//! * [`Pool`] — a persistent handle whose worker threads outlive any
+//!   single region. A long-running daemon creates one `Pool` at startup
+//!   and reuses the same OS threads for every query instead of
+//!   respawning per request: [`Pool::spawn`] runs fire-and-forget jobs
+//!   (connection handlers), and [`Pool::execute`] runs the same
+//!   fork-join region as the free function on the pooled threads.
+//!
+//! [`execute`] is now a thin wrapper — `Pool::new(n - 1)` plus one
+//! region plus shutdown — so both paths exercise identical scheduling
+//! code. A region on a `Pool` works by *caller participation*: the
+//! calling thread becomes worker 0 and runs the normal work-stealing
+//! loop inline, while workers `1..n` are enqueued at the *front* of the
+//! pool's job queue (regions must not be starved by a backlog of
+//! fire-and-forget jobs). Because the caller is itself a worker, the
+//! region makes progress even when every pool thread is busy: worker 0
+//! drains and steals everything, and the late region jobs no-op.
+//!
+//! Region jobs borrow the caller's stack (the task slice, the deques,
+//! `f`). The pool queue requires `'static` jobs, so the borrow is
+//! erased with a `transmute` and re-justified at runtime: `execute`
+//! blocks on a completion barrier until *every* region job has finished
+//! running before it touches the results or lets the borrowed frame
+//! unwind — the same argument `std::thread::scope` makes, with the
+//! scope's join replaced by the barrier.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crate::deque::{Injector, Steal, WorkDeque};
@@ -58,148 +87,380 @@ where
     R: Send,
     F: Fn(&mut W, usize, &T) -> R + Sync,
 {
-    assert_eq!(tasks.len(), weights.len(), "one weight per task");
     assert!(!states.is_empty(), "need at least one worker");
-    let n = states.len();
-    let assignment = lpt_assign(weights, n);
+    let pool = Pool::new(states.len() - 1);
+    let out = pool.execute(states, tasks, weights, f);
+    pool.shutdown();
+    out
+}
 
-    if let Some(m) = exec_metrics() {
-        m.workers.set(n as u64);
-        m.queue_depth.set(tasks.len() as u64);
+/// A fire-and-forget job on the pool's queue.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    stop: AtomicBool,
+}
+
+/// (state back, task-indexed results, counters) from one region worker.
+type WorkerOut<W, R> = (W, Vec<(usize, R)>, WorkerStats);
+
+/// A region job's result slot: filled exactly once, panic payloads kept.
+type OutSlot<W, R> = Option<std::thread::Result<WorkerOut<W, R>>>;
+
+/// Completion barrier + result slots for one fork-join region. Shared
+/// by `Arc` so a region job's final memory accesses (the barrier
+/// increment and its own `Arc` drop) touch only heap state that is
+/// allowed to outlive the caller's stack frame.
+struct RegionSync<W, R> {
+    /// One slot per region job (worker `1..n`), index `w - 1`.
+    slots: Mutex<Vec<OutSlot<W, R>>>,
+    done: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// A persistent worker pool whose threads outlive any single
+/// [`Pool::execute`] region.
+///
+/// Jobs submitted with [`Pool::spawn`] run FIFO; regions started with
+/// [`Pool::execute`] jump the queue (their per-worker jobs are pushed
+/// to the front). [`Pool::shutdown`] (or drop) drains the remaining
+/// queue, then joins every thread.
+///
+/// `execute` takes `&self`, so multiple threads may run regions on one
+/// pool concurrently; each region terminates independently because its
+/// caller participates as a worker.
+pub struct Pool {
+    shared: Arc<Shared>,
+    threads: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn `threads` worker threads (named `phj-pool-N`). A pool of 0
+    /// threads is valid: [`Pool::spawn`]ed jobs would never run, but
+    /// single-worker regions execute inline on the caller.
+    pub fn new(threads: usize) -> Pool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("phj-pool-{i}"))
+                    .spawn(move || worker_thread(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, threads, workers }
     }
-    // Journal the fork-join region itself on the caller's thread; workers
-    // journal their own task/steal events from their own rings.
-    phj_flightrec::event(
-        phj_flightrec::EventKind::PhaseEnter,
-        phj_flightrec::phase_code("execute"),
-        tasks.len() as u64,
-        n as u64,
-    );
 
-    if n == 1 {
-        let mut states = states;
-        let mut stats = WorkerStats::default();
-        let t0 = Instant::now();
-        let mut slots: Vec<Option<R>> = (0..tasks.len()).map(|_| None).collect();
-        for &i in &assignment[0] {
-            let task_t0 = Instant::now();
-            phj_flightrec::event_full(phj_flightrec::EventKind::Task, 0, i as u64, 0);
-            slots[i] = Some(f(&mut states[0], i, &tasks[i]));
-            stats.tasks += 1;
-            if let Some(m) = exec_metrics() {
-                m.task_ns.record(task_t0.elapsed().as_nanos() as u64);
-                m.queue_depth.set((tasks.len() - stats.tasks as usize) as u64);
-            }
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enqueue a fire-and-forget job at the back of the queue. A panic
+    /// inside the job is caught and discarded; the worker thread
+    /// survives.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let mut q = self.shared.queue.lock().unwrap();
+        q.push_back(Box::new(job));
+        drop(q);
+        self.shared.cv.notify_one();
+    }
+
+    /// Jobs currently waiting in the queue (not those mid-run).
+    pub fn pending(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
+    }
+
+    /// Stop accepting the illusion of immortality: drain every queued
+    /// job, then join all worker threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
         }
-        stats.busy_ns = t0.elapsed().as_nanos() as u64;
-        publish_worker(&stats);
+    }
+
+    /// Run a fork-join region on the pool: semantics identical to the
+    /// free [`execute`], but worker threads are reused across calls.
+    ///
+    /// The calling thread participates as worker 0, so a region needs
+    /// only `states.len() - 1` pool jobs and completes even on a
+    /// saturated pool (the late jobs find every task already claimed).
+    /// Requires at least one pool thread when `states.len() > 1`.
+    pub fn execute<W, T, R, F>(
+        &self,
+        states: Vec<W>,
+        tasks: &[T],
+        weights: &[u64],
+        f: F,
+    ) -> (Vec<R>, Vec<W>, Vec<WorkerStats>)
+    where
+        W: Send,
+        T: Sync,
+        R: Send,
+        F: Fn(&mut W, usize, &T) -> R + Sync,
+    {
+        assert_eq!(tasks.len(), weights.len(), "one weight per task");
+        assert!(!states.is_empty(), "need at least one worker");
+        let n = states.len();
+        assert!(
+            n == 1 || self.threads >= 1,
+            "a multi-worker region needs at least one pool thread"
+        );
+        let assignment = lpt_assign(weights, n);
+
+        if let Some(m) = exec_metrics() {
+            m.workers.set(n as u64);
+            m.queue_depth.set(tasks.len() as u64);
+        }
+        // Journal the fork-join region itself on the caller's thread;
+        // workers journal their own task/steal events from their own
+        // rings.
         phj_flightrec::event(
-            phj_flightrec::EventKind::PhaseExit,
+            phj_flightrec::EventKind::PhaseEnter,
             phj_flightrec::phase_code("execute"),
             tasks.len() as u64,
-            1,
+            n as u64,
         );
-        let results = slots.into_iter().map(|r| r.expect("task ran")).collect();
-        return (results, states, vec![stats]);
-    }
 
-    // Seed each worker's deque in reverse (ascending weight), so the
-    // owner's LIFO pop yields its largest task first while thieves'
-    // FIFO steals take its smallest.
-    let deques: Vec<WorkDeque> = assignment
-        .iter()
-        .map(|list| {
-            let d = WorkDeque::with_capacity(tasks.len());
-            for &i in list.iter().rev() {
-                d.push(i).expect("deque sized for the whole task list");
+        if n == 1 {
+            let mut states = states;
+            let mut stats = WorkerStats::default();
+            let t0 = Instant::now();
+            let mut slots: Vec<Option<R>> = (0..tasks.len()).map(|_| None).collect();
+            for &i in &assignment[0] {
+                let task_t0 = Instant::now();
+                phj_flightrec::event_full(phj_flightrec::EventKind::Task, 0, i as u64, 0);
+                slots[i] = Some(f(&mut states[0], i, &tasks[i]));
+                stats.tasks += 1;
+                if let Some(m) = exec_metrics() {
+                    m.task_ns.record(task_t0.elapsed().as_nanos() as u64);
+                    m.queue_depth.set((tasks.len() - stats.tasks as usize) as u64);
+                }
             }
-            d
-        })
-        .collect();
-    let injector = Injector::new();
-    let claimed = AtomicUsize::new(0);
-    let total = tasks.len();
+            stats.busy_ns = t0.elapsed().as_nanos() as u64;
+            publish_worker(&stats);
+            phj_flightrec::event(
+                phj_flightrec::EventKind::PhaseExit,
+                phj_flightrec::phase_code("execute"),
+                tasks.len() as u64,
+                1,
+            );
+            let results = slots.into_iter().map(|r| r.expect("task ran")).collect();
+            return (results, states, vec![stats]);
+        }
 
-    // (worker index, state, task-indexed results, counters).
-    type WorkerOut<W, R> = (usize, W, Vec<(usize, R)>, WorkerStats);
-    let mut out: Vec<WorkerOut<W, R>> = std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(n);
-        for (w, mut state) in states.into_iter().enumerate() {
+        // Seed each worker's deque in reverse (ascending weight), so the
+        // owner's LIFO pop yields its largest task first while thieves'
+        // FIFO steals take its smallest.
+        let deques: Vec<WorkDeque> = assignment
+            .iter()
+            .map(|list| {
+                let d = WorkDeque::with_capacity(tasks.len());
+                for &i in list.iter().rev() {
+                    d.push(i).expect("deque sized for the whole task list");
+                }
+                d
+            })
+            .collect();
+        let injector = Injector::new();
+        let claimed = AtomicUsize::new(0);
+        let total = tasks.len();
+
+        let sync: Arc<RegionSync<W, R>> = Arc::new(RegionSync {
+            slots: Mutex::new((1..n).map(|_| None).collect()),
+            done: Mutex::new(0),
+            cv: Condvar::new(),
+        });
+
+        let mut states = states.into_iter();
+        let state0 = states.next().expect("n >= 1");
+        {
             let deques = &deques;
             let injector = &injector;
             let claimed = &claimed;
             let f = &f;
-            handles.push(s.spawn(move || {
-                let start = Instant::now();
-                let mut stats = WorkerStats { worker: w, ..Default::default() };
-                let mut results: Vec<(usize, R)> = Vec::new();
-                let mut busy_ns = 0u64;
-                loop {
-                    let next = deques[w]
-                        .pop()
-                        .or_else(|| injector.pop())
-                        .or_else(|| steal_round(w, deques, &mut stats));
-                    match next {
-                        Some(i) => {
-                            let done = claimed.fetch_add(1, Ordering::SeqCst) + 1;
-                            if let Some(m) = exec_metrics() {
-                                m.queue_depth.set((total - done.min(total)) as u64);
-                            }
-                            let t0 = Instant::now();
-                            phj_flightrec::event_full(
-                                phj_flightrec::EventKind::Task,
-                                w as u16,
-                                i as u64,
-                                0,
-                            );
-                            let r = f(&mut state, i, &tasks[i]);
-                            let dt = t0.elapsed().as_nanos() as u64;
-                            busy_ns += dt;
-                            stats.tasks += 1;
-                            if let Some(m) = exec_metrics() {
-                                m.task_ns.record(dt);
-                            }
-                            results.push((i, r));
-                        }
-                        // Tasks never spawn tasks, so once every task has
-                        // been claimed no new work can appear.
-                        None if claimed.load(Ordering::SeqCst) >= total => break,
-                        None => std::thread::yield_now(),
-                    }
-                }
-                stats.busy_ns = busy_ns;
-                stats.idle_ns = (start.elapsed().as_nanos() as u64).saturating_sub(busy_ns);
-                publish_worker(&stats);
-                (w, state, results, stats)
-            }));
+            let mut q = self.shared.queue.lock().unwrap();
+            for (off, state) in states.enumerate() {
+                let w = off + 1;
+                let sync = Arc::clone(&sync);
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    let out = catch_unwind(AssertUnwindSafe(move || {
+                        worker_loop(w, state, tasks, deques, injector, claimed, total, f)
+                    }));
+                    sync.slots.lock().unwrap()[w - 1] = Some(out);
+                    let mut d = sync.done.lock().unwrap();
+                    *d += 1;
+                    sync.cv.notify_all();
+                });
+                // SAFETY: the job borrows `tasks`, `deques`, `injector`,
+                // `claimed`, and `f` from this stack frame. Its last
+                // access to any of them is inside `worker_loop`, which
+                // returns before the job stores into `sync` and bumps
+                // the barrier — and this function blocks on that
+                // barrier (all `n - 1` jobs) before returning or
+                // unwinding, so every erased borrow is dead before the
+                // frame is. `sync` itself is `Arc`-owned heap state and
+                // may legitimately be released after the frame ends.
+                let job: Job = unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job)
+                };
+                q.push_front(job);
+            }
+            drop(q);
+            self.shared.cv.notify_all();
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    });
 
-    phj_flightrec::event(
-        phj_flightrec::EventKind::PhaseExit,
-        phj_flightrec::phase_code("execute"),
-        total as u64,
-        n as u64,
-    );
+        // The caller is worker 0: run the same loop inline. Catch a
+        // panic (a task body may throw) but do NOT propagate it yet —
+        // region jobs still borrow this frame until the barrier opens.
+        let out0 = catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(0, state0, tasks, &deques, &injector, &claimed, total, &f)
+        }));
 
-    out.sort_by_key(|(w, ..)| *w);
-    let mut slots: Vec<Option<R>> = (0..total).map(|_| None).collect();
-    let mut states_back = Vec::with_capacity(n);
-    let mut all_stats = Vec::with_capacity(n);
-    for (_, state, results, stats) in out {
-        for (i, r) in results {
-            debug_assert!(slots[i].is_none(), "task {i} ran twice");
-            slots[i] = Some(r);
+        // Completion barrier: every region job has finished running.
+        {
+            let mut d = sync.done.lock().unwrap();
+            while *d < n - 1 {
+                d = sync.cv.wait(d).unwrap();
+            }
         }
-        states_back.push(state);
-        all_stats.push(stats);
+
+        phj_flightrec::event(
+            phj_flightrec::EventKind::PhaseExit,
+            phj_flightrec::phase_code("execute"),
+            total as u64,
+            n as u64,
+        );
+
+        let mut outs: Vec<WorkerOut<W, R>> = Vec::with_capacity(n);
+        let mut panic_payload = None;
+        match out0 {
+            Ok(o) => outs.push(o),
+            Err(p) => panic_payload = Some(p),
+        }
+        for slot in sync.slots.lock().unwrap().drain(..) {
+            match slot.expect("barrier opened, so every slot is filled") {
+                Ok(o) => outs.push(o),
+                Err(p) => panic_payload = panic_payload.or(Some(p)),
+            }
+        }
+        if let Some(p) = panic_payload {
+            resume_unwind(p);
+        }
+
+        let mut slots: Vec<Option<R>> = (0..total).map(|_| None).collect();
+        let mut states_back = Vec::with_capacity(n);
+        let mut all_stats = Vec::with_capacity(n);
+        for (state, results, stats) in outs {
+            for (i, r) in results {
+                debug_assert!(slots[i].is_none(), "task {i} ran twice");
+                slots[i] = Some(r);
+            }
+            states_back.push(state);
+            all_stats.push(stats);
+        }
+        let results = slots.into_iter().map(|r| r.expect("task unclaimed")).collect();
+        (results, states_back, all_stats)
     }
-    let results = slots.into_iter().map(|r| r.expect("task unclaimed")).collect();
-    (results, states_back, all_stats)
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The pool thread body: pop jobs FIFO, run them, survive their panics.
+/// On stop, the remaining queue is drained before the thread exits.
+fn worker_thread(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    break None;
+                }
+                q = shared.cv.wait(q).unwrap();
+            }
+        };
+        match job {
+            Some(j) => {
+                let _ = catch_unwind(AssertUnwindSafe(j));
+            }
+            None => return,
+        }
+    }
+}
+
+/// One region worker: drain the own deque, pull from the injector,
+/// steal from the others, stop once every task is claimed.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<W, T, R, F>(
+    w: usize,
+    mut state: W,
+    tasks: &[T],
+    deques: &[WorkDeque],
+    injector: &Injector,
+    claimed: &AtomicUsize,
+    total: usize,
+    f: &F,
+) -> WorkerOut<W, R>
+where
+    F: Fn(&mut W, usize, &T) -> R,
+{
+    let start = Instant::now();
+    let mut stats = WorkerStats { worker: w, ..Default::default() };
+    let mut results: Vec<(usize, R)> = Vec::new();
+    let mut busy_ns = 0u64;
+    loop {
+        let next = deques[w]
+            .pop()
+            .or_else(|| injector.pop())
+            .or_else(|| steal_round(w, deques, &mut stats));
+        match next {
+            Some(i) => {
+                let done = claimed.fetch_add(1, Ordering::SeqCst) + 1;
+                if let Some(m) = exec_metrics() {
+                    m.queue_depth.set((total - done.min(total)) as u64);
+                }
+                let t0 = Instant::now();
+                phj_flightrec::event_full(phj_flightrec::EventKind::Task, w as u16, i as u64, 0);
+                let r = f(&mut state, i, &tasks[i]);
+                let dt = t0.elapsed().as_nanos() as u64;
+                busy_ns += dt;
+                stats.tasks += 1;
+                if let Some(m) = exec_metrics() {
+                    m.task_ns.record(dt);
+                }
+                results.push((i, r));
+            }
+            // Tasks never spawn tasks, so once every task has been
+            // claimed no new work can appear.
+            None if claimed.load(Ordering::SeqCst) >= total => break,
+            None => std::thread::yield_now(),
+        }
+    }
+    stats.busy_ns = busy_ns;
+    stats.idle_ns = (start.elapsed().as_nanos() as u64).saturating_sub(busy_ns);
+    publish_worker(&stats);
+    (state, results, stats)
 }
 
 /// Publish one worker's finished region counters into the live
@@ -244,7 +505,9 @@ fn steal_round(me: usize, deques: &[WorkDeque], stats: &mut WorkerStats) -> Opti
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use std::sync::atomic::AtomicU64;
+    use std::thread::ThreadId;
 
     #[test]
     fn every_task_runs_once_and_results_line_up() {
@@ -293,5 +556,95 @@ mod tests {
         });
         assert_eq!(results, (0..32).collect::<Vec<_>>());
         assert_eq!(stats.iter().map(|s| s.tasks).sum::<u64>(), 32);
+    }
+
+    #[test]
+    fn pool_reuses_the_same_threads_across_regions() {
+        let pool = Pool::new(3);
+        let mut seen: HashSet<ThreadId> = HashSet::new();
+        for _ in 0..3 {
+            let tasks: Vec<u64> = (0..64).collect();
+            let weights = vec![1u64; 64];
+            let states: Vec<Vec<ThreadId>> = vec![Vec::new(); 4];
+            let (_, states, stats) =
+                pool.execute(states, &tasks, &weights, |ids: &mut Vec<ThreadId>, i, _| {
+                    ids.push(std::thread::current().id());
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    i
+                });
+            assert_eq!(stats.iter().map(|s| s.tasks).sum::<u64>(), 64);
+            for ids in states {
+                seen.extend(ids);
+            }
+        }
+        // ThreadIds are never reused, so fresh threads per region would
+        // accumulate up to 3 regions × 3 threads + caller = 10 distinct
+        // ids. A persistent pool shows at most its 3 threads + caller.
+        assert!(
+            seen.len() <= pool.threads() + 1,
+            "expected thread reuse, saw {} distinct threads",
+            seen.len()
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn spawned_jobs_run_and_drain_on_shutdown() {
+        let pool = Pool::new(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..16 {
+            let hits = Arc::clone(&hits);
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown(); // drains the queue before joining
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn task_panic_propagates_and_the_pool_survives() {
+        let pool = Pool::new(2);
+        let tasks: Vec<u64> = (0..8).collect();
+        let weights = vec![1u64; 8];
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            pool.execute(vec![(); 3], &tasks, &weights, |_, i, _| {
+                if i == 5 {
+                    panic!("task 5 exploded");
+                }
+                i
+            })
+        }));
+        assert!(boom.is_err(), "panic in a task must reach the caller");
+
+        // The pool is still usable after a panicked region.
+        let (results, _, _) = pool.execute(vec![(); 3], &tasks, &weights, |_, i, _| i * 10);
+        assert_eq!(results, (0..8).map(|i| i * 10).collect::<Vec<_>>());
+
+        // And a panicking fire-and-forget job doesn't kill a worker.
+        pool.spawn(|| panic!("spawned job panic"));
+        let hit = Arc::new(AtomicU64::new(0));
+        {
+            let hit = Arc::clone(&hit);
+            pool.spawn(move || {
+                hit.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn zero_thread_pool_runs_single_worker_regions_inline() {
+        let pool = Pool::new(0);
+        let tasks = [7u64, 8, 9];
+        let weights = [1u64, 1, 1];
+        let (results, _, stats) = pool.execute(vec![0u64], &tasks, &weights, |acc, i, t| {
+            *acc += t;
+            i
+        });
+        assert_eq!(results, vec![0, 1, 2]);
+        assert_eq!(stats.len(), 1);
+        pool.shutdown();
     }
 }

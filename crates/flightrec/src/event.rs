@@ -195,6 +195,7 @@ pub const PHASES: &[&str] = &[
     "aggregate",
     "agg_morsel",
     "execute",
+    "query",
 ];
 
 /// Phase name → code (0 when unknown: the generic `phase`).

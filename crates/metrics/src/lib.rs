@@ -26,14 +26,17 @@
 //! * [`prom::encode`] — Prometheus text exposition (version 0.0.4) of a
 //!   scrape: families typed `counter` / `gauge` / `histogram`, no
 //!   duplicate names (the registry's name map guarantees it).
-//! * [`MetricsServer`] — a hand-rolled, std-only blocking TCP listener
-//!   answering `GET /metrics`; bind to port 0 and read
+//! * [`Listener`] — the shared nonblocking TCP accept loop (one tested
+//!   accept path for every hand-rolled server in the workspace).
+//! * [`MetricsServer`] — a hand-rolled, std-only HTTP endpoint over
+//!   [`Listener`] answering `GET /metrics`; bind to port 0 and read
 //!   [`MetricsServer::local_addr`] for an ephemeral endpoint.
 //!
 //! The crate is std-only and dependency-free, so every layer of the
 //! workspace (storage, memsim, disk, exec, cli, bench) can depend on it
 //! without cycles.
 
+pub mod listener;
 pub mod names;
 pub mod prom;
 pub mod registry;
@@ -41,6 +44,7 @@ pub mod ring;
 pub mod sampler;
 pub mod server;
 
+pub use listener::Listener;
 pub use prom::encode;
 pub use registry::{Counter, Family, Gauge, Histogram, MetricKind, Registry, HIST_BUCKETS};
 pub use ring::{Sample, SeriesSummary, TimeSeriesRing};

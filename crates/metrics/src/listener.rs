@@ -1,0 +1,137 @@
+//! The shared nonblocking TCP accept loop.
+//!
+//! Both hand-rolled servers in the workspace — the Prometheus
+//! [`MetricsServer`](crate::MetricsServer) and the `phj-server` query
+//! daemon — need the same plumbing: bind, flip the listener nonblocking,
+//! poll `accept` on a named background thread, hand each connection to a
+//! handler, and stop cleanly when the owner drops the handle. This
+//! module is that plumbing, extracted so there is exactly one tested
+//! accept path instead of two drifting copies.
+//!
+//! The handler runs **on the listener thread**: a handler that blocks
+//! stalls subsequent accepts, so handlers must either answer
+//! synchronously and fast (the metrics scrape) or immediately ship the
+//! stream elsewhere (the query daemon dispatches it to its worker pool).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop sleeps when no connection is pending.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Handle to a background accept loop. Dropping the handle stops it.
+pub struct Listener {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Listener {
+    /// Bind `addr`, flip it nonblocking, and start accepting on a
+    /// thread named `thread_name`. Every accepted stream is passed to
+    /// `handler` on that thread. Returns an error if the bind fails
+    /// (address in use, permission).
+    pub fn start(
+        thread_name: &str,
+        addr: &str,
+        handler: impl Fn(TcpStream) + Send + 'static,
+    ) -> std::io::Result<Listener> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(thread_name.to_string())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _)) => handler(stream),
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(POLL_INTERVAL);
+                            }
+                            Err(_) => std::thread::sleep(POLL_INTERVAL),
+                        }
+                    }
+                })
+                .expect("spawn listener thread")
+        };
+        Ok(Listener { addr: local, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join its thread. Connections already
+    /// handed to the handler are unaffected.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn accepts_and_hands_streams_to_the_handler() {
+        let served = Arc::new(AtomicUsize::new(0));
+        let l = {
+            let served = Arc::clone(&served);
+            Listener::start("phj-test-listener", "127.0.0.1:0", move |mut s: TcpStream| {
+                let mut buf = [0u8; 4];
+                let _ = s.read_exact(&mut buf);
+                let _ = s.write_all(&buf); // echo
+                served.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap()
+        };
+        let addr = l.local_addr();
+        assert_ne!(addr.port(), 0, "port 0 must resolve");
+        for i in 0..3u8 {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(&[i, i, i, i]).unwrap();
+            let mut back = [0u8; 4];
+            c.read_exact(&mut back).unwrap();
+            assert_eq!(back, [i, i, i, i]);
+        }
+        assert_eq!(served.load(Ordering::SeqCst), 3);
+        l.stop();
+    }
+
+    #[test]
+    fn stop_joins_the_thread_and_frees_the_port() {
+        let l = Listener::start("phj-test-stop", "127.0.0.1:0", |_s| {}).unwrap();
+        let addr = l.local_addr();
+        l.stop();
+        // After stop the port is free again: rebinding must succeed.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port still held after stop: {rebound:?}");
+    }
+
+    #[test]
+    fn bad_address_is_an_error_not_a_panic() {
+        assert!(Listener::start("phj-test-bad", "256.0.0.1:0", |_s| {}).is_err());
+    }
+}

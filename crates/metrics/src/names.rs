@@ -51,6 +51,21 @@ pub const MEMSIM_PREFETCHES: &str = "phj_memsim_prefetches_total";
 /// `phj_memsim_pf_hidden_cycles_total` — miss cycles hidden by prefetching.
 pub const MEMSIM_PF_HIDDEN_CYCLES: &str = "phj_memsim_pf_hidden_cycles_total";
 
+/// `phj_server_queries_admitted_total` — queries granted memory and run.
+pub const SERVER_QUERIES_ADMITTED: &str = "phj_server_queries_admitted_total";
+/// `phj_server_queries_rejected_total` — queries bounced by admission.
+pub const SERVER_QUERIES_REJECTED: &str = "phj_server_queries_rejected_total";
+/// `phj_server_queries_queued` — queries waiting for a memory grant.
+pub const SERVER_QUERIES_QUEUED: &str = "phj_server_queries_queued";
+/// `phj_server_queries_inflight` — queries currently executing.
+pub const SERVER_QUERIES_INFLIGHT: &str = "phj_server_queries_inflight";
+/// `phj_server_grant_bytes` — memory bytes currently granted out.
+pub const SERVER_GRANT_BYTES: &str = "phj_server_grant_bytes";
+/// `phj_server_grant_peak_bytes` — high-water mark of granted bytes.
+pub const SERVER_GRANT_PEAK_BYTES: &str = "phj_server_grant_peak_bytes";
+/// `phj_server_query_latency_us` — per-query wall latency (log2 buckets).
+pub const SERVER_QUERY_LATENCY_US: &str = "phj_server_query_latency_us";
+
 /// `phj_storage_pages_sealed_total` — page images sealed for disk.
 pub const STORAGE_PAGES_SEALED: &str = "phj_storage_pages_sealed_total";
 /// `phj_storage_pages_verified_total` — disk page images verified OK.

@@ -1,12 +1,12 @@
 //! A hand-rolled, std-only `/metrics` endpoint.
 //!
-//! One background thread polls a nonblocking `TcpListener`. Each
-//! accepted connection is answered synchronously: read the request head,
-//! scrape the registry, write one HTTP/1.0-style response, close. There
-//! is no keep-alive, no routing beyond `GET /metrics` and `GET /healthz`,
-//! and no TLS — this is a scrape target, not a web server. Bind to port 0
-//! and read [`MetricsServer::local_addr`] for an ephemeral endpoint (CI
-//! does).
+//! The accept loop is the shared [`Listener`]; each accepted connection
+//! is answered synchronously on the listener thread: read the request
+//! head, scrape the registry, write one HTTP/1.0-style response, close.
+//! There is no keep-alive, no routing beyond `GET /metrics` and
+//! `GET /healthz`, and no TLS — this is a scrape target, not a web
+//! server. Bind to port 0 and read [`MetricsServer::local_addr`] for an
+//! ephemeral endpoint (CI does).
 //!
 //! The server registers self-metrics on the registry it serves:
 //! `phj_http_scrapes_total` (count of successful `/metrics` responses,
@@ -14,12 +14,11 @@
 //! `phj_http_scrape_duration_us` (a histogram of scrape latencies).
 
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::listener::Listener;
 use crate::prom;
 use crate::registry::Registry;
 
@@ -28,9 +27,7 @@ pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 
 /// Handle to the listener thread. Dropping the handle stops it.
 pub struct MetricsServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    listener: Listener,
 }
 
 impl MetricsServer {
@@ -38,51 +35,20 @@ impl MetricsServer {
     /// `registry`. Returns an error if the bind fails (address in use,
     /// permission).
     pub fn start(addr: &str, registry: Arc<Registry>) -> std::io::Result<MetricsServer> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let handle = {
-            let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name("phj-metrics-http".into())
-                .spawn(move || {
-                    while !stop.load(Ordering::Acquire) {
-                        match listener.accept() {
-                            Ok((stream, _)) => serve_one(stream, &registry),
-                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                                std::thread::sleep(Duration::from_millis(5));
-                            }
-                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-                        }
-                    }
-                })
-                .expect("spawn metrics http thread")
-        };
-        Ok(MetricsServer { addr: local, stop, handle: Some(handle) })
+        let listener = Listener::start("phj-metrics-http", addr, move |stream| {
+            serve_one(stream, &registry)
+        })?;
+        Ok(MetricsServer { listener })
     }
 
     /// The bound address (resolves port 0 to the real ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.listener.local_addr()
     }
 
     /// Stop the listener thread.
-    pub fn stop(mut self) {
-        self.shutdown();
-    }
-
-    fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-impl Drop for MetricsServer {
-    fn drop(&mut self) {
-        self.shutdown();
+    pub fn stop(self) {
+        self.listener.stop();
     }
 }
 

@@ -1,0 +1,328 @@
+//! Admission control: per-query memory grants from one global budget.
+//!
+//! Every query must hold a [`MemGrant`] while it runs. Grants are
+//! debited from the server's global budget; a query whose request
+//! cannot be satisfied *right now* waits in a bounded FIFO queue, and a
+//! query whose request can *never* be satisfied (it exceeds the whole
+//! budget) is rejected up front with a typed error — which is also the
+//! liveness argument: every queued request fits the budget, so once the
+//! grants ahead of it drain, the front of the queue always proceeds.
+//! Strict FIFO (only the front ticket may take budget) prevents small
+//! queries from starving a large one indefinitely.
+//!
+//! The state machine (see DESIGN.md §15):
+//!
+//! ```text
+//!            requested > budget ──────────────► Rejected {TooLarge}
+//! submit ──┤ queue full ───────────────────────► Rejected {QueueFull}
+//!            else ───► Queued ──(front ∧ fits)─► Granted ──► Released
+//! ```
+//!
+//! Accounting invariant, property-tested in `tests/admission_props.rs`:
+//! at every instant `outstanding = budget − available` equals the sum
+//! of live grants and never exceeds `budget`; rejected queries change
+//! nothing.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Admission knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Global memory budget shared by all concurrent queries, bytes.
+    pub budget: u64,
+    /// Smallest grant ever issued: requests are rounded up to this, so
+    /// a degenerate 0-byte request still serializes against the budget.
+    pub min_grant: u64,
+    /// Maximum queries waiting for budget; beyond this, reject.
+    pub max_queue: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { budget: 256 << 20, min_grant: 1 << 20, max_queue: 32 }
+    }
+}
+
+/// Why a query was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The request exceeds the entire budget — it can never run.
+    TooLarge {
+        /// Bytes the query asked for (after min-grant rounding).
+        requested: u64,
+        /// The whole global budget.
+        budget: u64,
+    },
+    /// The wait queue is at capacity.
+    QueueFull {
+        /// Queries already waiting.
+        waiting: usize,
+    },
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::TooLarge { requested, budget } => {
+                write!(f, "requested {requested} bytes exceeds global budget {budget}")
+            }
+            AdmitError::QueueFull { waiting } => {
+                write!(f, "admission queue full ({waiting} waiting)")
+            }
+        }
+    }
+}
+
+struct State {
+    available: u64,
+    /// High-water mark of `budget - available`, for the invariant test
+    /// and the `phj_server_grant_peak_bytes` gauge.
+    peak_outstanding: u64,
+    /// Tickets waiting for budget, front first.
+    queue: VecDeque<u64>,
+    next_ticket: u64,
+    admitted: u64,
+    rejected: u64,
+}
+
+/// The grant table. Clone the `Arc` freely; all state is internal.
+pub struct Admission {
+    cfg: AdmissionConfig,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Admission {
+    /// A fresh table with the full budget available.
+    pub fn new(cfg: AdmissionConfig) -> Arc<Admission> {
+        Arc::new(Admission {
+            cfg,
+            state: Mutex::new(State {
+                available: cfg.budget,
+                peak_outstanding: 0,
+                queue: VecDeque::new(),
+                next_ticket: 0,
+                admitted: 0,
+                rejected: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// The configuration this table enforces.
+    pub fn config(&self) -> AdmissionConfig {
+        self.cfg
+    }
+
+    /// Acquire a grant of `requested` bytes (rounded up to
+    /// `min_grant`), blocking FIFO behind earlier waiters if the budget
+    /// is currently exhausted. `query_id` tags the flight-recorder
+    /// events.
+    pub fn admit(self: &Arc<Self>, query_id: u64, requested: u64) -> Result<MemGrant, AdmitError> {
+        let want = requested.max(self.cfg.min_grant);
+        if want > self.cfg.budget {
+            let mut st = self.state.lock().unwrap();
+            st.rejected += 1;
+            drop(st);
+            self.publish_gauges();
+            return Err(AdmitError::TooLarge { requested: want, budget: self.cfg.budget });
+        }
+        {
+            let mut st = self.state.lock().unwrap();
+            // `max_queue` bounds *waiters*: a request the budget can
+            // satisfy right now (and that no earlier waiter is ahead
+            // of) is granted without touching the queue, so
+            // `max_queue == 0` means "never wait" rather than "never
+            // admit".
+            let must_wait = !st.queue.is_empty() || st.available < want;
+            if must_wait {
+                if st.queue.len() >= self.cfg.max_queue {
+                    st.rejected += 1;
+                    let waiting = st.queue.len();
+                    drop(st);
+                    self.publish_gauges();
+                    return Err(AdmitError::QueueFull { waiting });
+                }
+                let ticket = st.next_ticket;
+                st.next_ticket += 1;
+                st.queue.push_back(ticket);
+                self.gauge_queued(st.queue.len());
+                // Strict FIFO: only the front ticket may debit the budget.
+                while st.queue.front() != Some(&ticket) || st.available < want {
+                    st = self.cv.wait(st).unwrap();
+                }
+                st.queue.pop_front();
+            }
+            st.available -= want;
+            let outstanding = self.cfg.budget - st.available;
+            st.peak_outstanding = st.peak_outstanding.max(outstanding);
+            st.admitted += 1;
+            self.gauge_queued(st.queue.len());
+            // Another waiter may now be at the front with enough budget.
+            self.cv.notify_all();
+        }
+        self.publish_gauges();
+        phj_flightrec::event(phj_flightrec::EventKind::Grant, query_id as u16, 0, want);
+        Ok(MemGrant { table: Arc::clone(self), bytes: want, query_id })
+    }
+
+    /// Bytes currently granted out (`budget - available`).
+    pub fn outstanding(&self) -> u64 {
+        self.cfg.budget - self.state.lock().unwrap().available
+    }
+
+    /// High-water mark of [`Admission::outstanding`] over the table's
+    /// lifetime.
+    pub fn peak_outstanding(&self) -> u64 {
+        self.state.lock().unwrap().peak_outstanding
+    }
+
+    /// Queries waiting for budget right now.
+    pub fn waiting(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+
+    /// (admitted, rejected) totals since construction.
+    pub fn totals(&self) -> (u64, u64) {
+        let st = self.state.lock().unwrap();
+        (st.admitted, st.rejected)
+    }
+
+    fn release(&self, bytes: u64, query_id: u64) {
+        {
+            let mut st = self.state.lock().unwrap();
+            st.available += bytes;
+            debug_assert!(st.available <= self.cfg.budget, "grant released twice");
+            self.cv.notify_all();
+        }
+        self.publish_gauges();
+        phj_flightrec::event(phj_flightrec::EventKind::Grant, query_id as u16, bytes, 0);
+    }
+
+    fn gauge_queued(&self, n: usize) {
+        if let Some(reg) = phj_metrics::global() {
+            reg.gauge(
+                phj_metrics::names::SERVER_QUERIES_QUEUED,
+                "Queries waiting for a memory grant",
+            )
+            .set(n as u64);
+        }
+    }
+
+    fn publish_gauges(&self) {
+        let Some(reg) = phj_metrics::global() else { return };
+        let st = self.state.lock().unwrap();
+        let outstanding = self.cfg.budget - st.available;
+        let (peak, admitted, rejected) = (st.peak_outstanding, st.admitted, st.rejected);
+        drop(st);
+        reg.gauge(phj_metrics::names::SERVER_GRANT_BYTES, "Memory bytes currently granted")
+            .set(outstanding);
+        reg.gauge(
+            phj_metrics::names::SERVER_GRANT_PEAK_BYTES,
+            "High-water mark of granted bytes",
+        )
+        .set(peak);
+        reg.gauge(
+            phj_metrics::names::SERVER_QUERIES_ADMITTED,
+            "Queries granted memory and run",
+        )
+        .set(admitted);
+        reg.gauge(phj_metrics::names::SERVER_QUERIES_REJECTED, "Queries rejected by admission")
+            .set(rejected);
+    }
+}
+
+/// An RAII memory grant: dropping it credits the bytes back to the
+/// budget and wakes the queue.
+pub struct MemGrant {
+    table: Arc<Admission>,
+    bytes: u64,
+    query_id: u64,
+}
+
+impl MemGrant {
+    /// Bytes this grant holds.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for MemGrant {
+    fn drop(&mut self) {
+        self.table.release(self.bytes, self.query_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(budget: u64, min: u64, queue: usize) -> AdmissionConfig {
+        AdmissionConfig { budget, min_grant: min, max_queue: queue }
+    }
+
+    #[test]
+    fn grants_debit_and_release_credits() {
+        let adm = Admission::new(cfg(100, 1, 8));
+        let g1 = adm.admit(1, 40).unwrap();
+        let g2 = adm.admit(2, 40).unwrap();
+        assert_eq!(adm.outstanding(), 80);
+        drop(g1);
+        assert_eq!(adm.outstanding(), 40);
+        drop(g2);
+        assert_eq!(adm.outstanding(), 0);
+        assert_eq!(adm.peak_outstanding(), 80);
+        assert_eq!(adm.totals(), (2, 0));
+    }
+
+    #[test]
+    fn too_large_rejected_without_touching_budget() {
+        let adm = Admission::new(cfg(100, 1, 8));
+        let before = adm.outstanding();
+        assert!(matches!(adm.admit(1, 101), Err(AdmitError::TooLarge { .. })));
+        assert_eq!(adm.outstanding(), before);
+        assert_eq!(adm.totals(), (0, 1));
+    }
+
+    #[test]
+    fn zero_request_rounds_up_to_min_grant() {
+        let adm = Admission::new(cfg(100, 10, 8));
+        let g = adm.admit(1, 0).unwrap();
+        assert_eq!(g.bytes(), 10);
+        assert_eq!(adm.outstanding(), 10);
+    }
+
+    #[test]
+    fn exhausted_budget_queues_fifo_until_release() {
+        let adm = Admission::new(cfg(100, 1, 8));
+        let g = adm.admit(1, 100).unwrap();
+        let t = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || adm.admit(2, 50).map(|g| g.bytes()))
+        };
+        // The waiter must be queued, not rejected.
+        while adm.waiting() == 0 {
+            std::thread::yield_now();
+        }
+        drop(g);
+        assert_eq!(t.join().unwrap().unwrap(), 50);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let adm = Admission::new(cfg(100, 1, 1));
+        let _g = adm.admit(1, 100).unwrap(); // exhaust the budget
+        let waiter = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || adm.admit(2, 10).map(|g| g.bytes()))
+        };
+        while adm.waiting() < 1 {
+            std::thread::yield_now();
+        }
+        // Queue (capacity 1) now holds the waiter: the next query bounces.
+        assert!(matches!(adm.admit(3, 10), Err(AdmitError::QueueFull { waiting: 1 })));
+        drop(_g);
+        assert_eq!(waiter.join().unwrap().unwrap(), 10);
+    }
+}

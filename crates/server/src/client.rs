@@ -1,0 +1,41 @@
+//! A minimal blocking client: one TCP connection, one request frame
+//! out, one response frame back. `phj client` and the `serve_load`
+//! bench both drive the daemon through this type, so the wire path the
+//! benches measure is the wire path users get.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto::{read_frame, write_frame, FrameError, ProtoError, Request, Response};
+
+/// One connection to a `phj serve` daemon.
+pub struct Connection {
+    stream: TcpStream,
+}
+
+impl Connection {
+    /// Connect, with a default 60 s read timeout (queries can queue
+    /// behind a full admission table; a dead server should still fail).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(Connection { stream })
+    }
+
+    /// Override the read timeout (None = block forever).
+    pub fn set_read_timeout(&mut self, t: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(t)
+    }
+
+    /// Send one request and block for its response. A server that
+    /// closes without answering surfaces as
+    /// [`ProtoError::Truncated`].
+    pub fn request(&mut self, req: &Request) -> Result<Response, FrameError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        match read_frame(&mut self.stream)? {
+            Some(body) => Ok(Response::decode(&body)?),
+            None => Err(ProtoError::Truncated.into()),
+        }
+    }
+}

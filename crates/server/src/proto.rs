@@ -1,0 +1,578 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! +---------+-------------+----------------------+
+//! | version | body length | body                 |
+//! | u8 = 1  | u32 LE      | `body length` bytes  |
+//! +---------+-------------+----------------------+
+//! ```
+//!
+//! The body's first byte is a tag (requests `0x01..`, responses
+//! `0x81..`); the rest is fixed-width little-endian fields plus
+//! length-prefixed strings. Everything decodes with bounds checks into
+//! typed [`ProtoError`]s — arbitrary garbage bytes must produce an
+//! error, never a panic (property-tested in `tests/proto_props.rs`).
+//!
+//! Frames are capped at [`MAX_FRAME`]: a hostile or corrupt length
+//! prefix is rejected *before* any allocation, so a 4 GB length cannot
+//! OOM the daemon.
+
+use std::io::{Read, Write};
+
+/// Protocol version carried in every frame header.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on a frame body, checked before allocating.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Typed decode failures. Every way a frame can be malformed maps to
+/// one of these — decoding never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Header version byte was not [`VERSION`].
+    BadVersion(u8),
+    /// The buffer ended before a fixed-width field or prefixed blob.
+    Truncated,
+    /// Declared body length exceeds [`MAX_FRAME`].
+    Oversized(u32),
+    /// Unknown request/response tag byte.
+    BadTag(u8),
+    /// A length-prefixed string was not UTF-8.
+    BadUtf8,
+    /// Bytes left over after a complete message was decoded.
+    Trailing(usize),
+    /// A field value outside its domain (e.g. pct > 100).
+    BadValue(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::BadVersion(v) => write!(f, "bad protocol version {v} (want {VERSION})"),
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::Oversized(n) => write!(f, "frame of {n} bytes exceeds cap {MAX_FRAME}"),
+            ProtoError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            ProtoError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            ProtoError::Trailing(n) => write!(f, "{n} trailing bytes after message"),
+            ProtoError::BadValue(what) => write!(f, "field out of range: {what}"),
+        }
+    }
+}
+
+/// Frame-level read failures: transport errors wrap `std::io::Error`,
+/// malformed bytes wrap [`ProtoError`].
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket/file failed (includes timeouts).
+    Io(std::io::Error),
+    /// The bytes arrived but do not form a valid frame.
+    Proto(ProtoError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "io: {e}"),
+            FrameError::Proto(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<ProtoError> for FrameError {
+    fn from(e: ProtoError) -> Self {
+        FrameError::Proto(e)
+    }
+}
+
+/// Hash-join scheme selector on the wire (mirrors the CLI `--scheme`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireScheme {
+    /// No prefetching.
+    Baseline,
+    /// Simple prefetching.
+    Simple,
+    /// Group prefetching with group size `g`.
+    Group {
+        /// Tuples per prefetch group.
+        g: u32,
+    },
+    /// Software-pipelined prefetching with distance `d`.
+    Swp {
+        /// Pipeline prefetch distance.
+        d: u32,
+    },
+}
+
+impl WireScheme {
+    fn code(self) -> u8 {
+        match self {
+            WireScheme::Baseline => 0,
+            WireScheme::Simple => 1,
+            WireScheme::Group { .. } => 2,
+            WireScheme::Swp { .. } => 3,
+        }
+    }
+
+    fn params(self) -> (u32, u32) {
+        match self {
+            WireScheme::Group { g } => (g, 0),
+            WireScheme::Swp { d } => (0, d),
+            _ => (0, 0),
+        }
+    }
+
+    /// Inverse of `code()` + `params()`. Unused parameters must be
+    /// zero, so every scheme has exactly one wire form — decode∘encode
+    /// is the identity and encode∘decode is too (the round-trip
+    /// property in `tests/proto_props.rs` relies on it).
+    fn from_parts(code: u8, g: u32, d: u32) -> Result<WireScheme, ProtoError> {
+        match (code, g, d) {
+            (0, 0, 0) => Ok(WireScheme::Baseline),
+            (1, 0, 0) => Ok(WireScheme::Simple),
+            (2, g, 0) => Ok(WireScheme::Group { g }),
+            (3, 0, d) => Ok(WireScheme::Swp { d }),
+            (0..=3, ..) => Err(ProtoError::BadValue("non-canonical scheme params")),
+            _ => Err(ProtoError::BadValue("scheme code")),
+        }
+    }
+
+    /// Human label matching the CLI's `--scheme` values.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireScheme::Baseline => "baseline",
+            WireScheme::Simple => "simple",
+            WireScheme::Group { .. } => "group",
+            WireScheme::Swp { .. } => "swp",
+        }
+    }
+}
+
+/// A join query: the same knobs as `phj join`, one request per frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinRequest {
+    /// Build-side cardinality.
+    pub build_tuples: u64,
+    /// Bytes per tuple (4-byte key + payload).
+    pub tuple_size: u32,
+    /// Probe tuples matching each build tuple.
+    pub matches_per_build: u32,
+    /// Percentage of build tuples with matches (0–100).
+    pub pct_match: u8,
+    /// Join-phase algorithm.
+    pub scheme: WireScheme,
+    /// Join-phase memory budget in bytes.
+    pub mem_budget: u64,
+    /// Workload generator seed (determines the checksum).
+    pub seed: u64,
+}
+
+/// An aggregation query: the same knobs as `phj agg`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggRequest {
+    /// Input rows.
+    pub rows: u64,
+    /// Distinct group keys.
+    pub keys: u64,
+    /// Aggregation algorithm.
+    pub scheme: WireScheme,
+    /// Memory the query asks a grant for, in bytes (0 = estimate).
+    pub mem_budget: u64,
+}
+
+/// A decoded request frame body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run a hash join.
+    Join(JoinRequest),
+    /// Run an aggregation.
+    Agg(AggRequest),
+    /// Liveness probe; the server answers [`Response::Pong`].
+    Ping,
+}
+
+const TAG_JOIN: u8 = 0x01;
+const TAG_AGG: u8 = 0x02;
+const TAG_PING: u8 = 0x03;
+const TAG_RESULT: u8 = 0x81;
+const TAG_ERROR: u8 = 0x82;
+const TAG_PONG: u8 = 0x83;
+
+/// Typed error codes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request frame was malformed.
+    BadRequest = 1,
+    /// The query's memory request exceeds the server's whole budget.
+    TooLarge = 2,
+    /// The admission queue is full; retry later.
+    QueueFull = 3,
+    /// The query failed while executing.
+    Internal = 4,
+    /// The server is shutting down.
+    ShuttingDown = 5,
+}
+
+impl ErrorCode {
+    fn from_u16(v: u16) -> Result<ErrorCode, ProtoError> {
+        match v {
+            1 => Ok(ErrorCode::BadRequest),
+            2 => Ok(ErrorCode::TooLarge),
+            3 => Ok(ErrorCode::QueueFull),
+            4 => Ok(ErrorCode::Internal),
+            5 => Ok(ErrorCode::ShuttingDown),
+            _ => Err(ProtoError::BadValue("error code")),
+        }
+    }
+}
+
+/// One query's result: identity, checksum, and the embedded RunReport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Server-assigned query id (also tagged into the RunReport and
+    /// flight-recorder events).
+    pub query_id: u64,
+    /// 1 = join, 2 = agg.
+    pub kind: u8,
+    /// Join matches, or aggregation groups.
+    pub matches: u64,
+    /// Order-independent result checksum (join: pair digest XOR; agg:
+    /// group-table digest). Equal inputs must produce equal checksums
+    /// regardless of concurrency.
+    pub checksum: u64,
+    /// Partitions the join produced (0 for agg).
+    pub partitions: u64,
+    /// Server-side wall time for the query, microseconds.
+    pub elapsed_us: u64,
+    /// The per-query RunReport, rendered as JSON.
+    pub report_json: String,
+}
+
+/// A decoded response frame body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The query ran; here is its result.
+    Result(QueryResult),
+    /// The query was rejected or failed.
+    Error {
+        /// What went wrong, as a stable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+}
+
+// ---------------------------------------------------------------- codec
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.buf.len() - self.pos < n {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadUtf8)
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        let left = self.buf.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(ProtoError::Trailing(left))
+        }
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+impl Request {
+    /// Encode this request as a frame body (no header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Join(j) => {
+                let (g, d) = j.scheme.params();
+                out.push(TAG_JOIN);
+                out.extend_from_slice(&j.build_tuples.to_le_bytes());
+                out.extend_from_slice(&j.tuple_size.to_le_bytes());
+                out.extend_from_slice(&j.matches_per_build.to_le_bytes());
+                out.push(j.pct_match);
+                out.push(j.scheme.code());
+                out.extend_from_slice(&g.to_le_bytes());
+                out.extend_from_slice(&d.to_le_bytes());
+                out.extend_from_slice(&j.mem_budget.to_le_bytes());
+                out.extend_from_slice(&j.seed.to_le_bytes());
+            }
+            Request::Agg(a) => {
+                let (g, d) = a.scheme.params();
+                out.push(TAG_AGG);
+                out.extend_from_slice(&a.rows.to_le_bytes());
+                out.extend_from_slice(&a.keys.to_le_bytes());
+                out.push(a.scheme.code());
+                out.extend_from_slice(&g.to_le_bytes());
+                out.extend_from_slice(&d.to_le_bytes());
+                out.extend_from_slice(&a.mem_budget.to_le_bytes());
+            }
+            Request::Ping => out.push(TAG_PING),
+        }
+        out
+    }
+
+    /// Decode a frame body into a request. Total: every byte is
+    /// consumed or the decode fails typed.
+    pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cursor::new(body);
+        let req = match c.u8()? {
+            TAG_JOIN => {
+                let build_tuples = c.u64()?;
+                let tuple_size = c.u32()?;
+                let matches_per_build = c.u32()?;
+                let pct_match = c.u8()?;
+                if pct_match > 100 {
+                    return Err(ProtoError::BadValue("pct_match > 100"));
+                }
+                let code = c.u8()?;
+                let g = c.u32()?;
+                let d = c.u32()?;
+                let scheme = WireScheme::from_parts(code, g, d)?;
+                let mem_budget = c.u64()?;
+                let seed = c.u64()?;
+                if tuple_size < 8 {
+                    return Err(ProtoError::BadValue("tuple_size < 8"));
+                }
+                Request::Join(JoinRequest {
+                    build_tuples,
+                    tuple_size,
+                    matches_per_build,
+                    pct_match,
+                    scheme,
+                    mem_budget,
+                    seed,
+                })
+            }
+            TAG_AGG => {
+                let rows = c.u64()?;
+                let keys = c.u64()?;
+                let code = c.u8()?;
+                let g = c.u32()?;
+                let d = c.u32()?;
+                let scheme = WireScheme::from_parts(code, g, d)?;
+                let mem_budget = c.u64()?;
+                if keys == 0 {
+                    return Err(ProtoError::BadValue("keys == 0"));
+                }
+                Request::Agg(AggRequest { rows, keys, scheme, mem_budget })
+            }
+            TAG_PING => Request::Ping,
+            t => return Err(ProtoError::BadTag(t)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode this response as a frame body (no header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Result(r) => {
+                out.push(TAG_RESULT);
+                out.extend_from_slice(&r.query_id.to_le_bytes());
+                out.push(r.kind);
+                out.extend_from_slice(&r.matches.to_le_bytes());
+                out.extend_from_slice(&r.checksum.to_le_bytes());
+                out.extend_from_slice(&r.partitions.to_le_bytes());
+                out.extend_from_slice(&r.elapsed_us.to_le_bytes());
+                put_string(&mut out, &r.report_json);
+            }
+            Response::Error { code, message } => {
+                out.push(TAG_ERROR);
+                out.extend_from_slice(&(*code as u16).to_le_bytes());
+                put_string(&mut out, message);
+            }
+            Response::Pong => out.push(TAG_PONG),
+        }
+        out
+    }
+
+    /// Decode a frame body into a response.
+    pub fn decode(body: &[u8]) -> Result<Response, ProtoError> {
+        let mut c = Cursor::new(body);
+        let resp = match c.u8()? {
+            TAG_RESULT => Response::Result(QueryResult {
+                query_id: c.u64()?,
+                kind: c.u8()?,
+                matches: c.u64()?,
+                checksum: c.u64()?,
+                partitions: c.u64()?,
+                elapsed_us: c.u64()?,
+                report_json: c.string()?,
+            }),
+            TAG_ERROR => Response::Error {
+                code: ErrorCode::from_u16(c.u16()?)?,
+                message: c.string()?,
+            },
+            TAG_PONG => Response::Pong,
+            t => return Err(ProtoError::BadTag(t)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Write one frame: header ([`VERSION`], body length) then the body.
+/// Fails with [`FrameError::Proto`] if the body exceeds [`MAX_FRAME`]
+/// rather than sending a frame the peer is guaranteed to reject.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> Result<(), FrameError> {
+    if body.len() as u64 > MAX_FRAME as u64 {
+        return Err(ProtoError::Oversized(body.len() as u32).into());
+    }
+    let mut head = [0u8; 5];
+    head[0] = VERSION;
+    head[1..5].copy_from_slice(&(body.len() as u32).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame body. `Ok(None)` means the peer closed cleanly
+/// *between* frames; a close mid-frame is [`ProtoError::Truncated`].
+/// The declared length is validated against [`MAX_FRAME`] before any
+/// allocation.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut head = [0u8; 5];
+    // First byte by hand so clean EOF (zero bytes) is distinguishable
+    // from a mid-header close.
+    let mut first = [0u8; 1];
+    match r.read(&mut first) {
+        Ok(0) => return Ok(None),
+        Ok(_) => head[0] = first[0],
+        Err(e) => return Err(e.into()),
+    }
+    r.read_exact(&mut head[1..]).map_err(eof_as_truncated)?;
+    if head[0] != VERSION {
+        return Err(ProtoError::BadVersion(head[0]).into());
+    }
+    let len = u32::from_le_bytes(head[1..5].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(ProtoError::Oversized(len).into());
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body).map_err(eof_as_truncated)?;
+    Ok(Some(body))
+}
+
+fn eof_as_truncated(e: std::io::Error) -> FrameError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        ProtoError::Truncated.into()
+    } else {
+        e.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let req = Request::Join(JoinRequest {
+            build_tuples: 10_000,
+            tuple_size: 100,
+            matches_per_build: 2,
+            pct_match: 100,
+            scheme: WireScheme::Group { g: 16 },
+            mem_budget: 1 << 20,
+            seed: 0x11D0,
+        });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let body = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(Request::decode(&body).unwrap(), req);
+        // And nothing follows: the next read sees clean EOF.
+        let mut rest = &wire[wire.len()..];
+        assert!(read_frame(&mut rest).unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_version_and_oversized_are_typed() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Ping.encode()).unwrap();
+        wire[0] = 9;
+        match read_frame(&mut wire.as_slice()) {
+            Err(FrameError::Proto(ProtoError::BadVersion(9))) => {}
+            other => panic!("want BadVersion, got {other:?}"),
+        }
+
+        let mut huge = vec![VERSION];
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        match read_frame(&mut huge.as_slice()) {
+            Err(FrameError::Proto(ProtoError::Oversized(n))) => assert_eq!(n, u32::MAX),
+            other => panic!("want Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_typed() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Ping.encode()).unwrap();
+        wire.pop(); // lose the last body byte
+        match read_frame(&mut wire.as_slice()) {
+            Err(FrameError::Proto(ProtoError::Truncated)) => {}
+            other => panic!("want Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut body = Request::Ping.encode();
+        body.push(0xFF);
+        assert_eq!(Request::decode(&body), Err(ProtoError::Trailing(1)));
+    }
+}

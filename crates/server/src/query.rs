@@ -1,0 +1,323 @@
+//! Executing one admitted request: generate the workload, run the
+//! sequential kernel, produce a validated per-query [`RunReport`].
+//!
+//! The daemon runs each query with the same single-threaded kernels the
+//! CLI's sequential path uses (`grace_join_with_sink_rec`,
+//! `aggregate`), so a query's checksum is *definitionally* comparable
+//! to `phj join` / `phj agg` with the same knobs — the CI smoke test
+//! and `serve_load` both lean on that. Concurrency comes from running
+//! many such queries on the shared pool, not from intra-query threads;
+//! the memory grant a query holds covers its whole working set
+//! (relations + join budget), which is what makes the global budget a
+//! real cap.
+
+use std::time::Instant;
+
+use phj::aggregate::{aggregate, AggScheme};
+use phj::grace::{grace_join_with_sink_rec, GraceConfig};
+use phj::join::JoinScheme;
+use phj::partition::PartitionScheme;
+use phj::plan;
+use phj::sink::{CountSink, JoinSink};
+use phj_memsim::{MemoryModel, NativeModel};
+use phj_obs::{Recorder, RunReport};
+use phj_workload::JoinSpec;
+
+use crate::proto::{AggRequest, JoinRequest, Request, WireScheme};
+
+/// Result kind tag: a hash join.
+pub const KIND_JOIN: u8 = 1;
+/// Result kind tag: an aggregation.
+pub const KIND_AGG: u8 = 2;
+
+/// Tuples above this cannot be generated (they approach the 8 KiB page
+/// bound); rejected up front as a bad request.
+const MAX_TUPLE_SIZE: u32 = 2048;
+
+/// What one query produced, ready to frame as a
+/// [`QueryResult`](crate::proto::QueryResult).
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// [`KIND_JOIN`] or [`KIND_AGG`].
+    pub kind: u8,
+    /// Matches (join) or groups (agg).
+    pub matches: u64,
+    /// Order-independent result checksum.
+    pub checksum: u64,
+    /// Partitions produced (join only).
+    pub partitions: u64,
+    /// The validated per-query RunReport, rendered as JSON.
+    pub report_json: String,
+}
+
+/// Reject requests whose *shape* is invalid before any admission or
+/// allocation. Size-based rejection is admission's job (the estimate
+/// below), shape-based rejection is this one's.
+pub fn validate(req: &Request) -> Result<(), String> {
+    match req {
+        Request::Join(j) => {
+            if j.tuple_size > MAX_TUPLE_SIZE {
+                return Err(format!("tuple_size {} exceeds {MAX_TUPLE_SIZE}", j.tuple_size));
+            }
+            if j.mem_budget == 0 {
+                return Err("mem_budget must be > 0".to_string());
+            }
+            Ok(())
+        }
+        Request::Agg(_) | Request::Ping => Ok(()),
+    }
+}
+
+/// Bytes of memory the query needs while running: both generated
+/// relations plus the join-phase budget (join), or the input relation
+/// plus the group table (agg). Saturating, so hostile cardinalities
+/// become a huge estimate that admission rejects as `TooLarge` — never
+/// an overflow or an allocation.
+pub fn estimated_bytes(req: &Request) -> u64 {
+    match req {
+        Request::Join(j) => {
+            let tuples = j
+                .build_tuples
+                .saturating_add(j.build_tuples.saturating_mul(j.matches_per_build as u64));
+            tuples
+                .saturating_mul(j.tuple_size as u64)
+                .saturating_add(j.mem_budget)
+        }
+        Request::Agg(a) => {
+            // 100 B tuples (the agg input schema) + ~48 B/group of table.
+            let explicit = a.mem_budget;
+            let estimate =
+                a.rows.saturating_mul(100).saturating_add(a.keys.saturating_mul(48));
+            explicit.max(estimate)
+        }
+        Request::Ping => 0,
+    }
+}
+
+fn join_scheme(ws: WireScheme) -> JoinScheme {
+    match ws {
+        WireScheme::Baseline => JoinScheme::Baseline,
+        WireScheme::Simple => JoinScheme::Simple,
+        WireScheme::Group { g } => JoinScheme::Group { g: g.max(1) as usize },
+        WireScheme::Swp { d } => JoinScheme::Swp { d: d.max(1) as usize },
+    }
+}
+
+fn agg_scheme(ws: WireScheme) -> AggScheme {
+    match ws {
+        WireScheme::Baseline => AggScheme::Baseline,
+        WireScheme::Simple => AggScheme::Simple,
+        WireScheme::Group { g } => AggScheme::Group { g: g.max(1) as usize },
+        WireScheme::Swp { d } => AggScheme::Swp { d: d.max(1) as usize },
+    }
+}
+
+/// Run one query to completion on the calling thread. The query id is
+/// journaled into the flight recorder (phase events) and fingerprinted
+/// into the report (`query_id` key), so one process's observability
+/// streams can be demultiplexed per query.
+pub fn run(query_id: u64, req: &Request) -> Result<QueryOutcome, String> {
+    phj_flightrec::event(
+        phj_flightrec::EventKind::PhaseEnter,
+        phj_flightrec::phase_code("query"),
+        query_id,
+        0,
+    );
+    let out = match req {
+        Request::Join(j) => run_join(query_id, j),
+        Request::Agg(a) => run_agg(query_id, a),
+        Request::Ping => Err("ping is not a query".to_string()),
+    };
+    phj_flightrec::event(
+        phj_flightrec::EventKind::PhaseExit,
+        phj_flightrec::phase_code("query"),
+        query_id,
+        out.is_ok() as u64,
+    );
+    out
+}
+
+fn run_join(query_id: u64, j: &JoinRequest) -> Result<QueryOutcome, String> {
+    let spec = JoinSpec {
+        build_tuples: j.build_tuples as usize,
+        tuple_size: j.tuple_size as usize,
+        matches_per_build: j.matches_per_build as usize,
+        pct_match: j.pct_match,
+        seed: j.seed,
+    };
+    let gen = spec.generate();
+    let cfg = GraceConfig {
+        mem_budget: j.mem_budget as usize,
+        partition_scheme: PartitionScheme::combined_default(),
+        join_scheme: join_scheme(j.scheme),
+        ..Default::default()
+    };
+    let mut native = NativeModel;
+    let mut recorder = Recorder::new();
+    let root = recorder.begin("run", native.snapshot());
+    let mut sink = CountSink::new();
+    let t0 = Instant::now();
+    let partitions =
+        grace_join_with_sink_rec(&mut native, &cfg, &gen.build, &gen.probe, &mut sink, Some(&mut recorder));
+    let wall = t0.elapsed();
+    recorder.end(root, native.snapshot());
+
+    let mut report =
+        RunReport::from_recorder("join", recorder, native.snapshot(), wall.as_nanos() as u64);
+    report.tuples = (gen.build.num_tuples() + gen.probe.num_tuples()) as u64;
+    report.matches = sink.matches();
+    report.config_kv("query_id", query_id);
+    report.config_kv("scheme", j.scheme.label());
+    report.config_kv("tuple_size", j.tuple_size);
+    report.config_kv("build_tuples", j.build_tuples);
+    report.config_kv("probe_tuples", spec.probe_tuples());
+    report.config_kv("mem_budget", j.mem_budget);
+    report.config_kv("seed", j.seed);
+    report.validate()?;
+
+    if gen.expected_matches > 0 && sink.matches() != gen.expected_matches {
+        return Err(format!(
+            "join produced {} matches, workload oracle expects {}",
+            sink.matches(),
+            gen.expected_matches
+        ));
+    }
+    Ok(QueryOutcome {
+        kind: KIND_JOIN,
+        matches: sink.matches(),
+        checksum: sink.checksum(),
+        partitions: partitions as u64,
+        report_json: report.render(),
+    })
+}
+
+fn run_agg(query_id: u64, a: &AggRequest) -> Result<QueryOutcome, String> {
+    let rows = a.rows as usize;
+    let keys = a.keys as usize;
+    // Same input construction as `phj agg`: 100 B key+payload tuples,
+    // key space folded down to `keys` distinct values.
+    let input = {
+        use phj_storage::{RelationBuilder, Schema};
+        let schema = Schema::key_payload(100);
+        let mut b = RelationBuilder::new(schema);
+        let mut t = [0u8; 100];
+        for i in 0..rows {
+            let key = phj_workload::key_of_index((i % keys) as u32);
+            t[..4].copy_from_slice(&key.to_le_bytes());
+            b.push(&t);
+        }
+        b.finish()
+    };
+    let buckets = plan::hash_table_buckets(keys, 1);
+    let extract = |t: &[u8]| t[4] as i64;
+
+    let mut native = NativeModel;
+    let mut recorder = Recorder::new();
+    let root = recorder.begin("run", native.snapshot());
+    let inner = recorder.begin("aggregate", native.snapshot());
+    let t0 = Instant::now();
+    let table = aggregate(&mut native, agg_scheme(a.scheme), &input, buckets, extract);
+    let wall = t0.elapsed();
+    recorder.end(inner, native.snapshot());
+    recorder.end(root, native.snapshot());
+
+    let mut report =
+        RunReport::from_recorder("agg", recorder, native.snapshot(), wall.as_nanos() as u64);
+    report.tuples = rows as u64;
+    report.matches = table.num_groups() as u64;
+    report.config_kv("query_id", query_id);
+    report.config_kv("scheme", a.scheme.label());
+    report.config_kv("rows", rows);
+    report.config_kv("keys", keys);
+    report.validate()?;
+
+    Ok(QueryOutcome {
+        kind: KIND_AGG,
+        matches: table.num_groups() as u64,
+        checksum: phj_exec::agg_checksum(&table),
+        partitions: 0,
+        report_json: report.render(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Request;
+
+    fn join_req() -> Request {
+        Request::Join(JoinRequest {
+            build_tuples: 2_000,
+            tuple_size: 100,
+            matches_per_build: 2,
+            pct_match: 100,
+            scheme: WireScheme::Group { g: 16 },
+            mem_budget: 1 << 20,
+            seed: 0x11D0,
+        })
+    }
+
+    #[test]
+    fn join_runs_and_reports_parse_back() {
+        let out = run(7, &join_req()).unwrap();
+        assert_eq!(out.kind, KIND_JOIN);
+        assert_eq!(out.matches, 4_000);
+        assert_ne!(out.checksum, 0);
+        let report = RunReport::parse(&out.report_json).unwrap();
+        report.validate().unwrap();
+        assert!(report.config.iter().any(|(k, v)| k == "query_id" && v == "7"));
+        assert_eq!(report.matches, 4_000);
+    }
+
+    #[test]
+    fn same_request_same_checksum() {
+        let a = run(1, &join_req()).unwrap();
+        let b = run(2, &join_req()).unwrap();
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.matches, b.matches);
+    }
+
+    #[test]
+    fn agg_runs_and_counts_groups() {
+        let req = Request::Agg(AggRequest {
+            rows: 10_000,
+            keys: 500,
+            scheme: WireScheme::Group { g: 16 },
+            mem_budget: 0,
+        });
+        let out = run(3, &req).unwrap();
+        assert_eq!(out.kind, KIND_AGG);
+        assert_eq!(out.matches, 500);
+        let report = RunReport::parse(&out.report_json).unwrap();
+        report.validate().unwrap();
+    }
+
+    #[test]
+    fn estimates_saturate_on_hostile_cardinalities() {
+        let req = Request::Join(JoinRequest {
+            build_tuples: u64::MAX,
+            tuple_size: 2048,
+            matches_per_build: u32::MAX,
+            pct_match: 100,
+            scheme: WireScheme::Baseline,
+            mem_budget: u64::MAX,
+            seed: 0,
+        });
+        assert_eq!(estimated_bytes(&req), u64::MAX);
+        assert_eq!(estimated_bytes(&Request::Ping), 0);
+    }
+
+    #[test]
+    fn oversized_tuple_rejected_by_shape_validation() {
+        let req = Request::Join(JoinRequest {
+            build_tuples: 10,
+            tuple_size: 4096,
+            matches_per_build: 1,
+            pct_match: 100,
+            scheme: WireScheme::Baseline,
+            mem_budget: 1 << 20,
+            seed: 0,
+        });
+        assert!(validate(&req).is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! The daemon: accept loop → persistent pool → admission → kernel.
+//!
+//! One [`Listener`](phj_metrics::Listener) accepts connections and
+//! immediately ships each to the shared persistent
+//! [`Pool`](phj_exec::Pool) as a fire-and-forget job (the accept
+//! handler never blocks). A connection job reads request frames in a
+//! loop; each join/agg request becomes a query: it gets a process-wide
+//! id, passes shape validation, acquires a [`MemGrant`] (possibly
+//! waiting FIFO), runs the kernel, and answers with a result frame
+//! embedding its validated RunReport. Admission rejections and
+//! execution failures answer typed error frames — a malformed or
+//! hostile request must never take the daemon down (query panics are
+//! caught and answered as [`ErrorCode::Internal`]).
+//!
+//! Shutdown is cooperative: [`Server::stop`] stops the accept loop,
+//! raises a stop flag every connection loop polls (their reads time out
+//! every 100 ms), and then joins the pool — which drains queries
+//! already running. A clean stop is *not* a crash: the flight
+//! recorder's postmortem machinery stays untriggered.
+
+use std::net::{SocketAddr, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use phj_exec::Pool;
+use phj_metrics::Listener;
+
+use crate::admission::{Admission, AdmissionConfig, AdmitError};
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, FrameError, QueryResult, Request, Response,
+};
+use crate::query;
+
+/// Daemon configuration (`phj serve` flags map onto this).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Pool worker threads — the daemon's concurrency (each in-flight
+    /// connection occupies one worker while it serves requests).
+    pub threads: usize,
+    /// Global memory budget shared by all concurrent queries, bytes.
+    pub mem_budget: u64,
+    /// Smallest grant; see [`AdmissionConfig::min_grant`].
+    pub min_grant: u64,
+    /// Admission wait-queue bound; see [`AdmissionConfig::max_queue`].
+    pub max_queue: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            mem_budget: 256 << 20,
+            min_grant: 1 << 20,
+            max_queue: 32,
+        }
+    }
+}
+
+struct Ctx {
+    admission: Arc<Admission>,
+    stop: Arc<AtomicBool>,
+    next_query: AtomicU64,
+    inflight: AtomicU64,
+}
+
+/// A running daemon. [`Server::stop`] (or drop) shuts it down cleanly.
+pub struct Server {
+    listener: Option<Listener>,
+    pool: Option<Arc<Pool>>,
+    ctx: Arc<Ctx>,
+}
+
+impl Server {
+    /// Bind and start serving. Returns once the listener is live;
+    /// queries run on background pool threads from then on.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let admission = Admission::new(AdmissionConfig {
+            budget: cfg.mem_budget,
+            min_grant: cfg.min_grant,
+            max_queue: cfg.max_queue,
+        });
+        let ctx = Arc::new(Ctx {
+            admission,
+            stop: Arc::new(AtomicBool::new(false)),
+            next_query: AtomicU64::new(1),
+            inflight: AtomicU64::new(0),
+        });
+        let pool = Arc::new(Pool::new(cfg.threads.max(1)));
+        let listener = {
+            let pool = Arc::clone(&pool);
+            let ctx = Arc::clone(&ctx);
+            Listener::start("phj-serve-accept", &cfg.addr, move |stream| {
+                let ctx = Arc::clone(&ctx);
+                pool.spawn(move || serve_conn(stream, &ctx));
+            })?
+        };
+        Ok(Server { listener: Some(listener), pool: Some(pool), ctx })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.as_ref().expect("server running").local_addr()
+    }
+
+    /// The admission table (for tests and the load generator to assert
+    /// grant invariants).
+    pub fn admission(&self) -> &Arc<Admission> {
+        &self.ctx.admission
+    }
+
+    /// Queries currently executing.
+    pub fn inflight(&self) -> u64 {
+        self.ctx.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, wake every connection loop, and join the pool —
+    /// queries already running finish first.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(l) = self.listener.take() {
+            l.stop();
+        }
+        self.ctx.stop.store(true, Ordering::Release);
+        if let Some(pool) = self.pool.take() {
+            // The listener is joined, so its handler's pool clone is
+            // gone: this is the last reference and joins the workers.
+            if let Ok(p) = Arc::try_unwrap(pool) {
+                p.shutdown();
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// How often an idle connection wakes to poll the stop flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+fn serve_conn(mut stream: TcpStream, ctx: &Ctx) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    loop {
+        match read_frame(&mut stream) {
+            Ok(None) => return, // peer closed cleanly
+            Ok(Some(body)) => {
+                let resp = match Request::decode(&body) {
+                    Ok(req) => handle_request(ctx, &req),
+                    Err(e) => Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    },
+                };
+                if write_frame(&mut stream, &resp.encode()).is_err() {
+                    return;
+                }
+            }
+            Err(FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if ctx.stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(FrameError::Proto(e)) => {
+                // Garbage on the wire: answer typed, then drop the
+                // connection (framing is no longer trustworthy).
+                let resp = Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                };
+                let _ = write_frame(&mut stream, &resp.encode());
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        }
+    }
+}
+
+fn handle_request(ctx: &Ctx, req: &Request) -> Response {
+    if let Request::Ping = req {
+        return Response::Pong;
+    }
+    if ctx.stop.load(Ordering::Acquire) {
+        return Response::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "server is shutting down".to_string(),
+        };
+    }
+    if let Err(msg) = query::validate(req) {
+        return Response::Error { code: ErrorCode::BadRequest, message: msg };
+    }
+    let query_id = ctx.next_query.fetch_add(1, Ordering::SeqCst);
+    let grant = match ctx.admission.admit(query_id, query::estimated_bytes(req)) {
+        Ok(g) => g,
+        Err(e @ AdmitError::TooLarge { .. }) => {
+            return Response::Error { code: ErrorCode::TooLarge, message: e.to_string() }
+        }
+        Err(e @ AdmitError::QueueFull { .. }) => {
+            return Response::Error { code: ErrorCode::QueueFull, message: e.to_string() }
+        }
+    };
+
+    ctx.inflight.fetch_add(1, Ordering::SeqCst);
+    publish_inflight(ctx);
+    let t0 = Instant::now();
+    // A panicking kernel answers Internal instead of killing the
+    // worker thread (and with it, every queued connection).
+    let outcome = catch_unwind(AssertUnwindSafe(|| query::run(query_id, req)));
+    let elapsed = t0.elapsed();
+    ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+    publish_inflight(ctx);
+    if let Some(reg) = phj_metrics::global() {
+        reg.histogram(
+            phj_metrics::names::SERVER_QUERY_LATENCY_US,
+            "Per-query wall latency (us)",
+        )
+        .record(elapsed.as_micros() as u64);
+    }
+    drop(grant);
+
+    match outcome {
+        Ok(Ok(out)) => Response::Result(QueryResult {
+            query_id,
+            kind: out.kind,
+            matches: out.matches,
+            checksum: out.checksum,
+            partitions: out.partitions,
+            elapsed_us: elapsed.as_micros() as u64,
+            report_json: out.report_json,
+        }),
+        Ok(Err(msg)) => Response::Error { code: ErrorCode::Internal, message: msg },
+        Err(_) => Response::Error {
+            code: ErrorCode::Internal,
+            message: format!("query {query_id} panicked"),
+        },
+    }
+}
+
+fn publish_inflight(ctx: &Ctx) {
+    if let Some(reg) = phj_metrics::global() {
+        reg.gauge(
+            phj_metrics::names::SERVER_QUERIES_INFLIGHT,
+            "Queries currently executing",
+        )
+        .set(ctx.inflight.load(Ordering::SeqCst));
+    }
+}

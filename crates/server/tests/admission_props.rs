@@ -1,0 +1,210 @@
+//! Property tests for admission control.
+//!
+//! The contract under test (ISSUE 8 satellite): the sum of outstanding
+//! grants never exceeds the global budget, queued queries eventually
+//! run (a seeded 50-query burst completes — no deadlock), and rejected
+//! queries leave the budget untouched.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use phj_server::admission::{Admission, AdmissionConfig, AdmitError, MemGrant};
+
+fn table(budget: u64, min_grant: u64, max_queue: usize) -> Arc<Admission> {
+    Admission::new(AdmissionConfig { budget, min_grant, max_queue })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Single-threaded model check: interleave admits (only when the
+    // model says they fit, so nothing blocks) and randomized releases,
+    // mirroring the grant set; the table's accounting must track the
+    // model exactly and never exceed the budget.
+    #[test]
+    fn outstanding_tracks_the_live_grant_sum(
+        ops in collection::vec((any::<u64>(), any::<u64>()), 1..80),
+        budget in 1_000u64..1_000_000,
+    ) {
+        let adm = table(budget, 1, 1000);
+        let mut live: Vec<MemGrant> = Vec::new();
+        let mut model_sum = 0u64;
+        for (i, (sz_seed, action)) in ops.into_iter().enumerate() {
+            let want = 1 + sz_seed % budget;
+            if action % 3 != 0 || live.is_empty() {
+                if model_sum + want <= budget {
+                    let g = adm.admit(i as u64, want).unwrap();
+                    model_sum += g.bytes();
+                    live.push(g);
+                } else {
+                    // Would block; the concurrent burst test covers
+                    // queue-and-wake. Here just assert a full-budget
+                    // request is what rejection protects against.
+                    prop_assert!(want + model_sum > budget);
+                }
+            } else {
+                let idx = (action as usize / 3) % live.len();
+                let g = live.swap_remove(idx);
+                model_sum -= g.bytes();
+                drop(g);
+            }
+            prop_assert_eq!(adm.outstanding(), model_sum);
+            prop_assert!(adm.outstanding() <= budget, "over budget");
+            prop_assert!(adm.peak_outstanding() <= budget, "peak over budget");
+        }
+        drop(live);
+        prop_assert_eq!(adm.outstanding(), 0);
+    }
+
+    // Rejections — both kinds — are side-effect free.
+    #[test]
+    fn rejections_leave_the_budget_unchanged(
+        held in 1u64..100,
+        over in any::<u64>(),
+    ) {
+        let budget = 100u64;
+        let adm = table(budget, 1, 0); // zero queue: every wait rejects
+        let g = adm.admit(1, held).unwrap();
+        let before = adm.outstanding();
+
+        // TooLarge: can never fit.
+        let req = budget + 1 + over % budget;
+        prop_assert!(matches!(adm.admit(2, req), Err(AdmitError::TooLarge { .. })));
+        prop_assert_eq!(adm.outstanding(), before);
+
+        // QueueFull: would have to wait, but the queue holds nobody.
+        if held < budget {
+            // Fits outright — admit and release, budget restored.
+            let extra = adm.admit(3, budget - held).unwrap();
+            drop(extra);
+            prop_assert_eq!(adm.outstanding(), before);
+        }
+        prop_assert!(matches!(
+            adm.admit(4, budget),
+            Err(AdmitError::QueueFull { .. }) | Ok(_)
+        ));
+        drop(g);
+        prop_assert_eq!(adm.outstanding(), 0);
+    }
+}
+
+/// The liveness + safety test from the issue: a seeded burst of 50
+/// queries with randomized sizes, more demand than budget, all racing.
+/// Every admissible query must eventually run (no deadlock), a monitor
+/// thread must never observe outstanding > budget, and the exact
+/// TooLarge requests — and only those — are rejected.
+#[test]
+fn seeded_50_query_burst_all_run_and_never_exceed_budget() {
+    const BUDGET: u64 = 64 << 20;
+    const QUERIES: u64 = 50;
+    let adm = table(BUDGET, 1 << 20, QUERIES as usize);
+
+    // xorshift64 off a fixed seed: deterministic sizes, some of them
+    // deliberately over budget.
+    let mut seed = 0x5EED_CAFE_u64;
+    let mut sizes = Vec::new();
+    for _ in 0..QUERIES {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        let size = if seed.is_multiple_of(10) {
+            BUDGET + seed % BUDGET + 1 // TooLarge on purpose
+        } else {
+            1 + seed % (BUDGET / 3) // up to a third of the budget
+        };
+        sizes.push(size);
+    }
+    let expect_rejected = sizes.iter().filter(|&&s| s > BUDGET).count() as u64;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let monitor = {
+        let adm = Arc::clone(&adm);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut worst = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                worst = worst.max(adm.outstanding());
+                std::thread::yield_now();
+            }
+            worst
+        })
+    };
+
+    let ran = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = sizes
+        .into_iter()
+        .enumerate()
+        .map(|(i, size)| {
+            let adm = Arc::clone(&adm);
+            let ran = Arc::clone(&ran);
+            let rejected = Arc::clone(&rejected);
+            std::thread::spawn(move || match adm.admit(i as u64, size) {
+                Ok(g) => {
+                    assert!(g.bytes() <= BUDGET);
+                    // Hold the grant briefly so grants genuinely overlap.
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(AdmitError::TooLarge { .. }) => {
+                    rejected.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(e @ AdmitError::QueueFull { .. }) => {
+                    panic!("queue sized for the whole burst, yet: {e}")
+                }
+            })
+        })
+        .collect();
+
+    for h in handles {
+        // Join with the default test timeout as the deadlock alarm: a
+        // stuck FIFO queue hangs here and the harness kills the test.
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Release);
+    let observed_peak = monitor.join().unwrap();
+
+    assert_eq!(ran.load(Ordering::SeqCst), QUERIES - expect_rejected, "every admissible query ran");
+    assert_eq!(rejected.load(Ordering::SeqCst), expect_rejected);
+    assert!(expect_rejected > 0, "seed must exercise the rejection path");
+    assert_eq!(adm.outstanding(), 0, "all grants returned");
+    assert!(adm.peak_outstanding() <= BUDGET, "lock-accurate peak stayed within budget");
+    assert!(observed_peak <= BUDGET, "sampled outstanding stayed within budget");
+    assert!(adm.peak_outstanding() > 0, "grants actually overlapped");
+    let (admitted, rej) = adm.totals();
+    assert_eq!(admitted, QUERIES - expect_rejected);
+    assert_eq!(rej, expect_rejected);
+}
+
+/// FIFO fairness: with the budget pinned, waiters are granted in
+/// arrival order. Each waiter wants 60 of 100 bytes, so grants are
+/// mutually exclusive and the recording order *is* the grant order.
+#[test]
+fn fifo_order_is_respected_under_contention() {
+    let adm = table(100, 1, 16);
+    let pin = adm.admit(0, 100).unwrap();
+
+    let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for i in 1..=4u64 {
+        // Arrival order established by waiting until the queue grows.
+        let adm_t = Arc::clone(&adm);
+        let order = Arc::clone(&order);
+        handles.push(std::thread::spawn(move || {
+            let g = adm_t.admit(i, 60).unwrap();
+            order.lock().unwrap().push(i);
+            drop(g);
+        }));
+        while adm.waiting() < i as usize {
+            std::thread::yield_now();
+        }
+    }
+    drop(pin);
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*order.lock().unwrap(), vec![1, 2, 3, 4], "grants left FIFO");
+}

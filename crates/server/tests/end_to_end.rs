@@ -1,0 +1,195 @@
+//! End-to-end daemon tests over real sockets: concurrent mixed queries
+//! produce exactly the checksums the sequential kernel produces, every
+//! embedded RunReport validates, admission holds its budget invariant,
+//! and hostile input turns into typed error frames.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use phj_obs::RunReport;
+use phj_server::proto::{
+    AggRequest, ErrorCode, JoinRequest, Request, Response, WireScheme,
+};
+use phj_server::{query, Connection, ServeConfig, Server};
+
+fn join_req(seed: u64) -> Request {
+    Request::Join(JoinRequest {
+        build_tuples: 2_000,
+        tuple_size: 100,
+        matches_per_build: 2,
+        pct_match: 100,
+        scheme: WireScheme::Group { g: 16 },
+        mem_budget: 1 << 20,
+        seed,
+    })
+}
+
+fn agg_req(rows: u64) -> Request {
+    Request::Agg(AggRequest {
+        rows,
+        keys: 256,
+        scheme: WireScheme::Swp { d: 4 },
+        mem_budget: 0,
+    })
+}
+
+fn small_server() -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+        mem_budget: 64 << 20,
+        min_grant: 1 << 20,
+        max_queue: 32,
+    })
+    .unwrap()
+}
+
+#[test]
+fn concurrent_mixed_queries_match_the_sequential_kernel() {
+    let srv = small_server();
+    let addr = srv.local_addr();
+
+    // Reference checksums from the sequential kernel, same process.
+    let requests: Vec<Request> =
+        vec![join_req(0x11D0), join_req(0xBEEF), agg_req(20_000), agg_req(5_000)];
+    let expected: Vec<_> = requests
+        .iter()
+        .map(|r| query::run(0, r).unwrap())
+        .collect();
+
+    // Two client threads per request, all concurrent.
+    let handles: Vec<_> = requests
+        .iter()
+        .cloned()
+        .cycle()
+        .take(requests.len() * 2)
+        .map(|req| {
+            std::thread::spawn(move || {
+                let mut conn = Connection::connect(addr).unwrap();
+                conn.request(&req).unwrap()
+            })
+        })
+        .collect();
+    let responses: Vec<Response> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let mut seen_ids = std::collections::HashSet::new();
+    for (i, resp) in responses.into_iter().enumerate() {
+        let want = &expected[i % requests.len()];
+        match resp {
+            Response::Result(r) => {
+                assert_eq!(r.checksum, want.checksum, "query {i} checksum drifted");
+                assert_eq!(r.matches, want.matches);
+                assert_eq!(r.kind, want.kind);
+                assert!(seen_ids.insert(r.query_id), "query ids must be unique");
+                let report = RunReport::parse(&r.report_json).unwrap();
+                report.validate().unwrap();
+                assert!(
+                    report
+                        .config
+                        .iter()
+                        .any(|(k, v)| k == "query_id" && *v == r.query_id.to_string()),
+                    "report must carry its query id"
+                );
+            }
+            other => panic!("query {i}: want Result, got {other:?}"),
+        }
+    }
+
+    let adm = Arc::clone(srv.admission());
+    assert!(adm.peak_outstanding() <= 64 << 20, "grants exceeded the budget");
+    assert!(adm.peak_outstanding() > 0, "queries ran without grants?");
+    assert_eq!(adm.outstanding(), 0, "grants leaked");
+    let (admitted, rejected) = adm.totals();
+    assert_eq!(admitted, 8);
+    assert_eq!(rejected, 0);
+    srv.stop();
+}
+
+#[test]
+fn ping_pong_and_typed_rejections() {
+    let srv = small_server();
+    let mut conn = Connection::connect(srv.local_addr()).unwrap();
+
+    assert_eq!(conn.request(&Request::Ping).unwrap(), Response::Pong);
+
+    // A query that can never fit the 64 MB budget: typed TooLarge, and
+    // the connection stays usable.
+    let huge = Request::Join(JoinRequest {
+        build_tuples: 1 << 40,
+        tuple_size: 100,
+        matches_per_build: 2,
+        pct_match: 100,
+        scheme: WireScheme::Baseline,
+        mem_budget: 1 << 20,
+        seed: 1,
+    });
+    match conn.request(&huge).unwrap() {
+        Response::Error { code: ErrorCode::TooLarge, .. } => {}
+        other => panic!("want TooLarge, got {other:?}"),
+    }
+
+    // Shape violation: typed BadRequest.
+    let bad = Request::Join(JoinRequest {
+        build_tuples: 10,
+        tuple_size: 4000,
+        matches_per_build: 1,
+        pct_match: 100,
+        scheme: WireScheme::Baseline,
+        mem_budget: 1 << 20,
+        seed: 1,
+    });
+    match conn.request(&bad).unwrap() {
+        Response::Error { code: ErrorCode::BadRequest, .. } => {}
+        other => panic!("want BadRequest, got {other:?}"),
+    }
+
+    // Still alive after both rejections.
+    assert_eq!(conn.request(&Request::Ping).unwrap(), Response::Pong);
+    assert_eq!(srv.admission().outstanding(), 0);
+    srv.stop();
+}
+
+#[test]
+fn garbage_bytes_get_a_typed_error_frame_not_a_crash() {
+    let srv = small_server();
+    let addr = srv.local_addr();
+
+    // Raw garbage (bad version byte): server answers a BadRequest
+    // error frame and closes.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&[0xFF; 32]).unwrap();
+    s.flush().unwrap();
+    let mut raw = Vec::new();
+    use std::io::Read;
+    let _ = s.read_to_end(&mut raw);
+    // Frame header: version 1 + length; decode the error body.
+    assert!(raw.len() > 5, "server sent nothing back");
+    assert_eq!(raw[0], 1);
+    let body_len = u32::from_le_bytes(raw[1..5].try_into().unwrap()) as usize;
+    let resp = Response::decode(&raw[5..5 + body_len]).unwrap();
+    match resp {
+        Response::Error { code: ErrorCode::BadRequest, .. } => {}
+        other => panic!("want BadRequest, got {other:?}"),
+    }
+
+    // And the daemon still serves the next client.
+    let mut conn = Connection::connect(addr).unwrap();
+    assert_eq!(conn.request(&Request::Ping).unwrap(), Response::Pong);
+    srv.stop();
+}
+
+#[test]
+fn stop_finishes_inflight_work_and_frees_the_port() {
+    let srv = small_server();
+    let addr = srv.local_addr();
+    let worker = std::thread::spawn(move || {
+        let mut conn = Connection::connect(addr).unwrap();
+        conn.request(&join_req(7)).unwrap()
+    });
+    let resp = worker.join().unwrap();
+    assert!(matches!(resp, Response::Result(_)));
+    srv.stop();
+    // The accept loop is gone: the port can be rebound.
+    assert!(std::net::TcpListener::bind(addr).is_ok());
+}

@@ -1,0 +1,189 @@
+//! Property tests for the wire protocol: encode/decode must round-trip
+//! every representable message, and *arbitrary garbage bytes* must
+//! decode to a typed error — never a panic, never an allocation
+//! proportional to a hostile length prefix.
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use phj_server::proto::{
+    read_frame, write_frame, AggRequest, ErrorCode, FrameError, JoinRequest, ProtoError,
+    QueryResult, Request, Response, WireScheme, MAX_FRAME, VERSION,
+};
+
+fn scheme_from(code: u8, g: u32, d: u32) -> WireScheme {
+    match code % 4 {
+        0 => WireScheme::Baseline,
+        1 => WireScheme::Simple,
+        2 => WireScheme::Group { g },
+        _ => WireScheme::Swp { d },
+    }
+}
+
+fn printable(bytes: Vec<u8>) -> String {
+    bytes.into_iter().map(|b| (b % 94 + 32) as char).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn join_request_round_trips(
+        build_tuples in any::<u64>(),
+        tuple_size in 8u32..4096,
+        matches_per_build in any::<u32>(),
+        pct_match in 0u8..=100,
+        code in any::<u8>(),
+        g in 1u32..1024,
+        d in 1u32..64,
+        mem_budget in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let req = Request::Join(JoinRequest {
+            build_tuples,
+            tuple_size,
+            matches_per_build,
+            pct_match,
+            scheme: scheme_from(code, g, d),
+            mem_budget,
+            seed,
+        });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let body = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        prop_assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    #[test]
+    fn agg_request_round_trips(
+        rows in any::<u64>(),
+        keys in 1u64..u64::MAX,
+        code in any::<u8>(),
+        g in 1u32..1024,
+        d in 1u32..64,
+        mem_budget in any::<u64>(),
+    ) {
+        let req = Request::Agg(AggRequest {
+            rows,
+            keys,
+            scheme: scheme_from(code, g, d),
+            mem_budget,
+        });
+        let body = req.encode();
+        prop_assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    #[test]
+    fn responses_round_trip(
+        query_id in any::<u64>(),
+        kind in 1u8..3,
+        matches in any::<u64>(),
+        checksum in any::<u64>(),
+        partitions in any::<u64>(),
+        elapsed_us in any::<u64>(),
+        json in collection::vec(any::<u8>(), 0..256),
+        err_code in 1u16..6,
+        msg in collection::vec(any::<u8>(), 0..64),
+    ) {
+        let result = Response::Result(QueryResult {
+            query_id,
+            kind,
+            matches,
+            checksum,
+            partitions,
+            elapsed_us,
+            report_json: printable(json),
+        });
+        prop_assert_eq!(Response::decode(&result.encode()).unwrap(), result);
+
+        let code = match err_code {
+            1 => ErrorCode::BadRequest,
+            2 => ErrorCode::TooLarge,
+            3 => ErrorCode::QueueFull,
+            4 => ErrorCode::Internal,
+            _ => ErrorCode::ShuttingDown,
+        };
+        let err = Response::Error { code, message: printable(msg) };
+        prop_assert_eq!(Response::decode(&err.encode()).unwrap(), err);
+
+        prop_assert_eq!(Response::decode(&Response::Pong.encode()).unwrap(), Response::Pong);
+    }
+
+    #[test]
+    fn garbage_bodies_decode_to_typed_errors_not_panics(
+        body in collection::vec(any::<u8>(), 0..128),
+    ) {
+        // Decoding is total: Ok must round-trip canonically, Err must
+        // be one of the typed variants (guaranteed by the type — the
+        // point of the property is that this call returns at all).
+        if let Ok(req) = Request::decode(&body) {
+            prop_assert_eq!(req.encode(), body.clone());
+        }
+        if let Ok(resp) = Response::decode(&body) {
+            prop_assert_eq!(resp.encode(), body);
+        }
+    }
+
+    #[test]
+    fn garbage_streams_never_panic_the_frame_reader(
+        wire in collection::vec(any::<u8>(), 0..64),
+    ) {
+        match read_frame(&mut wire.as_slice()) {
+            Ok(None) => prop_assert!(wire.is_empty()),
+            Ok(Some(body)) => prop_assert!(body.len() <= MAX_FRAME as usize),
+            Err(FrameError::Proto(_)) | Err(FrameError::Io(_)) => {}
+        }
+    }
+
+    #[test]
+    fn bad_version_is_rejected_with_the_offending_byte(raw in 0u8..=255) {
+        // Fold the one valid version onto its neighbor: every drawn
+        // byte exercises the rejection path.
+        let v = if raw == VERSION { VERSION.wrapping_add(1) } else { raw };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Ping.encode()).unwrap();
+        wire[0] = v;
+        match read_frame(&mut wire.as_slice()) {
+            Err(FrameError::Proto(ProtoError::BadVersion(got))) => prop_assert_eq!(got, v),
+            other => prop_assert!(false, "want BadVersion({}), got {:?}", v, other),
+        }
+    }
+
+    #[test]
+    fn truncating_a_valid_frame_anywhere_is_typed(
+        cut_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let req = Request::Join(JoinRequest {
+            build_tuples: 1000,
+            tuple_size: 100,
+            matches_per_build: 2,
+            pct_match: 100,
+            scheme: WireScheme::Swp { d: 4 },
+            mem_budget: 1 << 20,
+            seed,
+        });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        // Cut anywhere strictly inside the frame: always Truncated.
+        let cut = 1 + (cut_seed % (wire.len() as u64 - 1)) as usize;
+        match read_frame(&mut &wire[..cut]) {
+            Err(FrameError::Proto(ProtoError::Truncated)) => {}
+            other => prop_assert!(false, "cut at {}: want Truncated, got {:?}", cut, other),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation(
+        len in (MAX_FRAME + 1)..=u32::MAX,
+    ) {
+        let mut wire = vec![VERSION];
+        wire.extend_from_slice(&len.to_le_bytes());
+        // No body bytes at all: if the reader tried to allocate/read
+        // `len` bytes it would error Truncated instead of Oversized.
+        match read_frame(&mut wire.as_slice()) {
+            Err(FrameError::Proto(ProtoError::Oversized(got))) => prop_assert_eq!(got, len),
+            other => prop_assert!(false, "want Oversized, got {:?}", other),
+        }
+    }
+}
