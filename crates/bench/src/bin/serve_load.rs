@@ -102,6 +102,10 @@ fn main() {
         mem_budget: budget,
         min_grant: 1 << 20,
         max_queue: QUERIES,
+        // Every query is its own connection; the load level, not the
+        // conn cap, is the variable under test here.
+        max_conns: QUERIES.max(64),
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = srv.local_addr();

@@ -51,8 +51,8 @@ fn install_stop_signals() {}
 pub fn cmd_serve(args: &Args) -> Result<(), String> {
     args.allow(&[
         "addr", "threads", "mem-mb", "mem-budget", "min-grant-mb", "max-queue",
-        "metrics-addr", "sample-interval", "dashboard", "flightrec", "postmortem",
-        "log-format",
+        "max-conns", "idle-timeout-ms", "metrics-addr", "sample-interval", "dashboard",
+        "flightrec", "postmortem", "log-format",
     ])?;
     // `--mem-budget BYTES` wins over `--mem-mb N` when both are given,
     // matching `phj disk`.
@@ -67,6 +67,10 @@ pub fn cmd_serve(args: &Args) -> Result<(), String> {
         mem_budget,
         min_grant: (args.get_usize("min-grant-mb", 1)?.max(1) as u64) << 20,
         max_queue: args.get_usize("max-queue", 32)?,
+        max_conns: args.get_usize("max-conns", 64)?.max(1),
+        idle_timeout: Duration::from_millis(
+            args.get_usize("idle-timeout-ms", 30_000)?.max(1) as u64
+        ),
     };
     let bind = cfg.addr.clone();
     let srv = Server::start(cfg).map_err(|e| format!("bind {bind}: {e}"))?;

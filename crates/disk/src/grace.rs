@@ -83,11 +83,11 @@ pub struct DiskGraceConfig {
     /// repartitioning cannot shrink a partition under the budget. With
     /// this off, such a partition is a [`PhjError::PartitionOverflow`].
     pub nlj_fallback: bool,
-    /// Code stamped on the flight-recorder `Grant` event this run
-    /// journals, so a host multiplexing several joins through one
-    /// journal (the query daemon tags by query id) can tell the grants
-    /// apart. 0 for standalone runs.
-    pub grant_tag: u16,
+    /// Query id stamped (full u64, payload `a`) on the flight-recorder
+    /// `Grant` event this run journals, so a host multiplexing several
+    /// joins through one journal (the query daemon tags by query id)
+    /// can tell the grants apart. 0 for standalone runs.
+    pub grant_tag: u64,
 }
 
 impl DiskGraceConfig {
@@ -625,9 +625,15 @@ pub fn grace_join_files_rec(
 ) -> Result<DiskGraceReport> {
     let p = plan::num_partitions(build.size_bytes() as usize, cfg.mem_budget).max(1);
     let mut native = NativeModel;
-    // Journal the memory grant this run operates under (a=0: initial
-    // grant; the ladder never renegotiates, it degrades instead).
-    phj_flightrec::event(phj_flightrec::EventKind::Grant, cfg.grant_tag, 0, cfg.mem_budget as u64);
+    // Journal the memory budget this run operates under (the ladder
+    // never renegotiates, it degrades instead). `a` carries the host's
+    // query id in full; `code` is the grant operation.
+    phj_flightrec::event(
+        phj_flightrec::EventKind::Grant,
+        phj_flightrec::grant_op::BUDGET,
+        cfg.grant_tag,
+        cfg.mem_budget as u64,
+    );
 
     let t0 = Instant::now();
     let span = obs::span_begin(&mut rec, &native, "partition");

@@ -25,7 +25,15 @@
 //! pool's job queue (regions must not be starved by a backlog of
 //! fire-and-forget jobs). Because the caller is itself a worker, the
 //! region makes progress even when every pool thread is busy: worker 0
-//! drains and steals everything, and the late region jobs no-op.
+//! drains and steals everything, and once its own loop is done it
+//! dequeues and runs *its own region's* still-queued jobs inline (each
+//! finds every task already claimed and no-ops) before blocking on the
+//! completion barrier. That drain step is what makes the progress
+//! guarantee unconditional: a pool saturated by long-lived
+//! [`Pool::spawn`] jobs — or by other callers' regions — never gets the
+//! chance to strand a region's jobs in the queue, so mixing persistent
+//! connection handlers and fork-join regions on one pool cannot
+//! deadlock.
 //!
 //! Region jobs borrow the caller's stack (the task slice, the deques,
 //! `f`). The pool queue requires `'static` jobs, so the borrow is
@@ -37,7 +45,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -97,10 +105,20 @@ where
 /// A fire-and-forget job on the pool's queue.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// One queue slot: `region` is 0 for plain [`Pool::spawn`] jobs, or the
+/// owning region's id so that region's caller can reclaim the job and
+/// run it inline when no pool thread is free to.
+struct QueueEntry {
+    region: u64,
+    job: Job,
+}
+
 struct Shared {
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<VecDeque<QueueEntry>>,
     cv: Condvar,
     stop: AtomicBool,
+    /// Region ids start at 1; 0 tags non-region jobs.
+    next_region: AtomicU64,
 }
 
 /// (state back, task-indexed results, counters) from one region worker.
@@ -130,7 +148,9 @@ struct RegionSync<W, R> {
 ///
 /// `execute` takes `&self`, so multiple threads may run regions on one
 /// pool concurrently; each region terminates independently because its
-/// caller participates as a worker.
+/// caller participates as a worker and reclaims its own queued region
+/// jobs when no pool thread is free — so regions stay live even mixed
+/// with long-running [`Pool::spawn`] jobs on a saturated pool.
 pub struct Pool {
     shared: Arc<Shared>,
     threads: usize,
@@ -146,6 +166,7 @@ impl Pool {
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             stop: AtomicBool::new(false),
+            next_region: AtomicU64::new(1),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -169,7 +190,7 @@ impl Pool {
     /// survives.
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
         let mut q = self.shared.queue.lock().unwrap();
-        q.push_back(Box::new(job));
+        q.push_back(QueueEntry { region: 0, job: Box::new(job) });
         drop(q);
         self.shared.cv.notify_one();
     }
@@ -198,7 +219,10 @@ impl Pool {
     ///
     /// The calling thread participates as worker 0, so a region needs
     /// only `states.len() - 1` pool jobs and completes even on a
-    /// saturated pool (the late jobs find every task already claimed).
+    /// saturated pool: after its own work-stealing loop finishes, the
+    /// caller dequeues and runs any of its region jobs no pool thread
+    /// picked up (each finds every task already claimed and no-ops), so
+    /// the completion barrier cannot wait on a job that never runs.
     /// Requires at least one pool thread when `states.len() > 1`.
     pub fn execute<W, T, R, F>(
         &self,
@@ -288,6 +312,7 @@ impl Pool {
 
         let mut states = states.into_iter();
         let state0 = states.next().expect("n >= 1");
+        let region_id = self.shared.next_region.fetch_add(1, Ordering::Relaxed);
         {
             let deques = &deques;
             let injector = &injector;
@@ -318,7 +343,7 @@ impl Pool {
                 let job: Job = unsafe {
                     std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job)
                 };
-                q.push_front(job);
+                q.push_front(QueueEntry { region: region_id, job });
             }
             drop(q);
             self.shared.cv.notify_all();
@@ -330,6 +355,27 @@ impl Pool {
         let out0 = catch_unwind(AssertUnwindSafe(|| {
             worker_loop(0, state0, tasks, &deques, &injector, &claimed, total, &f)
         }));
+
+        // A saturated pool (long-lived `spawn` jobs, other callers'
+        // regions) may never dequeue this region's jobs; reclaim any
+        // still queued and run them inline so the barrier below cannot
+        // wait forever on a job that will never be scheduled. Each
+        // reclaimed job finds every task already claimed (worker 0 only
+        // returned once `claimed == total`) and no-ops straight into
+        // its barrier increment.
+        loop {
+            let reclaimed = {
+                let mut q = self.shared.queue.lock().unwrap();
+                match q.iter().position(|e| e.region == region_id) {
+                    Some(i) => q.remove(i).map(|e| e.job),
+                    None => None,
+                }
+            };
+            match reclaimed {
+                Some(job) => job(),
+                None => break,
+            }
+        }
 
         // Completion barrier: every region job has finished running.
         {
@@ -391,8 +437,8 @@ fn worker_thread(shared: &Shared) {
         let job = {
             let mut q = shared.queue.lock().unwrap();
             loop {
-                if let Some(j) = q.pop_front() {
-                    break Some(j);
+                if let Some(e) = q.pop_front() {
+                    break Some(e.job);
                 }
                 if shared.stop.load(Ordering::Acquire) {
                     break None;
@@ -632,6 +678,75 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(hit.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn region_completes_while_every_pool_thread_is_busy() {
+        // Both workers are parked on long-lived spawn() jobs — exactly
+        // how the query daemon holds connections. A region must still
+        // complete: worker 0 runs everything and reclaims the queued
+        // region jobs inline instead of waiting for workers that will
+        // never free up.
+        let pool = Pool::new(2);
+        let running = Arc::new(AtomicU64::new(0));
+        let release = Arc::new(AtomicBool::new(false));
+        for _ in 0..2 {
+            let running = Arc::clone(&running);
+            let release = Arc::clone(&release);
+            pool.spawn(move || {
+                running.fetch_add(1, Ordering::SeqCst);
+                while !release.load(Ordering::Acquire) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            });
+        }
+        while running.load(Ordering::SeqCst) < 2 {
+            std::thread::yield_now();
+        }
+
+        let tasks: Vec<u64> = (0..40).collect();
+        let weights = vec![1u64; 40];
+        let (results, states, stats) =
+            pool.execute(vec![0u64; 3], &tasks, &weights, |acc, i, t| {
+                *acc += t;
+                i
+            });
+        assert_eq!(results, (0..40).collect::<Vec<_>>());
+        assert_eq!(states.iter().sum::<u64>(), tasks.iter().sum::<u64>());
+        assert_eq!(stats.iter().map(|s| s.tasks).sum::<u64>(), 40);
+
+        release.store(true, Ordering::Release);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn concurrent_regions_inside_pool_jobs_do_not_deadlock() {
+        // Two spawn() jobs each run a multi-worker region on the same
+        // 2-thread pool: both callers occupy both workers, so neither
+        // region's queued jobs can be scheduled — each caller must
+        // reclaim its own.
+        let pool = Arc::new(Pool::new(2));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let done = Arc::new(AtomicU64::new(0));
+        for k in 0..2u64 {
+            let pool2 = Arc::clone(&pool);
+            let b = Arc::clone(&barrier);
+            let done = Arc::clone(&done);
+            pool.spawn(move || {
+                b.wait(); // both jobs now occupy both workers
+                let tasks: Vec<u64> = (0..16).collect();
+                let weights = vec![1u64; 16];
+                let (r, _, _) =
+                    pool2.execute(vec![(); 2], &tasks, &weights, |_, i, _| i as u64 + k);
+                if r == (k..16 + k).collect::<Vec<_>>() {
+                    done.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+        while done.load(Ordering::SeqCst) < 2 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        Arc::try_unwrap(pool).ok().expect("last reference").shutdown();
     }
 
     #[test]

@@ -49,12 +49,26 @@ pub enum EventKind {
     /// A memsim telemetry epoch flushed. `a` = epoch ordinal, `b` =
     /// simulated cycle now.
     MemEpoch = 10,
-    /// A memory-grant change. `a` = previous budget bytes (0 = none),
-    /// `b` = new budget bytes.
+    /// A memory-grant change. `code` = operation ([`grant_op`]), `a` =
+    /// full u64 query id (0 for standalone runs), `b` = bytes. The id
+    /// rides in a payload word on purpose: `code` is only 16 bits and
+    /// a long-running daemon's query ids overflow it, which would alias
+    /// unrelated queries in postmortems.
     Grant = 11,
     /// Free-form marker (tests, external harnesses). `code`/`a`/`b`
     /// caller-defined.
     Mark = 12,
+}
+
+/// `code` values for [`EventKind::Grant`] events: what happened to the
+/// grant. The query id itself travels in payload `a` (full u64).
+pub mod grant_op {
+    /// A run's whole memory budget was installed (disk grace path).
+    pub const BUDGET: u16 = 0;
+    /// An admission grant was acquired from the global budget.
+    pub const ACQUIRE: u16 = 1;
+    /// An admission grant was released back to the global budget.
+    pub const RELEASE: u16 = 2;
 }
 
 impl EventKind {

@@ -32,7 +32,7 @@ mod postmortem;
 mod recorder;
 mod ring;
 
-pub use event::{phase_code, phase_name, Event, EventKind, KIND_COUNT, PHASES};
+pub use event::{grant_op, phase_code, phase_name, Event, EventKind, KIND_COUNT, PHASES};
 pub use postmortem::{
     dump, dump_to, install_crash_hooks, set_context_provider, set_postmortem_path, Cause,
 };

@@ -435,7 +435,15 @@ pub fn describe(ev: &PmEvent) -> String {
             ev.b
         ),
         EventKind::MemEpoch => format!("mem epoch {} at cycle {}", ev.a, ev.b),
-        EventKind::Grant => format!("memory grant {} -> {} bytes", ev.a, ev.b),
+        EventKind::Grant => match ev.code {
+            phj_flightrec::grant_op::ACQUIRE => {
+                format!("query {} granted {} bytes", ev.a, ev.b)
+            }
+            phj_flightrec::grant_op::RELEASE => {
+                format!("query {} released {} bytes", ev.a, ev.b)
+            }
+            _ => format!("memory budget {} bytes (query {})", ev.b, ev.a),
+        },
         EventKind::Mark => format!("mark code={} a={} b={}", ev.code, ev.a, ev.b),
     }
 }

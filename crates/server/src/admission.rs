@@ -163,7 +163,14 @@ impl Admission {
             self.cv.notify_all();
         }
         self.publish_gauges();
-        phj_flightrec::event(phj_flightrec::EventKind::Grant, query_id as u16, 0, want);
+        // The full u64 query id rides in payload `a` — `code` is u16
+        // and would alias queries once ids pass 65535.
+        phj_flightrec::event(
+            phj_flightrec::EventKind::Grant,
+            phj_flightrec::grant_op::ACQUIRE,
+            query_id,
+            want,
+        );
         Ok(MemGrant { table: Arc::clone(self), bytes: want, query_id })
     }
 
@@ -197,7 +204,12 @@ impl Admission {
             self.cv.notify_all();
         }
         self.publish_gauges();
-        phj_flightrec::event(phj_flightrec::EventKind::Grant, query_id as u16, bytes, 0);
+        phj_flightrec::event(
+            phj_flightrec::EventKind::Grant,
+            phj_flightrec::grant_op::RELEASE,
+            query_id,
+            bytes,
+        );
     }
 
     fn gauge_queued(&self, n: usize) {

@@ -218,6 +218,8 @@ pub enum ErrorCode {
     Internal = 4,
     /// The server is shutting down.
     ShuttingDown = 5,
+    /// The server is at its connection cap; retry later.
+    Busy = 6,
 }
 
 impl ErrorCode {
@@ -228,6 +230,7 @@ impl ErrorCode {
             3 => Ok(ErrorCode::QueueFull),
             4 => Ok(ErrorCode::Internal),
             5 => Ok(ErrorCode::ShuttingDown),
+            6 => Ok(ErrorCode::Busy),
             _ => Err(ProtoError::BadValue("error code")),
         }
     }
@@ -486,26 +489,38 @@ pub fn write_frame(w: &mut impl Write, body: &[u8]) -> Result<(), FrameError> {
 /// The declared length is validated against [`MAX_FRAME`] before any
 /// allocation.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
-    let mut head = [0u8; 5];
     // First byte by hand so clean EOF (zero bytes) is distinguishable
     // from a mid-header close.
     let mut first = [0u8; 1];
     match r.read(&mut first) {
         Ok(0) => return Ok(None),
-        Ok(_) => head[0] = first[0],
+        Ok(_) => {}
         Err(e) => return Err(e.into()),
     }
-    r.read_exact(&mut head[1..]).map_err(eof_as_truncated)?;
-    if head[0] != VERSION {
-        return Err(ProtoError::BadVersion(head[0]).into());
+    read_frame_rest(first[0], r).map(Some)
+}
+
+/// Read the remainder of a frame whose first header byte (`version`)
+/// has already been consumed. The split exists for pollers that probe
+/// for the first byte under a short read timeout and then finish the
+/// frame under a longer one: a timeout before the first byte is an
+/// idle poll, a timeout after it is a broken frame — `read_exact`
+/// discards mid-frame progress, so callers must treat an [`FrameError::Io`]
+/// from this function as fatal for the stream (the framing can no
+/// longer be trusted).
+pub fn read_frame_rest(version: u8, r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    if version != VERSION {
+        return Err(ProtoError::BadVersion(version).into());
     }
-    let len = u32::from_le_bytes(head[1..5].try_into().unwrap());
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes).map_err(eof_as_truncated)?;
+    let len = u32::from_le_bytes(len_bytes);
     if len > MAX_FRAME {
         return Err(ProtoError::Oversized(len).into());
     }
     let mut body = vec![0u8; len as usize];
     r.read_exact(&mut body).map_err(eof_as_truncated)?;
-    Ok(Some(body))
+    Ok(body)
 }
 
 fn eof_as_truncated(e: std::io::Error) -> FrameError {

@@ -3,21 +3,37 @@
 //! One [`Listener`](phj_metrics::Listener) accepts connections and
 //! immediately ships each to the shared persistent
 //! [`Pool`](phj_exec::Pool) as a fire-and-forget job (the accept
-//! handler never blocks). A connection job reads request frames in a
-//! loop; each join/agg request becomes a query: it gets a process-wide
-//! id, passes shape validation, acquires a [`MemGrant`] (possibly
-//! waiting FIFO), runs the kernel, and answers with a result frame
-//! embedding its validated RunReport. Admission rejections and
-//! execution failures answer typed error frames — a malformed or
-//! hostile request must never take the daemon down (query panics are
-//! caught and answered as [`ErrorCode::Internal`]).
+//! handler never blocks on a connection: over the
+//! [`ServeConfig::max_conns`] cap it answers a typed
+//! [`ErrorCode::Busy`] frame and closes right in the accept thread, so
+//! a flood of connections gets backpressure instead of an unbounded
+//! queue). A connection job reads request frames in a loop; each
+//! join/agg request becomes a query: it gets a process-wide id, passes
+//! shape validation, acquires a [`MemGrant`] (possibly waiting FIFO),
+//! runs the kernel, and answers with a result frame embedding its
+//! validated RunReport. Admission rejections and execution failures
+//! answer typed error frames — a malformed or hostile request must
+//! never take the daemon down (query panics are caught and answered as
+//! [`ErrorCode::Internal`]).
+//!
+//! Reading is a two-phase poll so a slow-but-honest client cannot be
+//! desynced: the *first* byte of a frame is probed under a 100 ms
+//! timeout (a timeout there is an idle tick — zero frame bytes have
+//! been consumed, so nothing is lost), and only once it arrives does
+//! the loop commit to the frame under a long per-read deadline. A
+//! timeout *mid-frame* can discard consumed bytes, so it closes the
+//! connection rather than re-parsing the stream out of phase.
+//! Connections idle past [`ServeConfig::idle_timeout`] are closed —
+//! a worker is freed for queued connections instead of being parked
+//! forever by a client that never sends (hostile or otherwise).
 //!
 //! Shutdown is cooperative: [`Server::stop`] stops the accept loop,
-//! raises a stop flag every connection loop polls (their reads time out
-//! every 100 ms), and then joins the pool — which drains queries
-//! already running. A clean stop is *not* a crash: the flight
-//! recorder's postmortem machinery stays untriggered.
+//! raises a stop flag every connection loop polls (their first-byte
+//! probes time out every 100 ms), and then joins the pool — which
+//! drains queries already running. A clean stop is *not* a crash: the
+//! flight recorder's postmortem machinery stays untriggered.
 
+use std::io::Read;
 use std::net::{SocketAddr, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -29,7 +45,7 @@ use phj_metrics::Listener;
 
 use crate::admission::{Admission, AdmissionConfig, AdmitError};
 use crate::proto::{
-    read_frame, write_frame, ErrorCode, FrameError, QueryResult, Request, Response,
+    read_frame_rest, write_frame, ErrorCode, FrameError, QueryResult, Request, Response,
 };
 use crate::query;
 
@@ -47,6 +63,14 @@ pub struct ServeConfig {
     pub min_grant: u64,
     /// Admission wait-queue bound; see [`AdmissionConfig::max_queue`].
     pub max_queue: usize,
+    /// Concurrent-connection cap: connections accepted beyond this are
+    /// answered a typed [`ErrorCode::Busy`] frame and closed instead of
+    /// queueing without bound behind busy workers.
+    pub max_conns: usize,
+    /// Close a connection that has not completed a frame for this
+    /// long, freeing its worker for queued connections. Idle or
+    /// abandoned clients therefore cannot hold workers forever.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +81,8 @@ impl Default for ServeConfig {
             mem_budget: 256 << 20,
             min_grant: 1 << 20,
             max_queue: 32,
+            max_conns: 64,
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -66,6 +92,19 @@ struct Ctx {
     stop: Arc<AtomicBool>,
     next_query: AtomicU64,
     inflight: AtomicU64,
+    /// Live connection jobs (queued + serving), bounded by `max_conns`.
+    conns: AtomicU64,
+    idle_timeout: Duration,
+}
+
+/// RAII share of the connection cap: decrements `conns` when the
+/// connection job ends, however it ends.
+struct ConnSlot<'a>(&'a Ctx);
+
+impl Drop for ConnSlot<'_> {
+    fn drop(&mut self) {
+        self.0.conns.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A running daemon. [`Server::stop`] (or drop) shuts it down cleanly.
@@ -89,14 +128,30 @@ impl Server {
             stop: Arc::new(AtomicBool::new(false)),
             next_query: AtomicU64::new(1),
             inflight: AtomicU64::new(0),
+            conns: AtomicU64::new(0),
+            idle_timeout: cfg.idle_timeout,
         });
         let pool = Arc::new(Pool::new(cfg.threads.max(1)));
+        let max_conns = cfg.max_conns.max(1) as u64;
         let listener = {
             let pool = Arc::clone(&pool);
             let ctx = Arc::clone(&ctx);
             Listener::start("phj-serve-accept", &cfg.addr, move |stream| {
+                // Claim a connection slot or bounce right here in the
+                // accept thread: queueing past the cap would strand the
+                // client behind workers that may be busy for a long
+                // time, with no signal and no bound.
+                if ctx.conns.fetch_add(1, Ordering::SeqCst) >= max_conns {
+                    ctx.conns.fetch_sub(1, Ordering::SeqCst);
+                    reject_busy(stream);
+                    return;
+                }
                 let ctx = Arc::clone(&ctx);
-                pool.spawn(move || serve_conn(stream, &ctx));
+                pool.spawn(move || {
+                    let slot = ConnSlot(&ctx);
+                    serve_conn(stream, &ctx);
+                    drop(slot);
+                });
             })?
         };
         Ok(Server { listener: Some(listener), pool: Some(pool), ctx })
@@ -148,13 +203,61 @@ impl Drop for Server {
 /// How often an idle connection wakes to poll the stop flag.
 const READ_POLL: Duration = Duration::from_millis(100);
 
+/// Per-read deadline once a frame has started arriving. Generous — a
+/// legitimate client may fragment a frame — but bounded, so a peer
+/// that stalls mid-frame cannot park a worker forever.
+const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Answer an over-cap connection with a typed [`ErrorCode::Busy`] frame
+/// (best-effort, short write deadline — this runs on the accept thread)
+/// and drop it.
+fn reject_busy(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let resp = Response::Error {
+        code: ErrorCode::Busy,
+        message: "server at connection capacity; retry later".to_string(),
+    };
+    let _ = write_frame(&mut stream, &resp.encode());
+}
+
 fn serve_conn(mut stream: TcpStream, ctx: &Ctx) {
-    let _ = stream.set_read_timeout(Some(READ_POLL));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut last_frame = Instant::now();
     loop {
-        match read_frame(&mut stream) {
-            Ok(None) => return, // peer closed cleanly
-            Ok(Some(body)) => {
+        // Phase 1: probe for the first header byte under the short
+        // poll timeout. A timeout here has consumed nothing, so it is
+        // a pure idle tick — the only place a timeout is recoverable.
+        let _ = stream.set_read_timeout(Some(READ_POLL));
+        let mut first = [0u8; 1];
+        let version = match stream.read(&mut first) {
+            Ok(0) => return, // peer closed cleanly
+            Ok(_) => first[0],
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if ctx.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                if last_frame.elapsed() >= ctx.idle_timeout {
+                    return; // idle deadline: free this worker
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        };
+        // Phase 2: a frame has started — commit to it under the long
+        // per-read deadline. From here a timeout means the stream is
+        // broken mid-frame (read_exact discards partial progress), so
+        // any Io error closes the connection instead of re-parsing the
+        // remaining bytes out of phase.
+        let _ = stream.set_read_timeout(Some(FRAME_READ_TIMEOUT));
+        match read_frame_rest(version, &mut stream) {
+            Ok(body) => {
+                last_frame = Instant::now();
                 let resp = match Request::decode(&body) {
                     Ok(req) => handle_request(ctx, &req),
                     Err(e) => Response::Error {
@@ -163,16 +266,6 @@ fn serve_conn(mut stream: TcpStream, ctx: &Ctx) {
                     },
                 };
                 if write_frame(&mut stream, &resp.encode()).is_err() {
-                    return;
-                }
-            }
-            Err(FrameError::Io(e))
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if ctx.stop.load(Ordering::Acquire) {
                     return;
                 }
             }

@@ -41,6 +41,7 @@ fn small_server() -> Server {
         mem_budget: 64 << 20,
         min_grant: 1 << 20,
         max_queue: 32,
+        ..ServeConfig::default()
     })
     .unwrap()
 }
@@ -176,6 +177,108 @@ fn garbage_bytes_get_a_typed_error_frame_not_a_crash() {
     // And the daemon still serves the next client.
     let mut conn = Connection::connect(addr).unwrap();
     assert_eq!(conn.request(&Request::Ping).unwrap(), Response::Pong);
+    srv.stop();
+}
+
+#[test]
+fn slow_fragmented_frames_are_served_not_desynced() {
+    // A legitimate client that pauses >100 ms between fragments of one
+    // frame: the server's idle poll only covers the first byte, so the
+    // pauses must not discard consumed bytes and re-parse the stream
+    // out of phase (the regression this guards: body bytes interpreted
+    // as a fresh header → BadVersion → dropped connection).
+    let srv = small_server();
+    let mut s = TcpStream::connect(srv.local_addr()).unwrap();
+    s.set_read_timeout(Some(std::time::Duration::from_secs(30))).unwrap();
+
+    let mut wire = Vec::new();
+    phj_server::proto::write_frame(&mut wire, &Request::Ping.encode()).unwrap();
+    assert!(wire.len() >= 6, "ping frame is header + tag");
+    // Fragment boundaries land inside the header AND inside the body.
+    let cuts = [1usize, 3, wire.len()];
+    let mut sent = 0;
+    for &cut in &cuts {
+        s.write_all(&wire[sent..cut]).unwrap();
+        s.flush().unwrap();
+        sent = cut;
+        std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+
+    use phj_server::proto::read_frame;
+    let body = read_frame(&mut s).unwrap().expect("server must answer");
+    assert_eq!(Response::decode(&body).unwrap(), Response::Pong);
+
+    // The connection stayed in sync: a second, unfragmented request
+    // still round-trips.
+    phj_server::proto::write_frame(&mut s, &Request::Ping.encode()).unwrap();
+    let body = read_frame(&mut s).unwrap().expect("second answer");
+    assert_eq!(Response::decode(&body).unwrap(), Response::Pong);
+    srv.stop();
+}
+
+#[test]
+fn over_cap_connections_get_a_typed_busy_frame() {
+    let srv = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        mem_budget: 64 << 20,
+        max_conns: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = srv.local_addr();
+
+    // First connection claims the only slot.
+    let mut first = Connection::connect(addr).unwrap();
+    assert_eq!(first.request(&Request::Ping).unwrap(), Response::Pong);
+
+    // Second is bounced with a typed Busy frame, not silently queued.
+    let mut second = Connection::connect(addr).unwrap();
+    match second.request(&Request::Ping) {
+        Ok(Response::Error { code: ErrorCode::Busy, .. }) => {}
+        // The server may close before our request bytes land; the Busy
+        // frame is still what comes back on the read side.
+        other => panic!("want Busy, got {other:?}"),
+    }
+
+    // Dropping the first connection frees the slot for a newcomer.
+    drop(first);
+    let mut third = loop {
+        let mut c = Connection::connect(addr).unwrap();
+        match c.request(&Request::Ping) {
+            Ok(Response::Pong) => break c,
+            Ok(Response::Error { code: ErrorCode::Busy, .. }) => {
+                // The first conn's worker has not observed the close yet.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            other => panic!("want Pong or Busy, got {other:?}"),
+        }
+    };
+    assert_eq!(third.request(&Request::Ping).unwrap(), Response::Pong);
+    srv.stop();
+}
+
+#[test]
+fn idle_connections_are_closed_at_the_deadline() {
+    let srv = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        mem_budget: 64 << 20,
+        idle_timeout: std::time::Duration::from_millis(300),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut conn = Connection::connect(srv.local_addr()).unwrap();
+    assert_eq!(conn.request(&Request::Ping).unwrap(), Response::Pong);
+
+    // Past the idle deadline the server hangs up, freeing the worker;
+    // the next request fails instead of blocking forever.
+    std::thread::sleep(std::time::Duration::from_millis(1200));
+    assert!(conn.request(&Request::Ping).is_err(), "idle connection must be closed");
+
+    // The daemon itself keeps serving fresh connections.
+    let mut fresh = Connection::connect(srv.local_addr()).unwrap();
+    assert_eq!(fresh.request(&Request::Ping).unwrap(), Response::Pong);
     srv.stop();
 }
 

@@ -82,7 +82,7 @@ proptest! {
         partitions in any::<u64>(),
         elapsed_us in any::<u64>(),
         json in collection::vec(any::<u8>(), 0..256),
-        err_code in 1u16..6,
+        err_code in 1u16..7,
         msg in collection::vec(any::<u8>(), 0..64),
     ) {
         let result = Response::Result(QueryResult {
@@ -101,7 +101,8 @@ proptest! {
             2 => ErrorCode::TooLarge,
             3 => ErrorCode::QueueFull,
             4 => ErrorCode::Internal,
-            _ => ErrorCode::ShuttingDown,
+            5 => ErrorCode::ShuttingDown,
+            _ => ErrorCode::Busy,
         };
         let err = Response::Error { code, message: printable(msg) };
         prop_assert_eq!(Response::decode(&err.encode()).unwrap(), err);
