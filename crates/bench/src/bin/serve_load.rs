@@ -17,13 +17,21 @@
 //! latency table (p50/p95/p99 per class and overall, plus throughput)
 //! as console/CSV/JSON under `bench_out/` and appends the overall row
 //! to the perf-trajectory history, like `thread_scaling` does.
+//!
+//! A second, deliberately starved phase then restarts the daemon on a
+//! small budget, parks a dynamic disk join on most of it, and fires
+//! arrivals that do not fit: admission must revoke memory from the
+//! running query (grant shrink → victim spill → ack) instead of
+//! rejecting or deadlocking, every queued arrival must eventually run,
+//! and every answer — including the shrunk disk join's — must still be
+//! bit-identical to the sequential kernel.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use phj_bench::report::{history_append, scaled, Table};
-use phj_server::proto::{AggRequest, JoinRequest, Request, Response, WireScheme};
+use phj_server::proto::{AggRequest, DiskJoinRequest, JoinRequest, Request, Response, WireScheme};
 use phj_server::{query, Connection, ServeConfig, Server};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -92,6 +100,129 @@ struct Outcome {
     class: usize,
     latency: Duration,
     checksum: u64,
+}
+
+/// The starved phase: a 24 MB daemon, a dynamic disk join granted
+/// 20 MB of it, and arrivals that only fit if admission claws memory
+/// back from the running query.
+fn contended_phase() {
+    const BUDGET: u64 = 24 << 20;
+    const DISK_GRANT: u64 = 20 << 20;
+    const ARRIVALS: usize = 3;
+
+    let srv = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        mem_budget: BUDGET,
+        min_grant: 1 << 20,
+        max_queue: 8,
+        max_conns: 16,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = srv.local_addr();
+    println!(
+        "\nserve_load contended: budget {} MB, disk join holds {} MB, \
+         {ARRIVALS} arrivals of 8 MB each",
+        BUDGET >> 20,
+        DISK_GRANT >> 20
+    );
+
+    let disk = Request::DiskJoin(DiskJoinRequest {
+        build_tuples: 24_000,
+        tuple_size: 64,
+        matches_per_build: 2,
+        pct_match: 100,
+        mem_budget: DISK_GRANT,
+        seed: 0xD15C,
+        mode: 2,
+    });
+    let arrival = Request::Agg(AggRequest {
+        rows: 200_000,
+        keys: 2_000,
+        scheme: WireScheme::Group { g: 16 },
+        mem_budget: 8 << 20,
+    });
+    let disk_want = query::run(0, &disk).expect("disk reference").checksum;
+    let arrival_want = query::run(0, &arrival).expect("agg reference").checksum;
+
+    // Park the disk join on most of the budget, then hold the arrivals
+    // until its grant is live so every one of them finds the budget
+    // exhausted on admission.
+    let t0 = Instant::now();
+    let disk_thread = {
+        let disk = disk.clone();
+        std::thread::spawn(move || {
+            let mut conn = Connection::connect(addr).expect("connect");
+            conn.request(&disk).expect("disk request")
+        })
+    };
+    let adm = Arc::clone(srv.admission());
+    while adm.outstanding() < DISK_GRANT {
+        assert!(t0.elapsed() < Duration::from_secs(30), "disk grant never appeared");
+        std::thread::yield_now();
+    }
+    let arrivals: Vec<_> = (0..ARRIVALS)
+        .map(|_| {
+            let arrival = arrival.clone();
+            std::thread::spawn(move || {
+                let sent = Instant::now();
+                let mut conn = Connection::connect(addr).expect("connect");
+                let resp = conn.request(&arrival).expect("arrival request");
+                (resp, sent.elapsed())
+            })
+        })
+        .collect();
+
+    let disk_resp = disk_thread.join().unwrap();
+    let Response::Result(disk_r) = disk_resp else {
+        panic!("disk join failed under revocation: {disk_resp:?}");
+    };
+    assert_eq!(disk_r.kind, query::KIND_DISK);
+    assert_eq!(
+        disk_r.checksum, disk_want,
+        "disk join answer drifted after its grant was revoked"
+    );
+    let mut worst = Duration::ZERO;
+    for h in arrivals {
+        let (resp, lat) = h.join().unwrap();
+        let Response::Result(r) = resp else {
+            panic!("arrival rejected under contention: {resp:?}");
+        };
+        assert_eq!(r.checksum, arrival_want, "arrival answer drifted under contention");
+        worst = worst.max(lat);
+    }
+    let wall = t0.elapsed();
+
+    let sheds = adm.sheds();
+    let peak_waiting = adm.peak_waiting();
+    assert!(sheds >= 1, "starved arrivals never triggered a grant shed");
+    assert!(peak_waiting >= 1, "arrivals never queued on the starved budget");
+    assert_eq!(adm.outstanding(), 0, "grants leaked");
+    let (admitted, rejected) = adm.totals();
+    assert_eq!(admitted, 1 + ARRIVALS as u64);
+    assert_eq!(rejected, 0, "queueing plus shedding must absorb this mix");
+    println!(
+        "contended: {sheds} grant shed(s), peak queue {peak_waiting}, \
+         worst arrival latency {worst:?}, all checksums exact"
+    );
+    history_append(
+        "serve_contended",
+        &[
+            ("budget".into(), BUDGET.to_string()),
+            ("disk_grant".into(), DISK_GRANT.to_string()),
+            ("arrivals".into(), ARRIVALS.to_string()),
+            ("sheds".into(), sheds.to_string()),
+            ("peak_waiting".into(), peak_waiting.to_string()),
+            ("worst_arrival_ms".into(), format!("{:.2}", worst.as_secs_f64() * 1e3)),
+        ],
+        0,
+        wall.as_nanos() as u64,
+        (1 + ARRIVALS) as u64,
+        0.0,
+        0.0,
+    );
+    srv.stop();
 }
 
 fn main() {
@@ -246,4 +377,6 @@ fn main() {
         0.0,
     );
     srv.stop();
+
+    contended_phase();
 }

@@ -194,8 +194,8 @@ USAGE:
              [--threads N] [--profile-regions] [--heatmap] [--width W]
              [--json PATH] [--trace-out PATH] [DIAGNOSIS] [TELEMETRY]
   phj disk   [--build-mb N] [--mem-mb N] [--mem-budget BYTES] [--stripes S]
-             [--dir PATH] [--fault-plan SPEC] [--max-depth D] [--json PATH]
-             [DIAGNOSIS] [TELEMETRY]
+             [--mode grace|hybrid|dynamic] [--dir PATH] [--fault-plan SPEC]
+             [--max-depth D] [--json PATH] [DIAGNOSIS] [TELEMETRY]
   phj tune   [--build-mb N] [--tuple-size B] [--profile-regions] [--heatmap]
              [--width W] [--json PATH] [--trace-out PATH] [DIAGNOSIS]
              [TELEMETRY]
@@ -204,7 +204,8 @@ USAGE:
              query-service daemon: prints `serving on ADDR` (port 0 =
              ephemeral), runs queries concurrently under one memory
              budget, stops cleanly on SIGTERM/SIGINT
-  phj client --addr HOST:PORT [--query join|agg|ping] [--seed S]
+  phj client --addr HOST:PORT [--query join|agg|disk|ping] [--seed S]
+             [--mode grace|hybrid|dynamic]
              [--json PATH] [join/agg knobs as above]
              send one query to a daemon; prints the same result line as
              the local drivers, so outputs diff textually
@@ -948,9 +949,12 @@ fn render_chain(e: &phj_disk::PhjError) -> String {
 fn cmd_disk(args: &Args) -> Result<(), String> {
     args.allow(&[
         "build-mb", "mem-mb", "mem-budget", "stripes", "dir", "fault-plan", "max-depth",
-        "json", "trace-out", "metrics-addr", "sample-interval", "dashboard", "width",
+        "mode", "json", "trace-out", "metrics-addr", "sample-interval", "dashboard", "width",
         "explain", "cost-model", "flightrec", "postmortem", "log-format",
     ])?;
+    let mode_str = args.get_str("mode", "grace");
+    let mode = phj_disk::DiskJoinMode::parse(&mode_str)
+        .ok_or_else(|| format!("--mode: unknown `{mode_str}` (grace|hybrid|dynamic)"))?;
     let build_mb = args.get_usize("build-mb", 16)?;
     let mem_mb = args.get_usize("mem-mb", build_mb.div_ceil(4).max(1))?;
     // --mem-budget takes the budget in bytes (wins over --mem-mb), so
@@ -980,7 +984,8 @@ fn cmd_disk(args: &Args) -> Result<(), String> {
     };
     let gen = spec.generate();
     println!(
-        "on-disk GRACE: {} MB build x {} MB probe across {stripes} stripe files under {}{}",
+        "on-disk {} join: {} MB build x {} MB probe across {stripes} stripe files under {}{}",
+        mode.label(),
         build_mb,
         2 * build_mb,
         dir.display(),
@@ -999,6 +1004,7 @@ fn cmd_disk(args: &Args) -> Result<(), String> {
         fault: fault.clone(),
         retry,
         max_repartition_depth: max_depth,
+        mode,
         ..phj_disk::DiskGraceConfig::new(&dir)
     };
     let obs_out = ObsOut::from_args(args)?;
@@ -1024,6 +1030,23 @@ fn cmd_disk(args: &Args) -> Result<(), String> {
         report.output.num_pages()
     );
     println!("result checksum: {:#018x}", report.checksum);
+    if mode != phj_disk::DiskJoinMode::Grace {
+        println!(
+            "residency: {} of {} partitions stayed in memory; final budget {} KB",
+            report.resident_partitions,
+            report.num_partitions,
+            report.final_budget >> 10
+        );
+        // Transition-by-transition attribution, capped: the full list
+        // lives in the JSON report's config block and the flightrec.
+        const SHOWN: usize = 12;
+        for t in report.transitions.iter().take(SHOWN) {
+            println!("  {t}");
+        }
+        if report.transitions.len() > SHOWN {
+            println!("  ... and {} more transitions", report.transitions.len() - SHOWN);
+        }
+    }
     for e in &report.degradation {
         let (action, detail) = match e.kind {
             phj_disk::DegradationKind::Repartition { fanout, .. } => ("repartition", fanout as u64),
@@ -1066,8 +1089,14 @@ fn cmd_disk(args: &Args) -> Result<(), String> {
         run.tuples = fb.num_tuples() + fp.num_tuples();
         run.matches = report.matches;
         run.config_kv("mem_budget", cfg.mem_budget);
+        run.config_kv("mode", mode.label());
         run.config_kv("stripes", stripes);
         run.config_kv("max_depth", max_depth);
+        if mode != phj_disk::DiskJoinMode::Grace {
+            run.config_kv("resident_partitions", report.resident_partitions);
+            run.config_kv("final_budget", report.final_budget);
+            run.config_kv("transitions", report.transitions.len());
+        }
         run.config_kv("checksum", format!("{:#018x}", report.checksum));
         if fault.is_active() {
             run.config_kv("fault_seed", fault.seed);

@@ -17,7 +17,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use phj_server::proto::{AggRequest, JoinRequest, Request, Response, WireScheme};
+use phj_server::proto::{AggRequest, DiskJoinRequest, JoinRequest, Request, Response, WireScheme};
 use phj_server::{Connection, ServeConfig, Server};
 use phj_workload::tuples_for;
 
@@ -151,7 +151,28 @@ fn client_request(args: &Args) -> Result<Request, String> {
             scheme,
             mem_budget: 0,
         })),
-        other => Err(format!("unknown --query `{other}` (join|agg|ping)")),
+        "disk" => {
+            let mode_str = args.get_str("mode", "dynamic");
+            let mode = match mode_str.as_str() {
+                "grace" => 0,
+                "hybrid" => 1,
+                "dynamic" => 2,
+                other => return Err(format!("--mode: unknown `{other}` (grace|hybrid|dynamic)")),
+            };
+            let tuple_size = args.get_usize("tuple-size", 100)?;
+            let build_mb = args.get_usize("build-mb", 4)?;
+            let mem_mb = args.get_usize("mem-mb", build_mb.div_ceil(4).max(1))?;
+            Ok(Request::DiskJoin(DiskJoinRequest {
+                build_tuples: tuples_for(build_mb << 20, tuple_size) as u64,
+                tuple_size: tuple_size as u32,
+                matches_per_build: args.get_usize("matches", 2)? as u32,
+                pct_match: args.get_usize("pct", 100)?.min(100) as u8,
+                mem_budget: (mem_mb as u64) << 20,
+                seed: parse_seed(&args.get_str("seed", "0xD15C"))?,
+                mode,
+            }))
+        }
+        other => Err(format!("unknown --query `{other}` (join|agg|disk|ping)")),
     }
 }
 
@@ -159,7 +180,7 @@ fn client_request(args: &Args) -> Result<Request, String> {
 pub fn cmd_client(args: &Args) -> Result<(), String> {
     args.allow(&[
         "addr", "query", "build-mb", "build-tuples", "tuple-size", "matches", "pct",
-        "scheme", "g", "d", "mem-mb", "seed", "rows", "keys", "json", "flightrec",
+        "scheme", "g", "d", "mem-mb", "mode", "seed", "rows", "keys", "json", "flightrec",
         "postmortem", "log-format",
     ])?;
     let addr = args.get_str("addr", "");
@@ -180,7 +201,7 @@ pub fn cmd_client(args: &Args) -> Result<(), String> {
         Response::Result(r) => {
             // The same result line the local drivers print, so scripts
             // can diff a daemon run against the sequential CLI path.
-            if r.kind == phj_server::query::KIND_JOIN {
+            if r.kind == phj_server::query::KIND_JOIN || r.kind == phj_server::query::KIND_DISK {
                 println!(
                     "partitions: {}, matches: {}, checksum: {:#018x}",
                     r.partitions, r.matches, r.checksum

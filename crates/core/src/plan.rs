@@ -18,6 +18,34 @@ pub fn num_partitions(build_bytes: usize, mem_budget: usize) -> usize {
     build_bytes.div_ceil(mem_budget).max(1)
 }
 
+/// Partition fan-out for a (dynamic) hybrid hash join. Unlike
+/// [`num_partitions`] — which sizes partitions to exactly fill the
+/// budget, so *zero* of them can stay resident alongside the join-phase
+/// working space — hybrid partitions are sized to roughly a quarter of
+/// the budget: several fit in memory at once, and spilling one victim
+/// under pressure frees a useful fraction of the budget instead of all
+/// of it. Never coarser than the GRACE fan-out (each partition must
+/// still fit the budget alone for the join phase to load it), and never
+/// more than a few partitions finer: when the budget is a small
+/// fraction of the build, residency can only ever hold a sliver, and
+/// paying GRACE's per-pair join overhead 4x over would put the hybrid
+/// *above* the static GRACE robustness curve exactly where memory is
+/// tightest.
+pub fn hybrid_fanout(build_bytes: usize, mem_budget: usize) -> usize {
+    assert!(mem_budget > 0);
+    let grace = num_partitions(build_bytes, mem_budget);
+    let fine = num_partitions(build_bytes, (mem_budget / 4).max(1));
+    fine.min(grace + 4).max(grace)
+}
+
+/// Bytes a hybrid join holds back from partition residency: working
+/// space for the spilled-pair join phase and the per-partition probe
+/// batch buffers. A quarter of the budget — one partition target's
+/// worth under [`hybrid_fanout`] sizing.
+pub fn hybrid_reserve(mem_budget: usize) -> usize {
+    (mem_budget / 4).max(1)
+}
+
 /// Hash-table bucket count for a build partition of `ntuples` tuples:
 /// approximately one bucket per tuple (load factor ~1), adjusted upward
 /// until it is **relatively prime to the number of partitions** — since
@@ -100,6 +128,28 @@ mod tests {
         assert_eq!(coprime_partitions(8, 8), 9);
         assert_eq!(coprime_partitions(6, 15), 7);
         assert_eq!(gcd(coprime_partitions(100, 360), 360), 1);
+    }
+
+    #[test]
+    fn hybrid_fanout_is_finer_than_grace_and_leaves_reserve() {
+        // 100 MB build, 50 MB budget: GRACE says 2 partitions of 50 MB
+        // (none can stay resident); hybrid caps the finer sweep at
+        // GRACE + 4 — 6 partitions of ~16.7 MB, two of which fit beside
+        // the reserve.
+        let mb = 1 << 20;
+        assert_eq!(num_partitions(100 * mb, 50 * mb), 2);
+        assert_eq!(hybrid_fanout(100 * mb, 50 * mb), 6);
+        assert_eq!(hybrid_reserve(50 * mb), 50 * mb / 4);
+        // Modest build: quarter-budget partitions, uncapped.
+        assert_eq!(hybrid_fanout(50 * mb, 50 * mb), 4);
+        // Tiny build: one partition, fully resident.
+        assert_eq!(hybrid_fanout(mb / 8, mb), 1);
+        // Hybrid is never coarser than GRACE, never finer than GRACE + 4.
+        for (build, budget) in [(7, 3), (1000, 1), (64 * mb, 3 * mb)] {
+            let g = num_partitions(build, budget);
+            assert!(hybrid_fanout(build, budget) >= g);
+            assert!(hybrid_fanout(build, budget) <= g + 4);
+        }
     }
 
     #[test]

@@ -53,6 +53,48 @@ use crate::stripe::StripeSet;
 use crate::writer::BackgroundWriter;
 use crate::FileRelation;
 
+/// Which disk-join execution strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiskJoinMode {
+    /// Classic GRACE: partition everything to disk, then join pairs.
+    /// The budget is static for the whole run.
+    #[default]
+    Grace,
+    /// Hybrid: keep as many build partitions memory-resident as the
+    /// budget allows, join their probe tuples on the fly, and spill
+    /// largest-first victims when residency outgrows the budget. The
+    /// budget is still static.
+    Hybrid,
+    /// Hybrid plus runtime adaptation: the budget is a [`LiveBudget`]
+    /// the grantor may shrink mid-run (victims spill at the next safe
+    /// point) or raise (spilled partitions re-absorb at the next phase
+    /// boundary).
+    ///
+    /// [`LiveBudget`]: crate::budget::LiveBudget
+    Dynamic,
+}
+
+impl DiskJoinMode {
+    /// Stable label (CLI flag value, bench rows, report keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            DiskJoinMode::Grace => "grace",
+            DiskJoinMode::Hybrid => "hybrid",
+            DiskJoinMode::Dynamic => "dynamic",
+        }
+    }
+
+    /// Inverse of [`DiskJoinMode::label`].
+    pub fn parse(s: &str) -> Option<DiskJoinMode> {
+        match s {
+            "grace" => Some(DiskJoinMode::Grace),
+            "hybrid" => Some(DiskJoinMode::Hybrid),
+            "dynamic" => Some(DiskJoinMode::Dynamic),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration for the on-disk GRACE join.
 #[derive(Debug, Clone)]
 pub struct DiskGraceConfig {
@@ -88,6 +130,14 @@ pub struct DiskGraceConfig {
     /// joins through one journal (the query daemon tags by query id)
     /// can tell the grants apart. 0 for standalone runs.
     pub grant_tag: u64,
+    /// Execution strategy; [`DiskJoinMode::Grace`] preserves the
+    /// classic partition-everything behavior exactly.
+    pub mode: DiskJoinMode,
+    /// Revocable budget for [`DiskJoinMode::Dynamic`]. When `None`, a
+    /// fixed [`LiveBudget`](crate::budget::LiveBudget) is created from
+    /// `mem_budget`; a host that wants to shrink the run mid-flight
+    /// (the query daemon's admission table) installs a shared one here.
+    pub live_budget: Option<std::sync::Arc<crate::budget::LiveBudget>>,
 }
 
 impl DiskGraceConfig {
@@ -106,6 +156,8 @@ impl DiskGraceConfig {
             max_repartition_depth: 2,
             nlj_fallback: true,
             grant_tag: 0,
+            mode: DiskJoinMode::Grace,
+            live_budget: None,
         }
     }
 }
@@ -120,7 +172,11 @@ pub struct DegradationEvent {
     pub depth: u32,
     /// Size of the oversized build partition in bytes (whole pages).
     pub bytes: u64,
-    /// The memory budget it failed to fit.
+    /// The memory budget it failed to fit — the *live* budget at the
+    /// time of the event, which under [`DiskJoinMode::Dynamic`] may be
+    /// smaller than the configured `mem_budget` if the grantor shrank
+    /// the run. Robustness curves and `phj explain` attribute spills
+    /// from this pair.
     pub budget: u64,
     /// What the engine did about it.
     pub kind: DegradationKind,
@@ -161,6 +217,61 @@ impl std::fmt::Display for DegradationEvent {
     }
 }
 
+/// Which way a partition crossed the memory/disk boundary mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionKind {
+    /// A resident partition was evicted (largest-first victim) because
+    /// residency outgrew the live budget.
+    SpillVictim,
+    /// A spilled partition was re-absorbed into memory after the live
+    /// budget freed up between phases.
+    Absorb,
+}
+
+impl TransitionKind {
+    /// Stable label (report rows, CLI logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            TransitionKind::SpillVictim => "spill_victim",
+            TransitionKind::Absorb => "absorb",
+        }
+    }
+}
+
+/// One residency transition taken by the hybrid/dynamic join, with the
+/// partition's byte size and the live budget at the moment of the
+/// decision — the attribution trail for robustness curves.
+#[derive(Debug, Clone)]
+pub struct MemTransition {
+    /// Top-level partition index.
+    pub partition: usize,
+    /// Bytes the partition held when the transition fired.
+    pub bytes: u64,
+    /// The live budget at that moment.
+    pub budget: u64,
+    /// Eviction or re-absorption.
+    pub kind: TransitionKind,
+    /// Phase during which it happened (`"build"`, `"absorb"`, `"probe"`).
+    pub phase: &'static str,
+}
+
+impl std::fmt::Display for MemTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            TransitionKind::SpillVictim => write!(
+                f,
+                "partition {} ({} B) spilled as pressure victim during {} (live budget {} B)",
+                self.partition, self.bytes, self.phase, self.budget
+            ),
+            TransitionKind::Absorb => write!(
+                f,
+                "partition {} ({} B) re-absorbed during {} (live budget {} B)",
+                self.partition, self.bytes, self.phase, self.budget
+            ),
+        }
+    }
+}
+
 /// Timing and outcome of an on-disk GRACE run.
 #[derive(Debug)]
 pub struct DiskGraceReport {
@@ -192,30 +303,39 @@ pub struct DiskGraceReport {
     pub faults_injected: u64,
     /// Microseconds of injected slow-disk stall.
     pub slow_stall_us: u64,
+    /// Residency transitions (victim spills, re-absorptions) the
+    /// hybrid/dynamic modes took; empty for classic GRACE.
+    pub transitions: Vec<MemTransition>,
+    /// Build partitions still memory-resident when the probe pass
+    /// ended (0 for classic GRACE — it spills everything up front).
+    pub resident_partitions: usize,
+    /// The live budget when the run finished (equals `mem_budget`
+    /// unless a grantor resized the run).
+    pub final_budget: u64,
 }
 
 /// One relation partitioned into a spill file: which spill pages belong
 /// to each partition.
-struct Spilled {
-    stripes: StripeSet,
-    part_pages: Vec<Vec<u64>>,
-    part_tuples: Vec<u64>,
+pub(crate) struct Spilled {
+    pub(crate) stripes: StripeSet,
+    pub(crate) part_pages: Vec<Vec<u64>>,
+    pub(crate) part_tuples: Vec<u64>,
 }
 
 /// Routes tuples into per-partition buffer pages and spills sealed full
 /// pages through a background writer — shared by the top-level partition
 /// phase and recursive repartitioning.
-struct SpillBuilder {
-    stripes: StripeSet,
-    writer: BackgroundWriter,
-    bufs: Vec<Page>,
-    part_pages: Vec<Vec<u64>>,
-    part_tuples: Vec<u64>,
-    next_page: u64,
+pub(crate) struct SpillBuilder {
+    pub(crate) stripes: StripeSet,
+    pub(crate) writer: BackgroundWriter,
+    pub(crate) bufs: Vec<Page>,
+    pub(crate) part_pages: Vec<Vec<u64>>,
+    pub(crate) part_tuples: Vec<u64>,
+    pub(crate) next_page: u64,
 }
 
 impl SpillBuilder {
-    fn new(cfg: &DiskGraceConfig, name: &str, p: usize) -> Result<SpillBuilder> {
+    pub(crate) fn new(cfg: &DiskGraceConfig, name: &str, p: usize) -> Result<SpillBuilder> {
         let stripes = StripeSet::create(&cfg.dir, name, cfg.num_stripes, cfg.stripe_pages)
             .map_err(|e| PhjError::io(cfg.dir.join(name), e))?
             .with_faults(cfg.fault.clone(), cfg.retry);
@@ -231,7 +351,7 @@ impl SpillBuilder {
     }
 
     /// Append `tuple` to partition `part`, stashing `hash` in its slot.
-    fn push(&mut self, part: usize, tuple: &[u8], hash: u32) -> Result<()> {
+    pub(crate) fn push(&mut self, part: usize, tuple: &[u8], hash: u32) -> Result<()> {
         if !self.bufs[part].fits(tuple.len()) {
             self.part_pages[part].push(self.next_page);
             self.writer.write(self.next_page, self.bufs[part].sealed_image())?;
@@ -254,7 +374,7 @@ impl SpillBuilder {
     }
 
     /// Flush partial buffer pages and stop the writer.
-    fn finish(mut self) -> Result<Spilled> {
+    pub(crate) fn finish(mut self) -> Result<Spilled> {
         for (part, buf) in self.bufs.iter().enumerate() {
             if buf.nslots() > 0 {
                 self.part_pages[part].push(self.next_page);
@@ -326,7 +446,12 @@ fn repartition_spill(
 /// Load one partition's pages from the spill file into memory, with a
 /// single background prefetch worker streaming the page list. Pages
 /// arrive checksum-verified.
-fn load_partition(spill: &Spilled, part: usize, schema: &Schema, window: usize) -> Result<Relation> {
+pub(crate) fn load_partition(
+    spill: &Spilled,
+    part: usize,
+    schema: &Schema,
+    window: usize,
+) -> Result<Relation> {
     let pages = &spill.part_pages[part];
     let mut rel = Relation::new(schema.clone());
     if pages.is_empty() {
@@ -369,16 +494,16 @@ fn load_partition(spill: &Spilled, part: usize, schema: &Schema, window: usize) 
 /// order-insensitive checksum of the emitted pairs. Errors inside the
 /// sink (the `JoinSink` trait is infallible) stick and surface after the
 /// partition pair completes.
-struct DiskSink {
-    build_schema: Schema,
-    probe_schema: Schema,
-    writer: BackgroundWriter,
-    page: Page,
-    next_page: u64,
-    buf: Vec<u8>,
-    tuples: u64,
-    count: CountSink,
-    error: Option<PhjError>,
+pub(crate) struct DiskSink {
+    pub(crate) build_schema: Schema,
+    pub(crate) probe_schema: Schema,
+    pub(crate) writer: BackgroundWriter,
+    pub(crate) page: Page,
+    pub(crate) next_page: u64,
+    pub(crate) buf: Vec<u8>,
+    pub(crate) tuples: u64,
+    pub(crate) count: CountSink,
+    pub(crate) error: Option<PhjError>,
 }
 
 impl JoinSink for DiskSink {
@@ -413,18 +538,23 @@ impl JoinSink for DiskSink {
 }
 
 /// Mutable state threaded through the recursive join phase.
-struct Degrade {
-    events: Vec<DegradationEvent>,
+pub(crate) struct Degrade {
+    pub(crate) events: Vec<DegradationEvent>,
     /// Fresh names for recursive spill sets.
-    spill_counter: u64,
+    pub(crate) spill_counter: u64,
 }
 
 /// Join one (build, probe) partition pair, degrading as needed. `label`
 /// is the hierarchical partition name for diagnostics; `top_p` is the
 /// top-level partition count (kept as the bucket-coprimality modulus).
+/// `budget` is the budget *live at this pair* — the static
+/// `cfg.mem_budget` on the GRACE path, the current
+/// [`LiveBudget`](crate::budget::LiveBudget) limit on the dynamic one,
+/// so degradation events attribute against what the run actually had.
 #[allow(clippy::too_many_arguments)]
-fn join_partition_pair(
+pub(crate) fn join_partition_pair(
     cfg: &DiskGraceConfig,
+    budget: u64,
     params: &JoinParams,
     native: &mut NativeModel,
     build_schema: &Schema,
@@ -439,9 +569,10 @@ fn join_partition_pair(
     deg: &mut Degrade,
     rec: &mut Option<&mut Recorder>,
 ) -> Result<()> {
+    let budget = budget.max(PAGE_SIZE as u64);
     let bpages = bspill.part_pages[part].len();
     let bytes = (bpages * PAGE_SIZE) as u64;
-    if bytes <= cfg.mem_budget as u64 {
+    if bytes <= budget {
         let b = load_partition(bspill, part, build_schema, cfg.read_ahead)?;
         let pr = load_partition(pspill, part, probe_schema, cfg.read_ahead)?;
         debug_assert_eq!(b.num_tuples() as u64, bspill.part_tuples[part]);
@@ -452,7 +583,7 @@ fn join_partition_pair(
 
     // Oversized build partition: walk the degradation ladder.
     if depth < cfg.max_repartition_depth {
-        let fanout = plan::num_partitions(bytes as usize, cfg.mem_budget).max(2);
+        let fanout = plan::num_partitions(bytes as usize, budget as usize).max(2);
         let seed = depth + 1;
         deg.spill_counter += 1;
         let tag = deg.spill_counter;
@@ -465,7 +596,7 @@ fn join_partition_pair(
                 partition: label.clone(),
                 depth,
                 bytes,
-                budget: cfg.mem_budget as u64,
+                budget,
                 kind: DegradationKind::Repartition { fanout, seed },
             });
             if let Some(m) = crate::telemetry::disk_metrics() {
@@ -488,6 +619,7 @@ fn join_partition_pair(
             for sp in 0..fanout {
                 res = join_partition_pair(
                     cfg,
+                    budget,
                     params,
                     native,
                     build_schema,
@@ -519,14 +651,15 @@ fn join_partition_pair(
     if cfg.nlj_fallback {
         let span = obs::span_begin(rec, native, "nlj_fallback");
         obs::span_meta(rec, "partition", &label);
-        let chunks =
-            block_nlj(cfg, params, native, build_schema, probe_schema, bspill, pspill, part, top_p, sink)?;
+        let chunks = block_nlj(
+            budget, params, native, build_schema, probe_schema, bspill, pspill, part, top_p, sink,
+        )?;
         obs::span_end(rec, native, span);
         deg.events.push(DegradationEvent {
             partition: label,
             depth,
             bytes,
-            budget: cfg.mem_budget as u64,
+            budget,
             kind: DegradationKind::NljFallback { chunks },
         });
         if let Some(m) = crate::telemetry::disk_metrics() {
@@ -542,17 +675,12 @@ fn join_partition_pair(
         return Ok(());
     }
 
-    Err(PhjError::PartitionOverflow {
-        partition: part,
-        depth,
-        bytes,
-        budget: cfg.mem_budget as u64,
-    })
+    Err(PhjError::PartitionOverflow { partition: part, depth, bytes, budget })
 }
 
 /// Remove a recursive sub-spill's files once its partitions are joined
 /// (best-effort; the working directory is the caller's to delete anyway).
-fn cleanup_spill(spill: &Spilled) {
+pub(crate) fn cleanup_spill(spill: &Spilled) {
     for path in spill.stripes.paths() {
         let _ = std::fs::remove_file(path);
     }
@@ -565,7 +693,7 @@ fn cleanup_spill(spill: &Spilled) {
 /// probe partition once per chunk. Returns the number of build chunks.
 #[allow(clippy::too_many_arguments)]
 fn block_nlj(
-    cfg: &DiskGraceConfig,
+    budget: u64,
     params: &JoinParams,
     native: &mut NativeModel,
     build_schema: &Schema,
@@ -576,7 +704,7 @@ fn block_nlj(
     top_p: usize,
     sink: &mut DiskSink,
 ) -> Result<usize> {
-    let chunk_pages = (cfg.mem_budget / PAGE_SIZE).max(1);
+    let chunk_pages = (budget as usize / PAGE_SIZE).max(1);
     let bpages = &bspill.part_pages[part];
     let ppages = &pspill.part_pages[part];
     let mut chunks = 0usize;
@@ -623,6 +751,9 @@ pub fn grace_join_files_rec(
     probe: &FileRelation,
     mut rec: Option<&mut Recorder>,
 ) -> Result<DiskGraceReport> {
+    if cfg.mode != DiskJoinMode::Grace {
+        return crate::hybrid::hybrid_join_files_rec(cfg, build, probe, rec);
+    }
     let p = plan::num_partitions(build.size_bytes() as usize, cfg.mem_budget).max(1);
     let mut native = NativeModel;
     // Journal the memory budget this run operates under (the ladder
@@ -665,6 +796,7 @@ pub fn grace_join_files_rec(
     for part in 0..p {
         join_partition_pair(
             cfg,
+            cfg.mem_budget as u64,
             &params,
             &mut native,
             build.schema(),
@@ -708,6 +840,9 @@ pub fn grace_join_files_rec(
         write_retries: stats.write_retries.load(Ordering::Relaxed),
         faults_injected: stats.total_injected(),
         slow_stall_us: stats.slow_stall_us.load(Ordering::Relaxed),
+        transitions: Vec::new(),
+        resident_partitions: 0,
+        final_budget: cfg.mem_budget as u64,
     })
 }
 

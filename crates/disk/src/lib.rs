@@ -28,10 +28,12 @@
 //!   partition into memory and streams its probe partition, joining with
 //!   any of the in-memory schemes.
 
+pub mod budget;
 pub mod catalog;
 pub mod error;
 pub mod fault;
 pub mod grace;
+mod hybrid;
 pub mod reader;
 pub mod stripe;
 mod telemetry;
@@ -41,11 +43,12 @@ use std::path::{Path, PathBuf};
 
 use phj_storage::{Relation, Schema, PAGE_SIZE};
 
+pub use budget::LiveBudget;
 pub use error::{PhjError, Result};
 pub use fault::{Fault, FaultPlan, IoOp, IoStats, RetryPolicy};
 pub use grace::{
     grace_join_files, grace_join_files_rec, DegradationEvent, DegradationKind, DiskGraceConfig,
-    DiskGraceReport,
+    DiskGraceReport, DiskJoinMode, MemTransition, TransitionKind,
 };
 pub use reader::SequentialReader;
 pub use stripe::StripeSet;

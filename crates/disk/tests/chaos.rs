@@ -15,14 +15,21 @@
 //! * corruption (torn writes) is always *detected*: it either never
 //!   reaches the answer (equal checksum) or surfaces as a
 //!   corruption-typed error.
+//!
+//! The dynamic hybrid path runs the same gauntlet with a mid-run
+//! budget revocation layered on top, so victim spilling under pressure
+//! and fault recovery are proven to compose.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use proptest::prelude::*;
 
 use phj::grace::{grace_join_with_sink, GraceConfig};
 use phj::sink::{CountSink, JoinSink};
-use phj_disk::{grace_join_files, DiskGraceConfig, FaultPlan, FileRelation, RetryPolicy};
+use phj_disk::{
+    grace_join_files, DiskGraceConfig, DiskJoinMode, FaultPlan, FileRelation, LiveBudget,
+    RetryPolicy,
+};
 use phj_memsim::NativeModel;
 use phj_storage::{Relation, RelationBuilder, Schema, PAGE_SIZE};
 
@@ -130,6 +137,96 @@ proptest! {
                     "retryable-only plan failed: {e}"
                 );
                 // The error must render a useful diagnostic.
+                let msg = e.to_string();
+                prop_assert!(!msg.is_empty());
+                if e.is_corruption() {
+                    prop_assert!(torn > 0, "corruption error without torn writes: {e}");
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // The dynamic hybrid path under the same fire, plus memory
+    // pressure: every plan also carries a mid-run budget revocation (a
+    // shrink request the join observes at its first safe point), so
+    // victim spilling and the fault machinery are exercised *together*.
+    // Same contract — exact answer or typed error, never a panic — and
+    // additionally every spill/re-absorb transition the run logs must
+    // be well-formed, and a surviving run must have complied with the
+    // revoked budget.
+    #[test]
+    fn dynamic_joins_under_fire_and_pressure_answer_or_fail_typed(
+        seed in any::<u64>(),
+        transient in 0u32..1500,
+        short in 0u32..1000,
+        torn in 0u32..120,
+        slow in 0u32..500,
+        permanent_raw in 0u32..200,
+        budget_pages in 3usize..14,
+        shrink_to_pages in 1usize..6,
+    ) {
+        let permanent = permanent_raw.saturating_sub(160);
+        let (want_matches, want_checksum) = baseline();
+        let dir = temp_dir("dyn");
+        let (build, probe) = workload();
+
+        let plan = FaultPlan::seeded(seed)
+            .transient(transient)
+            .short_reads(short)
+            .torn_writes(torn)
+            .slow(slow, 20)
+            .permanent(permanent);
+        let retry = RetryPolicy { max_attempts: 4, backoff_micros: 5 };
+
+        let mut fb = FileRelation::create(&dir, "b", &build, 3, 2).unwrap();
+        let mut fp = FileRelation::create(&dir, "p", &probe, 3, 2).unwrap();
+        fb.set_faults(plan.clone(), retry);
+        fp.set_faults(plan.clone(), retry);
+
+        // The revocation: the limit drops below the configured budget
+        // before the run starts, so the join meets it at its first
+        // safe point — a genuinely mid-run shrink on every plan.
+        let live = Arc::new(LiveBudget::new((budget_pages * PAGE_SIZE) as u64));
+        live.request_shrink((shrink_to_pages * PAGE_SIZE) as u64);
+        let shrunk = shrink_to_pages < budget_pages;
+
+        let cfg = DiskGraceConfig {
+            mem_budget: budget_pages * PAGE_SIZE,
+            mode: DiskJoinMode::Dynamic,
+            live_budget: Some(Arc::clone(&live)),
+            num_stripes: 2,
+            stripe_pages: 2,
+            fault: plan.clone(),
+            retry,
+            ..DiskGraceConfig::new(&dir)
+        };
+
+        match grace_join_files(&cfg, &fb, &fp) {
+            Ok(report) => {
+                prop_assert_eq!(report.matches, want_matches);
+                prop_assert_eq!(report.checksum, want_checksum);
+                // The run ended on the revoked budget and acked it.
+                prop_assert_eq!(report.final_budget, live.limit());
+                prop_assert!(live.acked() <= live.limit());
+                // Transitions journal real byte movements against the
+                // live budget in force at the time.
+                for t in &report.transitions {
+                    prop_assert!(t.bytes > 0, "empty transition logged: {t}");
+                    prop_assert!(t.budget > 0, "transition without budget: {t}");
+                }
+                if shrunk {
+                    prop_assert!(
+                        !report.transitions.is_empty(),
+                        "revoked run spilled nothing (budget {budget_pages}p -> {shrink_to_pages}p)"
+                    );
+                }
+            }
+            Err(e) => {
+                prop_assert!(
+                    torn > 0 || permanent > 0,
+                    "retryable-only plan failed: {e}"
+                );
                 let msg = e.to_string();
                 prop_assert!(!msg.is_empty());
                 if e.is_corruption() {

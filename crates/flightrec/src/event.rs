@@ -69,6 +69,21 @@ pub mod grant_op {
     pub const ACQUIRE: u16 = 1;
     /// An admission grant was released back to the global budget.
     pub const RELEASE: u16 = 2;
+    /// A live grant changed size (`b` = the new byte total). Shrinks
+    /// come from pressure revocation, grows from between-phase
+    /// re-absorption requests.
+    pub const RESIZE: u16 = 3;
+    /// Admission asked a running query to shed memory down to `b`
+    /// bytes instead of making an arrival wait for a full release.
+    pub const SHED: u16 = 4;
+    /// The dynamic hybrid join evicted a victim partition to disk
+    /// under pressure. Unlike the other ops, `a` = the partition and
+    /// `b` = the bytes it held (the live budget at event time travels
+    /// in the join report's `MemTransition` record).
+    pub const SPILL_VICTIM: u16 = 5;
+    /// The dynamic hybrid join pulled a spilled partition back into
+    /// memory at a phase boundary. `a` = partition, `b` = bytes.
+    pub const ABSORB: u16 = 6;
 }
 
 impl EventKind {

@@ -65,6 +65,11 @@ pub const SERVER_GRANT_BYTES: &str = "phj_server_grant_bytes";
 pub const SERVER_GRANT_PEAK_BYTES: &str = "phj_server_grant_peak_bytes";
 /// `phj_server_query_latency_us` — per-query wall latency (log2 buckets).
 pub const SERVER_QUERY_LATENCY_US: &str = "phj_server_query_latency_us";
+/// `phj_server_grant_resizes_total` — live-grant resize operations.
+pub const SERVER_GRANT_RESIZES: &str = "phj_server_grant_resizes_total";
+/// `phj_server_shed_requests_total` — pressure callbacks asking a
+/// running query to shed memory for a queued arrival.
+pub const SERVER_SHED_REQUESTS: &str = "phj_server_shed_requests_total";
 
 /// `phj_storage_pages_sealed_total` — page images sealed for disk.
 pub const STORAGE_PAGES_SEALED: &str = "phj_storage_pages_sealed_total";

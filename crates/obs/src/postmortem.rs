@@ -442,6 +442,18 @@ pub fn describe(ev: &PmEvent) -> String {
             phj_flightrec::grant_op::RELEASE => {
                 format!("query {} released {} bytes", ev.a, ev.b)
             }
+            phj_flightrec::grant_op::RESIZE => {
+                format!("query {} grant resized to {} bytes", ev.a, ev.b)
+            }
+            phj_flightrec::grant_op::SHED => {
+                format!("query {} asked to shed to {} bytes", ev.a, ev.b)
+            }
+            phj_flightrec::grant_op::SPILL_VICTIM => {
+                format!("victim partition {} spilled ({} bytes freed)", ev.a, ev.b)
+            }
+            phj_flightrec::grant_op::ABSORB => {
+                format!("partition {} re-absorbed into memory ({} bytes)", ev.a, ev.b)
+            }
             _ => format!("memory budget {} bytes (query {})", ev.b, ev.a),
         },
         EventKind::Mark => format!("mark code={} a={} b={}", ev.code, ev.a, ev.b),

@@ -23,8 +23,11 @@
 //! of live grants and never exceeds `budget`; rejected queries change
 //! nothing.
 
-use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+
+use phj_disk::LiveBudget;
 
 /// Admission knobs.
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +77,49 @@ impl std::fmt::Display for AdmitError {
     }
 }
 
+/// Why a live grant could not be resized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeError {
+    /// The new size is below the table's `min_grant` floor — grants
+    /// never shrink past it, so a degenerate resize cannot park a
+    /// query on a zero-byte grant.
+    BelowMin {
+        /// Bytes the resize asked for.
+        requested: u64,
+        /// The floor it violated.
+        min_grant: u64,
+    },
+    /// A grow was refused: the extra bytes are not available right now.
+    NoBudget {
+        /// Additional bytes the grow needed.
+        needed: u64,
+        /// Bytes currently free.
+        available: u64,
+    },
+    /// A grow was refused because queries are queued — growing a
+    /// running grant ahead of FIFO waiters would starve them.
+    Queued {
+        /// Queries currently waiting.
+        waiting: usize,
+    },
+}
+
+impl std::fmt::Display for ResizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResizeError::BelowMin { requested, min_grant } => {
+                write!(f, "resize to {requested} bytes is below min_grant {min_grant}")
+            }
+            ResizeError::NoBudget { needed, available } => {
+                write!(f, "grow needs {needed} more bytes but only {available} are free")
+            }
+            ResizeError::Queued { waiting } => {
+                write!(f, "grow refused: {waiting} queries are queued ahead")
+            }
+        }
+    }
+}
+
 struct State {
     available: u64,
     /// High-water mark of `budget - available`, for the invariant test
@@ -81,9 +127,21 @@ struct State {
     peak_outstanding: u64,
     /// Tickets waiting for budget, front first.
     queue: VecDeque<u64>,
+    /// High-water mark of `queue.len()` (contention evidence for the
+    /// serve_load bench's low-budget scenario).
+    peak_waiting: usize,
     next_ticket: u64,
     admitted: u64,
     rejected: u64,
+}
+
+/// A running query that can give memory back mid-flight: its grant
+/// (for the current size) and the [`LiveBudget`] its join polls. Both
+/// are weak — the registry must never keep a finished query alive, and
+/// a strong ref here would cycle through the grant back to the table.
+struct Revocable {
+    grant: Weak<MemGrant>,
+    budget: Weak<LiveBudget>,
 }
 
 /// The grant table. Clone the `Arc` freely; all state is internal.
@@ -91,6 +149,11 @@ pub struct Admission {
     cfg: AdmissionConfig,
     state: Mutex<State>,
     cv: Condvar,
+    /// Queries that registered a revocable budget, by query id.
+    revocable: Mutex<HashMap<u64, Revocable>>,
+    /// Shed requests issued to running queries (mirrors the
+    /// `phj_server_shed_requests_total` counter for direct assertion).
+    sheds: AtomicU64,
 }
 
 impl Admission {
@@ -102,11 +165,14 @@ impl Admission {
                 available: cfg.budget,
                 peak_outstanding: 0,
                 queue: VecDeque::new(),
+                peak_waiting: 0,
                 next_ticket: 0,
                 admitted: 0,
                 rejected: 0,
             }),
             cv: Condvar::new(),
+            revocable: Mutex::new(HashMap::new()),
+            sheds: AtomicU64::new(0),
         })
     }
 
@@ -147,7 +213,17 @@ impl Admission {
                 let ticket = st.next_ticket;
                 st.next_ticket += 1;
                 st.queue.push_back(ticket);
+                st.peak_waiting = st.peak_waiting.max(st.queue.len());
                 self.gauge_queued(st.queue.len());
+                // Instead of only waiting for a full release, ask the
+                // largest running revocable query to shed our deficit.
+                // Done outside the state lock: upgrading/dropping a
+                // grant Arc here must never re-enter `release` while
+                // the lock is held.
+                let deficit = want.saturating_sub(st.available);
+                drop(st);
+                self.request_shed(deficit, query_id);
+                st = self.state.lock().unwrap();
                 // Strict FIFO: only the front ticket may debit the budget.
                 while st.queue.front() != Some(&ticket) || st.available < want {
                     st = self.cv.wait(st).unwrap();
@@ -171,12 +247,88 @@ impl Admission {
             query_id,
             want,
         );
-        Ok(MemGrant { table: Arc::clone(self), bytes: want, query_id })
+        Ok(MemGrant { table: Arc::clone(self), bytes: AtomicU64::new(want), query_id })
+    }
+
+    /// Register a running query as revocable: when a later arrival
+    /// would otherwise wait, the table asks the largest registered
+    /// query (through its [`LiveBudget`]) to shed memory. The returned
+    /// guard unregisters on drop — hold it for the query's lifetime.
+    pub fn register_revocable(
+        self: &Arc<Self>,
+        query_id: u64,
+        grant: &Arc<MemGrant>,
+        budget: &Arc<LiveBudget>,
+    ) -> RevocableReg {
+        self.revocable.lock().unwrap().insert(
+            query_id,
+            Revocable { grant: Arc::downgrade(grant), budget: Arc::downgrade(budget) },
+        );
+        RevocableReg { table: Arc::clone(self), query_id }
+    }
+
+    /// Ask the largest registered revocable query to shed `deficit`
+    /// bytes (down to `min_grant` at most). Best-effort and async: the
+    /// query observes the lowered limit at its next safe point, spills
+    /// victims, and its ack hook credits the bytes back via
+    /// [`MemGrant::try_shrink`] — which wakes the queue.
+    fn request_shed(&self, deficit: u64, for_query: u64) {
+        if deficit == 0 {
+            return;
+        }
+        let best = {
+            let reg = self.revocable.lock().unwrap();
+            let mut best: Option<(u64, u64, Arc<LiveBudget>)> = None;
+            for (qid, r) in reg.iter() {
+                let (Some(g), Some(b)) = (r.grant.upgrade(), r.budget.upgrade()) else {
+                    continue;
+                };
+                let bytes = g.bytes();
+                if best.as_ref().is_none_or(|(bb, ..)| bytes > *bb) {
+                    best = Some((bytes, *qid, b));
+                }
+            }
+            best
+        };
+        let Some((bytes, victim, budget)) = best else { return };
+        let target = bytes.saturating_sub(deficit).max(self.cfg.min_grant);
+        if target >= bytes {
+            return; // already at the floor: nothing left to reclaim
+        }
+        budget.request_shrink(target);
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+        if let Some(reg) = phj_metrics::global() {
+            reg.counter(
+                phj_metrics::names::SERVER_SHED_REQUESTS,
+                "Pressure callbacks asking a running query to shed memory",
+            )
+            .add(1);
+        }
+        // `a` = the query asked to shed, `b` = the byte target it was
+        // asked to come down to. (`for_query` is the beneficiary; it
+        // journals its own ACQUIRE once the shed frees enough.)
+        let _ = for_query;
+        phj_flightrec::event(
+            phj_flightrec::EventKind::Grant,
+            phj_flightrec::grant_op::SHED,
+            victim,
+            target,
+        );
+    }
+
+    /// Shed requests this table has issued to running queries.
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
     }
 
     /// Bytes currently granted out (`budget - available`).
     pub fn outstanding(&self) -> u64 {
         self.cfg.budget - self.state.lock().unwrap().available
+    }
+
+    /// High-water mark of concurrently waiting queries.
+    pub fn peak_waiting(&self) -> usize {
+        self.state.lock().unwrap().peak_waiting
     }
 
     /// High-water mark of [`Admission::outstanding`] over the table's
@@ -245,24 +397,114 @@ impl Admission {
     }
 }
 
+/// Unregisters a revocable query from the table on drop (including
+/// unwind, so a panicking query never leaves a stale registry entry).
+pub struct RevocableReg {
+    table: Arc<Admission>,
+    query_id: u64,
+}
+
+impl Drop for RevocableReg {
+    fn drop(&mut self) {
+        self.table.revocable.lock().unwrap().remove(&self.query_id);
+    }
+}
+
 /// An RAII memory grant: dropping it credits the bytes back to the
-/// budget and wakes the queue.
+/// budget and wakes the queue. The size is live — a running query may
+/// [`resize`](MemGrant::resize) it, and the table's pressure path
+/// shrinks it through [`try_shrink`](MemGrant::try_shrink).
 pub struct MemGrant {
     table: Arc<Admission>,
-    bytes: u64,
+    bytes: AtomicU64,
     query_id: u64,
 }
 
 impl MemGrant {
-    /// Bytes this grant holds.
+    /// Bytes this grant currently holds.
     pub fn bytes(&self) -> u64 {
-        self.bytes
+        self.bytes.load(Ordering::Acquire)
+    }
+
+    /// Resize the grant. Shrinks credit the difference back to the
+    /// budget immediately and wake the queue; grows are granted only
+    /// when no query is queued (FIFO fairness) and the bytes are free.
+    /// Returns the new size.
+    pub fn resize(&self, new_bytes: u64) -> Result<u64, ResizeError> {
+        if new_bytes < self.table.cfg.min_grant {
+            return Err(ResizeError::BelowMin {
+                requested: new_bytes,
+                min_grant: self.table.cfg.min_grant,
+            });
+        }
+        {
+            let mut st = self.table.state.lock().unwrap();
+            let old = self.bytes.load(Ordering::Relaxed);
+            if new_bytes == old {
+                return Ok(old);
+            }
+            if new_bytes < old {
+                st.available += old - new_bytes;
+                self.table.cv.notify_all();
+            } else {
+                if !st.queue.is_empty() {
+                    return Err(ResizeError::Queued { waiting: st.queue.len() });
+                }
+                let needed = new_bytes - old;
+                if st.available < needed {
+                    return Err(ResizeError::NoBudget { needed, available: st.available });
+                }
+                st.available -= needed;
+                let outstanding = self.table.cfg.budget - st.available;
+                st.peak_outstanding = st.peak_outstanding.max(outstanding);
+            }
+            self.bytes.store(new_bytes, Ordering::Release);
+        }
+        self.resized(new_bytes);
+        Ok(new_bytes)
+    }
+
+    /// Shrink-only resize for the pressure path: clamps to `min_grant`,
+    /// never grows, never fails. Returns `true` when bytes were
+    /// credited back. This is the ack hook a dynamic disk join fires
+    /// after spilling victims under a shed request.
+    pub fn try_shrink(&self, new_bytes: u64) -> bool {
+        let new = new_bytes.max(self.table.cfg.min_grant);
+        {
+            let mut st = self.table.state.lock().unwrap();
+            let old = self.bytes.load(Ordering::Relaxed);
+            if new >= old {
+                return false;
+            }
+            st.available += old - new;
+            self.bytes.store(new, Ordering::Release);
+            self.table.cv.notify_all();
+        }
+        self.resized(new);
+        true
+    }
+
+    fn resized(&self, new_bytes: u64) {
+        self.table.publish_gauges();
+        if let Some(reg) = phj_metrics::global() {
+            reg.counter(
+                phj_metrics::names::SERVER_GRANT_RESIZES,
+                "Live-grant resize operations",
+            )
+            .add(1);
+        }
+        phj_flightrec::event(
+            phj_flightrec::EventKind::Grant,
+            phj_flightrec::grant_op::RESIZE,
+            self.query_id,
+            new_bytes,
+        );
     }
 }
 
 impl Drop for MemGrant {
     fn drop(&mut self) {
-        self.table.release(self.bytes, self.query_id);
+        self.table.release(self.bytes.load(Ordering::Relaxed), self.query_id);
     }
 }
 
@@ -319,6 +561,83 @@ mod tests {
         }
         drop(g);
         assert_eq!(t.join().unwrap().unwrap(), 50);
+    }
+
+    #[test]
+    fn resize_shrink_credits_immediately_and_grow_needs_free_budget() {
+        let adm = Admission::new(cfg(100, 10, 8));
+        let g = adm.admit(1, 80).unwrap();
+        assert_eq!(g.resize(40), Ok(40));
+        assert_eq!(g.bytes(), 40);
+        assert_eq!(adm.outstanding(), 40);
+        // Grow within the free budget succeeds…
+        assert_eq!(g.resize(90), Ok(90));
+        // …past it, typed refusal.
+        assert!(matches!(g.resize(120), Err(ResizeError::NoBudget { .. })));
+        assert_eq!(g.bytes(), 90);
+        drop(g);
+        assert_eq!(adm.outstanding(), 0);
+    }
+
+    #[test]
+    fn grow_is_refused_while_queries_wait() {
+        let adm = Admission::new(cfg(100, 1, 8));
+        let g = std::sync::Arc::new(adm.admit(1, 60).unwrap());
+        let waiter = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || adm.admit(2, 60).map(|g| g.bytes()))
+        };
+        while adm.waiting() == 0 {
+            std::thread::yield_now();
+        }
+        // 40 bytes are free, but a FIFO waiter is ahead of the grow.
+        assert!(matches!(g.resize(80), Err(ResizeError::Queued { waiting: 1 })));
+        drop(std::sync::Arc::try_unwrap(g).ok().unwrap());
+        assert_eq!(waiter.join().unwrap().unwrap(), 60);
+    }
+
+    #[test]
+    fn try_shrink_clamps_to_min_grant_and_never_grows() {
+        let adm = Admission::new(cfg(100, 10, 8));
+        let g = adm.admit(1, 50).unwrap();
+        assert!(g.try_shrink(0)); // clamps to min_grant
+        assert_eq!(g.bytes(), 10);
+        assert_eq!(adm.outstanding(), 10);
+        assert!(!g.try_shrink(80)); // never grows
+        assert_eq!(g.bytes(), 10);
+    }
+
+    #[test]
+    fn arrival_sheds_the_largest_revocable_query_instead_of_waiting_for_release() {
+        let adm = Admission::new(cfg(100, 10, 8));
+        let g = Arc::new(adm.admit(1, 100).unwrap());
+        let live = Arc::new(LiveBudget::new(100));
+        let _reg = adm.register_revocable(1, &g, &live);
+        // The running query's compliance hook: ack → grant shrink.
+        let hooked = Arc::clone(&g);
+        live.set_on_ack(move |b| {
+            hooked.try_shrink(b);
+        });
+        let waiter = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || adm.admit(2, 40).map(|g| g.bytes()))
+        };
+        // The arrival's deficit (40) lands as a shed request: the
+        // target is 100 - 40 = 60.
+        while live.limit() == 100 {
+            std::thread::yield_now();
+        }
+        assert_eq!(live.limit(), 60);
+        assert_eq!(adm.sheds(), 1);
+        // Simulate the join reaching its next safe point and complying.
+        live.ack(60);
+        assert_eq!(waiter.join().unwrap().unwrap(), 40);
+        assert_eq!(g.bytes(), 60);
+        // The waiter's grant was dropped when its thread returned, so
+        // only the shrunken original grant remains outstanding.
+        assert_eq!(adm.outstanding(), 60);
+        assert_eq!(adm.peak_outstanding(), 100);
+        assert_eq!(adm.peak_waiting(), 1);
     }
 
     #[test]

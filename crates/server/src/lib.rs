@@ -42,7 +42,7 @@ pub mod proto;
 pub mod query;
 pub mod server;
 
-pub use admission::{Admission, AdmissionConfig, AdmitError, MemGrant};
+pub use admission::{Admission, AdmissionConfig, AdmitError, MemGrant, ResizeError, RevocableReg};
 pub use client::Connection;
 pub use proto::{ErrorCode, FrameError, ProtoError, Request, Response};
 pub use server::{ServeConfig, Server};

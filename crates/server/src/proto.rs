@@ -187,6 +187,29 @@ pub struct AggRequest {
     pub mem_budget: u64,
 }
 
+/// An on-disk join query: runs the `phj-disk` engine (GRACE, hybrid,
+/// or dynamic hybrid) against generated file relations in a per-query
+/// scratch directory. The memory grant maps 1:1 to the join's live
+/// budget, which is what makes these queries *revocable*: admission
+/// can ask a running dynamic disk join to shed memory mid-flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskJoinRequest {
+    /// Build-side cardinality.
+    pub build_tuples: u64,
+    /// Bytes per tuple (4-byte key + payload).
+    pub tuple_size: u32,
+    /// Probe tuples matching each build tuple.
+    pub matches_per_build: u32,
+    /// Percentage of build tuples with matches (0–100).
+    pub pct_match: u8,
+    /// Join memory budget in bytes — also the grant size.
+    pub mem_budget: u64,
+    /// Workload generator seed (determines the checksum).
+    pub seed: u64,
+    /// Execution strategy: 0 = grace, 1 = hybrid, 2 = dynamic.
+    pub mode: u8,
+}
+
 /// A decoded request frame body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -194,6 +217,8 @@ pub enum Request {
     Join(JoinRequest),
     /// Run an aggregation.
     Agg(AggRequest),
+    /// Run an on-disk join.
+    DiskJoin(DiskJoinRequest),
     /// Liveness probe; the server answers [`Response::Pong`].
     Ping,
 }
@@ -201,6 +226,7 @@ pub enum Request {
 const TAG_JOIN: u8 = 0x01;
 const TAG_AGG: u8 = 0x02;
 const TAG_PING: u8 = 0x03;
+const TAG_DISK: u8 = 0x04;
 const TAG_RESULT: u8 = 0x81;
 const TAG_ERROR: u8 = 0x82;
 const TAG_PONG: u8 = 0x83;
@@ -242,7 +268,7 @@ pub struct QueryResult {
     /// Server-assigned query id (also tagged into the RunReport and
     /// flight-recorder events).
     pub query_id: u64,
-    /// 1 = join, 2 = agg.
+    /// 1 = join, 2 = agg, 3 = disk join.
     pub kind: u8,
     /// Join matches, or aggregation groups.
     pub matches: u64,
@@ -360,6 +386,16 @@ impl Request {
                 out.extend_from_slice(&d.to_le_bytes());
                 out.extend_from_slice(&a.mem_budget.to_le_bytes());
             }
+            Request::DiskJoin(dj) => {
+                out.push(TAG_DISK);
+                out.extend_from_slice(&dj.build_tuples.to_le_bytes());
+                out.extend_from_slice(&dj.tuple_size.to_le_bytes());
+                out.extend_from_slice(&dj.matches_per_build.to_le_bytes());
+                out.push(dj.pct_match);
+                out.extend_from_slice(&dj.mem_budget.to_le_bytes());
+                out.extend_from_slice(&dj.seed.to_le_bytes());
+                out.push(dj.mode);
+            }
             Request::Ping => out.push(TAG_PING),
         }
         out
@@ -409,6 +445,33 @@ impl Request {
                     return Err(ProtoError::BadValue("keys == 0"));
                 }
                 Request::Agg(AggRequest { rows, keys, scheme, mem_budget })
+            }
+            TAG_DISK => {
+                let build_tuples = c.u64()?;
+                let tuple_size = c.u32()?;
+                let matches_per_build = c.u32()?;
+                let pct_match = c.u8()?;
+                if pct_match > 100 {
+                    return Err(ProtoError::BadValue("pct_match > 100"));
+                }
+                let mem_budget = c.u64()?;
+                let seed = c.u64()?;
+                let mode = c.u8()?;
+                if mode > 2 {
+                    return Err(ProtoError::BadValue("disk join mode > 2"));
+                }
+                if tuple_size < 8 {
+                    return Err(ProtoError::BadValue("tuple_size < 8"));
+                }
+                Request::DiskJoin(DiskJoinRequest {
+                    build_tuples,
+                    tuple_size,
+                    matches_per_build,
+                    pct_match,
+                    mem_budget,
+                    seed,
+                    mode,
+                })
             }
             TAG_PING => Request::Ping,
             t => return Err(ProtoError::BadTag(t)),
@@ -553,6 +616,29 @@ mod tests {
         // And nothing follows: the next read sees clean EOF.
         let mut rest = &wire[wire.len()..];
         assert!(read_frame(&mut rest).unwrap().is_none());
+    }
+
+    #[test]
+    fn disk_join_round_trips_and_mode_is_validated() {
+        let req = Request::DiskJoin(DiskJoinRequest {
+            build_tuples: 5_000,
+            tuple_size: 48,
+            matches_per_build: 2,
+            pct_match: 80,
+            mem_budget: 1 << 16,
+            seed: 0xD15C,
+            mode: 2,
+        });
+        let body = req.encode();
+        assert_eq!(Request::decode(&body).unwrap(), req);
+
+        // mode is the last byte of the body; 3 is out of range.
+        let mut bad = body.clone();
+        *bad.last_mut().unwrap() = 3;
+        assert_eq!(
+            Request::decode(&bad),
+            Err(ProtoError::BadValue("disk join mode > 2"))
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! (relations + join budget), which is what makes the global budget a
 //! real cap.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use phj::aggregate::{aggregate, AggScheme};
@@ -19,16 +20,19 @@ use phj::join::JoinScheme;
 use phj::partition::PartitionScheme;
 use phj::plan;
 use phj::sink::{CountSink, JoinSink};
+use phj_disk::{grace_join_files_rec, DiskGraceConfig, DiskJoinMode, FileRelation, LiveBudget};
 use phj_memsim::{MemoryModel, NativeModel};
 use phj_obs::{Recorder, RunReport};
 use phj_workload::JoinSpec;
 
-use crate::proto::{AggRequest, JoinRequest, Request, WireScheme};
+use crate::proto::{AggRequest, DiskJoinRequest, JoinRequest, Request, WireScheme};
 
 /// Result kind tag: a hash join.
 pub const KIND_JOIN: u8 = 1;
 /// Result kind tag: an aggregation.
 pub const KIND_AGG: u8 = 2;
+/// Result kind tag: an on-disk join.
+pub const KIND_DISK: u8 = 3;
 
 /// Tuples above this cannot be generated (they approach the 8 KiB page
 /// bound); rejected up front as a bad request.
@@ -38,7 +42,7 @@ const MAX_TUPLE_SIZE: u32 = 2048;
 /// [`QueryResult`](crate::proto::QueryResult).
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
-    /// [`KIND_JOIN`] or [`KIND_AGG`].
+    /// [`KIND_JOIN`], [`KIND_AGG`], or [`KIND_DISK`].
     pub kind: u8,
     /// Matches (join) or groups (agg).
     pub matches: u64,
@@ -60,6 +64,15 @@ pub fn validate(req: &Request) -> Result<(), String> {
                 return Err(format!("tuple_size {} exceeds {MAX_TUPLE_SIZE}", j.tuple_size));
             }
             if j.mem_budget == 0 {
+                return Err("mem_budget must be > 0".to_string());
+            }
+            Ok(())
+        }
+        Request::DiskJoin(dj) => {
+            if dj.tuple_size > MAX_TUPLE_SIZE {
+                return Err(format!("tuple_size {} exceeds {MAX_TUPLE_SIZE}", dj.tuple_size));
+            }
+            if dj.mem_budget == 0 {
                 return Err("mem_budget must be > 0".to_string());
             }
             Ok(())
@@ -90,6 +103,10 @@ pub fn estimated_bytes(req: &Request) -> u64 {
                 a.rows.saturating_mul(100).saturating_add(a.keys.saturating_mul(48));
             explicit.max(estimate)
         }
+        // Disk joins stage their relations on disk — the grant covers
+        // exactly the join's working memory, which is also the live
+        // budget admission can later revoke parts of.
+        Request::DiskJoin(dj) => dj.mem_budget,
         Request::Ping => 0,
     }
 }
@@ -117,6 +134,17 @@ fn agg_scheme(ws: WireScheme) -> AggScheme {
 /// into the report (`query_id` key), so one process's observability
 /// streams can be demultiplexed per query.
 pub fn run(query_id: u64, req: &Request) -> Result<QueryOutcome, String> {
+    run_with_budget(query_id, req, None)
+}
+
+/// [`run`] with a revocable live budget attached. Only disk joins use
+/// the budget (dynamic mode observes shrink requests at page-granular
+/// safe points and spills victim partitions); other kinds ignore it.
+pub fn run_with_budget(
+    query_id: u64,
+    req: &Request,
+    live: Option<Arc<LiveBudget>>,
+) -> Result<QueryOutcome, String> {
     phj_flightrec::event(
         phj_flightrec::EventKind::PhaseEnter,
         phj_flightrec::phase_code("query"),
@@ -126,6 +154,7 @@ pub fn run(query_id: u64, req: &Request) -> Result<QueryOutcome, String> {
     let out = match req {
         Request::Join(j) => run_join(query_id, j),
         Request::Agg(a) => run_agg(query_id, a),
+        Request::DiskJoin(dj) => run_disk(query_id, dj, live),
         Request::Ping => Err("ping is not a query".to_string()),
     };
     phj_flightrec::event(
@@ -240,6 +269,95 @@ fn run_agg(query_id: u64, a: &AggRequest) -> Result<QueryOutcome, String> {
     })
 }
 
+fn run_disk(
+    query_id: u64,
+    dj: &DiskJoinRequest,
+    live: Option<Arc<LiveBudget>>,
+) -> Result<QueryOutcome, String> {
+    let spec = JoinSpec {
+        build_tuples: dj.build_tuples as usize,
+        tuple_size: dj.tuple_size as usize,
+        matches_per_build: dj.matches_per_build as usize,
+        pct_match: dj.pct_match,
+        seed: dj.seed,
+    };
+    let gen = spec.generate();
+    // Each query stages its relations and spill files in its own
+    // scratch directory so concurrent disk queries never collide.
+    let dir = std::env::temp_dir()
+        .join(format!("phj-serve-disk-{}-{query_id}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("scratch dir: {e}"))?;
+    let out = run_disk_in(query_id, dj, &spec, &gen, &dir, live);
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+fn run_disk_in(
+    query_id: u64,
+    dj: &DiskJoinRequest,
+    spec: &JoinSpec,
+    gen: &phj_workload::GeneratedJoin,
+    dir: &std::path::Path,
+    live: Option<Arc<LiveBudget>>,
+) -> Result<QueryOutcome, String> {
+    let mode = match dj.mode {
+        0 => DiskJoinMode::Grace,
+        1 => DiskJoinMode::Hybrid,
+        _ => DiskJoinMode::Dynamic,
+    };
+    let build = FileRelation::create(dir, "build", &gen.build, 2, 16)
+        .map_err(|e| format!("stage build relation: {e}"))?;
+    let probe = FileRelation::create(dir, "probe", &gen.probe, 2, 16)
+        .map_err(|e| format!("stage probe relation: {e}"))?;
+
+    let cfg = DiskGraceConfig {
+        mem_budget: dj.mem_budget as usize,
+        mode,
+        live_budget: live,
+        grant_tag: query_id,
+        ..DiskGraceConfig::new(dir)
+    };
+    let native = NativeModel;
+    let mut recorder = Recorder::new();
+    let root = recorder.begin("run", native.snapshot());
+    let t0 = Instant::now();
+    let disk = grace_join_files_rec(&cfg, &build, &probe, Some(&mut recorder))
+        .map_err(|e| format!("disk join: {e}"))?;
+    let wall = t0.elapsed();
+    recorder.end(root, native.snapshot());
+
+    let mut report =
+        RunReport::from_recorder("disk_join", recorder, native.snapshot(), wall.as_nanos() as u64);
+    report.tuples = (gen.build.num_tuples() + gen.probe.num_tuples()) as u64;
+    report.matches = disk.matches;
+    report.config_kv("query_id", query_id);
+    report.config_kv("mode", mode.label());
+    report.config_kv("tuple_size", dj.tuple_size);
+    report.config_kv("build_tuples", dj.build_tuples);
+    report.config_kv("probe_tuples", spec.probe_tuples());
+    report.config_kv("mem_budget", dj.mem_budget);
+    report.config_kv("final_budget", disk.final_budget);
+    report.config_kv("resident_partitions", disk.resident_partitions);
+    report.config_kv("transitions", disk.transitions.len());
+    report.config_kv("degradations", disk.degradation.len());
+    report.config_kv("seed", dj.seed);
+    report.validate()?;
+
+    if gen.expected_matches > 0 && disk.matches != gen.expected_matches {
+        return Err(format!(
+            "disk join produced {} matches, workload oracle expects {}",
+            disk.matches, gen.expected_matches
+        ));
+    }
+    Ok(QueryOutcome {
+        kind: KIND_DISK,
+        matches: disk.matches,
+        checksum: disk.checksum,
+        partitions: disk.num_partitions as u64,
+        report_json: report.render(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +408,44 @@ mod tests {
         assert_eq!(out.matches, 500);
         let report = RunReport::parse(&out.report_json).unwrap();
         report.validate().unwrap();
+    }
+
+    fn disk_req(mode: u8, budget: u64) -> Request {
+        Request::DiskJoin(DiskJoinRequest {
+            build_tuples: 1_500,
+            tuple_size: 48,
+            matches_per_build: 2,
+            pct_match: 80,
+            mem_budget: budget,
+            seed: 0xD15C,
+            mode,
+        })
+    }
+
+    #[test]
+    fn disk_modes_agree_on_checksum() {
+        let grace = run(11, &disk_req(0, 32 << 10)).unwrap();
+        let hybrid = run(12, &disk_req(1, 32 << 10)).unwrap();
+        let dynamic = run(13, &disk_req(2, 32 << 10)).unwrap();
+        assert_eq!(grace.kind, KIND_DISK);
+        assert_ne!(grace.checksum, 0);
+        assert_eq!(grace.checksum, hybrid.checksum);
+        assert_eq!(grace.checksum, dynamic.checksum);
+        assert_eq!(grace.matches, dynamic.matches);
+        let report = RunReport::parse(&dynamic.report_json).unwrap();
+        report.validate().unwrap();
+        assert!(report.config.iter().any(|(k, v)| k == "mode" && v == "dynamic"));
+    }
+
+    #[test]
+    fn disk_query_honors_a_preshrunk_live_budget() {
+        let live = Arc::new(LiveBudget::new(64 << 10));
+        live.request_shrink(16 << 10);
+        let out = run_with_budget(14, &disk_req(2, 64 << 10), Some(Arc::clone(&live))).unwrap();
+        assert_eq!(out.kind, KIND_DISK);
+        assert_ne!(out.checksum, 0);
+        // The join acked compliance with the shrunken limit.
+        assert!(live.acked() <= 16 << 10);
     }
 
     #[test]

@@ -308,13 +308,34 @@ fn handle_request(ctx: &Ctx, req: &Request) -> Response {
         }
     };
 
+    // Dynamic disk joins run against a revocable live budget: the
+    // grant and budget are registered so admission's pressure path can
+    // ask this query to shed memory mid-run, and the query's
+    // compliance acks propagate straight back into the grant (freed
+    // bytes re-enter the global budget while the join keeps running).
+    let grant = Arc::new(grant);
+    let (live, revocation) = match req {
+        Request::DiskJoin(dj) if dj.mode == 2 => {
+            let live = Arc::new(phj_disk::LiveBudget::new(grant.bytes()));
+            let hooked = Arc::clone(&grant);
+            live.set_on_ack(move |b| {
+                hooked.try_shrink(b);
+            });
+            let reg = ctx.admission.register_revocable(query_id, &grant, &live);
+            (Some(live), Some(reg))
+        }
+        _ => (None, None),
+    };
+
     ctx.inflight.fetch_add(1, Ordering::SeqCst);
     publish_inflight(ctx);
     let t0 = Instant::now();
     // A panicking kernel answers Internal instead of killing the
     // worker thread (and with it, every queued connection).
-    let outcome = catch_unwind(AssertUnwindSafe(|| query::run(query_id, req)));
+    let outcome =
+        catch_unwind(AssertUnwindSafe(|| query::run_with_budget(query_id, req, live.clone())));
     let elapsed = t0.elapsed();
+    drop(revocation);
     ctx.inflight.fetch_sub(1, Ordering::SeqCst);
     publish_inflight(ctx);
     if let Some(reg) = phj_metrics::global() {

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use proptest::collection;
 use proptest::prelude::*;
 
-use phj_server::admission::{Admission, AdmissionConfig, AdmitError, MemGrant};
+use phj_server::admission::{Admission, AdmissionConfig, AdmitError, MemGrant, ResizeError};
 
 fn table(budget: u64, min_grant: u64, max_queue: usize) -> Arc<Admission> {
     Admission::new(AdmissionConfig { budget, min_grant, max_queue })
@@ -86,6 +86,96 @@ proptest! {
             adm.admit(4, budget),
             Err(AdmitError::QueueFull { .. }) | Ok(_)
         ));
+        drop(g);
+        prop_assert_eq!(adm.outstanding(), 0);
+    }
+
+    // Boundary: max_queue = 0 with a completely free budget. Nothing
+    // should ever be asked to wait, so the zero-length queue must be
+    // invisible — any request that fits admits outright, any request
+    // that cannot is typed (TooLarge past the budget), and nothing
+    // blocks. Admitting at the exact budget boundary must also work.
+    #[test]
+    fn zero_queue_with_full_budget_never_waits(
+        budget in 1_000u64..1_000_000,
+        req_seed in any::<u64>(),
+    ) {
+        let adm = table(budget, 1, 0);
+        let req = 1 + req_seed % budget;
+        let g = adm.admit(1, req).unwrap();
+        prop_assert_eq!(g.bytes(), req);
+        drop(g);
+
+        // The exact-budget request is the largest admissible one.
+        let g = adm.admit(2, budget).unwrap();
+        prop_assert_eq!(g.bytes(), budget);
+        drop(g);
+
+        // One past the budget can never fit: typed, not queued.
+        prop_assert!(matches!(
+            adm.admit(3, budget + 1),
+            Err(AdmitError::TooLarge { .. })
+        ));
+        prop_assert_eq!(adm.outstanding(), 0);
+    }
+
+    // Boundary: min_grant rounding interacts with the exact-budget
+    // request. A sub-min_grant ask rounds up to min_grant; an ask that
+    // *rounds* past the budget — even though the raw ask fits — must be
+    // TooLarge, because the table would otherwise grant more than the
+    // budget holds.
+    #[test]
+    fn min_grant_rounding_respects_the_budget_boundary(
+        min_grant in 2u64..1_000,
+        slack in 0u64..3,
+    ) {
+        // Budget sits strictly between min_grant-1 asks and the round-up.
+        let budget = min_grant - 1 + slack;
+        let adm = table(budget, min_grant, 0);
+        let ask = budget.min(min_grant - 1);
+        if min_grant > budget {
+            // Every ask rounds up past the whole budget: nothing fits.
+            prop_assert!(matches!(
+                adm.admit(1, ask),
+                Err(AdmitError::TooLarge { .. })
+            ));
+        } else {
+            // The rounded grant fits exactly (slack ≥ 1 ⇒ budget ≥ min_grant).
+            let g = adm.admit(1, ask).unwrap();
+            prop_assert_eq!(g.bytes(), min_grant);
+            prop_assert!(adm.outstanding() <= budget);
+            drop(g);
+        }
+        prop_assert_eq!(adm.outstanding(), 0);
+    }
+
+    // Boundary: a resize below min_grant is a typed rejection that
+    // leaves the grant and the budget exactly as they were, while
+    // try_shrink (the pressure path) clamps instead of failing.
+    #[test]
+    fn shrink_below_min_grant_rejects_and_try_shrink_clamps(
+        min_grant in 2u64..1_000,
+        below in any::<u64>(),
+    ) {
+        let budget = min_grant * 4;
+        let adm = table(budget, min_grant, 0);
+        let g = adm.admit(1, min_grant * 2).unwrap();
+        let before = g.bytes();
+
+        let ask = below % min_grant; // strictly below min_grant
+        let res = g.resize(ask);
+        prop_assert_eq!(
+            res,
+            Err(ResizeError::BelowMin { requested: ask, min_grant })
+        );
+        prop_assert_eq!(g.bytes(), before);
+        prop_assert_eq!(adm.outstanding(), before);
+
+        // The pressure path never dips below min_grant either — it
+        // clamps and reports success.
+        prop_assert!(g.try_shrink(ask));
+        prop_assert_eq!(g.bytes(), min_grant);
+        prop_assert_eq!(adm.outstanding(), min_grant);
         drop(g);
         prop_assert_eq!(adm.outstanding(), 0);
     }

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use phj_obs::RunReport;
 use phj_server::proto::{
-    AggRequest, ErrorCode, JoinRequest, Request, Response, WireScheme,
+    AggRequest, DiskJoinRequest, ErrorCode, JoinRequest, Request, Response, WireScheme,
 };
 use phj_server::{query, Connection, ServeConfig, Server};
 
@@ -279,6 +279,104 @@ fn idle_connections_are_closed_at_the_deadline() {
     // The daemon itself keeps serving fresh connections.
     let mut fresh = Connection::connect(srv.local_addr()).unwrap();
     assert_eq!(fresh.request(&Request::Ping).unwrap(), Response::Pong);
+    srv.stop();
+}
+
+/// The revocation acceptance path end-to-end: a dynamic disk join
+/// holds most of the daemon's budget; an arrival that cannot fit makes
+/// admission ask the running query to shed instead of waiting for it
+/// to finish. The disk query must spill, shrink its grant mid-run
+/// (Grant RESIZE in the flight recorder), still answer the exact
+/// sequential checksum, and the arrival must get its grant.
+#[test]
+fn mid_run_grant_shrink_on_a_live_dynamic_disk_query() {
+    phj_flightrec::install(phj_flightrec::Mode::Phase);
+    let srv = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+        mem_budget: 24 << 20,
+        min_grant: 1 << 20,
+        max_queue: 8,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = srv.local_addr();
+
+    // Big enough to run for a while; grant = 20 of the 24 MB budget.
+    let disk = Request::DiskJoin(DiskJoinRequest {
+        build_tuples: 24_000,
+        tuple_size: 64,
+        matches_per_build: 2,
+        pct_match: 100,
+        mem_budget: 20 << 20,
+        seed: 0xD15C,
+        mode: 2,
+    });
+    let want = query::run(0, &disk).unwrap();
+
+    let disk_thread = {
+        let disk = disk.clone();
+        std::thread::spawn(move || {
+            let mut conn = Connection::connect(addr).unwrap();
+            conn.request(&disk).unwrap()
+        })
+    };
+    // Wait until the disk query actually holds its grant.
+    let adm = Arc::clone(srv.admission());
+    while adm.outstanding() < 20 << 20 {
+        std::thread::yield_now();
+    }
+
+    // 8 MB wanted, 4 MB free: this arrival must force a shed request
+    // (target 20 - 4 = 16 MB) rather than waiting for the release.
+    let arrival = Request::Agg(AggRequest {
+        rows: 20_000,
+        keys: 256,
+        scheme: WireScheme::Swp { d: 4 },
+        mem_budget: 8 << 20,
+    });
+    let arrival_thread = std::thread::spawn(move || {
+        let mut conn = Connection::connect(addr).unwrap();
+        conn.request(&arrival).unwrap()
+    });
+
+    let disk_resp = disk_thread.join().unwrap();
+    let arrival_resp = arrival_thread.join().unwrap();
+
+    let disk_qid = match disk_resp {
+        Response::Result(r) => {
+            assert_eq!(r.kind, query::KIND_DISK);
+            assert_eq!(r.checksum, want.checksum, "shrunken query drifted from the kernel");
+            assert_eq!(r.matches, want.matches);
+            let report = RunReport::parse(&r.report_json).unwrap();
+            report.validate().unwrap();
+            r.query_id
+        }
+        other => panic!("disk query: want Result, got {other:?}"),
+    };
+    assert!(matches!(arrival_resp, Response::Result(_)), "arrival must complete");
+
+    assert!(adm.sheds() >= 1, "the arrival should have triggered a shed request");
+    assert!(adm.peak_waiting() >= 1, "the arrival queued before the shed freed memory");
+    assert_eq!(adm.outstanding(), 0, "grants leaked");
+
+    // The grant shrink is journaled: Grant RESIZE events for the disk
+    // query, with the new size strictly below the original 20 MB.
+    let rec = phj_flightrec::global().expect("installed above");
+    let resizes: Vec<_> = rec
+        .timeline()
+        .into_iter()
+        .filter(|e| {
+            e.kind == phj_flightrec::EventKind::Grant
+                && e.code == phj_flightrec::grant_op::RESIZE
+                && e.a == disk_qid
+        })
+        .collect();
+    assert!(!resizes.is_empty(), "mid-run shrink must emit Grant RESIZE");
+    assert!(
+        resizes.iter().all(|e| e.b < 20 << 20),
+        "resized grant must be below the original size"
+    );
     srv.stop();
 }
 
