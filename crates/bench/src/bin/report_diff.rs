@@ -154,6 +154,40 @@ fn fault_note(old: &RunReport, new: &RunReport) -> Option<String> {
     }
 }
 
+/// How the two reports' `query_trace` sections relate, as a printable
+/// note. Admission waits are scheduling diagnostics of the daemon the
+/// report came from, not kernel costs — like faults, they are surfaced
+/// but never turn the verdict. `None` when neither run was traced.
+fn query_trace_note(old: &RunReport, new: &RunReport) -> Option<String> {
+    let us = |ns: u64| ns / 1_000;
+    match (&old.query_trace, &new.query_trace) {
+        (None, None) => None,
+        (Some(o), Some(n)) => Some(format!(
+            "  query_trace: queue {} -> {} us, grant {} -> {} us, exec {} -> {} us, sheds {} -> {}",
+            us(o.queue_wait_ns),
+            us(n.queue_wait_ns),
+            us(o.grant_wait_ns),
+            us(n.grant_wait_ns),
+            us(o.exec_ns),
+            us(n.exec_ns),
+            o.shed_count,
+            n.shed_count,
+        )),
+        (None, Some(n)) => Some(format!(
+            "note: only the new run carries a query_trace section (queue {} us, grant {} us, \
+             sheds {}); informational, not a regression",
+            us(n.queue_wait_ns),
+            us(n.grant_wait_ns),
+            n.shed_count
+        )),
+        (Some(o), None) => Some(format!(
+            "note: only the old run carries a query_trace section (trace {:#018x}); \
+             the new run was not traced",
+            o.trace_id
+        )),
+    }
+}
+
 /// The headline cost of a run: simulated cycles when available, wall-clock
 /// nanoseconds for native runs (cycles are all zero there).
 fn cost_of(r: &RunReport) -> (u64, &'static str) {
@@ -266,6 +300,9 @@ fn compare(old: &RunReport, new: &RunReport, tolerance_pct: f64) -> ExitCode {
     println!("delta: {delta_pct:+.2}% total {unit} (tolerance {tolerance_pct:.2}%)");
     print_span_diff(&span_diff(old, new));
     if let Some(note) = fault_note(old, new) {
+        println!("{note}");
+    }
+    if let Some(note) = query_trace_note(old, new) {
         println!("{note}");
     }
     if old.simulated && new.simulated {
@@ -591,6 +628,65 @@ mod tests {
         assert!(note.contains("retries 9 -> 9"), "{note}");
         // And none of this sways the cost verdict.
         assert!(matches!(verdict(&plain, &faulty, 0.0).unwrap(), Verdict::Ok { .. }));
+    }
+
+    /// A valid `query_trace` section for the note/fixture tests.
+    fn trace_section(queue_us: u64, grant_us: u64) -> phj_obs::QueryTraceSection {
+        phj_obs::QueryTraceSection {
+            trace_id: 0xABCD,
+            query_id: 7,
+            queue_wait_ns: queue_us * 1_000,
+            grant_wait_ns: grant_us * 1_000,
+            exec_ns: 5_000_000,
+            serialize_ns: 10_000,
+            shed_count: 1,
+            states: vec![("received".into(), 0), ("done".into(), 5_000_000)],
+        }
+    }
+
+    #[test]
+    fn query_trace_sections_are_noted_but_never_turn_the_verdict() {
+        let plain = report(1_000, 0);
+        let mut traced = report(1_000, 0);
+        traced.query_trace = Some(trace_section(120, 340));
+        // No sections: nothing to say.
+        assert_eq!(query_trace_note(&plain, &plain), None);
+        // Asymmetric sections get an informational note, either way round.
+        let note = query_trace_note(&plain, &traced).expect("new-only note");
+        assert!(note.contains("only the new run"), "{note}");
+        assert!(note.contains("not a regression"), "{note}");
+        let note = query_trace_note(&traced, &plain).expect("old-only note");
+        assert!(note.contains("only the old run"), "{note}");
+        // Symmetric sections diff the wait breakdown.
+        let mut slower = report(1_000, 0);
+        slower.query_trace = Some(trace_section(900, 2_000));
+        let note = query_trace_note(&traced, &slower).expect("both note");
+        assert!(note.contains("queue 120 -> 900 us"), "{note}");
+        assert!(note.contains("grant 340 -> 2000 us"), "{note}");
+        // A massive admission-wait increase still never sways the cost
+        // verdict: the section is informational, not a gate.
+        assert!(matches!(verdict(&traced, &slower, 0.0).unwrap(), Verdict::Ok { .. }));
+    }
+
+    #[test]
+    fn traced_reports_round_trip_and_malformed_sections_are_rejected() {
+        let mut r = report_with_spans(&[("run", 1_000)]);
+        r.query_trace = Some(trace_section(10, 20));
+        // The --check path holds for a traced report...
+        let text = r.render();
+        let back = RunReport::parse(&text).expect("parse");
+        assert_eq!(back.query_trace, r.query_trace);
+        back.validate().expect("report with query_trace validates");
+        // ...and a malformed section (unknown state name) is an invalid
+        // report, the same exit-2 category as any other bad input.
+        let mut bad = report_with_spans(&[("run", 1_000)]);
+        let mut sec = trace_section(10, 20);
+        sec.states = vec![("received".into(), 0), ("warp-speed".into(), 5)];
+        bad.query_trace = Some(sec);
+        let text = bad.render();
+        let parsed = RunReport::parse(&text).expect("syntactically fine");
+        let err = parsed.validate().expect_err("unknown state must not validate");
+        assert!(err.contains("warp-speed"), "unhelpful error: {err}");
     }
 
     #[test]

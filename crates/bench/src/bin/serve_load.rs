@@ -53,7 +53,10 @@ struct Class {
 }
 
 fn classes() -> Vec<Class> {
-    let join = |label, scheme, seed| Class {
+    // Each class carries a distinct nonzero trace id so the daemon's
+    // query_trace sections (the wait-time source below) are easy to
+    // attribute when a run is inspected by hand.
+    let join = |label, scheme, seed: u64| Class {
         label,
         req: Request::Join(JoinRequest {
             build_tuples: scaled(4_000) as u64,
@@ -63,15 +66,17 @@ fn classes() -> Vec<Class> {
             scheme,
             mem_budget: 1 << 20,
             seed,
+            trace_id: 0x7E57_0000_0000_0000 | seed,
         }),
     };
-    let agg = |label, scheme, rows| Class {
+    let agg = |label, scheme, rows: usize| Class {
         label,
         req: Request::Agg(AggRequest {
             rows: scaled(rows) as u64,
             keys: 2_000,
             scheme,
             mem_budget: 0,
+            trace_id: 0x7E57_A000_0000_0000 | rows as u64,
         }),
     };
     vec![
@@ -100,6 +105,60 @@ struct Outcome {
     class: usize,
     latency: Duration,
     checksum: u64,
+    /// Admission FIFO wait, from the response's `query_trace` section.
+    queue_wait: Duration,
+    /// Queue-head budget wait, from the same section.
+    grant_wait: Duration,
+}
+
+/// Pull the admission-wait breakdown out of a result's report. The
+/// daemon runs with `trace: true`, so a missing section is a bug worth
+/// failing a bench run over.
+fn wait_breakdown(report_json: &str) -> (Duration, Duration) {
+    let sec = phj_obs::RunReport::parse(report_json)
+        .expect("daemon reports parse")
+        .query_trace
+        .expect("daemon runs traced; query_trace section missing");
+    (
+        Duration::from_nanos(sec.queue_wait_ns),
+        Duration::from_nanos(sec.grant_wait_ns),
+    )
+}
+
+/// Append one JSON line of queue-wait/grant-wait percentiles for a
+/// phase to `bench_out/history/<slug>_waits.jsonl`. Deliberately a
+/// separate archive from [`history_append`]'s records: these are
+/// *measurements*, and folding them into the config fields there would
+/// give every run a unique fingerprint and blind the trend detector.
+fn append_wait_history(slug: &str, mut queue: Vec<Duration>, mut grant: Vec<Duration>) {
+    queue.sort();
+    grant.sort();
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut line = format!("{{\"v\":1,\"slug\":\"{slug}\",\"unix_s\":{unix_s}");
+    for (name, sample) in [("queue_wait", &queue), ("grant_wait", &grant)] {
+        for (p, tag) in [(50.0, "p50"), (95.0, "p95"), (99.0, "p99")] {
+            line.push_str(&format!(",\"{name}_{tag}_ms\":{}", ms(pctl(sample, p))));
+        }
+    }
+    line.push_str("}\n");
+    let dir = phj_bench::report::out_dir().join("history");
+    let path = dir.join(format!("{slug}_waits.jsonl"));
+    let write = std::fs::create_dir_all(&dir).and_then(|()| {
+        use std::io::Write as _;
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()))
+    });
+    if let Err(e) = write {
+        eprintln!("warning: could not append wait history {}: {e}", path.display());
+    } else {
+        println!("wait percentiles: {}", path.display());
+    }
 }
 
 /// The starved phase: a 24 MB daemon, a dynamic disk join granted
@@ -117,6 +176,7 @@ fn contended_phase() {
         min_grant: 1 << 20,
         max_queue: 8,
         max_conns: 16,
+        trace: true,
         ..ServeConfig::default()
     })
     .expect("bind ephemeral port");
@@ -136,12 +196,14 @@ fn contended_phase() {
         mem_budget: DISK_GRANT,
         seed: 0xD15C,
         mode: 2,
+        trace_id: 0x7E57_D000_0000_0001,
     });
     let arrival = Request::Agg(AggRequest {
         rows: 200_000,
         keys: 2_000,
         scheme: WireScheme::Group { g: 16 },
         mem_budget: 8 << 20,
+        trace_id: 0x7E57_A000_0000_0002,
     });
     let disk_want = query::run(0, &disk).expect("disk reference").checksum;
     let arrival_want = query::run(0, &arrival).expect("agg reference").checksum;
@@ -184,15 +246,26 @@ fn contended_phase() {
         "disk join answer drifted after its grant was revoked"
     );
     let mut worst = Duration::ZERO;
+    let mut queue_waits = Vec::new();
+    let mut grant_waits = Vec::new();
     for h in arrivals {
         let (resp, lat) = h.join().unwrap();
         let Response::Result(r) = resp else {
             panic!("arrival rejected under contention: {resp:?}");
         };
         assert_eq!(r.checksum, arrival_want, "arrival answer drifted under contention");
+        let (qw, gw) = wait_breakdown(&r.report_json);
+        queue_waits.push(qw);
+        grant_waits.push(gw);
         worst = worst.max(lat);
     }
     let wall = t0.elapsed();
+    // On a starved budget every arrival must have actually waited for a
+    // grant — zero measured wait would mean the breakdown is fiction.
+    assert!(
+        grant_waits.iter().chain(&queue_waits).any(|w| *w > Duration::ZERO),
+        "starved arrivals report zero admission wait"
+    );
 
     let sheds = adm.sheds();
     let peak_waiting = adm.peak_waiting();
@@ -206,6 +279,7 @@ fn contended_phase() {
         "contended: {sheds} grant shed(s), peak queue {peak_waiting}, \
          worst arrival latency {worst:?}, all checksums exact"
     );
+    append_wait_history("serve_contended", queue_waits, grant_waits);
     history_append(
         "serve_contended",
         &[
@@ -236,6 +310,9 @@ fn main() {
         // Every query is its own connection; the load level, not the
         // conn cap, is the variable under test here.
         max_conns: QUERIES.max(64),
+        // Traced: every response's query_trace section feeds the
+        // queue-wait/grant-wait percentiles recorded below.
+        trace: true,
         ..ServeConfig::default()
     })
     .expect("bind ephemeral port");
@@ -292,7 +369,10 @@ fn main() {
                 let latency = sent.elapsed();
                 inflight.fetch_sub(1, Ordering::SeqCst);
                 match resp {
-                    Response::Result(r) => Outcome { class, latency, checksum: r.checksum },
+                    Response::Result(r) => {
+                        let (queue_wait, grant_wait) = wait_breakdown(&r.report_json);
+                        Outcome { class, latency, checksum: r.checksum, queue_wait, grant_wait }
+                    }
                     other => panic!("class {class}: daemon answered {other:?}"),
                 }
             })
@@ -331,10 +411,12 @@ fn main() {
 
     let mut table = Table::new(
         format!("serve_load: {QUERIES} mixed queries against one daemon, seed {SEED:#x}"),
-        &["class", "queries", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+        &["class", "queries", "p50 ms", "p95 ms", "p99 ms", "max ms", "qwait p95", "gwait p95"],
     );
-    let mut rows = |label: &str, mut lat: Vec<Duration>| {
+    let mut rows = |label: &str, mut lat: Vec<Duration>, mut qw: Vec<Duration>, mut gw: Vec<Duration>| {
         lat.sort();
+        qw.sort();
+        gw.sort();
         table.row(&[
             &label,
             &lat.len(),
@@ -342,15 +424,22 @@ fn main() {
             &ms(pctl(&lat, 95.0)),
             &ms(pctl(&lat, 99.0)),
             &ms(*lat.last().unwrap_or(&Duration::ZERO)),
+            &ms(pctl(&qw, 95.0)),
+            &ms(pctl(&gw, 95.0)),
         ]);
     };
     for (i, c) in mix.iter().enumerate() {
-        rows(
-            c.label,
-            outcomes.iter().filter(|o| o.class == i).map(|o| o.latency).collect(),
-        );
+        let of = |f: fn(&Outcome) -> Duration| {
+            outcomes.iter().filter(|o| o.class == i).map(f).collect::<Vec<_>>()
+        };
+        rows(c.label, of(|o| o.latency), of(|o| o.queue_wait), of(|o| o.grant_wait));
     }
-    rows("overall", outcomes.iter().map(|o| o.latency).collect());
+    rows(
+        "overall",
+        outcomes.iter().map(|o| o.latency).collect(),
+        outcomes.iter().map(|o| o.queue_wait).collect(),
+        outcomes.iter().map(|o| o.grant_wait).collect(),
+    );
     table.emit("serve_load");
 
     let qps = QUERIES as f64 / wall.as_secs_f64();
@@ -359,6 +448,14 @@ fn main() {
          peak grant {} MB of {} MB budget",
         grant_peak >> 20,
         budget >> 20
+    );
+    // Admission-wait percentiles land in their own archive, so a
+    // queueing regression shows up in history diffs even when raw
+    // latency hides it behind execution-time noise.
+    append_wait_history(
+        "serve_load",
+        outcomes.iter().map(|o| o.queue_wait).collect(),
+        outcomes.iter().map(|o| o.grant_wait).collect(),
     );
     history_append(
         "serve_load",

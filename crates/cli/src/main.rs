@@ -62,6 +62,7 @@ mod args;
 mod log;
 mod serve;
 mod telemetry;
+mod top;
 use args::Args;
 
 fn main() -> ExitCode {
@@ -123,6 +124,7 @@ fn main() -> ExitCode {
         "disk" => cmd_disk(&args),
         "serve" => serve::cmd_serve(&args),
         "client" => serve::cmd_client(&args),
+        "top" => top::cmd_top(&args),
         "tune" => cmd_tune(&args),
         "params" => cmd_params(&args),
         "explain" => match &positional {
@@ -200,15 +202,28 @@ USAGE:
              [--width W] [--json PATH] [--trace-out PATH] [DIAGNOSIS]
              [TELEMETRY]
   phj serve  [--addr HOST:PORT] [--threads N] [--mem-mb N | --mem-budget BYTES]
-             [--min-grant-mb N] [--max-queue N] [TELEMETRY]
+             [--min-grant-mb N] [--max-queue N] [--trace]
+             [--slow-query-ms MS] [--slow-query-sheds N]
+             [--slow-query-dir PATH] [--slow-query-keep N]
+             [--scratch-dir PATH] [TELEMETRY]
              query-service daemon: prints `serving on ADDR` (port 0 =
              ephemeral), runs queries concurrently under one memory
-             budget, stops cleanly on SIGTERM/SIGINT
+             budget, stops cleanly on SIGTERM/SIGINT. --trace attaches a
+             `query_trace` section to every result report; the slow-query
+             flags dump a bounded ring of flightrec captures (renderable
+             by `phj blackbox`) for queries over the latency/shed bar
   phj client --addr HOST:PORT [--query join|agg|disk|ping] [--seed S]
-             [--mode grace|hybrid|dynamic]
-             [--json PATH] [join/agg knobs as above]
+             [--mode grace|hybrid|dynamic] [--trace] [--trace-id X]
+             [--trace-out PATH] [--json PATH] [join/agg knobs as above]
              send one query to a daemon; prints the same result line as
-             the local drivers, so outputs diff textually
+             the local drivers, so outputs diff textually. --trace mints
+             a trace id the daemon echoes end-to-end; --trace-out merges
+             client send/wait/recv spans with the server's breakdown
+             into one Perfetto file with flow arrows
+  phj top    --addr HOST:PORT [--interval-ms MS] [--iters N]
+             live query table (in-flight + recently completed); one
+             snapshot by default, --iters 0 refreshes until interrupted;
+             the same table is JSON at the metrics /queries route
   phj explain REPORT.json [--cost-model k=v,...] [--json PATH]
              model-vs-measured diagnosis of a saved run report
   phj blackbox DUMP.json [--width W] [--tail N] [--trace-out PATH]

@@ -84,6 +84,12 @@ pub mod grant_op {
     /// The dynamic hybrid join pulled a spilled partition back into
     /// memory at a phase boundary. `a` = partition, `b` = bytes.
     pub const ABSORB: u16 = 6;
+    /// A client-minted trace id was bound to a server query id:
+    /// `a` = trace id, `b` = query id. Emitted once per traced query at
+    /// admission — every other event keys by query id, so this single
+    /// record is what lets a postmortem be joined back to the client's
+    /// distributed trace.
+    pub const TRACE: u16 = 7;
 }
 
 impl EventKind {
@@ -225,6 +231,9 @@ pub const PHASES: &[&str] = &[
     "agg_morsel",
     "execute",
     "query",
+    "queue_wait",
+    "grant_wait",
+    "serialize",
 ];
 
 /// Phase name → code (0 when unknown: the generic `phase`).

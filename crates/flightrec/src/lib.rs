@@ -34,7 +34,8 @@ mod ring;
 
 pub use event::{grant_op, phase_code, phase_name, Event, EventKind, KIND_COUNT, PHASES};
 pub use postmortem::{
-    dump, dump_to, install_crash_hooks, set_context_provider, set_postmortem_path, Cause,
+    dump, dump_events_to, dump_to, install_crash_hooks, set_context_provider, set_postmortem_path,
+    Cause,
 };
 pub use recorder::{
     event, event_full, full, global, install, install_with, phase_enter, phase_exit, FlightRecorder,

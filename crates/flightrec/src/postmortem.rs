@@ -166,6 +166,96 @@ pub fn dump_to(path: &Path, cause: Cause, message: &str) -> std::io::Result<()> 
     f.flush()
 }
 
+/// Write a postmortem carrying a caller-filtered event slice instead of
+/// the whole recorder state — the slow-query capture path hands in just
+/// one query's events. The per-thread accounting is rebuilt from the
+/// slice (`written == recovered`, `dropped == 0`: nothing in a filtered
+/// dump was lost to ring wrap, it was excluded on purpose), `counts`
+/// tallies only the slice, and `context` pairs are embedded verbatim
+/// like the provider's. The result is a valid schema-v1 dump — `phj
+/// blackbox` renders it with no special casing.
+pub fn dump_events_to(
+    path: &Path,
+    cause: Cause,
+    message: &str,
+    events: &[Event],
+    context: &[(String, String)],
+) -> std::io::Result<()> {
+    let (mode_name, capacity) = match global() {
+        Some(rec) => {
+            let s = rec.summary();
+            (s.mode.name(), s.capacity)
+        }
+        None => ("phase", 0),
+    };
+    let mut events: Vec<Event> = events.to_vec();
+    events.sort_by_key(|e| e.ts_ns);
+
+    let mut per_tid: Vec<(u16, u64)> = Vec::new();
+    let mut counts = [0u64; crate::event::KIND_COUNT];
+    for ev in &events {
+        counts[ev.kind as usize] += 1;
+        match per_tid.iter_mut().find(|(tid, _)| *tid == ev.tid) {
+            Some((_, n)) => *n += 1,
+            None => per_tid.push((ev.tid, 1)),
+        }
+    }
+    per_tid.sort_by_key(|(tid, _)| *tid);
+
+    let mut out = String::with_capacity(1024 + 96 * events.len());
+    out.push_str("{\n  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"cause\": {{\"kind\": \"{}\", \"message\": \"{}\"}},\n",
+        cause.name(),
+        escape(message)
+    ));
+    out.push_str(&format!("  \"mode\": \"{mode_name}\",\n"));
+    out.push_str(&format!("  \"capacity\": {capacity},\n"));
+    out.push_str("  \"threads\": [");
+    for (i, (tid, n)) in per_tid.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"tid\": {tid}, \"written\": {n}, \"recovered\": {n}, \"dropped\": 0}}"
+        ));
+    }
+    out.push_str("],\n  \"counts\": {");
+    let mut first = true;
+    for kind in EventKind::ALL {
+        let n = counts[kind as usize];
+        if n == 0 {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!("\"{}\": {n}", kind.name()));
+    }
+    out.push_str("},\n  \"timeline\": [");
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        out.push_str(&event_json(ev));
+    }
+    out.push_str("\n  ]");
+    if !context.is_empty() {
+        out.push_str(",\n  \"context\": {");
+        for (i, (k, v)) in context.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {v}", escape(k)));
+        }
+        out.push('}');
+    }
+    out.push_str("\n}\n");
+
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())?;
+    f.flush()
+}
+
 fn event_json(ev: &Event) -> String {
     format!(
         "{{\"t_ns\": {}, \"tid\": {}, \"kind\": \"{}\", \"code\": {}, \"a\": {}, \"b\": {}}}",
@@ -278,6 +368,37 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"kind\": \"typed_error\""));
         assert!(text.contains("\"context\": {\"degradation_depth\": 2}"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn filtered_event_dump_balances_accounting_and_sorts() {
+        let _guard = crate::test_serial();
+        install_with(Mode::Phase, 64);
+        // Out of order on purpose: the writer must sort before emitting,
+        // or the obs-side validator rejects the timeline.
+        let events = vec![
+            Event { ts_ns: 900, kind: EventKind::Grant, code: 2, tid: 1, a: 42, b: 4096 },
+            Event { ts_ns: 100, kind: EventKind::Grant, code: 1, tid: 0, a: 42, b: 4096 },
+            Event { ts_ns: 500, kind: EventKind::PhaseEnter, code: 18, tid: 1, a: 42, b: 0 },
+        ];
+        let dir = std::env::temp_dir().join(format!("phj-fr-slice-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slow-query.json");
+        let ctx = vec![("queue_wait_ns".to_string(), "1500".to_string())];
+        dump_events_to(&path, Cause::Manual, "slow query 42", &events, &ctx).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\"kind\": \"manual\""));
+        assert!(text.contains("{\"tid\": 0, \"written\": 1, \"recovered\": 1, \"dropped\": 0}"));
+        assert!(text.contains("{\"tid\": 1, \"written\": 2, \"recovered\": 2, \"dropped\": 0}"));
+        assert!(text.contains("\"grant\": 2"));
+        assert!(text.contains("\"phase_enter\": 1"));
+        assert!(text.contains("\"context\": {\"queue_wait_ns\": 1500}"));
+        let acquire = text.find("\"t_ns\": 100").unwrap();
+        let enter = text.find("\"t_ns\": 500").unwrap();
+        let release = text.find("\"t_ns\": 900").unwrap();
+        assert!(acquire < enter && enter < release, "timeline sorted by timestamp");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -49,7 +49,7 @@ pub use prom::encode;
 pub use registry::{Counter, Family, Gauge, Histogram, MetricKind, Registry, HIST_BUCKETS};
 pub use ring::{Sample, SeriesSummary, TimeSeriesRing};
 pub use sampler::Sampler;
-pub use server::MetricsServer;
+pub use server::{set_queries_provider, MetricsServer};
 
 use std::sync::{Arc, OnceLock};
 

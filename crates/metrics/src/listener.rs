@@ -102,8 +102,11 @@ mod tests {
             Listener::start("phj-test-listener", "127.0.0.1:0", move |mut s: TcpStream| {
                 let mut buf = [0u8; 4];
                 let _ = s.read_exact(&mut buf);
-                let _ = s.write_all(&buf); // echo
+                // Count before echoing: the client treats the echo as
+                // proof of service, so the increment must already be
+                // visible when the echo lands.
                 served.fetch_add(1, Ordering::SeqCst);
+                let _ = s.write_all(&buf); // echo
             })
             .unwrap()
         };

@@ -65,6 +65,19 @@ pub const SERVER_GRANT_BYTES: &str = "phj_server_grant_bytes";
 pub const SERVER_GRANT_PEAK_BYTES: &str = "phj_server_grant_peak_bytes";
 /// `phj_server_query_latency_us` — per-query wall latency (log2 buckets).
 pub const SERVER_QUERY_LATENCY_US: &str = "phj_server_query_latency_us";
+/// `phj_server_query_queue_wait_us` — admission FIFO wait behind
+/// earlier arrivals (the query was not yet at the queue head).
+pub const SERVER_QUERY_QUEUE_WAIT_US: &str = "phj_server_query_queue_wait_us";
+/// `phj_server_query_grant_wait_us` — wait at the queue head for
+/// budget to free up.
+pub const SERVER_QUERY_GRANT_WAIT_US: &str = "phj_server_query_grant_wait_us";
+/// `phj_server_query_exec_us` — kernel execution time per query.
+pub const SERVER_QUERY_EXEC_US: &str = "phj_server_query_exec_us";
+/// `phj_server_query_serialize_us` — response serialization time
+/// (report re-render with the `query_trace` section attached).
+pub const SERVER_QUERY_SERIALIZE_US: &str = "phj_server_query_serialize_us";
+/// `phj_server_slow_queries_total` — slow-query captures written.
+pub const SERVER_SLOW_QUERIES: &str = "phj_server_slow_queries_total";
 /// `phj_server_grant_resizes_total` — live-grant resize operations.
 pub const SERVER_GRANT_RESIZES: &str = "phj_server_grant_resizes_total";
 /// `phj_server_shed_requests_total` — pressure callbacks asking a

@@ -40,8 +40,8 @@ pub use json::Json;
 pub use postmortem::Postmortem;
 pub use report::{
     AnalysisSection, DegradationRow, FaultsSection, FlightrecSection, PhasePrediction,
-    RegionReport, RegionsSection, ResidualRow, RuleOutcome, RunReport, SkewRow, TimeseriesRow,
-    TimeseriesSection, BOTTLENECK_CLASSES, SCHEMA_VERSION,
+    QueryTraceSection, RegionReport, RegionsSection, ResidualRow, RuleOutcome, RunReport, SkewRow,
+    TimeseriesRow, TimeseriesSection, BOTTLENECK_CLASSES, QUERY_STATES, SCHEMA_VERSION,
 };
 pub use spark::{render_timeseries, sparkline};
 pub use span::{span_begin, span_end, span_meta, Recorder, SpanId, SpanRecord};

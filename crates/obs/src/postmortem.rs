@@ -454,6 +454,9 @@ pub fn describe(ev: &PmEvent) -> String {
             phj_flightrec::grant_op::ABSORB => {
                 format!("partition {} re-absorbed into memory ({} bytes)", ev.a, ev.b)
             }
+            phj_flightrec::grant_op::TRACE => {
+                format!("trace {:#018x} bound to query {}", ev.a, ev.b)
+            }
             _ => format!("memory budget {} bytes (query {})", ev.b, ev.a),
         },
         EventKind::Mark => format!("mark code={} a={} b={}", ev.code, ev.a, ev.b),

@@ -223,6 +223,73 @@ fn validate_flightrec(sec: &FlightrecSection) -> Result<(), String> {
     Ok(())
 }
 
+/// Canonical query lifecycle state names, in state-machine order. The
+/// daemon's per-query state machine serializes into these names (both
+/// in the `query_trace` report section and on the wire in `Status`
+/// responses, where the index here is the state code). Append-only:
+/// codes are written into protocol frames and captured reports.
+pub const QUERY_STATES: [&str; 7] = [
+    "received",
+    "queued",
+    "admitted",
+    "executing",
+    "responding",
+    "done",
+    "failed",
+];
+
+/// The optional per-query trace section of a [`RunReport`]: the server
+/// daemon's lifecycle record for the one query that produced this
+/// report — wall-clock breakdown (queue wait, grant wait, execution,
+/// serialization) plus the state transitions with their offsets from
+/// arrival. Present only when the daemon ran with tracing enabled;
+/// like the other optional sections, the JSON key is omitted entirely
+/// when absent so untraced reports stay byte-identical.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryTraceSection {
+    /// Client-minted trace id (0 when the client sent none).
+    pub trace_id: u64,
+    /// Server-assigned query id.
+    pub query_id: u64,
+    /// Time spent queued behind earlier arrivals (FIFO position wait).
+    pub queue_wait_ns: u64,
+    /// Time spent at the queue head waiting for budget (grant wait).
+    pub grant_wait_ns: u64,
+    /// Execution wall time (admission to result production).
+    pub exec_ns: u64,
+    /// Result serialization wall time (report attach + frame encode).
+    pub serialize_ns: u64,
+    /// Memory-shed requests this query absorbed while running.
+    pub shed_count: u64,
+    /// `(state, t_ns)` transitions: state name from [`QUERY_STATES`],
+    /// offset in nanoseconds since the request was received.
+    pub states: Vec<(String, u64)>,
+}
+
+/// Internal consistency of a `query_trace` section: every state is a
+/// known [`QUERY_STATES`] name, the transition timestamps are monotone,
+/// and the machine starts where every query starts — at `received`.
+fn validate_query_trace(sec: &QueryTraceSection) -> Result<(), String> {
+    if sec.states.is_empty() {
+        return Err("query_trace carries no state transitions".into());
+    }
+    for (state, _) in &sec.states {
+        if !QUERY_STATES.contains(&state.as_str()) {
+            return Err(format!("query_trace has unknown state '{state}'"));
+        }
+    }
+    if sec.states[0].0 != "received" {
+        return Err(format!(
+            "query_trace starts at '{}', not 'received'",
+            sec.states[0].0
+        ));
+    }
+    if sec.states.windows(2).any(|w| w[0].1 > w[1].1) {
+        return Err("query_trace state timestamps are not monotone".into());
+    }
+    Ok(())
+}
+
 /// Bottleneck classes the diagnosis rule engine can assign. Exactly one
 /// becomes a report's primary bottleneck; `compute_bound` is the healthy
 /// default when no pathology fires.
@@ -426,6 +493,10 @@ pub struct RunReport {
     /// flight recorder installed; omitted from the JSON when absent,
     /// same convention as the other optional sections).
     pub flightrec: Option<FlightrecSection>,
+    /// Per-query daemon lifecycle trace (`None` unless a tracing-enabled
+    /// server attached one; omitted from the JSON when absent, same
+    /// convention as the other optional sections).
+    pub query_trace: Option<QueryTraceSection>,
 }
 
 impl RunReport {
@@ -452,6 +523,7 @@ impl RunReport {
             timeseries: None,
             analysis: None,
             flightrec: None,
+            query_trace: None,
         }
     }
 
@@ -586,6 +658,11 @@ impl RunReport {
                 members.push(("flightrec".into(), flightrec_json(sec)));
             }
         }
+        if let Some(sec) = &self.query_trace {
+            if let Json::Obj(members) = &mut doc {
+                members.push(("query_trace".into(), query_trace_json(sec)));
+            }
+        }
         doc
     }
 
@@ -639,6 +716,10 @@ impl RunReport {
             },
             flightrec: match doc.get("flightrec") {
                 Some(sec) => Some(parse_flightrec(sec)?),
+                None => None,
+            },
+            query_trace: match doc.get("query_trace") {
+                Some(sec) => Some(parse_query_trace(sec)?),
                 None => None,
             },
         })
@@ -722,6 +803,9 @@ impl RunReport {
         }
         if let Some(sec) = &self.flightrec {
             validate_flightrec(sec)?;
+        }
+        if let Some(sec) = &self.query_trace {
+            validate_query_trace(sec)?;
         }
         Ok(())
     }
@@ -1122,6 +1206,52 @@ fn parse_flightrec(doc: &Json) -> Result<FlightrecSection, String> {
         written: field_u64(doc, "written")?,
         dropped: field_u64(doc, "dropped")?,
         counts,
+    })
+}
+
+fn query_trace_json(sec: &QueryTraceSection) -> Json {
+    Json::obj(vec![
+        ("trace_id", Json::U64(sec.trace_id)),
+        ("query_id", Json::U64(sec.query_id)),
+        ("queue_wait_ns", Json::U64(sec.queue_wait_ns)),
+        ("grant_wait_ns", Json::U64(sec.grant_wait_ns)),
+        ("exec_ns", Json::U64(sec.exec_ns)),
+        ("serialize_ns", Json::U64(sec.serialize_ns)),
+        ("shed_count", Json::U64(sec.shed_count)),
+        (
+            "states",
+            Json::Arr(
+                sec.states
+                    .iter()
+                    .map(|(state, t_ns)| {
+                        Json::obj(vec![
+                            ("state", Json::Str(state.clone())),
+                            ("t_ns", Json::U64(*t_ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn parse_query_trace(doc: &Json) -> Result<QueryTraceSection, String> {
+    let states = doc
+        .get("states")
+        .and_then(Json::as_arr)
+        .ok_or("query_trace section missing states array")?
+        .iter()
+        .map(|s| Ok((field_str(s, "state")?, field_u64(s, "t_ns")?)))
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(QueryTraceSection {
+        trace_id: field_u64(doc, "trace_id")?,
+        query_id: field_u64(doc, "query_id")?,
+        queue_wait_ns: field_u64(doc, "queue_wait_ns")?,
+        grant_wait_ns: field_u64(doc, "grant_wait_ns")?,
+        exec_ns: field_u64(doc, "exec_ns")?,
+        serialize_ns: field_u64(doc, "serialize_ns")?,
+        shed_count: field_u64(doc, "shed_count")?,
+        states,
     })
 }
 
@@ -1606,6 +1736,78 @@ mod tests {
         assert!(text.contains("\"faults\""));
         let back = RunReport::parse(&text).expect("parse");
         assert_eq!(back.faults, Some(FaultsSection::default()));
+    }
+
+    fn query_trace_section() -> QueryTraceSection {
+        QueryTraceSection {
+            trace_id: 0xABCD_1234,
+            query_id: 7,
+            queue_wait_ns: 1_500,
+            grant_wait_ns: 2_500,
+            exec_ns: 90_000,
+            serialize_ns: 600,
+            shed_count: 1,
+            states: vec![
+                ("received".into(), 0),
+                ("queued".into(), 10),
+                ("admitted".into(), 4_010),
+                ("executing".into(), 4_020),
+                ("responding".into(), 94_020),
+                ("done".into(), 94_620),
+            ],
+        }
+    }
+
+    #[test]
+    fn query_trace_section_round_trips_and_validates() {
+        let mut r = report_with_spans();
+        r.query_trace = Some(query_trace_section());
+        r.validate().expect("query_trace section is consistent");
+        let text = r.render();
+        assert!(text.contains("\"query_trace\""));
+        assert!(text.contains("\"trace_id\": 2882343476"));
+        assert!(text.contains("\"state\": \"executing\""));
+        let back = RunReport::parse(&text).expect("parse");
+        assert_eq!(back.query_trace, r.query_trace);
+        back.validate().expect("round-tripped report still validates");
+        // Untraced reports never mention the key.
+        assert!(!report_with_spans().render().contains("query_trace"));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_query_trace() {
+        let mut r = report_with_spans();
+        r.query_trace = Some(QueryTraceSection::default());
+        assert!(r.validate().unwrap_err().contains("no state transitions"));
+
+        let mut r = report_with_spans();
+        let mut sec = query_trace_section();
+        sec.states[2].0 = "levitating".into();
+        r.query_trace = Some(sec);
+        assert!(r.validate().unwrap_err().contains("unknown state"));
+
+        let mut r = report_with_spans();
+        let mut sec = query_trace_section();
+        sec.states.swap(1, 4);
+        r.query_trace = Some(sec);
+        assert!(r.validate().unwrap_err().contains("monotone"));
+
+        let mut r = report_with_spans();
+        let mut sec = query_trace_section();
+        sec.states.remove(0);
+        r.query_trace = Some(sec);
+        assert!(r.validate().unwrap_err().contains("not 'received'"));
+    }
+
+    #[test]
+    fn parse_rejects_structurally_malformed_query_trace() {
+        let mut r = report_with_spans();
+        r.query_trace = Some(query_trace_section());
+        let text = r.render();
+        let no_states = text.replace("\"states\"", "\"stales\"");
+        assert!(RunReport::parse(&no_states).unwrap_err().contains("states"));
+        let bad_t = text.replace("\"t_ns\": 4010", "\"t_ns\": \"soon\"");
+        assert!(RunReport::parse(&bad_t).unwrap_err().contains("t_ns"));
     }
 
     #[test]

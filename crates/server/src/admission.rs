@@ -26,6 +26,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
 
 use phj_disk::LiveBudget;
 
@@ -154,6 +155,10 @@ pub struct Admission {
     /// Shed requests issued to running queries (mirrors the
     /// `phj_server_shed_requests_total` counter for direct assertion).
     sheds: AtomicU64,
+    /// Called with the victim query id each time a shed request is
+    /// issued — the server wires this to the live query registry so
+    /// `/queries` can show which query absorbed the pressure.
+    shed_observer: Mutex<Option<Box<dyn Fn(u64) + Send + Sync>>>,
 }
 
 impl Admission {
@@ -173,7 +178,15 @@ impl Admission {
             cv: Condvar::new(),
             revocable: Mutex::new(HashMap::new()),
             sheds: AtomicU64::new(0),
+            shed_observer: Mutex::new(None),
         })
+    }
+
+    /// Install (replace) the shed observer. Called outside every table
+    /// lock, so the observer may take its own locks freely — but it
+    /// must not call back into this table.
+    pub fn set_shed_observer(&self, f: impl Fn(u64) + Send + Sync + 'static) {
+        *self.shed_observer.lock().unwrap() = Some(Box::new(f));
     }
 
     /// The configuration this table enforces.
@@ -186,6 +199,9 @@ impl Admission {
     /// is currently exhausted. `query_id` tags the flight-recorder
     /// events.
     pub fn admit(self: &Arc<Self>, query_id: u64, requested: u64) -> Result<MemGrant, AdmitError> {
+        let submit = Instant::now();
+        let mut queue_wait = Duration::ZERO;
+        let mut grant_wait = Duration::ZERO;
         let want = requested.max(self.cfg.min_grant);
         if want > self.cfg.budget {
             let mut st = self.state.lock().unwrap();
@@ -224,11 +240,27 @@ impl Admission {
                 drop(st);
                 self.request_shed(deficit, query_id);
                 st = self.state.lock().unwrap();
-                // Strict FIFO: only the front ticket may debit the budget.
-                while st.queue.front() != Some(&ticket) || st.available < want {
+                // Strict FIFO: only the front ticket may debit the
+                // budget. The wait splits in two for the lifecycle
+                // breakdown: time spent *behind* earlier tickets is
+                // queue wait, time spent *at the front* waiting for
+                // budget is grant wait.
+                let mut at_front_at: Option<Instant> = None;
+                loop {
+                    let at_front = st.queue.front() == Some(&ticket);
+                    if at_front && at_front_at.is_none() {
+                        at_front_at = Some(Instant::now());
+                    }
+                    if at_front && st.available >= want {
+                        break;
+                    }
                     st = self.cv.wait(st).unwrap();
                 }
                 st.queue.pop_front();
+                let now = Instant::now();
+                let front_at = at_front_at.unwrap_or(now);
+                queue_wait = front_at.duration_since(submit);
+                grant_wait = now.duration_since(front_at);
             }
             st.available -= want;
             let outstanding = self.cfg.budget - st.available;
@@ -247,7 +279,13 @@ impl Admission {
             query_id,
             want,
         );
-        Ok(MemGrant { table: Arc::clone(self), bytes: AtomicU64::new(want), query_id })
+        Ok(MemGrant {
+            table: Arc::clone(self),
+            bytes: AtomicU64::new(want),
+            query_id,
+            queue_wait,
+            grant_wait,
+        })
     }
 
     /// Register a running query as revocable: when a later arrival
@@ -297,6 +335,9 @@ impl Admission {
         }
         budget.request_shrink(target);
         self.sheds.fetch_add(1, Ordering::Relaxed);
+        if let Some(observer) = self.shed_observer.lock().unwrap().as_ref() {
+            observer(victim);
+        }
         if let Some(reg) = phj_metrics::global() {
             reg.counter(
                 phj_metrics::names::SERVER_SHED_REQUESTS,
@@ -418,12 +459,26 @@ pub struct MemGrant {
     table: Arc<Admission>,
     bytes: AtomicU64,
     query_id: u64,
+    queue_wait: Duration,
+    grant_wait: Duration,
 }
 
 impl MemGrant {
     /// Bytes this grant currently holds.
     pub fn bytes(&self) -> u64 {
         self.bytes.load(Ordering::Acquire)
+    }
+
+    /// How long the admitting query waited behind earlier FIFO tickets
+    /// (zero when it was granted without queueing).
+    pub fn queue_wait(&self) -> Duration {
+        self.queue_wait
+    }
+
+    /// How long the admitting query waited at the queue head for
+    /// budget to free up (zero when it was granted without queueing).
+    pub fn grant_wait(&self) -> Duration {
+        self.grant_wait
     }
 
     /// Resize the grant. Shrinks credit the difference back to the
@@ -638,6 +693,75 @@ mod tests {
         assert_eq!(adm.outstanding(), 60);
         assert_eq!(adm.peak_outstanding(), 100);
         assert_eq!(adm.peak_waiting(), 1);
+    }
+
+    #[test]
+    fn wait_times_split_queue_position_from_budget_wait() {
+        let adm = Admission::new(cfg(100, 1, 8));
+        let g0 = adm.admit(1, 100).unwrap();
+        // An uncontended grant records zero for both waits.
+        assert_eq!(g0.queue_wait(), Duration::ZERO);
+        assert_eq!(g0.grant_wait(), Duration::ZERO);
+        let w1 = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || {
+                let g = adm.admit(2, 100).unwrap();
+                let waits = (g.queue_wait(), g.grant_wait());
+                std::thread::sleep(Duration::from_millis(20));
+                waits
+            })
+        };
+        while adm.waiting() < 1 {
+            std::thread::yield_now();
+        }
+        let w2 = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || {
+                let g = adm.admit(3, 100).unwrap();
+                (g.queue_wait(), g.grant_wait())
+            })
+        };
+        while adm.waiting() < 2 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        drop(g0);
+        let (q1, g1) = w1.join().unwrap();
+        let (q2, g2) = w2.join().unwrap();
+        // Ticket 2 reached the front within its first lock acquisition:
+        // its queue wait is scheduler noise; its real wait was the ~5 ms
+        // g0 held the whole budget. Ticket 3 queued behind ticket 2
+        // until *it* was granted (the same ~5 ms), then waited at the
+        // front for ticket 2's ~20 ms hold.
+        assert!(q1 < Duration::from_millis(5), "front ticket barely queued: {q1:?}");
+        assert!(g1 >= Duration::from_millis(4), "grant wait spans the budget hold: {g1:?}");
+        assert!(q2 >= Duration::from_millis(2), "queued ticket waited behind the front: {q2:?}");
+        assert!(g2 >= Duration::from_millis(15), "then waited at the front for the hold: {g2:?}");
+    }
+
+    #[test]
+    fn shed_observer_sees_the_victim_query() {
+        let adm = Admission::new(cfg(100, 10, 8));
+        let observed = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&observed);
+        adm.set_shed_observer(move |victim| sink.lock().unwrap().push(victim));
+        let g = Arc::new(adm.admit(7, 100).unwrap());
+        let live = Arc::new(LiveBudget::new(100));
+        let _reg = adm.register_revocable(7, &g, &live);
+        let hooked = Arc::clone(&g);
+        live.set_on_ack(move |b| {
+            hooked.try_shrink(b);
+        });
+        let waiter = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || adm.admit(8, 40).map(|g| g.bytes()))
+        };
+        while live.limit() == 100 {
+            std::thread::yield_now();
+        }
+        live.ack(60);
+        assert_eq!(waiter.join().unwrap().unwrap(), 40);
+        assert_eq!(*observed.lock().unwrap(), vec![7]);
     }
 
     #[test]

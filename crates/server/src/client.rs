@@ -3,10 +3,30 @@
 //! bench both drive the daemon through this type, so the wire path the
 //! benches measure is the wire path users get.
 
+use std::io::Read;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::proto::{read_frame, write_frame, FrameError, ProtoError, Request, Response};
+use crate::proto::{
+    read_frame, read_frame_rest, write_frame, FrameError, ProtoError, Request, Response,
+};
+
+/// Client-side wall-clock breakdown of one request
+/// ([`Connection::request_timed`]): how long the send took, how long
+/// the client waited for the *first* response byte, and how long the
+/// rest of the response frame took to arrive. `wait` is the span the
+/// server's own `query_trace` section accounts for (queue + grant +
+/// exec + serialize, plus network) — `phj client --trace-out` lines
+/// the two up in one Perfetto timeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientTiming {
+    /// Writing the request frame.
+    pub send: Duration,
+    /// Send completion → first response byte.
+    pub wait: Duration,
+    /// First response byte → full frame received.
+    pub recv: Duration,
+}
 
 /// One connection to a `phj serve` daemon.
 pub struct Connection {
@@ -37,5 +57,39 @@ impl Connection {
             Some(body) => Ok(Response::decode(&body)?),
             None => Err(ProtoError::Truncated.into()),
         }
+    }
+
+    /// [`request`](Self::request) with a client-side send/wait/recv
+    /// breakdown. The first response byte is read by hand so the
+    /// wait→recv boundary is the actual first byte on the wire, not a
+    /// whole-frame read.
+    pub fn request_timed(
+        &mut self,
+        req: &Request,
+    ) -> Result<(Response, ClientTiming), FrameError> {
+        let t0 = Instant::now();
+        write_frame(&mut self.stream, &req.encode())?;
+        let sent = Instant::now();
+        let mut first = [0u8; 1];
+        loop {
+            match self.stream.read(&mut first) {
+                // A server that closes without answering: same typed
+                // error the untimed path reports.
+                Ok(0) => return Err(ProtoError::Truncated.into()),
+                Ok(_) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let first_byte = Instant::now();
+        let body = read_frame_rest(first[0], &mut self.stream)?;
+        let resp = Response::decode(&body)?;
+        let done = Instant::now();
+        let timing = ClientTiming {
+            send: sent.duration_since(t0),
+            wait: first_byte.duration_since(sent),
+            recv: done.duration_since(first_byte),
+        };
+        Ok((resp, timing))
     }
 }

@@ -28,6 +28,16 @@
 //!   (admitted/rejected/queued/inflight plus a latency histogram), and
 //!   phj-flightrec (per-query `Grant` and `query` phase events).
 //!
+//! * [`registry`] — the live query table. Every query walks a typed
+//!   lifecycle state machine (received → queued → admitted → executing
+//!   → responding → done/failed) with wall-clock offsets per
+//!   transition; the table is served four ways: the `Status` protocol
+//!   request, the `/queries` HTTP endpoint, `phj top`, and the
+//!   optional `query_trace` RunReport section. Clients can mint a
+//!   trace id (an optional 8-byte frame tail — untraced frames are
+//!   byte-identical to older builds) that follows the query through
+//!   admission, the flight recorder, and back out in the result.
+//!
 //! [`client`] is the matching blocking client (`phj client`, and the
 //! `serve_load` open-loop load generator in `phj-bench`).
 //!
@@ -40,9 +50,13 @@ pub mod admission;
 pub mod client;
 pub mod proto;
 pub mod query;
+pub mod registry;
 pub mod server;
 
 pub use admission::{Admission, AdmissionConfig, AdmitError, MemGrant, ResizeError, RevocableReg};
-pub use client::Connection;
-pub use proto::{ErrorCode, FrameError, ProtoError, Request, Response};
-pub use server::{ServeConfig, Server};
+pub use client::{ClientTiming, Connection};
+pub use proto::{
+    ErrorCode, FrameError, ProtoError, Request, Response, StatusRow, MAX_STATUS_ROWS,
+};
+pub use registry::{Lifecycle, QueryRegistry, QueryState};
+pub use server::{ServeConfig, Server, SlowQueryConfig};

@@ -172,6 +172,10 @@ pub struct JoinRequest {
     pub mem_budget: u64,
     /// Workload generator seed (determines the checksum).
     pub seed: u64,
+    /// Client-minted distributed trace id (0 = untraced). Travels as an
+    /// optional frame tail: omitted entirely when zero, so untraced
+    /// frames are byte-identical to the pre-tracing wire format.
+    pub trace_id: u64,
 }
 
 /// An aggregation query: the same knobs as `phj agg`.
@@ -185,6 +189,9 @@ pub struct AggRequest {
     pub scheme: WireScheme,
     /// Memory the query asks a grant for, in bytes (0 = estimate).
     pub mem_budget: u64,
+    /// Client-minted distributed trace id (0 = untraced; optional tail,
+    /// same convention as [`JoinRequest::trace_id`]).
+    pub trace_id: u64,
 }
 
 /// An on-disk join query: runs the `phj-disk` engine (GRACE, hybrid,
@@ -208,6 +215,9 @@ pub struct DiskJoinRequest {
     pub seed: u64,
     /// Execution strategy: 0 = grace, 1 = hybrid, 2 = dynamic.
     pub mode: u8,
+    /// Client-minted distributed trace id (0 = untraced; optional tail,
+    /// same convention as [`JoinRequest::trace_id`]).
+    pub trace_id: u64,
 }
 
 /// A decoded request frame body.
@@ -221,15 +231,24 @@ pub enum Request {
     DiskJoin(DiskJoinRequest),
     /// Liveness probe; the server answers [`Response::Pong`].
     Ping,
+    /// Introspection: ask for the live query table; the server answers
+    /// [`Response::Status`].
+    Status,
 }
 
 const TAG_JOIN: u8 = 0x01;
 const TAG_AGG: u8 = 0x02;
 const TAG_PING: u8 = 0x03;
 const TAG_DISK: u8 = 0x04;
+const TAG_STATUS: u8 = 0x05;
 const TAG_RESULT: u8 = 0x81;
 const TAG_ERROR: u8 = 0x82;
 const TAG_PONG: u8 = 0x83;
+const TAG_STATUS_RESP: u8 = 0x84;
+
+/// Upper bound on rows in a [`Response::Status`] frame, checked before
+/// any allocation — a hostile row count cannot OOM the decoder.
+pub const MAX_STATUS_ROWS: u32 = 1024;
 
 /// Typed error codes carried by [`Response::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -282,6 +301,37 @@ pub struct QueryResult {
     pub elapsed_us: u64,
     /// The per-query RunReport, rendered as JSON.
     pub report_json: String,
+    /// The trace id the request carried, echoed back (0 = untraced;
+    /// optional tail, same convention as [`JoinRequest::trace_id`]).
+    pub trace_id: u64,
+}
+
+/// One row of the live query table carried by [`Response::Status`]:
+/// a fixed-width snapshot of one in-flight or recently-completed query.
+/// State codes index `phj_obs::QUERY_STATES`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusRow {
+    /// Server-assigned query id.
+    pub query_id: u64,
+    /// Client-minted trace id (0 = untraced).
+    pub trace_id: u64,
+    /// 1 = join, 2 = agg, 3 = disk join.
+    pub kind: u8,
+    /// Lifecycle state code (0–6: received, queued, admitted,
+    /// executing, responding, done, failed).
+    pub state: u8,
+    /// Microseconds since the request was received.
+    pub age_us: u64,
+    /// Current grant size in bytes (0 once released).
+    pub grant_bytes: u64,
+    /// Shed requests this query has absorbed.
+    pub shed_count: u32,
+    /// Time spent queued behind earlier arrivals, microseconds.
+    pub queue_wait_us: u64,
+    /// Time spent at the queue head waiting for budget, microseconds.
+    pub grant_wait_us: u64,
+    /// Execution wall time so far (or final), microseconds.
+    pub exec_us: u64,
 }
 
 /// A decoded response frame body.
@@ -298,6 +348,8 @@ pub enum Response {
     },
     /// Answer to [`Request::Ping`].
     Pong,
+    /// Answer to [`Request::Status`]: the live query table.
+    Status(Vec<StatusRow>),
 }
 
 // ---------------------------------------------------------------- codec
@@ -343,6 +395,22 @@ impl<'a> Cursor<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadUtf8)
     }
 
+    /// The optional 8-byte trace-id tail: present iff exactly 8 bytes
+    /// remain after the message's fixed part. An *explicit* zero is
+    /// rejected — zero means "untraced" and untraced frames omit the
+    /// tail entirely, so every message keeps exactly one wire form
+    /// (the decode∘encode identity in `tests/proto_props.rs`).
+    fn trace_tail(&mut self) -> Result<u64, ProtoError> {
+        if self.buf.len() - self.pos != 8 {
+            return Ok(0);
+        }
+        let id = self.u64()?;
+        if id == 0 {
+            return Err(ProtoError::BadValue("explicit zero trace id"));
+        }
+        Ok(id)
+    }
+
     fn finish(self) -> Result<(), ProtoError> {
         let left = self.buf.len() - self.pos;
         if left == 0 {
@@ -356,6 +424,12 @@ impl<'a> Cursor<'a> {
 fn put_string(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
+}
+
+fn put_trace_tail(out: &mut Vec<u8>, trace_id: u64) {
+    if trace_id != 0 {
+        out.extend_from_slice(&trace_id.to_le_bytes());
+    }
 }
 
 impl Request {
@@ -375,6 +449,7 @@ impl Request {
                 out.extend_from_slice(&d.to_le_bytes());
                 out.extend_from_slice(&j.mem_budget.to_le_bytes());
                 out.extend_from_slice(&j.seed.to_le_bytes());
+                put_trace_tail(&mut out, j.trace_id);
             }
             Request::Agg(a) => {
                 let (g, d) = a.scheme.params();
@@ -385,6 +460,7 @@ impl Request {
                 out.extend_from_slice(&g.to_le_bytes());
                 out.extend_from_slice(&d.to_le_bytes());
                 out.extend_from_slice(&a.mem_budget.to_le_bytes());
+                put_trace_tail(&mut out, a.trace_id);
             }
             Request::DiskJoin(dj) => {
                 out.push(TAG_DISK);
@@ -395,8 +471,10 @@ impl Request {
                 out.extend_from_slice(&dj.mem_budget.to_le_bytes());
                 out.extend_from_slice(&dj.seed.to_le_bytes());
                 out.push(dj.mode);
+                put_trace_tail(&mut out, dj.trace_id);
             }
             Request::Ping => out.push(TAG_PING),
+            Request::Status => out.push(TAG_STATUS),
         }
         out
     }
@@ -420,6 +498,7 @@ impl Request {
                 let scheme = WireScheme::from_parts(code, g, d)?;
                 let mem_budget = c.u64()?;
                 let seed = c.u64()?;
+                let trace_id = c.trace_tail()?;
                 if tuple_size < 8 {
                     return Err(ProtoError::BadValue("tuple_size < 8"));
                 }
@@ -431,6 +510,7 @@ impl Request {
                     scheme,
                     mem_budget,
                     seed,
+                    trace_id,
                 })
             }
             TAG_AGG => {
@@ -441,10 +521,11 @@ impl Request {
                 let d = c.u32()?;
                 let scheme = WireScheme::from_parts(code, g, d)?;
                 let mem_budget = c.u64()?;
+                let trace_id = c.trace_tail()?;
                 if keys == 0 {
                     return Err(ProtoError::BadValue("keys == 0"));
                 }
-                Request::Agg(AggRequest { rows, keys, scheme, mem_budget })
+                Request::Agg(AggRequest { rows, keys, scheme, mem_budget, trace_id })
             }
             TAG_DISK => {
                 let build_tuples = c.u64()?;
@@ -457,6 +538,7 @@ impl Request {
                 let mem_budget = c.u64()?;
                 let seed = c.u64()?;
                 let mode = c.u8()?;
+                let trace_id = c.trace_tail()?;
                 if mode > 2 {
                     return Err(ProtoError::BadValue("disk join mode > 2"));
                 }
@@ -471,9 +553,11 @@ impl Request {
                     mem_budget,
                     seed,
                     mode,
+                    trace_id,
                 })
             }
             TAG_PING => Request::Ping,
+            TAG_STATUS => Request::Status,
             t => return Err(ProtoError::BadTag(t)),
         };
         c.finish()?;
@@ -495,6 +579,7 @@ impl Response {
                 out.extend_from_slice(&r.partitions.to_le_bytes());
                 out.extend_from_slice(&r.elapsed_us.to_le_bytes());
                 put_string(&mut out, &r.report_json);
+                put_trace_tail(&mut out, r.trace_id);
             }
             Response::Error { code, message } => {
                 out.push(TAG_ERROR);
@@ -502,6 +587,22 @@ impl Response {
                 put_string(&mut out, message);
             }
             Response::Pong => out.push(TAG_PONG),
+            Response::Status(rows) => {
+                out.push(TAG_STATUS_RESP);
+                out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for row in rows {
+                    out.extend_from_slice(&row.query_id.to_le_bytes());
+                    out.extend_from_slice(&row.trace_id.to_le_bytes());
+                    out.push(row.kind);
+                    out.push(row.state);
+                    out.extend_from_slice(&row.age_us.to_le_bytes());
+                    out.extend_from_slice(&row.grant_bytes.to_le_bytes());
+                    out.extend_from_slice(&row.shed_count.to_le_bytes());
+                    out.extend_from_slice(&row.queue_wait_us.to_le_bytes());
+                    out.extend_from_slice(&row.grant_wait_us.to_le_bytes());
+                    out.extend_from_slice(&row.exec_us.to_le_bytes());
+                }
+            }
         }
         out
     }
@@ -518,12 +619,45 @@ impl Response {
                 partitions: c.u64()?,
                 elapsed_us: c.u64()?,
                 report_json: c.string()?,
+                trace_id: c.trace_tail()?,
             }),
             TAG_ERROR => Response::Error {
                 code: ErrorCode::from_u16(c.u16()?)?,
                 message: c.string()?,
             },
             TAG_PONG => Response::Pong,
+            TAG_STATUS_RESP => {
+                let count = c.u32()?;
+                if count > MAX_STATUS_ROWS {
+                    return Err(ProtoError::BadValue("status row count"));
+                }
+                let mut rows = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let query_id = c.u64()?;
+                    let trace_id = c.u64()?;
+                    let kind = c.u8()?;
+                    let state = c.u8()?;
+                    if kind == 0 || kind > 3 {
+                        return Err(ProtoError::BadValue("status row kind"));
+                    }
+                    if state > 6 {
+                        return Err(ProtoError::BadValue("query state code"));
+                    }
+                    rows.push(StatusRow {
+                        query_id,
+                        trace_id,
+                        kind,
+                        state,
+                        age_us: c.u64()?,
+                        grant_bytes: c.u64()?,
+                        shed_count: c.u32()?,
+                        queue_wait_us: c.u64()?,
+                        grant_wait_us: c.u64()?,
+                        exec_us: c.u64()?,
+                    });
+                }
+                Response::Status(rows)
+            }
             t => return Err(ProtoError::BadTag(t)),
         };
         c.finish()?;
@@ -608,6 +742,7 @@ mod tests {
             scheme: WireScheme::Group { g: 16 },
             mem_budget: 1 << 20,
             seed: 0x11D0,
+            trace_id: 0,
         });
         let mut wire = Vec::new();
         write_frame(&mut wire, &req.encode()).unwrap();
@@ -628,6 +763,7 @@ mod tests {
             mem_budget: 1 << 16,
             seed: 0xD15C,
             mode: 2,
+            trace_id: 0,
         });
         let body = req.encode();
         assert_eq!(Request::decode(&body).unwrap(), req);
@@ -675,5 +811,87 @@ mod tests {
         let mut body = Request::Ping.encode();
         body.push(0xFF);
         assert_eq!(Request::decode(&body), Err(ProtoError::Trailing(1)));
+    }
+
+    #[test]
+    fn trace_id_tail_round_trips_and_zero_is_canonical() {
+        let mut req = JoinRequest {
+            build_tuples: 1_000,
+            tuple_size: 64,
+            matches_per_build: 1,
+            pct_match: 100,
+            scheme: WireScheme::Simple,
+            mem_budget: 1 << 20,
+            seed: 1,
+            trace_id: 0,
+        };
+        let untraced = Request::Join(req.clone()).encode();
+        req.trace_id = 0xFEED_BEEF_CAFE_0001;
+        let traced = Request::Join(req.clone()).encode();
+        // The tail is the only difference: untraced frames keep the
+        // pre-tracing wire format byte for byte.
+        assert_eq!(traced.len(), untraced.len() + 8);
+        assert_eq!(&traced[..untraced.len()], &untraced[..]);
+        assert_eq!(Request::decode(&traced).unwrap(), Request::Join(req));
+
+        // An explicit zero tail is non-canonical (zero means "omit").
+        let mut zeroed = untraced.clone();
+        zeroed.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(
+            Request::decode(&zeroed),
+            Err(ProtoError::BadValue("explicit zero trace id"))
+        );
+        // A partial tail is just trailing garbage.
+        let mut partial = untraced;
+        partial.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(Request::decode(&partial), Err(ProtoError::Trailing(3)));
+    }
+
+    fn status_row(query_id: u64) -> StatusRow {
+        StatusRow {
+            query_id,
+            trace_id: 0xABCD,
+            kind: 3,
+            state: 3,
+            age_us: 12_000,
+            grant_bytes: 1 << 20,
+            shed_count: 1,
+            queue_wait_us: 900,
+            grant_wait_us: 2_100,
+            exec_us: 9_000,
+        }
+    }
+
+    #[test]
+    fn status_frames_round_trip() {
+        let body = Request::Status.encode();
+        assert_eq!(Request::decode(&body).unwrap(), Request::Status);
+
+        let resp = Response::Status(vec![status_row(1), status_row(2)]);
+        let body = resp.encode();
+        assert_eq!(Response::decode(&body).unwrap(), resp);
+        let empty = Response::Status(Vec::new());
+        assert_eq!(Response::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn hostile_status_frames_are_typed_not_panics() {
+        // Unknown state code.
+        let mut body = Response::Status(vec![status_row(1)]).encode();
+        body[1 + 4 + 8 + 8 + 1] = 7;
+        assert_eq!(Response::decode(&body), Err(ProtoError::BadValue("query state code")));
+        // Unknown kind.
+        let mut body = Response::Status(vec![status_row(1)]).encode();
+        body[1 + 4 + 8 + 8] = 9;
+        assert_eq!(Response::decode(&body), Err(ProtoError::BadValue("status row kind")));
+        // An oversized row count is rejected before any allocation.
+        let mut huge = vec![0x84];
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Response::decode(&huge), Err(ProtoError::BadValue("status row count")));
+        // A plausible count with a truncated payload: cut a valid
+        // two-row frame mid-second-row.
+        let full = Response::Status(vec![status_row(1), status_row(2)]).encode();
+        let short = &full[..full.len() - 10];
+        assert_eq!(Response::decode(short), Err(ProtoError::Truncated));
     }
 }

@@ -77,7 +77,7 @@ pub fn validate(req: &Request) -> Result<(), String> {
             }
             Ok(())
         }
-        Request::Agg(_) | Request::Ping => Ok(()),
+        Request::Agg(_) | Request::Ping | Request::Status => Ok(()),
     }
 }
 
@@ -107,7 +107,7 @@ pub fn estimated_bytes(req: &Request) -> u64 {
         // exactly the join's working memory, which is also the live
         // budget admission can later revoke parts of.
         Request::DiskJoin(dj) => dj.mem_budget,
-        Request::Ping => 0,
+        Request::Ping | Request::Status => 0,
     }
 }
 
@@ -145,6 +145,19 @@ pub fn run_with_budget(
     req: &Request,
     live: Option<Arc<LiveBudget>>,
 ) -> Result<QueryOutcome, String> {
+    run_in(query_id, req, live, None)
+}
+
+/// [`run_with_budget`] with an explicit scratch base directory for
+/// disk-join staging (`None` = the system temp dir). The override
+/// exists so tests can point the scratch path somewhere that fails
+/// deterministically and exercise the error path end to end.
+pub fn run_in(
+    query_id: u64,
+    req: &Request,
+    live: Option<Arc<LiveBudget>>,
+    scratch: Option<&std::path::Path>,
+) -> Result<QueryOutcome, String> {
     phj_flightrec::event(
         phj_flightrec::EventKind::PhaseEnter,
         phj_flightrec::phase_code("query"),
@@ -154,8 +167,8 @@ pub fn run_with_budget(
     let out = match req {
         Request::Join(j) => run_join(query_id, j),
         Request::Agg(a) => run_agg(query_id, a),
-        Request::DiskJoin(dj) => run_disk(query_id, dj, live),
-        Request::Ping => Err("ping is not a query".to_string()),
+        Request::DiskJoin(dj) => run_disk(query_id, dj, live, scratch),
+        Request::Ping | Request::Status => Err("not a query".to_string()),
     };
     phj_flightrec::event(
         phj_flightrec::EventKind::PhaseExit,
@@ -273,6 +286,7 @@ fn run_disk(
     query_id: u64,
     dj: &DiskJoinRequest,
     live: Option<Arc<LiveBudget>>,
+    scratch: Option<&std::path::Path>,
 ) -> Result<QueryOutcome, String> {
     let spec = JoinSpec {
         build_tuples: dj.build_tuples as usize,
@@ -284,7 +298,9 @@ fn run_disk(
     let gen = spec.generate();
     // Each query stages its relations and spill files in its own
     // scratch directory so concurrent disk queries never collide.
-    let dir = std::env::temp_dir()
+    let dir = scratch
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or_else(std::env::temp_dir)
         .join(format!("phj-serve-disk-{}-{query_id}", std::process::id()));
     std::fs::create_dir_all(&dir).map_err(|e| format!("scratch dir: {e}"))?;
     let out = run_disk_in(query_id, dj, &spec, &gen, &dir, live);
@@ -372,6 +388,7 @@ mod tests {
             scheme: WireScheme::Group { g: 16 },
             mem_budget: 1 << 20,
             seed: 0x11D0,
+            trace_id: 0,
         })
     }
 
@@ -402,6 +419,7 @@ mod tests {
             keys: 500,
             scheme: WireScheme::Group { g: 16 },
             mem_budget: 0,
+            trace_id: 0,
         });
         let out = run(3, &req).unwrap();
         assert_eq!(out.kind, KIND_AGG);
@@ -419,6 +437,7 @@ mod tests {
             mem_budget: budget,
             seed: 0xD15C,
             mode,
+            trace_id: 0,
         })
     }
 
@@ -458,6 +477,7 @@ mod tests {
             scheme: WireScheme::Baseline,
             mem_budget: u64::MAX,
             seed: 0,
+            trace_id: 0,
         });
         assert_eq!(estimated_bytes(&req), u64::MAX);
         assert_eq!(estimated_bytes(&Request::Ping), 0);
@@ -473,6 +493,7 @@ mod tests {
             scheme: WireScheme::Baseline,
             mem_budget: 1 << 20,
             seed: 0,
+            trace_id: 0,
         });
         assert!(validate(&req).is_err());
     }

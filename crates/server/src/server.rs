@@ -36,18 +36,42 @@
 use std::io::Read;
 use std::net::{SocketAddr, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use phj_exec::Pool;
 use phj_metrics::Listener;
+use phj_obs::{QueryTraceSection, RunReport};
 
 use crate::admission::{Admission, AdmissionConfig, AdmitError};
 use crate::proto::{
     read_frame_rest, write_frame, ErrorCode, FrameError, QueryResult, Request, Response,
 };
 use crate::query;
+use crate::registry::{QueryRegistry, QueryState};
+
+/// Automatic slow-query capture knobs ([`ServeConfig::slow_query`]).
+#[derive(Debug, Clone)]
+pub struct SlowQueryConfig {
+    /// Capture a query whose end-to-end server latency (received →
+    /// response built) meets or exceeds this.
+    pub latency: Duration,
+    /// Also capture a query that absorbed at least this many shed
+    /// requests, regardless of latency. `0` disables the shed trigger.
+    pub max_sheds: u32,
+    /// Directory the dump files land in (created on first capture).
+    pub dir: PathBuf,
+    /// Dump-file ring bound: once more than `keep` dumps exist, the
+    /// oldest are deleted. A misbehaving workload therefore cannot
+    /// fill the disk with postmortems.
+    pub keep: usize,
+}
+
+/// Called after each slow-query dump lands on disk:
+/// `(query_id, trace_id, server latency, dump path)`.
+type SlowQueryHook = Box<dyn Fn(u64, u64, Duration, &Path) + Send + Sync>;
 
 /// Daemon configuration (`phj serve` flags map onto this).
 #[derive(Debug, Clone)]
@@ -71,6 +95,16 @@ pub struct ServeConfig {
     /// long, freeing its worker for queued connections. Idle or
     /// abandoned clients therefore cannot hold workers forever.
     pub idle_timeout: Duration,
+    /// Attach a `query_trace` section to every result's RunReport
+    /// (lifecycle spans + wait breakdown). Off by default: untraced
+    /// result frames stay byte-identical to pre-tracing builds.
+    pub trace: bool,
+    /// Automatic slow-query capture; `None` disables it.
+    pub slow_query: Option<SlowQueryConfig>,
+    /// Scratch base directory for disk-join staging (`None` = the
+    /// system temp dir). Tests point this somewhere that fails
+    /// deterministically to exercise the post-grant error path.
+    pub scratch_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -83,18 +117,29 @@ impl Default for ServeConfig {
             max_queue: 32,
             max_conns: 64,
             idle_timeout: Duration::from_secs(30),
+            trace: false,
+            slow_query: None,
+            scratch_dir: None,
         }
     }
 }
 
 struct Ctx {
     admission: Arc<Admission>,
+    registry: Arc<QueryRegistry>,
     stop: Arc<AtomicBool>,
     next_query: AtomicU64,
     inflight: AtomicU64,
     /// Live connection jobs (queued + serving), bounded by `max_conns`.
     conns: AtomicU64,
     idle_timeout: Duration,
+    trace: bool,
+    slow_query: Option<SlowQueryConfig>,
+    scratch_dir: Option<PathBuf>,
+    /// Monotone dump ordinal — dump filenames sort by capture order,
+    /// which is what the keep-ring prune relies on.
+    slow_seq: AtomicU64,
+    slow_hook: Mutex<Option<SlowQueryHook>>,
 }
 
 /// RAII share of the connection cap: decrements `conns` when the
@@ -123,13 +168,27 @@ impl Server {
             min_grant: cfg.min_grant,
             max_queue: cfg.max_queue,
         });
+        let registry = Arc::new(QueryRegistry::new());
+        // Shed attribution: admission knows *which* query it asked to
+        // shrink; the registry is where that shows up in `/queries`,
+        // `phj top`, and the slow-query shed trigger.
+        {
+            let reg = Arc::clone(&registry);
+            admission.set_shed_observer(move |victim| reg.note_shed(victim));
+        }
         let ctx = Arc::new(Ctx {
             admission,
+            registry,
             stop: Arc::new(AtomicBool::new(false)),
             next_query: AtomicU64::new(1),
             inflight: AtomicU64::new(0),
             conns: AtomicU64::new(0),
             idle_timeout: cfg.idle_timeout,
+            trace: cfg.trace,
+            slow_query: cfg.slow_query.clone(),
+            scratch_dir: cfg.scratch_dir.clone(),
+            slow_seq: AtomicU64::new(1),
+            slow_hook: Mutex::new(None),
         });
         let pool = Arc::new(Pool::new(cfg.threads.max(1)));
         let max_conns = cfg.max_conns.max(1) as u64;
@@ -171,6 +230,19 @@ impl Server {
     /// Queries currently executing.
     pub fn inflight(&self) -> u64 {
         self.ctx.inflight.load(Ordering::SeqCst)
+    }
+
+    /// The live query table (the `Status` protocol response, the
+    /// `/queries` endpoint, and `phj top` all render its snapshots).
+    pub fn registry(&self) -> &Arc<QueryRegistry> {
+        &self.ctx.registry
+    }
+
+    /// Install a callback fired after each slow-query dump lands:
+    /// `(query_id, trace_id, server latency, dump path)`. The CLI uses
+    /// this to emit a structured `slow_query` warning.
+    pub fn set_slow_query_hook(&self, f: impl Fn(u64, u64, Duration, &Path) + Send + Sync + 'static) {
+        *self.ctx.slow_hook.lock().unwrap() = Some(Box::new(f));
     }
 
     /// Stop accepting, wake every connection loop, and join the pool —
@@ -284,9 +356,31 @@ fn serve_conn(mut stream: TcpStream, ctx: &Ctx) {
     }
 }
 
+/// The client-minted trace id a request carries (0 = untraced).
+fn request_trace_id(req: &Request) -> u64 {
+    match req {
+        Request::Join(j) => j.trace_id,
+        Request::Agg(a) => a.trace_id,
+        Request::DiskJoin(dj) => dj.trace_id,
+        Request::Ping | Request::Status => 0,
+    }
+}
+
+fn request_kind(req: &Request) -> u8 {
+    match req {
+        Request::Join(_) => query::KIND_JOIN,
+        Request::Agg(_) => query::KIND_AGG,
+        Request::DiskJoin(_) => query::KIND_DISK,
+        Request::Ping | Request::Status => 0,
+    }
+}
+
 fn handle_request(ctx: &Ctx, req: &Request) -> Response {
     if let Request::Ping = req {
         return Response::Pong;
+    }
+    if let Request::Status = req {
+        return Response::Status(ctx.registry.snapshot());
     }
     if ctx.stop.load(Ordering::Acquire) {
         return Response::Error {
@@ -294,17 +388,44 @@ fn handle_request(ctx: &Ctx, req: &Request) -> Response {
             message: "server is shutting down".to_string(),
         };
     }
+    let query_id = ctx.next_query.fetch_add(1, Ordering::SeqCst);
+    let trace_id = request_trace_id(req);
+    let received = Instant::now();
+    ctx.registry.register(query_id, trace_id, request_kind(req));
+    if trace_id != 0 {
+        // Bind the client-minted trace id to the server-side query id
+        // in the flight recorder, so a postmortem can be grepped by
+        // either id.
+        phj_flightrec::event(
+            phj_flightrec::EventKind::Grant,
+            phj_flightrec::grant_op::TRACE,
+            trace_id,
+            query_id,
+        );
+    }
     if let Err(msg) = query::validate(req) {
+        ctx.registry.finish(query_id, QueryState::Failed);
         return Response::Error { code: ErrorCode::BadRequest, message: msg };
     }
-    let query_id = ctx.next_query.fetch_add(1, Ordering::SeqCst);
+    // Best-effort `queued` transition for the live view: admission
+    // re-checks under its own lock, so this can race — the grant's
+    // queue/grant wait split (copied in `set_grant`) is the precise
+    // record; this just makes a waiting query *visible* as waiting.
+    let want = query::estimated_bytes(req).max(ctx.admission.config().min_grant);
+    if ctx.admission.waiting() > 0
+        || ctx.admission.outstanding().saturating_add(want) > ctx.admission.config().budget
+    {
+        ctx.registry.set_state(query_id, QueryState::Queued);
+    }
     let grant = match ctx.admission.admit(query_id, query::estimated_bytes(req)) {
         Ok(g) => g,
         Err(e @ AdmitError::TooLarge { .. }) => {
-            return Response::Error { code: ErrorCode::TooLarge, message: e.to_string() }
+            ctx.registry.finish(query_id, QueryState::Failed);
+            return Response::Error { code: ErrorCode::TooLarge, message: e.to_string() };
         }
         Err(e @ AdmitError::QueueFull { .. }) => {
-            return Response::Error { code: ErrorCode::QueueFull, message: e.to_string() }
+            ctx.registry.finish(query_id, QueryState::Failed);
+            return Response::Error { code: ErrorCode::QueueFull, message: e.to_string() };
         }
     };
 
@@ -314,6 +435,8 @@ fn handle_request(ctx: &Ctx, req: &Request) -> Response {
     // compliance acks propagate straight back into the grant (freed
     // bytes re-enter the global budget while the join keeps running).
     let grant = Arc::new(grant);
+    ctx.registry.set_state(query_id, QueryState::Admitted);
+    ctx.registry.set_grant(query_id, &grant);
     let (live, revocation) = match req {
         Request::DiskJoin(dj) if dj.mode == 2 => {
             let live = Arc::new(phj_disk::LiveBudget::new(grant.bytes()));
@@ -327,41 +450,224 @@ fn handle_request(ctx: &Ctx, req: &Request) -> Response {
         _ => (None, None),
     };
 
+    ctx.registry.set_state(query_id, QueryState::Executing);
     ctx.inflight.fetch_add(1, Ordering::SeqCst);
     publish_inflight(ctx);
     let t0 = Instant::now();
     // A panicking kernel answers Internal instead of killing the
     // worker thread (and with it, every queued connection).
-    let outcome =
-        catch_unwind(AssertUnwindSafe(|| query::run_with_budget(query_id, req, live.clone())));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        query::run_in(query_id, req, live.clone(), ctx.scratch_dir.as_deref())
+    }));
     let elapsed = t0.elapsed();
     drop(revocation);
     ctx.inflight.fetch_sub(1, Ordering::SeqCst);
     publish_inflight(ctx);
-    if let Some(reg) = phj_metrics::global() {
-        reg.histogram(
-            phj_metrics::names::SERVER_QUERY_LATENCY_US,
-            "Per-query wall latency (us)",
-        )
-        .record(elapsed.as_micros() as u64);
-    }
-    drop(grant);
+    record_query_histograms(&grant, elapsed);
 
-    match outcome {
-        Ok(Ok(out)) => Response::Result(QueryResult {
-            query_id,
-            kind: out.kind,
-            matches: out.matches,
-            checksum: out.checksum,
-            partitions: out.partitions,
-            elapsed_us: elapsed.as_micros() as u64,
-            report_json: out.report_json,
-        }),
+    let resp = match outcome {
+        Ok(Ok(out)) => {
+            ctx.registry.set_state(query_id, QueryState::Responding);
+            let report_json = if ctx.trace {
+                attach_query_trace(ctx, query_id, trace_id, out.report_json)
+            } else {
+                out.report_json
+            };
+            Response::Result(QueryResult {
+                query_id,
+                kind: out.kind,
+                matches: out.matches,
+                checksum: out.checksum,
+                partitions: out.partitions,
+                elapsed_us: elapsed.as_micros() as u64,
+                report_json,
+                trace_id,
+            })
+        }
         Ok(Err(msg)) => Response::Error { code: ErrorCode::Internal, message: msg },
         Err(_) => Response::Error {
             code: ErrorCode::Internal,
             message: format!("query {query_id} panicked"),
         },
+    };
+    let failed = !matches!(resp, Response::Result(_));
+    maybe_capture_slow(ctx, query_id, trace_id, received.elapsed());
+    drop(grant);
+    ctx.registry.finish(query_id, if failed { QueryState::Failed } else { QueryState::Done });
+    resp
+}
+
+/// Break the wall latency into its lifecycle spans for Prometheus.
+/// `phj_server_query_latency_us` keeps recording the total.
+fn record_query_histograms(grant: &crate::admission::MemGrant, elapsed: Duration) {
+    let Some(reg) = phj_metrics::global() else { return };
+    reg.histogram(phj_metrics::names::SERVER_QUERY_LATENCY_US, "Per-query wall latency (us)")
+        .record(elapsed.as_micros() as u64);
+    reg.histogram(
+        phj_metrics::names::SERVER_QUERY_QUEUE_WAIT_US,
+        "Per-query admission FIFO wait behind earlier arrivals (us)",
+    )
+    .record(grant.queue_wait().as_micros() as u64);
+    reg.histogram(
+        phj_metrics::names::SERVER_QUERY_GRANT_WAIT_US,
+        "Per-query wait at the queue head for budget (us)",
+    )
+    .record(grant.grant_wait().as_micros() as u64);
+    reg.histogram(
+        phj_metrics::names::SERVER_QUERY_EXEC_US,
+        "Per-query kernel execution time (us)",
+    )
+    .record(elapsed.as_micros() as u64);
+}
+
+/// Re-render a query's RunReport with its `query_trace` section
+/// attached. Parse → set → render is an identity transform for every
+/// other section (u64s are exact, floats render shortest-repr), so a
+/// traced report differs from the untraced one *only* by the new
+/// section. Falls back to the original JSON if the report does not
+/// parse (it always should — it was rendered by `RunReport::render`).
+fn attach_query_trace(ctx: &Ctx, query_id: u64, trace_id: u64, report_json: String) -> String {
+    let Some(lc) = ctx.registry.lifecycle(query_id) else { return report_json };
+    let ser0 = Instant::now();
+    phj_flightrec::event(
+        phj_flightrec::EventKind::PhaseEnter,
+        phj_flightrec::phase_code("serialize"),
+        query_id,
+        0,
+    );
+    let out = match RunReport::parse(&report_json) {
+        Ok(mut report) => {
+            // Serialization cost = the parse just done plus the render
+            // below; the parse is the dominant half, so charge it and
+            // a floor of 1 us so the span is visible in breakdowns.
+            let serialize_ns = (ser0.elapsed().as_nanos() as u64).max(1_000);
+            report.query_trace = Some(QueryTraceSection {
+                trace_id,
+                query_id,
+                queue_wait_ns: lc.queue_wait_ns,
+                grant_wait_ns: lc.grant_wait_ns,
+                exec_ns: lc.exec_ns,
+                serialize_ns,
+                shed_count: lc.shed_count as u64,
+                states: lc
+                    .transitions
+                    .iter()
+                    .map(|(s, t)| (s.name().to_string(), *t))
+                    .collect(),
+            });
+            report.render()
+        }
+        Err(_) => report_json,
+    };
+    phj_flightrec::event(
+        phj_flightrec::EventKind::PhaseExit,
+        phj_flightrec::phase_code("serialize"),
+        query_id,
+        1,
+    );
+    if let Some(reg) = phj_metrics::global() {
+        reg.histogram(
+            phj_metrics::names::SERVER_QUERY_SERIALIZE_US,
+            "Per-query response serialization time (us)",
+        )
+        .record(ser0.elapsed().as_micros() as u64);
+    }
+    out
+}
+
+/// If the query tripped a slow-query trigger, snapshot its slice of
+/// the flight-recorder ring plus its lifecycle breakdown into the
+/// bounded dump directory and fire the hook.
+fn maybe_capture_slow(ctx: &Ctx, query_id: u64, trace_id: u64, latency: Duration) {
+    let Some(sq) = &ctx.slow_query else { return };
+    let lc = ctx.registry.lifecycle(query_id).unwrap_or_default();
+    let slow = latency >= sq.latency;
+    let shed_heavy = sq.max_sheds > 0 && lc.shed_count >= sq.max_sheds;
+    if !slow && !shed_heavy {
+        return;
+    }
+    // This query's slice of the ring: its phase spans plus every grant
+    // event it owns. Grant events carry the query id in payload `a` —
+    // except TRACE, where `a` is the trace id and `b` the query id.
+    let events: Vec<phj_flightrec::Event> = phj_flightrec::global()
+        .map(|r| r.timeline())
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|ev| match ev.kind {
+            phj_flightrec::EventKind::Grant => {
+                if ev.code == phj_flightrec::grant_op::TRACE {
+                    ev.b == query_id
+                } else {
+                    ev.a == query_id
+                }
+            }
+            phj_flightrec::EventKind::PhaseEnter | phj_flightrec::EventKind::PhaseExit => {
+                ev.a == query_id
+            }
+            _ => false,
+        })
+        .collect();
+    let seq = ctx.slow_seq.fetch_add(1, Ordering::SeqCst);
+    let path = sq.dir.join(format!("slow-query-{seq:06}-q{query_id}.json"));
+    let trigger = if slow { "latency" } else { "sheds" };
+    // Context values are raw JSON fragments (the postmortem schema's
+    // convention): numbers bare, strings quoted.
+    let context = [
+        ("query_id".to_string(), query_id.to_string()),
+        ("trace_id".to_string(), format!("\"{trace_id:#018x}\"")),
+        ("trigger".to_string(), format!("\"{trigger}\"")),
+        ("latency_us".to_string(), (latency.as_micros() as u64).to_string()),
+        ("queue_wait_us".to_string(), (lc.queue_wait_ns / 1_000).to_string()),
+        ("grant_wait_us".to_string(), (lc.grant_wait_ns / 1_000).to_string()),
+        ("exec_us".to_string(), (lc.exec_ns / 1_000).to_string()),
+        ("shed_count".to_string(), lc.shed_count.to_string()),
+    ];
+    if std::fs::create_dir_all(&sq.dir).is_err() {
+        return;
+    }
+    let message = format!(
+        "query {query_id} exceeded the slow-query {trigger} threshold ({} us, {} sheds)",
+        latency.as_micros(),
+        lc.shed_count,
+    );
+    if phj_flightrec::dump_events_to(&path, phj_flightrec::Cause::Manual, &message, &events, &context)
+        .is_err()
+    {
+        return;
+    }
+    prune_slow_dumps(&sq.dir, sq.keep);
+    if let Some(reg) = phj_metrics::global() {
+        reg.counter(
+            phj_metrics::names::SERVER_SLOW_QUERIES,
+            "Slow-query captures written",
+        )
+        .inc();
+    }
+    if let Some(hook) = ctx.slow_hook.lock().unwrap().as_ref() {
+        hook(query_id, trace_id, latency, &path);
+    }
+}
+
+/// Keep the newest `keep` dumps (filenames embed a monotone sequence
+/// number, so lexicographic order is capture order).
+fn prune_slow_dumps(dir: &Path, keep: usize) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut dumps: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("slow-query-") && n.ends_with(".json"))
+        })
+        .collect();
+    if dumps.len() <= keep.max(1) {
+        return;
+    }
+    dumps.sort();
+    let excess = dumps.len() - keep.max(1);
+    for p in &dumps[..excess] {
+        let _ = std::fs::remove_file(p);
     }
 }
 

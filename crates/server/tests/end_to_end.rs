@@ -22,6 +22,7 @@ fn join_req(seed: u64) -> Request {
         scheme: WireScheme::Group { g: 16 },
         mem_budget: 1 << 20,
         seed,
+        trace_id: 0,
     })
 }
 
@@ -31,6 +32,7 @@ fn agg_req(rows: u64) -> Request {
         keys: 256,
         scheme: WireScheme::Swp { d: 4 },
         mem_budget: 0,
+        trace_id: 0,
     })
 }
 
@@ -124,6 +126,7 @@ fn ping_pong_and_typed_rejections() {
         scheme: WireScheme::Baseline,
         mem_budget: 1 << 20,
         seed: 1,
+        trace_id: 0,
     });
     match conn.request(&huge).unwrap() {
         Response::Error { code: ErrorCode::TooLarge, .. } => {}
@@ -139,6 +142,7 @@ fn ping_pong_and_typed_rejections() {
         scheme: WireScheme::Baseline,
         mem_budget: 1 << 20,
         seed: 1,
+        trace_id: 0,
     });
     match conn.request(&bad).unwrap() {
         Response::Error { code: ErrorCode::BadRequest, .. } => {}
@@ -311,6 +315,7 @@ fn mid_run_grant_shrink_on_a_live_dynamic_disk_query() {
         mem_budget: 20 << 20,
         seed: 0xD15C,
         mode: 2,
+        trace_id: 0,
     });
     let want = query::run(0, &disk).unwrap();
 
@@ -334,6 +339,7 @@ fn mid_run_grant_shrink_on_a_live_dynamic_disk_query() {
         keys: 256,
         scheme: WireScheme::Swp { d: 4 },
         mem_budget: 8 << 20,
+        trace_id: 0,
     });
     let arrival_thread = std::thread::spawn(move || {
         let mut conn = Connection::connect(addr).unwrap();
@@ -393,4 +399,208 @@ fn stop_finishes_inflight_work_and_frees_the_port() {
     srv.stop();
     // The accept loop is gone: the port can be rebound.
     assert!(std::net::TcpListener::bind(addr).is_ok());
+}
+
+/// Every error path must leave the daemon balanced: no leaked grants,
+/// no stuck inflight count, and a `failed` entry in the query table.
+/// The injected failure is a scratch dir pointing at an existing
+/// *file* — disk-join staging then fails deterministically *after* the
+/// grant was acquired, which is the leak-prone half of the lifecycle.
+#[test]
+fn error_paths_release_grants_and_mark_the_query_failed() {
+    let bogus = std::env::temp_dir().join(format!("phj-scratch-not-a-dir-{}", std::process::id()));
+    std::fs::write(&bogus, b"occupied").unwrap();
+    let srv = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        mem_budget: 64 << 20,
+        scratch_dir: Some(bogus.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut conn = Connection::connect(srv.local_addr()).unwrap();
+
+    let disk = Request::DiskJoin(DiskJoinRequest {
+        build_tuples: 2_000,
+        tuple_size: 64,
+        matches_per_build: 2,
+        pct_match: 100,
+        mem_budget: 4 << 20,
+        seed: 3,
+        mode: 0,
+        trace_id: 0,
+    });
+    match conn.request(&disk).unwrap() {
+        Response::Error { code: ErrorCode::Internal, message } => {
+            assert!(message.contains("scratch dir"), "unexpected failure: {message}");
+        }
+        other => panic!("want Internal, got {other:?}"),
+    }
+
+    // The grant came back, nothing is inflight, and the table shows
+    // the failure (grant weak-ref reads 0 after release).
+    assert_eq!(srv.admission().outstanding(), 0, "failed query leaked its grant");
+    assert_eq!(srv.inflight(), 0);
+    let rows = srv.registry().snapshot();
+    let failed = rows
+        .iter()
+        .find(|r| r.state == phj_server::QueryState::Failed as u8)
+        .expect("failed query must appear in the table");
+    assert_eq!(failed.kind, query::KIND_DISK);
+    assert_eq!(failed.grant_bytes, 0);
+
+    // The daemon keeps serving after the failure.
+    assert!(matches!(conn.request(&join_req(11)).unwrap(), Response::Result(_)));
+    let _ = std::fs::remove_file(&bogus);
+    srv.stop();
+}
+
+/// The tentpole end-to-end: a client-minted trace id survives the trip
+/// — request frame, flight recorder binding, `query_trace` report
+/// section, result frame echo, and the `Status` live table.
+#[test]
+fn trace_id_flows_from_request_to_report_to_status() {
+    phj_flightrec::install(phj_flightrec::Mode::Phase);
+    let srv = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        mem_budget: 64 << 20,
+        trace: true,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut conn = Connection::connect(srv.local_addr()).unwrap();
+
+    let trace_id = 0x7E57_7E57_0000_0001u64;
+    let req = Request::Join(JoinRequest {
+        build_tuples: 2_000,
+        tuple_size: 100,
+        matches_per_build: 2,
+        pct_match: 100,
+        scheme: WireScheme::Group { g: 16 },
+        mem_budget: 1 << 20,
+        seed: 0x11D0,
+        trace_id,
+    });
+    let (resp, timing) = conn.request_timed(&req).unwrap();
+    let r = match resp {
+        Response::Result(r) => r,
+        other => panic!("want Result, got {other:?}"),
+    };
+    assert_eq!(r.trace_id, trace_id, "result frame must echo the trace id");
+
+    // The report carries a validated query_trace section whose spans
+    // are consistent with the client-observed wait.
+    let report = RunReport::parse(&r.report_json).unwrap();
+    report.validate().unwrap();
+    let sec = report.query_trace.expect("traced run attaches query_trace");
+    assert_eq!(sec.trace_id, trace_id);
+    assert_eq!(sec.query_id, r.query_id);
+    let names: Vec<&str> = sec.states.iter().map(|(s, _)| s.as_str()).collect();
+    assert_eq!(names.first(), Some(&"received"));
+    assert!(names.contains(&"executing") && names.contains(&"responding"));
+    assert!(sec.exec_ns > 0 && sec.serialize_ns > 0);
+    let breakdown_ns = sec.queue_wait_ns + sec.grant_wait_ns + sec.exec_ns + sec.serialize_ns;
+    let wait_ns = timing.wait.as_nanos() as u64;
+    assert!(
+        breakdown_ns <= wait_ns,
+        "server breakdown ({breakdown_ns} ns) cannot exceed the client wait ({wait_ns} ns)"
+    );
+
+    // The flight recorder bound the two ids together.
+    let rec = phj_flightrec::global().unwrap();
+    assert!(
+        rec.timeline().iter().any(|e| {
+            e.kind == phj_flightrec::EventKind::Grant
+                && e.code == phj_flightrec::grant_op::TRACE
+                && e.a == trace_id
+                && e.b == r.query_id
+        }),
+        "TRACE event must bind trace id to query id"
+    );
+
+    // And the Status table still shows the completed query.
+    match conn.request(&Request::Status).unwrap() {
+        Response::Status(rows) => {
+            let row = rows
+                .iter()
+                .find(|row| row.query_id == r.query_id)
+                .expect("completed query stays visible in the recent ring");
+            assert_eq!(row.trace_id, trace_id);
+            assert_eq!(row.state, phj_server::QueryState::Done as u8);
+            assert_eq!(row.exec_us, sec.exec_ns / 1_000);
+        }
+        other => panic!("want Status, got {other:?}"),
+    }
+    srv.stop();
+}
+
+/// Slow-query capture: with a zero latency threshold every query trips
+/// the trigger; dumps are valid postmortems filtered to the query's
+/// events, the hook fires, and the dump directory stays bounded.
+#[test]
+fn slow_queries_dump_valid_postmortems_into_a_bounded_ring() {
+    phj_flightrec::install(phj_flightrec::Mode::Phase);
+    let dir = std::env::temp_dir().join(format!("phj-slow-dumps-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let srv = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        mem_budget: 64 << 20,
+        trace: true,
+        slow_query: Some(phj_server::SlowQueryConfig {
+            latency: std::time::Duration::ZERO,
+            max_sheds: 0,
+            dir: dir.clone(),
+            keep: 2,
+        }),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let captured = Arc::new(std::sync::Mutex::new(Vec::new()));
+    {
+        let sink = Arc::clone(&captured);
+        srv.set_slow_query_hook(move |qid, tid, latency, path| {
+            sink.lock().unwrap().push((qid, tid, latency, path.to_path_buf()));
+        });
+    }
+    let mut conn = Connection::connect(srv.local_addr()).unwrap();
+    for seed in 0..4u64 {
+        let mut req = join_req(seed);
+        if let Request::Join(j) = &mut req {
+            j.trace_id = 0xABBA_0000 + seed;
+        }
+        assert!(matches!(conn.request(&req).unwrap(), Response::Result(_)));
+    }
+
+    let hooks = captured.lock().unwrap().clone();
+    assert_eq!(hooks.len(), 4, "every query tripped the zero threshold");
+    // Ring bound: only the newest `keep` dumps remain on disk.
+    let mut on_disk: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    on_disk.sort();
+    assert_eq!(on_disk.len(), 2, "dump ring must prune to keep=2");
+
+    // The newest dump is a valid postmortem scoped to its query: every
+    // event belongs to it, and the context block carries the breakdown.
+    let (qid, tid, _latency, last_path) = hooks.last().unwrap().clone();
+    assert_eq!(&last_path, on_disk.last().unwrap());
+    let text = std::fs::read_to_string(&last_path).unwrap();
+    let pm = phj_obs::Postmortem::parse(&text).unwrap();
+    pm.validate().unwrap();
+    assert!(pm.context.iter().any(|(k, v)| k == "query_id" && *v == qid.to_string()));
+    assert!(
+        pm.context.iter().any(|(k, v)| k == "trace_id" && *v == format!("\"{tid:#018x}\"")),
+        "context must carry the quoted trace id: {:?}",
+        pm.context
+    );
+    assert!(
+        pm.timeline.iter().all(|ev| ev.a == qid || ev.b == qid),
+        "dump events must belong to the captured query"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    srv.stop();
 }

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 
 use phj_server::proto::{
     read_frame, write_frame, AggRequest, ErrorCode, FrameError, JoinRequest, ProtoError,
-    QueryResult, Request, Response, WireScheme, MAX_FRAME, VERSION,
+    QueryResult, Request, Response, StatusRow, WireScheme, MAX_FRAME, MAX_STATUS_ROWS, VERSION,
 };
 
 fn scheme_from(code: u8, g: u32, d: u32) -> WireScheme {
@@ -38,6 +38,7 @@ proptest! {
         d in 1u32..64,
         mem_budget in any::<u64>(),
         seed in any::<u64>(),
+        trace_id in any::<u64>(),
     ) {
         let req = Request::Join(JoinRequest {
             build_tuples,
@@ -47,6 +48,7 @@ proptest! {
             scheme: scheme_from(code, g, d),
             mem_budget,
             seed,
+            trace_id,
         });
         let mut wire = Vec::new();
         write_frame(&mut wire, &req.encode()).unwrap();
@@ -62,12 +64,14 @@ proptest! {
         g in 1u32..1024,
         d in 1u32..64,
         mem_budget in any::<u64>(),
+        trace_id in any::<u64>(),
     ) {
         let req = Request::Agg(AggRequest {
             rows,
             keys,
             scheme: scheme_from(code, g, d),
             mem_budget,
+            trace_id,
         });
         let body = req.encode();
         prop_assert_eq!(Request::decode(&body).unwrap(), req);
@@ -84,6 +88,7 @@ proptest! {
         json in collection::vec(any::<u8>(), 0..256),
         err_code in 1u16..7,
         msg in collection::vec(any::<u8>(), 0..64),
+        trace_id in any::<u64>(),
     ) {
         let result = Response::Result(QueryResult {
             query_id,
@@ -93,6 +98,7 @@ proptest! {
             partitions,
             elapsed_us,
             report_json: printable(json),
+            trace_id,
         });
         prop_assert_eq!(Response::decode(&result.encode()).unwrap(), result);
 
@@ -163,6 +169,7 @@ proptest! {
             scheme: WireScheme::Swp { d: 4 },
             mem_budget: 1 << 20,
             seed,
+            trace_id: 0,
         });
         let mut wire = Vec::new();
         write_frame(&mut wire, &req.encode()).unwrap();
@@ -171,6 +178,51 @@ proptest! {
         match read_frame(&mut &wire[..cut]) {
             Err(FrameError::Proto(ProtoError::Truncated)) => {}
             other => prop_assert!(false, "cut at {}: want Truncated, got {:?}", cut, other),
+        }
+    }
+
+    #[test]
+    fn status_frames_round_trip(
+        raw in collection::vec(collection::vec(any::<u64>(), 8..9), 0..16),
+    ) {
+        prop_assert_eq!(Request::decode(&Request::Status.encode()).unwrap(), Request::Status);
+        let rows: Vec<StatusRow> = raw
+            .into_iter()
+            .map(|w| StatusRow {
+                query_id: w[0],
+                trace_id: w[1],
+                kind: (w[2] % 3) as u8 + 1,
+                state: (w[3] % 7) as u8,
+                age_us: w[4],
+                grant_bytes: w[5],
+                shed_count: w[6] as u32,
+                queue_wait_us: w[7],
+                grant_wait_us: w[0] ^ w[1],
+                exec_us: w[2].rotate_left(17),
+            })
+            .collect();
+        let resp = Response::Status(rows);
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn hostile_status_bodies_are_typed_never_panics(
+        count in any::<u32>(),
+        tail in collection::vec(any::<u8>(), 0..256),
+    ) {
+        // An attacker-controlled row count must be bounds-checked
+        // before any allocation: a count over the cap is a typed
+        // BadValue even with zero row bytes behind it.
+        let mut body = vec![0x84u8];
+        body.extend_from_slice(&count.to_le_bytes());
+        body.extend_from_slice(&tail);
+        match Response::decode(&body) {
+            Ok(resp) => prop_assert_eq!(resp.encode(), body),
+            Err(e) => {
+                if count > MAX_STATUS_ROWS {
+                    prop_assert_eq!(e, ProtoError::BadValue("status row count"));
+                }
+            }
         }
     }
 
